@@ -1,0 +1,343 @@
+(* amber_sim — command-line driver for the Amber reproduction.
+
+   Subcommands:
+     sor        run Red/Black SOR (amber | ivy | seq) with custom parameters
+     workqueue  run the distributed work-queue workload
+     matmul     run the replicated matrix multiply
+     trace      run a small scenario with protocol tracing and dump it
+
+   Examples:
+     amber_sim sor --nodes 8 --cpus 4 --iters 20
+     amber_sim sor --system ivy --nodes 4 --rows 32 --cols 64
+     amber_sim workqueue --items 400 --move-at 150
+     amber_sim trace *)
+
+open Cmdliner
+
+let nodes_arg =
+  Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Cluster nodes.")
+
+let cpus_arg =
+  Arg.(value & opt int 4 & info [ "cpus"; "p" ] ~docv:"P" ~doc:"CPUs per node.")
+
+let mk_config nodes cpus =
+  if nodes <= 0 || cpus <= 0 then failwith "nodes and cpus must be positive";
+  Amber.Config.make ~nodes ~cpus ()
+
+(* --- sor ---------------------------------------------------------------- *)
+
+let sor_cmd =
+  let system =
+    Arg.(
+      value
+      & opt (enum [ ("amber", `Amber); ("ivy", `Ivy); ("seq", `Seq) ]) `Amber
+      & info [ "system" ] ~docv:"SYSTEM"
+          ~doc:"Implementation to run: $(b,amber), $(b,ivy) or $(b,seq).")
+  in
+  let rows =
+    Arg.(value & opt int 122 & info [ "rows" ] ~docv:"R" ~doc:"Grid rows.")
+  in
+  let cols =
+    Arg.(value & opt int 842 & info [ "cols" ] ~docv:"C" ~doc:"Grid columns.")
+  in
+  let iters =
+    Arg.(value & opt int 10 & info [ "iters"; "i" ] ~docv:"I" ~doc:"Iterations.")
+  in
+  let sections =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sections" ] ~docv:"S" ~doc:"Section count (amber only).")
+  in
+  let no_overlap =
+    Arg.(
+      value & flag
+      & info [ "no-overlap" ]
+          ~doc:"Disable overlapping of edge exchange with computation.")
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ] ~doc:"Print per-node utilization and protocol counters.")
+  in
+  let run nodes cpus system rows cols iters sections no_overlap report =
+    let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
+    let cfg = mk_config nodes cpus in
+    let seq_pred = Workloads.Sor_seq.predicted_elapsed p ~iters in
+    let maybe_report rt =
+      if report then
+        Format.printf "@.%a" Amber.Stats_report.pp
+          (Amber.Stats_report.capture rt)
+    in
+    (match system with
+    | `Seq ->
+      let r =
+        Amber.Cluster.run_value cfg (fun rt ->
+            let r = Workloads.Sor_seq.run rt p ~iters in
+            maybe_report rt;
+            r)
+      in
+      Printf.printf "sequential: %d iterations in %.3f virtual s (checksum %.6g)\n"
+        r.Workloads.Sor_seq.iterations r.Workloads.Sor_seq.compute_elapsed
+        r.Workloads.Sor_seq.checksum
+    | `Amber ->
+      let r =
+        Amber.Cluster.run_value cfg (fun rt ->
+            let c = Workloads.Sor_amber.default_cfg rt in
+            let c =
+              match sections with
+              | Some s -> { c with Workloads.Sor_amber.sections = s }
+              | None -> c
+            in
+            let c = { c with Workloads.Sor_amber.overlap = not no_overlap } in
+            let r = Workloads.Sor_amber.run rt p ~cfg:c ~iters () in
+            maybe_report rt;
+            r)
+      in
+      Printf.printf
+        "amber %dNx%dP: compute %.3f virtual s, speedup %.2f, checksum %.6g\n"
+        nodes cpus r.Workloads.Sor_amber.compute_elapsed
+        (seq_pred /. r.Workloads.Sor_amber.compute_elapsed)
+        r.Workloads.Sor_amber.checksum;
+      Printf.printf "  remote invocations: %d, thread migrations: %d\n"
+        r.Workloads.Sor_amber.remote_invocations
+        r.Workloads.Sor_amber.thread_migrations
+    | `Ivy ->
+      let r =
+        Amber.Cluster.run_value cfg (fun rt ->
+            let r = Workloads.Sor_ivy.run rt p ~iters () in
+            maybe_report rt;
+            r)
+      in
+      Printf.printf
+        "ivy %dNx%dP: compute %.3f virtual s, speedup %.2f, checksum %.6g\n"
+        nodes cpus r.Workloads.Sor_ivy.compute_elapsed
+        (seq_pred /. r.Workloads.Sor_ivy.compute_elapsed)
+        r.Workloads.Sor_ivy.checksum;
+      Printf.printf "  faults: %d read, %d write; invalidations: %d; %d bytes\n"
+        r.Workloads.Sor_ivy.read_faults r.Workloads.Sor_ivy.write_faults
+        r.Workloads.Sor_ivy.invalidations r.Workloads.Sor_ivy.transfer_bytes);
+    0
+  in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ system $ rows $ cols $ iters
+      $ sections $ no_overlap $ report_flag)
+  in
+  Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
+    term
+
+(* --- workqueue ----------------------------------------------------------- *)
+
+let workqueue_cmd =
+  let items =
+    Arg.(value & opt int 200 & info [ "items" ] ~docv:"N" ~doc:"Work items.")
+  in
+  let batch =
+    Arg.(value & opt int 4 & info [ "batch" ] ~docv:"B" ~doc:"Items per fetch.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker threads per node.")
+  in
+  let move_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "move-at" ] ~docv:"K"
+          ~doc:"Migrate the queue after K items are taken.")
+  in
+  let run nodes cpus items batch workers move_at =
+    let cfg = mk_config nodes cpus in
+    let r =
+      Amber.Cluster.run_value cfg (fun rt ->
+          Workloads.Work_queue.run rt
+            {
+              Workloads.Work_queue.items;
+              work_cpu = 10e-3;
+              batch;
+              workers_per_node = workers;
+              move_queue_at = move_at;
+            })
+    in
+    Printf.printf "processed %d items in %.3f virtual s\n"
+      r.Workloads.Work_queue.processed r.Workloads.Work_queue.elapsed;
+    Array.iteri
+      (fun node count -> Printf.printf "  node %d: %d items\n" node count)
+      r.Workloads.Work_queue.per_node;
+    Printf.printf "queue finished on node %d\n"
+      r.Workloads.Work_queue.queue_final_node;
+    0
+  in
+  let term =
+    Term.(const run $ nodes_arg $ cpus_arg $ items $ batch $ workers $ move_at)
+  in
+  Cmd.v
+    (Cmd.info "workqueue" ~doc:"Run the distributed work-queue workload.")
+    term
+
+(* --- matmul -------------------------------------------------------------- *)
+
+let matmul_cmd =
+  let n =
+    Arg.(value & opt int 96 & info [ "size" ] ~docv:"N" ~doc:"Matrix dimension.")
+  in
+  let block =
+    Arg.(value & opt int 24 & info [ "block" ] ~docv:"B" ~doc:"Block edge.")
+  in
+  let no_replicate =
+    Arg.(
+      value & flag
+      & info [ "no-replicate" ]
+          ~doc:"Keep A and B on node 0 instead of replicating.")
+  in
+  let run nodes cpus n block no_replicate =
+    let cfg = mk_config nodes cpus in
+    let mcfg =
+      {
+        Workloads.Matmul.n;
+        block;
+        replicate = not no_replicate;
+        workers_per_node = cpus;
+        flop_cpu = 5e-6;
+      }
+    in
+    let want = Workloads.Matmul.reference_checksum mcfg in
+    let r = Amber.Cluster.run_value cfg (fun rt -> Workloads.Matmul.run rt mcfg) in
+    let ok = Float.abs (r.Workloads.Matmul.checksum -. want) <= 1e-6 *. want in
+    Printf.printf
+      "matmul %dx%d (%s): %.3f virtual s, %d remote invocations, %d copies %s\n"
+      n n
+      (if no_replicate then "no replication" else "replicated inputs")
+      r.Workloads.Matmul.elapsed r.Workloads.Matmul.remote_invocations
+      r.Workloads.Matmul.copies
+      (if ok then "(correct)" else "(WRONG)");
+    0
+  in
+  let term = Term.(const run $ nodes_arg $ cpus_arg $ n $ block $ no_replicate) in
+  Cmd.v (Cmd.info "matmul" ~doc:"Run the replicated matrix multiply.") term
+
+(* --- tsp ----------------------------------------------------------------- *)
+
+let tsp_cmd =
+  let cities =
+    Arg.(value & opt int 10 & info [ "cities" ] ~docv:"C" ~doc:"Problem size (3-13).")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Instance seed.")
+  in
+  let central =
+    Arg.(
+      value & flag
+      & info [ "central" ] ~doc:"One shared pool instead of per-node pools.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Verify the result against brute force (slow).")
+  in
+  let run nodes cpus cities seed central check =
+    let cfg = mk_config nodes cpus in
+    let tcfg =
+      {
+        Workloads.Tsp.cities;
+        seed;
+        workers_per_node = cpus;
+        expand_cpu = 50e-6;
+        centralize = central;
+      }
+    in
+    let r = Amber.Cluster.run_value cfg (fun rt -> Workloads.Tsp.run rt tcfg) in
+    Printf.printf
+      "tsp %d cities (%s): best tour cost %d in %.3f virtual s\n"
+      cities
+      (if central then "central pool" else "per-node pools")
+      r.Workloads.Tsp.best_cost r.Workloads.Tsp.elapsed;
+    Printf.printf "  tour: %s\n"
+      (String.concat " -> "
+         (Array.to_list (Array.map string_of_int r.Workloads.Tsp.best_tour)));
+    Printf.printf "  %d expansions, %d pruned, %d steals, %d remote invocations\n"
+      r.Workloads.Tsp.expansions r.Workloads.Tsp.pruned r.Workloads.Tsp.steals
+      r.Workloads.Tsp.remote_invocations;
+    if check then begin
+      let want = Workloads.Tsp.brute_force tcfg in
+      Printf.printf "  brute force says %d: %s\n" want
+        (if want = r.Workloads.Tsp.best_cost then "OPTIMAL" else "WRONG")
+    end;
+    0
+  in
+  let term = Term.(const run $ nodes_arg $ cpus_arg $ cities $ seed $ central $ check) in
+  Cmd.v
+    (Cmd.info "tsp" ~doc:"Run parallel branch-and-bound TSP with work stealing.")
+    term
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let limit =
+    Arg.(
+      value & opt int 60
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum records to print.")
+  in
+  let category =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "category" ] ~docv:"CAT"
+          ~doc:
+            "Only records of this category (create, migrate, move, net, \
+             sched).")
+  in
+  let run nodes cpus limit category =
+    let cfg = mk_config nodes cpus in
+    let rt_box = ref None in
+    let () =
+      Amber.Cluster.run_value cfg (fun rt ->
+          rt_box := Some rt;
+          Sim.Trace.set_enabled (Amber.Runtime.trace rt) true;
+          let counter = Amber.Api.create rt ~name:"counter" (ref 0) in
+          Amber.Api.move_to rt counter ~dest:(min 1 (nodes - 1));
+          let lock = Amber.Sync.Lock.create rt () in
+          let ts =
+            List.init 3 (fun i ->
+                Amber.Api.start rt ~name:(Printf.sprintf "w%d" i) (fun () ->
+                    for _ = 1 to 3 do
+                      Amber.Sync.Lock.with_lock rt lock (fun () ->
+                          Amber.Api.invoke rt counter (fun c -> incr c))
+                    done))
+          in
+          List.iter (fun t -> Amber.Api.join rt t) ts)
+    in
+    (match !rt_box with
+    | None -> ()
+    | Some rt ->
+      let trace = Amber.Runtime.trace rt in
+      let records =
+        match category with
+        | None -> Sim.Trace.records trace
+        | Some c -> Sim.Trace.by_category trace c
+      in
+      let total = List.length records in
+      Printf.printf "protocol trace (%d records, showing up to %d):\n" total
+        limit;
+      List.iteri
+        (fun i r ->
+          if i < limit then
+            Format.printf "%a@." Sim.Trace.pp_record r)
+        records);
+    0
+  in
+  let term = Term.(const run $ nodes_arg $ cpus_arg $ limit $ category) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a small scenario with protocol tracing enabled and dump it.")
+    term
+
+let () =
+  let doc = "Amber: parallel programming on a network of multiprocessors" in
+  let info = Cmd.info "amber_sim" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; trace_cmd ]))

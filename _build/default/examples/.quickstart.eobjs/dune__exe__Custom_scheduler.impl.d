@@ -1,0 +1,1 @@
+examples/custom_scheduler.ml: Amber Api Athread Hw List Printf Runtime Scheduler Sim Topaz

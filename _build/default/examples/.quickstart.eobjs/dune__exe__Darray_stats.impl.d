@@ -1,0 +1,1 @@
+examples/darray_stats.ml: Amber Api Array Darray Float Printf Runtime Sim

@@ -1,0 +1,1 @@
+examples/darray_stats.mli:

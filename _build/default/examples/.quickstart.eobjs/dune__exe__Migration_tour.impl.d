@@ -1,0 +1,1 @@
+examples/migration_tour.ml: Amber Aobject Api List Printf Sim String

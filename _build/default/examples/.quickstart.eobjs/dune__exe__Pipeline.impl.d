@@ -1,0 +1,1 @@
+examples/pipeline.ml: Amber Api Cluster List Printf Queue Runtime Sim Sync

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amber Api Cluster Format List Printf Sync

@@ -1,0 +1,1 @@
+examples/sor_demo.ml: Amber List Printf Workloads

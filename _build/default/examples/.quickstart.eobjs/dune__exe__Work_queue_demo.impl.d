@@ -1,0 +1,1 @@
+examples/work_queue_demo.ml: Amber Array Format Printf Workloads

@@ -1,0 +1,78 @@
+(* A tour of the mobility machinery from §2.3 and §3.3–3.5:
+
+   - forwarding chains: an object that hops around the cluster leaves a
+     trail of forwarding addresses; a stale caller chases the whole chain
+     once, then everyone's descriptors are short-circuited;
+   - attachment: objects wired together move as one;
+   - immutability: MoveTo on a frozen object replicates instead of moving;
+   - bound threads: a thread executing inside a moving object follows it.
+
+   Run with:  dune exec examples/migration_tour.exe *)
+
+open Amber
+
+let () =
+  let cfg = Api.config ~nodes:6 ~cpus:2 () in
+  let (), _ =
+    Api.run cfg (fun rt ->
+        (* 1. Forwarding chains.  The moves are performed from node 1 (by
+           a thread anchored there), so node 0's descriptor goes stale and
+           the first locate has to chase the whole chain. *)
+        let ball = Api.create rt ~name:"ball" ~size:256 () in
+        let anchor = Api.create rt ~name:"anchor" ~size:64 () in
+        Api.move_to rt anchor ~dest:1;
+        let mover =
+          Api.start_invoke rt ~name:"mover" anchor (fun () ->
+              List.iter (fun dest -> Api.move_to rt ball ~dest) [ 1; 2; 3; 4; 5 ])
+        in
+        Api.join rt mover;
+        let t0 = Api.now rt in
+        let loc = Api.locate rt ball in
+        Printf.printf
+          "ball is on node %d; first locate chased the chain in %.2f ms\n" loc
+          ((Api.now rt -. t0) *. 1e3);
+        let t1 = Api.now rt in
+        let _ = Api.locate rt ball in
+        Printf.printf "second locate (chain compressed)     took %.2f ms\n"
+          ((Api.now rt -. t1) *. 1e3);
+
+        (* 2. Attachment: a record and its index move together. *)
+        let record = Api.create rt ~name:"record" ~size:4096 () in
+        let index = Api.create rt ~name:"index" ~size:512 () in
+        Api.attach rt ~parent:record ~child:index;
+        Api.move_to rt record ~dest:3;
+        Printf.printf "record on node %d, attached index on node %d\n"
+          (Api.locate rt record) (Api.locate rt index);
+
+        (* 3. Immutability: MoveTo replicates. *)
+        let table = Api.create rt ~name:"lookup-table" ~size:2048 () in
+        Api.set_immutable rt table;
+        Api.move_to rt table ~dest:1;
+        Api.move_to rt table ~dest:4;
+        Printf.printf "lookup-table master on node %d, replicas on [%s]\n"
+          table.Aobject.location
+          (String.concat "; "
+             (List.map string_of_int table.Aobject.replicas));
+
+        (* 4. Bound-thread migration: a thread busy inside an object is
+           dragged along when the object moves. *)
+        let room = Api.create rt ~name:"room" ~size:128 (ref 0) in
+        let busy =
+          Api.start rt ~name:"busy" (fun () ->
+              Api.invoke rt room (fun n ->
+                  for _ = 1 to 40 do
+                    Sim.Fiber.consume 2e-3;
+                    incr n
+                  done;
+                  Api.my_node rt))
+        in
+        Sim.Fiber.consume 20e-3;
+        Api.move_to rt room ~dest:5;
+        let finished_on = Api.join rt busy in
+        Printf.printf
+          "busy thread started on node 0, finished its operation on node %d \
+           (room moved mid-invocation, count=%d)\n"
+          finished_on
+          !(room.Aobject.state))
+  in
+  ()

@@ -1,0 +1,1 @@
+lib/core/api.ml: Aobject Athread Cluster Config Invoke Mobility Runtime

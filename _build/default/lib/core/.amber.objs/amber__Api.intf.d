@@ -1,0 +1,1 @@
+lib/core/api.mli: Aobject Athread Cluster Config Cost_model Runtime

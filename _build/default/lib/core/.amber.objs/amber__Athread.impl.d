@@ -1,0 +1,1 @@
+lib/core/athread.ml: Cost_model Descriptor Hw Invoke List Printf Runtime Sim Topaz Vaspace

@@ -1,0 +1,1 @@
+lib/core/athread.mli: Aobject Hw Runtime

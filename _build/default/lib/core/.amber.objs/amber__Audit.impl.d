@@ -1,0 +1,1 @@
+lib/core/audit.ml: Aobject Buffer Descriptor Format List Printf Runtime

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Athread Format Hw Runtime Sim

@@ -1,0 +1,1 @@
+lib/core/darray.ml: Aobject Array Athread Invoke List Placement Printf Runtime Sim

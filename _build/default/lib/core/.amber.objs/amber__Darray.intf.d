@@ -1,0 +1,1 @@
+lib/core/darray.mli: Placement Runtime

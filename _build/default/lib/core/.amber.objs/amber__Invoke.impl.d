@@ -1,0 +1,1 @@
+lib/core/invoke.ml: Aobject Cost_model List Printf Runtime Sim

@@ -1,0 +1,1 @@
+lib/core/mobility.ml: Aobject Cost_model Descriptor Hw List Printf Runtime Sim Topaz

@@ -1,0 +1,1 @@
+lib/core/mobility.mli: Aobject Runtime

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Aobject Array Float Hw Mobility Runtime Sim

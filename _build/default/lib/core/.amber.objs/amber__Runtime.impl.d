@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Aobject Array Config Cost_model Descriptor Hashtbl Hw List Logs Printf Sim Topaz Vaspace

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Aobject Config Cost_model Descriptor Hw Sim Topaz Vaspace

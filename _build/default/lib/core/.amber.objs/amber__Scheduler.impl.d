@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Hw Runtime

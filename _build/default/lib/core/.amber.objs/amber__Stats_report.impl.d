@@ -1,0 +1,1 @@
+lib/core/stats_report.ml: Array Config Descriptor Format Hw List Runtime Sim Vaspace

@@ -1,0 +1,1 @@
+lib/core/stats_report.mli: Format Runtime Sim

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Aobject Cost_model Float Invoke List Mobility Queue Runtime Sim

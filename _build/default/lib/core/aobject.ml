@@ -1,0 +1,57 @@
+type 'a t = {
+  addr : int;
+  name : string;
+  size : int;
+  home : int;
+  mutable location : int;
+  mutable immutable_ : bool;
+  mutable replicas : int list;
+  mutable attached : any list;
+  mutable parent : any option;
+  mutable state : 'a;
+}
+
+and any = Any : 'a t -> any
+
+let make ~addr ~name ~size ~node state =
+  {
+    addr;
+    name;
+    size;
+    home = node;
+    location = node;
+    immutable_ = false;
+    replicas = [];
+    attached = [];
+    parent = None;
+    state;
+  }
+
+let addr_of_any (Any o) = o.addr
+let name_of_any (Any o) = o.name
+let size_of_any (Any o) = o.size
+let location_of_any (Any o) = o.location
+
+let attachment_closure root =
+  (* Attachment edges cannot form cycles (attach enforces tree shape), but
+     guard against repeats anyway. *)
+  let seen = Hashtbl.create 8 in
+  let rec walk acc (Any o as node) =
+    if Hashtbl.mem seen o.addr then acc
+    else begin
+      Hashtbl.replace seen o.addr ();
+      List.fold_left walk (node :: acc) o.attached
+    end
+  in
+  List.rev (walk [] root)
+
+let closure_size root =
+  List.fold_left (fun acc a -> acc + size_of_any a) 0 (attachment_closure root)
+
+let usable_on o node =
+  o.location = node || (o.immutable_ && List.mem node o.replicas)
+
+let pp ppf o =
+  Format.fprintf ppf "%s@0x%x[%dB %s@@node%d]" o.name o.addr o.size
+    (if o.immutable_ then "imm" else "mut")
+    o.location

@@ -1,0 +1,43 @@
+(** Amber objects: passive entities with private state and public
+    operations, named by a global virtual address (paper §2, §3.2).
+
+    The ['a] parameter is the type of the object's representation (the
+    "private data").  Location fields on this record are the simulator's
+    {e ground truth}; the runtime protocol must reach its decisions through
+    {!Descriptor} tables alone, and tests compare the two. *)
+
+type 'a t = {
+  addr : int;  (** global virtual address: identity *)
+  name : string;
+  size : int;  (** representation size in bytes; drives move/copy cost *)
+  home : int;  (** creating node (derivable from [addr]'s region) *)
+  mutable location : int;  (** current node (for immutables: master copy) *)
+  mutable immutable_ : bool;
+  mutable replicas : int list;
+      (** nodes holding immutable copies (excludes [location]) *)
+  mutable attached : any list;  (** objects attached to this one (§2.3) *)
+  mutable parent : any option;  (** object this one is attached to *)
+  mutable state : 'a;
+}
+
+and any = Any : 'a t -> any
+
+val make :
+  addr:int -> name:string -> size:int -> node:int -> 'a -> 'a t
+
+val addr_of_any : any -> int
+val name_of_any : any -> string
+val size_of_any : any -> int
+val location_of_any : any -> int
+
+(** The object and, transitively, everything attached to it. *)
+val attachment_closure : any -> any list
+
+(** Total representation bytes of the attachment closure. *)
+val closure_size : any -> int
+
+(** Is a copy of the object usable on [node]?  True for the master copy's
+    node and, for immutables, any replica node. *)
+val usable_on : 'a t -> int -> bool
+
+val pp : Format.formatter -> 'a t -> unit

@@ -1,0 +1,24 @@
+type runtime = Runtime.t
+type 'a obj = 'a Aobject.t
+type 'r thread = 'r Athread.t
+
+let config ~nodes ~cpus ?cost ?seed () = Config.make ~nodes ~cpus ?cost ?seed ()
+let run = Cluster.run
+let run_value = Cluster.run_value
+let create rt ?size ~name state = Runtime.create_object rt ?size ~name state
+let destroy = Runtime.destroy_object
+let invoke = Invoke.invoke
+let invoke_member = Invoke.invoke_member
+let move_to = Mobility.move_to
+let locate = Mobility.locate
+let attach = Mobility.attach
+let unattach = Mobility.unattach
+let set_immutable = Mobility.set_immutable
+let start rt ?name body = Athread.start rt ?name body
+let start_invoke rt ?name ?payload obj op =
+  Athread.start_invoke rt ?name ?payload obj op
+let join = Athread.join
+let parallel rt ?name bodies = Athread.parallel rt ?name bodies
+let my_node = Runtime.current_node
+let node_count = Runtime.nodes
+let now = Runtime.now

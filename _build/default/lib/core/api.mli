@@ -1,0 +1,74 @@
+(** Programmer-facing surface of Amber, re-exported flat.
+
+    Typical use:
+    {[
+      open Amber
+
+      let () =
+        let cfg = Api.config ~nodes:4 ~cpus:4 () in
+        let (), _report =
+          Api.run cfg (fun rt ->
+              let counter = Api.create rt ~name:"counter" (ref 0) in
+              Api.move_to rt counter ~dest:2;
+              let t =
+                Api.start rt (fun () ->
+                    Api.invoke rt counter (fun c -> incr c))
+              in
+              Api.join rt t)
+        in
+        ()
+    ]} *)
+
+type runtime = Runtime.t
+type 'a obj = 'a Aobject.t
+type 'r thread = 'r Athread.t
+
+(** {1 Cluster} *)
+
+val config :
+  nodes:int -> cpus:int -> ?cost:Cost_model.t -> ?seed:int64 -> unit ->
+  Config.t
+
+val run : Config.t -> (runtime -> 'r) -> 'r * Cluster.report
+val run_value : Config.t -> (runtime -> 'r) -> 'r
+
+(** {1 Objects} *)
+
+val create : runtime -> ?size:int -> name:string -> 'a -> 'a obj
+val destroy : runtime -> 'a obj -> unit
+
+val invoke :
+  runtime -> ?payload:int -> ?return_payload:int -> 'a obj -> ('a -> 'b) ->
+  'b
+
+(** §3.6 inline member invocation; see {!Invoke.invoke_member}. *)
+val invoke_member : runtime -> 'a obj -> ('a -> 'b) -> 'b
+
+(** {1 Mobility} *)
+
+val move_to : runtime -> 'a obj -> dest:int -> unit
+val locate : runtime -> 'a obj -> int
+val attach : runtime -> parent:'a obj -> child:'b obj -> unit
+val unattach : runtime -> child:'b obj -> unit
+val set_immutable : runtime -> 'a obj -> unit
+
+(** {1 Threads} *)
+
+val start : runtime -> ?name:string -> (unit -> 'r) -> 'r thread
+
+val start_invoke :
+  runtime -> ?name:string -> ?payload:int -> 'a obj -> ('a -> 'r) ->
+  'r thread
+
+val join : runtime -> 'r thread -> 'r
+val parallel : runtime -> ?name:string -> (unit -> 'r) list -> 'r list
+
+(** {1 Misc} *)
+
+(** Node of the calling thread. *)
+val my_node : runtime -> int
+
+val node_count : runtime -> int
+
+(** Virtual time now (seconds). *)
+val now : runtime -> float

@@ -1,0 +1,102 @@
+type 'r t = {
+  ts : Runtime.tstate;
+  result : 'r option ref;
+  rt : Runtime.t;
+}
+
+(* Size of a thread object plus its runtime stack in the global address
+   space (the paper reserves a distinct segment per thread, §3.1). *)
+let thread_segment_bytes = 8192
+
+let start_on rt ~node ?(name = "thread") ?priority body =
+  let result = ref None in
+  let body_wrapped () =
+    let r = body () in
+    result := Some r
+  in
+  let tcb =
+    Topaz.Task.spawn (Runtime.task rt node) ~name ?priority body_wrapped
+  in
+  let taddr = Vaspace.Heap.alloc (Runtime.heap rt node) thread_segment_bytes in
+  Descriptor.set_resident (Runtime.descriptors rt node) taddr;
+  let ts =
+    {
+      Runtime.tcb;
+      taddr;
+      frames = [];
+      carry_bytes = 0;
+      migrations = 0;
+      chase_path = [];
+      result_box = None;
+    }
+  in
+  Runtime.register_thread rt ts;
+  Runtime.install_resume_check rt ts;
+  Hw.Machine.on_finish tcb (fun _ -> Runtime.unregister_thread rt ts);
+  let ctrs = Runtime.counters rt in
+  ctrs.Runtime.threads_started <- ctrs.Runtime.threads_started + 1;
+  { ts; result; rt }
+
+let start rt ?(name = "thread") ?priority body =
+  let c = Runtime.cost rt in
+  (* Creating + scheduling the thread object is work done by the parent. *)
+  Sim.Fiber.consume c.Cost_model.thread_create_cpu;
+  start_on rt ~node:(Runtime.current_node rt) ~name ?priority body
+
+let start_invoke rt ?(name = "thread") ?(payload = 0) obj op =
+  start rt ~name (fun () -> Invoke.invoke rt ~payload obj op)
+
+let join rt t =
+  let c = Runtime.cost rt in
+  Sim.Fiber.consume c.Cost_model.thread_join_cpu;
+  (* Join is an operation on the thread object (§3.4): locate it first —
+     a thread that migrated leaves a forwarding chain, making Join on a
+     travelled thread more expensive (the trade-off the paper states). *)
+  ignore (Runtime.resolve_location rt ~addr:t.ts.Runtime.taddr : int);
+  let outcome = Topaz.Kthread.join t.ts.Runtime.tcb in
+  (* If the thread finished on another node, the completion notification
+     crosses the network. *)
+  let finished_on = Hw.Machine.id (Hw.Machine.home t.ts.Runtime.tcb) in
+  let here = Runtime.current_node rt in
+  if finished_on <> here then
+    Sim.Fiber.block (fun wake ->
+        ignore
+          (Hw.Ethernet.send (Runtime.ether rt)
+             (Hw.Packet.make ~src:finished_on ~dst:here ~size:64
+                ~kind:"join-notify" wake)
+            : float));
+  match outcome with
+  | Sim.Fiber.Completed -> (
+    match !(t.result) with
+    | Some r -> r
+    | None -> failwith "Athread.join: thread finished without a result")
+  | Sim.Fiber.Failed e ->
+    (* The failure is handled here; it must not re-surface when the
+       cluster checks for unhandled thread failures. *)
+    Hw.Machine.forget_failures t.ts.Runtime.tcb;
+    raise e
+
+let parallel rt ?(name = "par") bodies =
+  let threads =
+    List.mapi
+      (fun i body -> start rt ~name:(Printf.sprintf "%s-%d" name i) body)
+      bodies
+  in
+  List.map (fun t -> join rt t) threads
+
+let result_exn t =
+  match !(t.result) with
+  | Some r -> r
+  | None -> failwith "Athread.result_exn: thread has no result"
+
+let tcb t = t.ts.Runtime.tcb
+let tstate t = t.ts
+let node t = Hw.Machine.id (Hw.Machine.home t.ts.Runtime.tcb)
+
+let is_finished t =
+  match Hw.Machine.state t.ts.Runtime.tcb with
+  | Hw.Machine.Finished _ -> true
+  | Hw.Machine.Ready | Hw.Machine.Running _ | Hw.Machine.Blocked -> false
+
+let migrations t = t.ts.Runtime.migrations
+let set_priority t p = Hw.Machine.set_priority t.ts.Runtime.tcb p

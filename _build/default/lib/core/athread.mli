@@ -1,0 +1,65 @@
+(** Amber threads: the active entities of the model (paper §2.1).
+
+    Threads are created dynamically, started on an operation, and joined
+    for their result — the Presto-derived [Start]/[Join] interface.  A
+    thread's processor state and stack occupy a segment of the global
+    address space, so migrating it is an ordinary object move (§3.4).
+
+    Each thread costs real simulated CPU to create and join: Table 1's
+    "thread start/join, 1.33 ms". *)
+
+type 'r t
+
+(** [start rt body] creates and starts a thread on the calling thread's
+    node.  The paper's [Start(thread, obj, op)] form is {!start_invoke}.
+    [priority] takes effect from the very first dispatch (relevant under a
+    priority scheduler).  Fiber context. *)
+val start : Runtime.t -> ?name:string -> ?priority:int -> (unit -> 'r) -> 'r t
+
+(** Paper-style start: the new thread immediately invokes [op] on [obj],
+    migrating to the object's node if it is remote.  [payload] models
+    by-value argument bytes for that invocation.  Fiber context. *)
+val start_invoke :
+  Runtime.t ->
+  ?name:string ->
+  ?payload:int ->
+  'a Aobject.t ->
+  ('a -> 'r) ->
+  'r t
+
+(** Bootstrap entry: start a thread on an explicit node from {e outside}
+    fiber context (used by [Cluster] to launch the program's main thread,
+    and by tests).  Charges no creation CPU. *)
+val start_on :
+  Runtime.t -> node:int -> ?name:string -> ?priority:int -> (unit -> 'r) ->
+  'r t
+
+(** Block until the thread terminates and return its result (§2.1: [Join]
+    "blocks the caller until the specified thread terminates, returning
+    the result").  Re-raises the thread's exception if it failed.  Fiber
+    context. *)
+val join : Runtime.t -> 'r t -> 'r
+
+(** Convenience: [start] then [join] each of [bodies] (all running
+    concurrently); results in order. *)
+val parallel : Runtime.t -> ?name:string -> (unit -> 'r) list -> 'r list
+
+(** Result of a finished thread, without blocking (raises [Failure] if the
+    thread has not completed).  Used by [Cluster] after the simulation
+    drains. *)
+val result_exn : 'r t -> 'r
+
+val tcb : 'r t -> Hw.Machine.tcb
+val tstate : 'r t -> Runtime.tstate
+
+(** Node on which the thread is currently located. *)
+val node : 'r t -> int
+
+val is_finished : 'r t -> bool
+
+(** Number of inter-node migrations this thread has made. *)
+val migrations : 'r t -> int
+
+(** Set the scheduling priority used by priority-based scheduler
+    replacements (§2.1). *)
+val set_priority : 'r t -> int -> unit

@@ -1,0 +1,101 @@
+type violation = {
+  addr : int;
+  name : string;
+  node : int;
+  problem : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s@0x%x node%d: %s" v.name v.addr v.node v.problem
+
+(* Follow forwarding addresses from [start] without charging any cost;
+   returns the number of hops to reach [target], or None on a cycle /
+   overlong chain. *)
+let chain_length rt ~addr ~start ~target =
+  let rec walk node hops =
+    if hops > 64 then None
+    else if node = target then Some hops
+    else
+      match Runtime.probe rt ~node ~addr with
+      | `Resident ->
+        (* Resident on a node that is not the target: the caller decides
+           whether that is legal (immutable replica) or a violation. *)
+        Some hops
+      | `Hop next -> if next = node then None else walk next (hops + 1)
+  in
+  walk start 0
+
+let check_one rt (Aobject.Any o) =
+  let violations = ref [] in
+  let add node problem =
+    violations :=
+      { addr = o.Aobject.addr; name = o.Aobject.name; node; problem }
+      :: !violations
+  in
+  let loc = o.Aobject.location in
+  let nodes = Runtime.nodes rt in
+  let legal_resident n =
+    n = loc || (o.Aobject.immutable_ && List.mem n o.Aobject.replicas)
+  in
+  (* 1. Residency where copies should be. *)
+  if not (Descriptor.is_resident (Runtime.descriptors rt loc) o.Aobject.addr)
+  then add loc "not marked resident at its current node";
+  if o.Aobject.immutable_ then
+    List.iter
+      (fun n ->
+        if
+          not (Descriptor.is_resident (Runtime.descriptors rt n) o.Aobject.addr)
+        then add n "replica node not marked resident")
+      o.Aobject.replicas;
+  (* 2. No spurious residency. *)
+  for n = 0 to nodes - 1 do
+    if
+      Descriptor.is_resident (Runtime.descriptors rt n) o.Aobject.addr
+      && not (legal_resident n)
+    then add n "claims residency of an object that lives elsewhere"
+  done;
+  (* 3. Every node's chain reaches a legal copy. *)
+  for n = 0 to nodes - 1 do
+    match chain_length rt ~addr:o.Aobject.addr ~start:n ~target:loc with
+    | None -> add n "forwarding chain does not terminate"
+    | Some _ ->
+      (* walk ended at [loc] or at some Resident node: verify legality *)
+      let rec final node hops =
+        if hops > 64 then node
+        else
+          match Runtime.probe rt ~node ~addr:o.Aobject.addr with
+          | `Resident -> node
+          | `Hop next -> if next = node then node else final next (hops + 1)
+      in
+      let landed = final n 0 in
+      if not (legal_resident landed) then
+        add n
+          (Printf.sprintf "forwarding chain lands on node %d, not a copy"
+             landed)
+  done;
+  !violations
+
+let check_objects rt objs = List.concat_map (check_one rt) objs
+
+let check_exn rt objs =
+  match check_objects rt objs with
+  | [] -> ()
+  | vs ->
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "Audit failed (%d violations):@." (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "  %a@." pp_violation v) vs;
+    Format.pp_print_flush ppf ();
+    failwith (Buffer.contents buf)
+
+let max_chain_length rt obj =
+  let worst = ref 0 in
+  for n = 0 to Runtime.nodes rt - 1 do
+    match
+      chain_length rt ~addr:obj.Aobject.addr ~start:n
+        ~target:obj.Aobject.location
+    with
+    | Some h -> if h > !worst then worst := h
+    | None -> ()
+  done;
+  !worst

@@ -1,0 +1,36 @@
+(** Protocol self-checking: verify that the descriptor space is coherent
+    with respect to a set of objects.
+
+    The invocation protocol never consults ground truth, so bugs in
+    descriptor maintenance would show up as threads chasing forever or
+    landing on the wrong node.  This module audits the invariants the
+    §3.2–3.3 machinery must maintain; tests run it after stress workloads,
+    and applications can call it from a debugger or at phase boundaries.
+
+    Checked per object:
+    - the descriptor at the object's current node is [Resident]
+      (for immutables: at the master and at every replica);
+    - no other node claims residency of a mutable object;
+    - from {e every} node, following forwarding addresses (with the
+      home-node fallback for uninitialized descriptors) reaches the
+      object's node in a bounded number of hops. *)
+
+type violation = {
+  addr : int;
+  name : string;
+  node : int;  (** node whose descriptor state is wrong *)
+  problem : string;
+}
+
+(** Audit the given objects; returns all violations ([] = coherent). *)
+val check_objects : Runtime.t -> Aobject.any list -> violation list
+
+(** [check_exn rt objs] raises [Failure] with a readable report if any
+    invariant is violated. *)
+val check_exn : Runtime.t -> Aobject.any list -> unit
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Longest forwarding chain any node currently needs to reach the
+    object (diagnostic for placement tuning). *)
+val max_chain_length : Runtime.t -> 'a Aobject.t -> int

@@ -1,0 +1,30 @@
+(** Program execution over the simulated cluster.
+
+    [run cfg main] builds the whole stack (machines, Ethernet, Topaz tasks
+    and RPC servers, address-space server, descriptor tables), starts
+    [main] as the program's first Amber thread on node 0, and drives the
+    discrete-event engine until the simulation quiesces.  It returns
+    [main]'s result together with a report of virtual-time performance. *)
+
+type report = {
+  elapsed : float;  (** virtual seconds from t=0 until [main] returned *)
+  quiesced_at : float;  (** when the last simulated event ran *)
+  events : int;  (** engine events executed *)
+  counters : Runtime.counters;
+  cpu_busy : float array;  (** per-node total CPU-seconds consumed *)
+  packets : int;
+  net_bytes : int;
+  net_queueing : float;  (** total seconds packets waited for the medium *)
+}
+
+(** Raised when the event queue drains before the main thread finishes —
+    i.e. the program deadlocked. *)
+exception Deadlock
+
+(** Run to completion.  Re-raises the first thread failure, if any. *)
+val run : Config.t -> (Runtime.t -> 'r) -> 'r * report
+
+(** [run] discarding the report. *)
+val run_value : Config.t -> (Runtime.t -> 'r) -> 'r
+
+val pp_report : Format.formatter -> report -> unit

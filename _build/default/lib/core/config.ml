@@ -1,0 +1,50 @@
+type t = {
+  nodes : int;
+  cpus_per_node : int;
+  quantum : float;
+  ctx_switch : float;
+  ether_bandwidth_bps : float;
+  ether_propagation : float;
+  ether_wire_overhead : float;
+  ether_mac : Hw.Ethernet.mac;
+  rpc_costs : Topaz.Rpc.costs;
+  rpc_servers_per_node : int;
+  cost : Cost_model.t;
+  initial_regions_per_node : int;
+  vm_page_size : int;
+  seed : int64;
+  trace_capacity : int;
+}
+
+let default =
+  {
+    nodes = 2;
+    cpus_per_node = 4;
+    quantum = 5e-3;
+    ctx_switch = 30e-6;
+    ether_bandwidth_bps = 10e6;
+    ether_propagation = 20e-6;
+    ether_wire_overhead = 50e-6;
+    ether_mac = Hw.Ethernet.Fifo;
+    rpc_costs = Topaz.Rpc.default_costs;
+    rpc_servers_per_node = 8;
+    cost = Cost_model.default;
+    initial_regions_per_node = 4;
+    vm_page_size = 1024;
+    seed = 0xA3BE5L;
+    trace_capacity = 8192;
+  }
+
+let make ~nodes ~cpus ?(cost = Cost_model.default) ?(seed = default.seed) ()
+    =
+  { default with nodes; cpus_per_node = cpus; cost; seed }
+
+let validate t =
+  if t.nodes <= 0 then invalid_arg "Config: nodes must be positive";
+  if t.cpus_per_node <= 0 then invalid_arg "Config: cpus_per_node";
+  if t.quantum <= 0.0 then invalid_arg "Config: quantum";
+  if t.ether_bandwidth_bps <= 0.0 then invalid_arg "Config: bandwidth";
+  if t.rpc_servers_per_node <= 0 then invalid_arg "Config: rpc servers";
+  if t.initial_regions_per_node <= 0 then invalid_arg "Config: regions";
+  if t.vm_page_size <= 0 || t.vm_page_size land 7 <> 0 then
+    invalid_arg "Config: vm_page_size"

@@ -1,0 +1,29 @@
+(** Cluster configuration for an Amber run. *)
+
+type t = {
+  nodes : int;  (** number of machines (Fireflies) *)
+  cpus_per_node : int;  (** processors available for user threads *)
+  quantum : float;  (** timeslice length, seconds *)
+  ctx_switch : float;  (** context-switch cost, seconds *)
+  ether_bandwidth_bps : float;
+  ether_propagation : float;
+  ether_wire_overhead : float;
+  ether_mac : Hw.Ethernet.mac;  (** FIFO (idealized) or CSMA/CD *)
+  rpc_costs : Topaz.Rpc.costs;
+  rpc_servers_per_node : int;
+  cost : Cost_model.t;
+  initial_regions_per_node : int;
+  vm_page_size : int;  (** task VM page size (Ivy's coherence unit) *)
+  seed : int64;
+  trace_capacity : int;
+}
+
+(** The paper's testbed defaults: CVAX Fireflies with 4 usable CPUs on a
+    10 Mbit/s Ethernet. *)
+val default : t
+
+(** [make ~nodes ~cpus ()] is {!default} with the cluster size replaced. *)
+val make : nodes:int -> cpus:int -> ?cost:Cost_model.t -> ?seed:int64 -> unit -> t
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical configurations. *)

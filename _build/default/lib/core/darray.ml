@@ -1,0 +1,121 @@
+type 'a chunk = {
+  base : int;  (* global index of element 0 of this chunk *)
+  data : 'a array;
+}
+
+type 'a t = {
+  len : int;
+  elt_bytes : int;
+  chunks : 'a chunk Aobject.t array;
+  (* chunk_start.(k) = base of chunk k; length chunks+1 with final = len *)
+  bounds : int array;
+}
+
+let chunk_of t i =
+  if i < 0 || i >= t.len then invalid_arg "Darray: index out of bounds";
+  (* Chunks are near-equal slices; locate by division then adjust. *)
+  let k = ref (i * Array.length t.chunks / t.len) in
+  while i < t.bounds.(!k) do
+    decr k
+  done;
+  while i >= t.bounds.(!k + 1) do
+    incr k
+  done;
+  !k
+
+let create rt ?chunks ?placement ?(elt_bytes = 8) ?(fill_cpu = 0.0) ~name
+    ~len f =
+  if len <= 0 then invalid_arg "Darray.create: length";
+  let nchunks =
+    match chunks with
+    | Some c ->
+      if c <= 0 || c > len then invalid_arg "Darray.create: chunks";
+      c
+    | None -> min len (Runtime.nodes rt)
+  in
+  let placement =
+    match placement with Some p -> p | None -> Placement.blocked rt
+  in
+  let bounds = Array.init (nchunks + 1) (fun k -> k * len / nchunks) in
+  let chunk_objs =
+    Array.init nchunks (fun k ->
+        let base = bounds.(k) in
+        let size = bounds.(k + 1) - base in
+        if fill_cpu > 0.0 then
+          Sim.Fiber.consume (fill_cpu *. float_of_int size);
+        Runtime.create_object rt
+          ~size:(elt_bytes * size)
+          ~name:(Printf.sprintf "%s.%d" name k)
+          { base; data = Array.init size (fun j -> f (base + j)) })
+  in
+  Placement.distribute rt placement chunk_objs;
+  { len; elt_bytes; chunks = chunk_objs; bounds }
+
+let length t = t.len
+let chunk_count t = Array.length t.chunks
+
+let node_of_index t i = t.chunks.(chunk_of t i).Aobject.location
+
+let get rt t i =
+  let k = chunk_of t i in
+  Invoke.invoke rt ~return_payload:t.elt_bytes t.chunks.(k) (fun c ->
+      c.data.(i - c.base))
+
+let set rt t i v =
+  let k = chunk_of t i in
+  Invoke.invoke rt ~payload:t.elt_bytes t.chunks.(k) (fun c ->
+      c.data.(i - c.base) <- v)
+
+let per_chunk_threads rt t body =
+  let threads =
+    Array.mapi
+      (fun k obj ->
+        Athread.start_invoke rt
+          ~name:(Printf.sprintf "darray-%d" k)
+          obj (body k))
+      t.chunks
+  in
+  Array.map (fun th -> Athread.join rt th) threads
+
+let map_in_place rt ?(cost_per_elt = 0.0) t f =
+  ignore
+    (per_chunk_threads rt t (fun _k c ->
+         for j = 0 to Array.length c.data - 1 do
+           c.data.(j) <- f (c.base + j) c.data.(j)
+         done;
+         if cost_per_elt > 0.0 then
+           Sim.Fiber.consume
+             (cost_per_elt *. float_of_int (Array.length c.data)))
+      : unit array)
+
+let fold rt ?(cost_per_elt = 0.0) t ~init ~f ~combine =
+  let partials =
+    per_chunk_threads rt t (fun _k c ->
+        let acc = ref init in
+        for j = 0 to Array.length c.data - 1 do
+          acc := f !acc c.data.(j)
+        done;
+        if cost_per_elt > 0.0 then
+          Sim.Fiber.consume
+            (cost_per_elt *. float_of_int (Array.length c.data));
+        !acc)
+  in
+  Array.fold_left combine init partials
+
+let to_array rt t =
+  let out = ref [] in
+  Array.iter
+    (fun obj ->
+      let copy =
+        Invoke.invoke rt
+          ~return_payload:
+            (t.elt_bytes * Array.length obj.Aobject.state.data)
+          obj
+          (fun c -> Array.copy c.data)
+      in
+      out := copy :: !out)
+    t.chunks;
+  Array.concat (List.rev !out)
+
+let redistribute rt t placement =
+  Placement.distribute rt placement t.chunks

@@ -1,0 +1,67 @@
+(** Distributed arrays: a higher-level data structure built entirely on
+    the public Amber primitives — the kind of "higher-level object
+    placement software" §2.3 anticipates above the mobility layer.
+
+    The array is split into chunk objects distributed by a
+    {!Placement.t}; element access routes to the owning chunk (local
+    invocation when co-resident, function shipping otherwise), and the
+    bulk operations run one thread per chunk {e at the chunk} so the
+    computation happens where the data is.
+
+    All operations require fiber context. *)
+
+type 'a t
+
+(** [create rt ~name ~len f] builds the array with [f i] as element [i].
+
+    [chunks] defaults to one per node; [placement] defaults to
+    {!Placement.blocked}; [elt_bytes] (default 8) sets the modeled size of
+    an element for move/transfer costs; [fill_cpu] (default 0) charges
+    construction CPU per element. *)
+val create :
+  Runtime.t ->
+  ?chunks:int ->
+  ?placement:Placement.t ->
+  ?elt_bytes:int ->
+  ?fill_cpu:float ->
+  name:string ->
+  len:int ->
+  (int -> 'a) ->
+  'a t
+
+val length : 'a t -> int
+val chunk_count : 'a t -> int
+
+(** Node currently holding element [i]'s chunk. *)
+val node_of_index : 'a t -> int -> int
+
+(** {1 Element access (routed to the owning chunk)} *)
+
+val get : Runtime.t -> 'a t -> int -> 'a
+val set : Runtime.t -> 'a t -> int -> 'a -> unit
+
+(** {1 Bulk parallel operations (one thread per chunk, at the chunk)} *)
+
+(** Replace every element with [f i x].  [cost_per_elt] charges virtual
+    CPU where the element lives. *)
+val map_in_place :
+  Runtime.t -> ?cost_per_elt:float -> 'a t -> (int -> 'a -> 'a) -> unit
+
+(** [fold rt t ~init ~f ~combine] computes per-chunk partials with [f]
+    (sequentially within a chunk, in index order) and [combine]s them in
+    chunk order on the caller's node, so the result is deterministic. *)
+val fold :
+  Runtime.t ->
+  ?cost_per_elt:float ->
+  'a t ->
+  init:'acc ->
+  f:('acc -> 'a -> 'acc) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+
+(** Gather a copy of the whole array on the calling node (one bulk
+    invocation per chunk, contents as payload). *)
+val to_array : Runtime.t -> 'a t -> 'a array
+
+(** Re-place the chunks (e.g. after the computation's phase changes). *)
+val redistribute : Runtime.t -> 'a t -> Placement.t -> unit

@@ -1,0 +1,120 @@
+(* Settle the calling thread at a node where [obj] is usable, chasing the
+   forwarding chain.  Returns the number of hops taken. *)
+let rec settle rt ts (obj : 'a Aobject.t) ~payload ~hops =
+  let c = Runtime.cost rt in
+  let here = Runtime.current_node rt in
+  match Runtime.probe rt ~node:here ~addr:obj.Aobject.addr with
+  | `Resident ->
+    if ts.Runtime.chase_path <> [] then
+      Runtime.flush_chase_compression rt ts ~addr:obj.Aobject.addr
+        ~found:here;
+    hops
+  | `Hop next ->
+    if next = here then
+      (* The descriptor is uninitialized on the object's own home node:
+         the object was destroyed (or never existed). *)
+      failwith
+        (Printf.sprintf "Invoke: dangling reference to object 0x%x"
+           obj.Aobject.addr);
+    if hops > 64 then failwith "Invoke: forwarding chain too long";
+    Sim.Fiber.consume c.Cost_model.trap_cpu;
+    ts.Runtime.chase_path <- here :: ts.Runtime.chase_path;
+    ts.Runtime.carry_bytes <- payload;
+    Runtime.migrate_self rt ~payload ~dest:next ();
+    ts.Runtime.carry_bytes <- 0;
+    settle rt ts obj ~payload ~hops:(hops + 1)
+
+let invoke rt ?(payload = 0) ?(return_payload = 0) obj op =
+  let ts = Runtime.current rt in
+  let c = Runtime.cost rt in
+  let ctrs = Runtime.counters rt in
+  (* §3.5: the frame is pushed before the check so that a concurrent move
+     sees this thread as bound to the object. *)
+  ts.Runtime.frames <- Aobject.Any obj :: ts.Runtime.frames;
+  let entered_at = Runtime.now rt in
+  Sim.Fiber.consume c.Cost_model.invoke_entry_cpu;
+  let hops =
+    try settle rt ts obj ~payload ~hops:0
+    with e ->
+      (* The invocation never started (e.g. dangling reference): unwind
+         the frame we pushed before re-raising. *)
+      (match ts.Runtime.frames with
+      | _ :: rest -> ts.Runtime.frames <- rest
+      | [] -> ());
+      raise e
+  in
+  if hops = 0 then
+    ctrs.Runtime.local_invocations <- ctrs.Runtime.local_invocations + 1
+  else begin
+    ctrs.Runtime.remote_invocations <- ctrs.Runtime.remote_invocations + 1;
+    Sim.Stats.Summary.add
+      (Runtime.remote_invoke_latency rt)
+      (Runtime.now rt -. entered_at)
+  end;
+  let return_path () =
+    Sim.Fiber.consume c.Cost_model.invoke_return_cpu;
+    (match ts.Runtime.frames with
+    | _ :: rest -> ts.Runtime.frames <- rest
+    | [] -> assert false);
+    (* Return-time check (§3.5): the object we are returning into may have
+       moved while we executed here. *)
+    match ts.Runtime.frames with
+    | [] -> ()
+    | enclosing :: _ ->
+      let encl_obj =
+        match enclosing with Aobject.Any o -> o.Aobject.addr
+      in
+      let rec go hops =
+        let here = Runtime.current_node rt in
+        match Runtime.probe rt ~node:here ~addr:encl_obj with
+        | `Resident -> ()
+        | `Hop next ->
+          if next = here then
+            failwith
+              (Printf.sprintf
+                 "Invoke: dangling return into destroyed object 0x%x"
+                 encl_obj);
+          if hops > 64 then failwith "Invoke: return chain too long";
+          Sim.Fiber.consume c.Cost_model.trap_cpu;
+          Runtime.migrate_self rt ~payload:return_payload ~dest:next ();
+          go (hops + 1)
+      in
+      go 0
+  in
+  match op obj.Aobject.state with
+  | result ->
+    return_path ();
+    result
+  | exception e ->
+    return_path ();
+    raise e
+
+let executing_within rt obj =
+  match Runtime.current_opt rt with
+  | None -> false
+  | Some ts ->
+    List.exists
+      (fun (Aobject.Any o) -> o.Aobject.addr = obj.Aobject.addr)
+      ts.Runtime.frames
+
+let invoke_member rt obj op =
+  let ts = Runtime.current rt in
+  let guaranteed =
+    match ts.Runtime.frames with
+    | [] -> false
+    | top :: _ ->
+      (* Walk to the attachment root of the executing frame, then check
+         membership of the whole closure. *)
+      let rec root (Aobject.Any o as node) =
+        match o.Aobject.parent with None -> node | Some p -> root p
+      in
+      List.exists
+        (fun (Aobject.Any o) -> o.Aobject.addr = obj.Aobject.addr)
+        (Aobject.attachment_closure (root top))
+  in
+  if not guaranteed then
+    invalid_arg
+      "Invoke.invoke_member: co-residency is not guaranteed (the object is \
+       not attached to the executing frame's closure)";
+  Sim.Fiber.consume (Runtime.cost rt).Cost_model.lock_fast_cpu;
+  op obj.Aobject.state

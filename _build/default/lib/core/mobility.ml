@@ -1,0 +1,195 @@
+(* Perform the §3.4/§3.5 move protocol for a mutable object whose master
+   copy is resident on the calling fiber's node.  Returns after the
+   contents are installed at [dest] and acknowledged. *)
+let do_move_here rt (root : Aobject.any) ~dest =
+  let c = Runtime.cost rt in
+  let here = Runtime.current_node rt in
+  if here = dest then ()
+  else begin
+  let closure = Aobject.attachment_closure root in
+  let bytes = Aobject.closure_size root in
+  let ctrs = Runtime.counters rt in
+  (* Mark every moving object forwarded before anything is copied, then
+     force all running threads through a residency check (§3.5). *)
+  List.iter
+    (fun (Aobject.Any o) ->
+      Descriptor.set_forwarded (Runtime.descriptors rt here) o.Aobject.addr
+        dest)
+    closure;
+  let except = Hw.Machine.self () in
+  ignore (Hw.Machine.preempt_all ?except (Runtime.machine rt here) : int);
+  Sim.Fiber.consume
+    (c.Cost_model.move_fixed_cpu
+    +. (c.Cost_model.move_per_byte_cpu *. float_of_int bytes));
+  ctrs.Runtime.object_moves <- ctrs.Runtime.object_moves + 1;
+  ctrs.Runtime.move_bytes <- ctrs.Runtime.move_bytes + bytes;
+  Sim.Fiber.block (fun wake ->
+      Topaz.Rpc.post (Runtime.rpc rt) ~src:here ~dst:dest ~kind:"obj-contents"
+        ~size:bytes (fun () ->
+          (* Server fiber on [dest]: install the contents. *)
+          List.iter
+            (fun (Aobject.Any o) ->
+              o.Aobject.location <- dest;
+              Descriptor.set_resident (Runtime.descriptors rt dest)
+                o.Aobject.addr)
+            closure;
+          Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:here ~kind:"move-ack"
+            ~size:c.Cost_model.move_ack_bytes (fun () -> wake ())))
+  end
+
+(* Chase the forwarding chain with the move request itself: each hop is
+   one control RPC, and the node that actually holds the object executes
+   the move before replying (so a one-hop-accurate hint costs a single
+   round trip, the paper's Table-1 scenario). *)
+let move_mutable rt (obj_addr : int) (root : Aobject.any) ~dest =
+  let c = Runtime.cost rt in
+  let rec attempt node hops =
+    if hops > 64 then failwith "Mobility: forwarding chain too long";
+    let here = Runtime.current_node rt in
+    if node = here then begin
+      Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+      match Runtime.probe rt ~node ~addr:obj_addr with
+      | `Resident -> do_move_here rt root ~dest
+      | `Hop next ->
+        if next = node then
+          failwith
+            (Printf.sprintf "Mobility: dangling reference to 0x%x" obj_addr);
+        attempt next (hops + 1)
+    end
+    else begin
+      let verdict =
+        Topaz.Rpc.call (Runtime.rpc rt) ~dst:node ~kind:"move-req"
+          ~req_size:64 ~work:(fun () ->
+            Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+            match Runtime.probe rt ~node ~addr:obj_addr with
+            | `Resident ->
+              do_move_here rt root ~dest;
+              (32, `Moved)
+            | `Hop next when next = node -> (32, `Dangling)
+            | `Hop next -> (32, `Try next))
+      in
+      match verdict with
+      | `Dangling ->
+        failwith
+          (Printf.sprintf "Mobility: dangling reference to 0x%x" obj_addr)
+      | `Moved ->
+        (* Cache the new location locally (§3.3). *)
+        if here <> dest then
+          Descriptor.set_forwarded (Runtime.descriptors rt here) obj_addr dest
+      | `Try next -> attempt next (hops + 1)
+    end
+  in
+  attempt (Runtime.current_node rt) 0
+
+(* Immutable replication: ship a copy of the closure to [dest] from some
+   node that holds one; existing copies stay valid. *)
+let replicate rt (obj : 'a Aobject.t) ~dest =
+  let c = Runtime.cost rt in
+  let ctrs = Runtime.counters rt in
+  if Aobject.usable_on obj dest then ()
+  else begin
+    let root = Aobject.Any obj in
+    let bytes = Aobject.closure_size root in
+    let source = Runtime.resolve_location rt ~addr:obj.Aobject.addr in
+    let install_and_ack ~ack_to wake =
+      Topaz.Rpc.post (Runtime.rpc rt) ~src:source ~dst:dest ~kind:"obj-copy"
+        ~size:bytes (fun () ->
+          List.iter
+            (fun (Aobject.Any o) ->
+              if not (List.mem dest o.Aobject.replicas) then
+                o.Aobject.replicas <- dest :: o.Aobject.replicas;
+              Descriptor.set_resident (Runtime.descriptors rt dest)
+                o.Aobject.addr)
+            (Aobject.attachment_closure root);
+          Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:ack_to
+            ~kind:"copy-ack" ~size:c.Cost_model.move_ack_bytes (fun () ->
+              wake ()))
+    in
+    let here = Runtime.current_node rt in
+    ctrs.Runtime.object_copies <- ctrs.Runtime.object_copies + 1;
+    ctrs.Runtime.move_bytes <- ctrs.Runtime.move_bytes + bytes;
+    let copy_out () =
+      Sim.Fiber.consume
+        (c.Cost_model.move_fixed_cpu
+        +. (c.Cost_model.move_per_byte_cpu *. float_of_int bytes))
+    in
+    if source = here then begin
+      copy_out ();
+      Sim.Fiber.block (fun wake -> install_and_ack ~ack_to:here wake)
+    end
+    else
+      Topaz.Rpc.call (Runtime.rpc rt) ~dst:source ~kind:"copy-req"
+        ~req_size:64 ~work:(fun () ->
+          copy_out ();
+          Sim.Fiber.block (fun wake -> install_and_ack ~ack_to:source wake);
+          (c.Cost_model.move_ack_bytes, ()))
+  end
+
+let move_to rt obj ~dest =
+  if dest < 0 || dest >= Runtime.nodes rt then
+    invalid_arg "Mobility.move_to: bad destination node";
+  if obj.Aobject.parent <> None then
+    invalid_arg "Mobility.move_to: object is attached; move its root";
+  let t0 = Runtime.now rt in
+  if obj.Aobject.immutable_ then replicate rt obj ~dest
+  else move_mutable rt obj.Aobject.addr (Aobject.Any obj) ~dest;
+  Sim.Stats.Summary.add (Runtime.move_latency rt) (Runtime.now rt -. t0);
+  (* If the caller was bound to the moved object, force it through the
+     context-switch-in check so it follows the object (§3.5). *)
+  Sim.Fiber.yield ()
+
+let locate rt obj =
+  let ctrs = Runtime.counters rt in
+  ctrs.Runtime.locates <- ctrs.Runtime.locates + 1;
+  Runtime.resolve_location rt ~addr:obj.Aobject.addr
+
+let rec is_ancestor (candidate : Aobject.any) (node : Aobject.any) =
+  Aobject.addr_of_any candidate = Aobject.addr_of_any node
+  ||
+  match node with
+  | Aobject.Any o -> (
+    match o.Aobject.parent with
+    | None -> false
+    | Some p -> is_ancestor candidate p)
+
+let attach rt ~parent ~child =
+  if child.Aobject.parent <> None then
+    invalid_arg "Mobility.attach: child is already attached";
+  if child.Aobject.addr = parent.Aobject.addr then
+    invalid_arg "Mobility.attach: cannot attach an object to itself";
+  if is_ancestor (Aobject.Any child) (Aobject.Any parent) then
+    invalid_arg "Mobility.attach: attachment would create a cycle";
+  let c = Runtime.cost rt in
+  Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+  (* Attachment guarantees co-residency from now on, so co-locate first. *)
+  let parent_loc = locate rt parent in
+  if child.Aobject.location <> parent_loc then begin
+    if child.Aobject.immutable_ then replicate rt child ~dest:parent_loc
+    else move_mutable rt child.Aobject.addr (Aobject.Any child) ~dest:parent_loc
+  end;
+  child.Aobject.parent <- Some (Aobject.Any parent);
+  parent.Aobject.attached <- Aobject.Any child :: parent.Aobject.attached
+
+let unattach rt ~child =
+  match child.Aobject.parent with
+  | None -> invalid_arg "Mobility.unattach: child is not attached"
+  | Some (Aobject.Any p) ->
+    let c = Runtime.cost rt in
+    Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+    p.Aobject.attached <-
+      List.filter
+        (fun a -> Aobject.addr_of_any a <> child.Aobject.addr)
+        p.Aobject.attached;
+    child.Aobject.parent <- None
+
+let set_immutable rt obj =
+  let closure = Aobject.attachment_closure (Aobject.Any obj) in
+  List.iter
+    (fun (Aobject.Any o) ->
+      if (not o.Aobject.immutable_) && o.Aobject.addr <> obj.Aobject.addr then
+        invalid_arg
+          "Mobility.set_immutable: attachment closure contains mutable \
+           objects")
+    closure;
+  Sim.Fiber.consume (Runtime.cost rt).Cost_model.forward_lookup_cpu;
+  obj.Aobject.immutable_ <- true

@@ -1,0 +1,47 @@
+(** Object mobility: MoveTo, Locate, Attach/Unattach and immutable
+    replication (paper §2.3, §3.4, §3.5).
+
+    All operations may be issued from any node; the runtime locates the
+    object with control RPCs (chasing forwarding addresses) and performs
+    the work at the object's node.  All functions require fiber context
+    (an Amber thread). *)
+
+(** [move_to rt obj ~dest] relocates a mutable object (together with its
+    transitive attachments) to node [dest]:
+
+    + the object's descriptor at the source is marked forwarded {e before}
+      the contents leave (§3.5);
+    + every thread running on the source node is preempted and forced
+      through a residency check, so threads bound to the object chase it
+      to [dest] when next scheduled;
+    + the contents travel as one bulk transfer and an acknowledgement
+      completes the move.
+
+    For an {e immutable} object this is a copy: [dest] gains a replica and
+    existing copies remain valid (§2.3).
+
+    The caller yields after the move, so if it was itself bound to the
+    moving object it immediately takes the §3.5 check and follows the
+    object. *)
+val move_to : Runtime.t -> 'a Aobject.t -> dest:int -> unit
+
+(** Current node of the object, found by the forwarding-chain protocol
+    (descriptors along the way are updated to shortcut future lookups). *)
+val locate : Runtime.t -> 'a Aobject.t -> int
+
+(** [attach rt ~parent ~child] co-locates [child] with [parent] (moving it
+    if necessary) and links them so that subsequent moves of [parent] take
+    [child] along.  Attachment edges form a forest; raises
+    [Invalid_argument] if [child] is already attached or the link would
+    create a cycle. *)
+val attach : Runtime.t -> parent:'a Aobject.t -> child:'b Aobject.t -> unit
+
+(** Break the attachment of [child].  Raises [Invalid_argument] if not
+    attached. *)
+val unattach : Runtime.t -> child:'b Aobject.t -> unit
+
+(** Mark an object immutable (it must never be mutated afterwards).
+    Subsequent [move_to] calls replicate instead of moving.  Objects with
+    attachments must have an all-immutable closure before freezing
+    (raises [Invalid_argument] otherwise). *)
+val set_immutable : Runtime.t -> 'a Aobject.t -> unit

@@ -1,0 +1,58 @@
+type t = { pname : string; pick : i:int -> count:int -> int }
+
+let name t = t.pname
+let assign t ~i ~count = t.pick ~i ~count
+
+let round_robin rt =
+  let nodes = Runtime.nodes rt in
+  { pname = "round-robin"; pick = (fun ~i ~count:_ -> i mod nodes) }
+
+let blocked rt =
+  let nodes = Runtime.nodes rt in
+  {
+    pname = "blocked";
+    pick = (fun ~i ~count -> if count = 0 then 0 else i * nodes / count);
+  }
+
+let pinned ~node = { pname = "pinned"; pick = (fun ~i:_ ~count:_ -> node) }
+
+let random rt =
+  let nodes = Runtime.nodes rt in
+  let rng = Sim.Rng.split (Sim.Engine.rng (Runtime.engine rt)) in
+  { pname = "random"; pick = (fun ~i:_ ~count:_ -> Sim.Rng.int rng nodes) }
+
+let least_loaded rt =
+  {
+    pname = "least-loaded";
+    pick =
+      (fun ~i:_ ~count:_ ->
+        let best = ref 0 and best_load = ref Float.infinity in
+        for n = 0 to Runtime.nodes rt - 1 do
+          let load = Hw.Machine.total_busy_time (Runtime.machine rt n) in
+          if load < !best_load then begin
+            best := n;
+            best_load := load
+          end
+        done;
+        !best);
+  }
+
+let custom ~name pick = { pname = name; pick }
+
+let distribute rt t objs =
+  let count = Array.length objs in
+  Array.iteri
+    (fun i obj ->
+      let dest = t.pick ~i ~count in
+      if dest < 0 || dest >= Runtime.nodes rt then
+        invalid_arg "Placement.distribute: assignment outside the cluster";
+      if obj.Aobject.location <> dest then Mobility.move_to rt obj ~dest)
+    objs
+
+let histogram rt t ~count =
+  let h = Array.make (Runtime.nodes rt) 0 in
+  for i = 0 to count - 1 do
+    let n = t.pick ~i ~count in
+    h.(n) <- h.(n) + 1
+  done;
+  h

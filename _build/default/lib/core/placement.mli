@@ -1,0 +1,50 @@
+(** Object placement policies.
+
+    The paper argues that "the best policy for managing location is
+    application-specific and is best left to the program or higher-level
+    object placement software" (§2.3).  This module is that higher level:
+    reusable strategies for assigning a family of objects to nodes, plus a
+    driver that performs the moves.
+
+    A policy maps an item index to a node.  All strategies are
+    deterministic given the runtime (the random one draws from the
+    engine's seeded stream). *)
+
+type t
+
+val name : t -> string
+
+(** Node for item [i] of [count]. *)
+val assign : t -> i:int -> count:int -> int
+
+(** {1 Strategies} *)
+
+(** Item [i] → node [i mod nodes]. *)
+val round_robin : Runtime.t -> t
+
+(** Contiguous blocks: item [i] → node [i*nodes/count] (what the SOR
+    program wants: neighbors co-located). *)
+val blocked : Runtime.t -> t
+
+(** Every item on one fixed node. *)
+val pinned : node:int -> t
+
+(** Uniformly random (deterministic from the simulation seed). *)
+val random : Runtime.t -> t
+
+(** Picks, at assignment time, the node with the least total CPU busy
+    time — a simple dynamic load-balancer. *)
+val least_loaded : Runtime.t -> t
+
+(** Custom policy. *)
+val custom : name:string -> (i:int -> count:int -> int) -> t
+
+(** {1 Driver} *)
+
+(** Move each object to its assigned node (skips objects already in
+    place).  Fiber context. *)
+val distribute : Runtime.t -> t -> 'a Aobject.t array -> unit
+
+(** Count of items each node receives under a policy (for reporting and
+    tests; uses a fresh draw for random/least-loaded policies). *)
+val histogram : Runtime.t -> t -> count:int -> int array

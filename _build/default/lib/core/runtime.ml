@@ -1,0 +1,373 @@
+let log_src = Logs.Src.create "amber.runtime" ~doc:"Amber runtime kernel"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type tstate = {
+  tcb : Hw.Machine.tcb;
+  taddr : int;
+  mutable frames : Aobject.any list;
+  mutable carry_bytes : int;
+  mutable migrations : int;
+  mutable chase_path : int list;
+      (* nodes visited while chasing the current frame's object *)
+  mutable result_box : exn option;
+}
+
+type counters = {
+  mutable local_invocations : int;
+  mutable remote_invocations : int;
+  mutable thread_migrations : int;
+  mutable migration_bytes : int;
+  mutable object_moves : int;
+  mutable object_copies : int;
+  mutable move_bytes : int;
+  mutable locates : int;
+  mutable forward_hops : int;
+  mutable objects_created : int;
+  mutable threads_started : int;
+}
+
+type t = {
+  cfg : Config.t;
+  eng : Sim.Engine.t;
+  net : Hw.Ethernet.t;
+  machines : Hw.Machine.t array;
+  tasks : Topaz.Task.t array;
+  rpc_fabric : Topaz.Rpc.t;
+  tables : Descriptor.table array;
+  heaps : Vaspace.Heap.t array;
+  server : Vaspace.Space_server.t;
+  threads : (int, tstate) Hashtbl.t;  (* keyed by tcb id *)
+  trc : Sim.Trace.t;
+  ctrs : counters;
+  remote_invoke_latency : Sim.Stats.Summary.t;
+  move_latency : Sim.Stats.Summary.t;
+}
+
+let fresh_counters () =
+  {
+    local_invocations = 0;
+    remote_invocations = 0;
+    thread_migrations = 0;
+    migration_bytes = 0;
+    object_moves = 0;
+    object_copies = 0;
+    move_bytes = 0;
+    locates = 0;
+    forward_hops = 0;
+    objects_created = 0;
+    threads_started = 0;
+  }
+
+let create cfg =
+  Config.validate cfg;
+  let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
+  let trc = Sim.Trace.create ~capacity:cfg.Config.trace_capacity () in
+  let machines =
+    Array.init cfg.Config.nodes (fun id ->
+        Hw.Machine.create ~engine:eng ~id ~cpus:cfg.Config.cpus_per_node
+          ~ctx_switch:cfg.Config.ctx_switch ~quantum:cfg.Config.quantum
+          ~preempt_cost:cfg.Config.cost.Cost_model.preempt_victim_cpu
+          ~trace:trc ())
+  in
+  let tasks =
+    Array.map
+      (fun m ->
+        Topaz.Task.create ~machine:m
+          ~vm:(Topaz.Vm.create ~page_size:cfg.Config.vm_page_size ())
+          ())
+      machines
+  in
+  let net =
+    Hw.Ethernet.create ~engine:eng
+      ~bandwidth_bps:cfg.Config.ether_bandwidth_bps
+      ~propagation:cfg.Config.ether_propagation
+      ~wire_overhead:cfg.Config.ether_wire_overhead
+      ~mac:cfg.Config.ether_mac ~trace:trc ()
+  in
+  let rpc_fabric =
+    Topaz.Rpc.create ~ether:net ~tasks ~costs:cfg.Config.rpc_costs
+      ~servers_per_node:cfg.Config.rpc_servers_per_node ()
+  in
+  let server =
+    Vaspace.Space_server.create ~nodes:cfg.Config.nodes
+      ~initial_per_node:cfg.Config.initial_regions_per_node ()
+  in
+  let tables =
+    Array.init cfg.Config.nodes (fun node -> Descriptor.create_table ~node)
+  in
+  let rt =
+    {
+      cfg;
+      eng;
+      net;
+      machines;
+      tasks;
+      rpc_fabric;
+      tables;
+      heaps = [||];
+      server;
+      threads = Hashtbl.create 64;
+      trc;
+      ctrs = fresh_counters ();
+      remote_invoke_latency = Sim.Stats.Summary.create ();
+      move_latency = Sim.Stats.Summary.create ();
+    }
+  in
+  (* Heaps grow by asking the address-space server (an RPC when the
+     requester is not the server's node). *)
+  let heaps =
+    Array.init cfg.Config.nodes (fun node ->
+        let initial = ref (Vaspace.Space_server.initial_regions server node) in
+        let grow () =
+          match !initial with
+          | r :: rest ->
+            initial := rest;
+            r
+          | [] ->
+            let dst = Vaspace.Space_server.server_node server in
+            Topaz.Rpc.call rpc_fabric ~dst ~kind:"as-grant" ~req_size:32
+              ~work:(fun () ->
+                (48, Vaspace.Space_server.grant server ~node))
+        in
+        Vaspace.Heap.create ~node ~grow ())
+  in
+  { rt with heaps }
+
+let config t = t.cfg
+let cost t = t.cfg.Config.cost
+let engine t = t.eng
+let ether t = t.net
+let rpc t = t.rpc_fabric
+let trace t = t.trc
+let nodes t = Array.length t.machines
+
+let machine t i =
+  if i < 0 || i >= Array.length t.machines then
+    invalid_arg "Runtime.machine: bad node";
+  t.machines.(i)
+
+let task t i =
+  if i < 0 || i >= Array.length t.tasks then
+    invalid_arg "Runtime.task: bad node";
+  t.tasks.(i)
+
+let descriptors t i =
+  if i < 0 || i >= Array.length t.tables then
+    invalid_arg "Runtime.descriptors: bad node";
+  t.tables.(i)
+
+let heap t i =
+  if i < 0 || i >= Array.length t.heaps then
+    invalid_arg "Runtime.heap: bad node";
+  t.heaps.(i)
+
+let space_server t = t.server
+let now t = Sim.Engine.now t.eng
+let counters t = t.ctrs
+let remote_invoke_latency t = t.remote_invoke_latency
+let move_latency t = t.move_latency
+
+let emit t category detail =
+  Sim.Trace.emit t.trc ~time:(now t) ~category ~detail
+
+(* --- thread bookkeeping ------------------------------------------------- *)
+
+let register_thread t ts =
+  Hashtbl.replace t.threads (Hw.Machine.tcb_id ts.tcb) ts
+
+let unregister_thread t ts =
+  Hashtbl.remove t.threads (Hw.Machine.tcb_id ts.tcb)
+
+let current_opt t =
+  match Hw.Machine.self () with
+  | None -> None
+  | Some tcb -> Hashtbl.find_opt t.threads (Hw.Machine.tcb_id tcb)
+
+let current t =
+  match current_opt t with
+  | Some ts -> ts
+  | None -> failwith "Runtime.current: caller is not an Amber thread"
+
+let current_node _t = Hw.Machine.id (Hw.Machine.self_machine ())
+
+(* --- address space ------------------------------------------------------ *)
+
+let home_node t ~addr =
+  match Vaspace.Space_server.owner_of_addr t.server addr with
+  | Some node -> node
+  | None ->
+    invalid_arg (Printf.sprintf "Runtime.home_node: 0x%x is not a heap address" addr)
+
+let alloc_addr t ~node ~size = Vaspace.Heap.alloc (heap t node) size
+
+(* --- location protocol -------------------------------------------------- *)
+
+let probe t ~node ~addr =
+  match Descriptor.get (descriptors t node) addr with
+  | Some Descriptor.Resident -> `Resident
+  | Some (Descriptor.Forwarded n) -> `Hop n
+  | None -> `Hop (home_node t ~addr)
+
+(* One-way thread-state flight used both by explicit migration and by the
+   context-switch-in residency check.  Safe outside fiber context: CPU
+   costs are charged to the thread's own pending-work account. *)
+let send_thread_packet t ts ~dest =
+  let c = cost t in
+  let src = Hw.Machine.id (Hw.Machine.home ts.tcb) in
+  let size = c.Cost_model.thread_state_bytes + ts.carry_bytes in
+  t.ctrs.thread_migrations <- t.ctrs.thread_migrations + 1;
+  t.ctrs.migration_bytes <- t.ctrs.migration_bytes + size;
+  ts.migrations <- ts.migrations + 1;
+  Hw.Machine.add_pending_work ts.tcb
+    (c.Cost_model.thread_send_cpu +. c.Cost_model.thread_recv_cpu);
+  (* The thread object itself moves through the object space (§3.4): it
+     leaves a forwarding address like any other object, which is what a
+     later Join has to chase. *)
+  Descriptor.set_forwarded (descriptors t src) ts.taddr dest;
+  emit t "migrate"
+    (lazy
+      (Printf.sprintf "%s: node%d -> node%d (%dB)"
+         (Hw.Machine.tcb_name ts.tcb) src dest size));
+  ignore
+    (Hw.Ethernet.send t.net
+       (Hw.Packet.make ~src ~dst:dest ~size ~kind:"thread" (fun () ->
+            Descriptor.set_resident (descriptors t dest) ts.taddr;
+            Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
+            Hw.Machine.wake ts.tcb))
+      : float)
+
+(* §3.3: when a chase ends, every node the thread passed through learns
+   the object's location (piggybacked on the protocol, no extra packets),
+   so later references take a single hop. *)
+let flush_chase_compression t ts ~addr ~found =
+  List.iter
+    (fun v ->
+      if v <> found then Descriptor.set_forwarded (descriptors t v) addr found)
+    ts.chase_path;
+  ts.chase_path <- []
+
+let install_resume_check t ts =
+  Hw.Machine.set_on_resume ts.tcb
+    (Some
+       (fun tcb ->
+         match ts.frames with
+         | [] -> true
+         | top :: _ ->
+           let here = Hw.Machine.id (Hw.Machine.home tcb) in
+           let addr = Aobject.addr_of_any top in
+           (match probe t ~node:here ~addr with
+           | `Resident ->
+             if ts.chase_path <> [] then
+               flush_chase_compression t ts ~addr ~found:here;
+             true
+           | `Hop next when next = here ->
+             (* Dangling reference (destroyed object): let the thread run
+                so the protocol path inside the fiber raises properly. *)
+             true
+           | `Hop next ->
+             (* The object moved while we were descheduled: chase it
+                (§3.5's context-switch-in check). *)
+             ts.chase_path <- here :: ts.chase_path;
+             Hw.Machine.park tcb;
+             send_thread_packet t ts ~dest:next;
+             false)))
+
+let migrate_self t ?(payload = 0) ~dest () =
+  let ts = current t in
+  let c = cost t in
+  let src = current_node t in
+  if src <> dest then begin
+    Sim.Fiber.consume c.Cost_model.thread_send_cpu;
+    let size = c.Cost_model.thread_state_bytes + payload in
+    t.ctrs.thread_migrations <- t.ctrs.thread_migrations + 1;
+    t.ctrs.migration_bytes <- t.ctrs.migration_bytes + size;
+    ts.migrations <- ts.migrations + 1;
+    Descriptor.set_forwarded (descriptors t src) ts.taddr dest;
+    emit t "migrate"
+      (lazy
+        (Printf.sprintf "%s: node%d -> node%d (%dB, explicit)"
+           (Hw.Machine.tcb_name ts.tcb) src dest size));
+    Sim.Fiber.block (fun wake ->
+        ignore
+          (Hw.Ethernet.send t.net
+             (Hw.Packet.make ~src ~dst:dest ~size ~kind:"thread" (fun () ->
+                  Descriptor.set_resident (descriptors t dest) ts.taddr;
+                  Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
+                  wake ()))
+            : float));
+    Sim.Fiber.consume c.Cost_model.thread_recv_cpu
+  end
+
+let max_chain = 64
+
+let resolve_location t ~addr =
+  let c = cost t in
+  let here = current_node t in
+  let rec loop node visited hops =
+    if hops > max_chain then
+      failwith "Runtime.resolve_location: forwarding chain too long";
+    let verdict =
+      if node = here then begin
+        Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+        probe t ~node ~addr
+      end
+      else
+        Topaz.Rpc.call t.rpc_fabric ~dst:node ~kind:"locate"
+          ~req_size:c.Cost_model.locate_req_bytes ~work:(fun () ->
+            Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+            (16, probe t ~node ~addr))
+    in
+    match verdict with
+    | `Resident ->
+      (* §3.3: the answer is cached on the nodes along the chain. *)
+      List.iter
+        (fun v ->
+          if v <> node then Descriptor.set_forwarded (descriptors t v) addr node)
+        visited;
+      node
+    | `Hop next ->
+      if next = node then
+        failwith
+          (Printf.sprintf
+             "Runtime.resolve_location: dangling reference to 0x%x" addr);
+      t.ctrs.forward_hops <- t.ctrs.forward_hops + 1;
+      loop next (node :: visited) (hops + 1)
+  in
+  loop here [] 0
+
+(* --- object lifecycle ---------------------------------------------------- *)
+
+let create_object t ?(size = 64) ~name state =
+  let _ts = current t in
+  let node = current_node t in
+  let c = cost t in
+  Sim.Fiber.consume
+    (c.Cost_model.create_fixed_cpu
+    +. (c.Cost_model.create_per_byte_cpu *. float_of_int size));
+  let addr = alloc_addr t ~node ~size in
+  Descriptor.set_resident (descriptors t node) addr;
+  t.ctrs.objects_created <- t.ctrs.objects_created + 1;
+  emit t "create"
+    (lazy (Printf.sprintf "%s@0x%x (%dB) on node%d" name addr size node));
+  Aobject.make ~addr ~name ~size ~node state
+
+let destroy_object t obj =
+  let node = current_node t in
+  if obj.Aobject.location <> node then
+    invalid_arg "Runtime.destroy_object: object is not resident here";
+  if obj.Aobject.attached <> [] || obj.Aobject.parent <> None then
+    invalid_arg "Runtime.destroy_object: object has attachments";
+  Sim.Fiber.consume (cost t).Cost_model.forward_lookup_cpu;
+  Vaspace.Heap.free (heap t node) obj.Aobject.addr;
+  Descriptor.clear (descriptors t node) obj.Aobject.addr
+
+let check_failures t =
+  Array.iter
+    (fun m ->
+      match Hw.Machine.failures m with
+      | [] -> ()
+      | (tcb, e) :: _ ->
+        Log.err (fun f -> f "thread %s failed" (Hw.Machine.tcb_name tcb));
+        raise e)
+    t.machines

@@ -1,0 +1,143 @@
+(** The Amber runtime: cluster state plus the per-node kernel machinery
+    (descriptor tables, heaps, thread bookkeeping, migration transport).
+
+    One [Runtime.t] models one program execution over a network of
+    multiprocessors: [nodes] Topaz tasks (one per machine) on a shared
+    Ethernet, exactly the structure of paper §3.  Higher layers ({!Invoke},
+    {!Mobility}, {!Athread}, {!Sync}) implement the programming model on
+    top of the primitives here.
+
+    Functions documented as requiring {e fiber context} must be called from
+    inside a simulated thread. *)
+
+type t
+
+(** Amber-level kernel state of one thread. *)
+type tstate = {
+  tcb : Hw.Machine.tcb;
+  taddr : int;  (** address of the thread object + stack segment *)
+  mutable frames : Aobject.any list;
+      (** invocation stack, innermost first (§3.5) *)
+  mutable carry_bytes : int;
+      (** invocation payload riding along with in-flight migrations *)
+  mutable migrations : int;
+  mutable chase_path : int list;
+      (** nodes visited while chasing the current frame's object; flushed
+          into their descriptors when the chase ends (§3.3 caching) *)
+  mutable result_box : exn option;
+      (** internal: thread body outcome for Join *)
+}
+
+val create : Config.t -> t
+
+(** {1 Accessors} *)
+
+val config : t -> Config.t
+val cost : t -> Cost_model.t
+val engine : t -> Sim.Engine.t
+val ether : t -> Hw.Ethernet.t
+val rpc : t -> Topaz.Rpc.t
+val trace : t -> Sim.Trace.t
+val nodes : t -> int
+val machine : t -> int -> Hw.Machine.t
+val task : t -> int -> Topaz.Task.t
+val descriptors : t -> int -> Descriptor.table
+val heap : t -> int -> Vaspace.Heap.t
+val space_server : t -> Vaspace.Space_server.t
+
+(** Virtual time now. *)
+val now : t -> float
+
+(** {1 Thread bookkeeping} *)
+
+val register_thread : t -> tstate -> unit
+val unregister_thread : t -> tstate -> unit
+
+(** Kernel state of the calling thread.  Raises [Failure] when the caller
+    is not a registered Amber thread.  Fiber context. *)
+val current : t -> tstate
+
+val current_opt : t -> tstate option
+
+(** Node the calling thread is on.  Fiber context. *)
+val current_node : t -> int
+
+(** Flush §3.3 chain caching: every node in the thread's chase path
+    learns that the object now lives at [found]. *)
+val flush_chase_compression : t -> tstate -> addr:int -> found:int -> unit
+
+(** Install the context-switch-in residency check (§3.5) for a thread:
+    every time the thread is about to run, its innermost frame's object is
+    checked and the thread is forwarded toward the object's new location
+    if it moved. *)
+val install_resume_check : t -> tstate -> unit
+
+(** {1 Address space} *)
+
+(** Allocate a heap block on [node]; grows the heap from the address-space
+    server (an RPC from [node] to the server's node) when the local pool
+    is exhausted.  Fiber context. *)
+val alloc_addr : t -> node:int -> size:int -> int
+
+(** Home node of a heap address — the owner of its region (§3.3). *)
+val home_node : t -> addr:int -> int
+
+(** {1 Location protocol} *)
+
+(** One descriptor probe on [node] (no cost charged):
+    - [`Resident] — object usable on [node];
+    - [`Hop n] — forwarding address, or home-node fallback for an
+      uninitialized descriptor. *)
+val probe : t -> node:int -> addr:int -> [ `Resident | `Hop of int ]
+
+(** Move the calling thread to [dest], simulating the thread-state packet
+    flight (§3.4).  Charges marshal CPU at the source, wire time, and
+    unmarshal CPU at the destination.  [payload] bytes ride along.  Fiber
+    context. *)
+val migrate_self : t -> ?payload:int -> dest:int -> unit -> unit
+
+(** Chase descriptors with control RPCs (no thread motion) until the node
+    where [addr] is resident is found; used by Locate and MoveTo.  Updates
+    the descriptors of visited nodes to point at the answer (§3.3 chain
+    caching).  Fiber context. *)
+val resolve_location : t -> addr:int -> int
+
+(** {1 Object lifecycle} *)
+
+(** Create an object on the calling thread's node (§3.2).  Charges
+    creation CPU; allocates its address; initializes the local descriptor.
+    Fiber context. *)
+val create_object : t -> ?size:int -> name:string -> 'a -> 'a Aobject.t
+
+(** Delete an object resident on the calling thread's node: frees its heap
+    block (never to be re-split, §3.2) and clears the local descriptor.
+    Raises [Invalid_argument] if the object is not resident here or has
+    attachments.  Fiber context. *)
+val destroy_object : t -> 'a Aobject.t -> unit
+
+(** {1 Counters} *)
+
+type counters = {
+  mutable local_invocations : int;
+  mutable remote_invocations : int;
+  mutable thread_migrations : int;
+  mutable migration_bytes : int;
+  mutable object_moves : int;
+  mutable object_copies : int;
+  mutable move_bytes : int;
+  mutable locates : int;
+  mutable forward_hops : int;
+  mutable objects_created : int;
+  mutable threads_started : int;
+}
+
+val counters : t -> counters
+
+(** Latency samples recorded by {!Invoke} for remote invocations and by
+    {!Mobility} for completed moves (virtual seconds). *)
+val remote_invoke_latency : t -> Sim.Stats.Summary.t
+
+val move_latency : t -> Sim.Stats.Summary.t
+
+(** Raise the first recorded thread failure, if any. *)
+val check_failures : t -> unit

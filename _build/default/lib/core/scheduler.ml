@@ -1,0 +1,15 @@
+type builtin = Fifo | Lifo | Priority
+
+let to_policy = function
+  | Fifo -> Hw.Sched_policy.fifo ()
+  | Lifo -> Hw.Sched_policy.lifo ()
+  | Priority ->
+    Hw.Sched_policy.by_priority ~priority_of:Hw.Machine.priority ()
+
+let install rt ~node builtin =
+  Hw.Machine.set_policy (Runtime.machine rt node) (to_policy builtin)
+
+let install_custom rt ~node policy =
+  Hw.Machine.set_policy (Runtime.machine rt node) policy
+
+let current rt ~node = Hw.Machine.policy_name (Runtime.machine rt node)

@@ -1,0 +1,20 @@
+(** Runtime-replaceable per-node scheduling (paper §2.1).
+
+    "An application can install a custom scheduling discipline at runtime
+    by replacing the system scheduler object with a similar object that
+    supports the same interface but behaves differently."  Threads already
+    queued are migrated into the new discipline. *)
+
+type builtin =
+  | Fifo  (** the default discipline *)
+  | Lifo  (** most-recently-ready first *)
+  | Priority  (** by {!Athread.set_priority}, FIFO among equals *)
+
+val install : Runtime.t -> node:int -> builtin -> unit
+
+(** Install an arbitrary user-defined discipline. *)
+val install_custom :
+  Runtime.t -> node:int -> Hw.Machine.tcb Hw.Sched_policy.t -> unit
+
+(** Name of the discipline currently installed on [node]. *)
+val current : Runtime.t -> node:int -> string

@@ -1,0 +1,99 @@
+type node_stats = {
+  node : int;
+  cpu_busy : float;
+  utilization : float;
+  dispatches : int;
+  preemptions : int;
+  descriptor_entries : int;
+  heap_live_blocks : int;
+  heap_regions : int;
+}
+
+type t = {
+  elapsed : float;
+  nodes : node_stats array;
+  counters : Runtime.counters;
+  packets : int;
+  net_bytes : int;
+  net_busy : float;
+  net_utilization : float;
+  net_queueing : float;
+  traffic_by_kind : (string * int * int) list;
+  remote_invoke_latency : Sim.Stats.Summary.t;
+  move_latency : Sim.Stats.Summary.t;
+}
+
+let capture rt =
+  let elapsed = Runtime.now rt in
+  let cpus = (Runtime.config rt).Config.cpus_per_node in
+  let nodes =
+    Array.init (Runtime.nodes rt) (fun node ->
+        let m = Runtime.machine rt node in
+        let busy = Hw.Machine.total_busy_time m in
+        {
+          node;
+          cpu_busy = busy;
+          utilization =
+            (if elapsed > 0.0 then busy /. (float_of_int cpus *. elapsed)
+             else 0.0);
+          dispatches = Hw.Machine.dispatch_count m;
+          preemptions = Hw.Machine.preemption_count m;
+          descriptor_entries = Descriptor.entries (Runtime.descriptors rt node);
+          heap_live_blocks = Vaspace.Heap.live_blocks (Runtime.heap rt node);
+          heap_regions = List.length (Vaspace.Heap.regions (Runtime.heap rt node));
+        })
+  in
+  let ether = Runtime.ether rt in
+  let net_busy = Hw.Ethernet.busy_seconds ether in
+  {
+    elapsed;
+    nodes;
+    counters = Runtime.counters rt;
+    packets = Hw.Ethernet.packets_sent ether;
+    net_bytes = Hw.Ethernet.bytes_sent ether;
+    net_busy;
+    net_utilization = (if elapsed > 0.0 then net_busy /. elapsed else 0.0);
+    net_queueing = Hw.Ethernet.total_queueing ether;
+    traffic_by_kind = Hw.Ethernet.traffic_by_kind ether;
+    remote_invoke_latency = Runtime.remote_invoke_latency rt;
+    move_latency = Runtime.move_latency rt;
+  }
+
+let pp_nodes ppf t =
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf
+        "node %d: %5.1f%% busy (%.3fs), %d dispatches, %d preemptions, %d \
+         descriptors, %d live objects in %d regions@."
+        n.node (n.utilization *. 100.0) n.cpu_busy n.dispatches n.preemptions
+        n.descriptor_entries n.heap_live_blocks n.heap_regions)
+    t.nodes
+
+let pp ppf t =
+  let c = t.counters in
+  Format.fprintf ppf "virtual elapsed: %.6f s@." t.elapsed;
+  pp_nodes ppf t;
+  Format.fprintf ppf
+    "invocations: %d local, %d remote; %d thread flights (%d B)@."
+    c.Runtime.local_invocations c.Runtime.remote_invocations
+    c.Runtime.thread_migrations c.Runtime.migration_bytes;
+  Format.fprintf ppf
+    "objects: %d created, %d moves, %d copies (%d B); %d locates, %d \
+     forwarding hops@."
+    c.Runtime.objects_created c.Runtime.object_moves c.Runtime.object_copies
+    c.Runtime.move_bytes c.Runtime.locates c.Runtime.forward_hops;
+  Format.fprintf ppf
+    "network: %d packets, %d bytes, %4.1f%% utilized, %.3f s queueing@."
+    t.packets t.net_bytes
+    (t.net_utilization *. 100.0)
+    t.net_queueing;
+  List.iter
+    (fun (kind, n, b) ->
+      Format.fprintf ppf "  %-14s %6d packets %10d bytes@." kind n b)
+    t.traffic_by_kind;
+  if Sim.Stats.Summary.count t.remote_invoke_latency > 0 then
+    Format.fprintf ppf "remote invoke latency: %a@." Sim.Stats.Summary.pp
+      t.remote_invoke_latency;
+  if Sim.Stats.Summary.count t.move_latency > 0 then
+    Format.fprintf ppf "object move latency:   %a@." Sim.Stats.Summary.pp
+      t.move_latency

@@ -1,0 +1,36 @@
+(** Post-run cluster statistics: per-node utilization, protocol counters,
+    network summary — the observability layer for the CLI and benches. *)
+
+type node_stats = {
+  node : int;
+  cpu_busy : float;  (** total CPU-seconds consumed on this node *)
+  utilization : float;  (** busy / (cpus × elapsed) *)
+  dispatches : int;
+  preemptions : int;
+  descriptor_entries : int;
+  heap_live_blocks : int;
+  heap_regions : int;
+}
+
+type t = {
+  elapsed : float;
+  nodes : node_stats array;
+  counters : Runtime.counters;
+  packets : int;
+  net_bytes : int;
+  net_busy : float;  (** seconds the medium carried traffic *)
+  net_utilization : float;
+  net_queueing : float;
+  traffic_by_kind : (string * int * int) list;
+      (** [(packet kind, packets, bytes)] *)
+  remote_invoke_latency : Sim.Stats.Summary.t;
+  move_latency : Sim.Stats.Summary.t;
+}
+
+(** Snapshot the runtime now (typically after the program finished). *)
+val capture : Runtime.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** One line per node: "node 3: 42.0% busy, ...". *)
+val pp_nodes : Format.formatter -> t -> unit

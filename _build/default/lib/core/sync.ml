@@ -1,0 +1,240 @@
+module Lock = struct
+  type state = {
+    mutable held : bool;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  type t = { obj : state Aobject.t }
+
+  let create rt ?(name = "lock") () =
+    {
+      obj =
+        Runtime.create_object rt ~size:32 ~name
+          { held = false; waiters = Queue.create () };
+    }
+
+  let acquire rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        if not s.held then s.held <- true
+        else
+          (* Ownership is handed over directly by [release], so when the
+             waker fires the lock is already ours. *)
+          Sim.Fiber.block (fun wake -> Queue.add wake s.waiters))
+
+  let release rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        if not s.held then invalid_arg "Lock.release: lock is not held";
+        match Queue.take_opt s.waiters with
+        | None -> s.held <- false
+        | Some wake -> wake ())
+
+  let try_acquire rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        if s.held then false
+        else begin
+          s.held <- true;
+          true
+        end)
+
+  let with_lock rt t f =
+    acquire rt t;
+    match f () with
+    | r ->
+      release rt t;
+      r
+    | exception e ->
+      release rt t;
+      raise e
+
+  let is_held t = t.obj.Aobject.state.held
+  let move rt t ~dest = Mobility.move_to rt t.obj ~dest
+  let locate rt t = Mobility.locate rt t.obj
+end
+
+module Spinlock = struct
+  type state = {
+    mutable held : bool;
+    mutable failed_probes : int;
+  }
+
+  type t = { obj : state Aobject.t }
+
+  let create rt ?(name = "spinlock") () =
+    {
+      obj =
+        Runtime.create_object rt ~size:16 ~name
+          { held = false; failed_probes = 0 };
+    }
+
+  let max_backoff = 100e-6
+
+  let acquire rt t =
+    let c = Runtime.cost rt in
+    let probe () =
+      Invoke.invoke rt t.obj (fun s ->
+          Sim.Fiber.consume c.Cost_model.spin_probe_cpu;
+          if s.held then begin
+            s.failed_probes <- s.failed_probes + 1;
+            false
+          end
+          else begin
+            s.held <- true;
+            true
+          end)
+    in
+    let rec spin backoff =
+      if not (probe ()) then begin
+        (* Busy-wait: the processor is not relinquished (§2.2). *)
+        Sim.Fiber.consume backoff;
+        spin (Float.min max_backoff (backoff *. 2.0))
+      end
+    in
+    spin c.Cost_model.spin_probe_cpu
+
+  let release rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.spin_probe_cpu;
+        if not s.held then invalid_arg "Spinlock.release: lock is not held";
+        s.held <- false)
+
+  let with_lock rt t f =
+    acquire rt t;
+    match f () with
+    | r ->
+      release rt t;
+      r
+    | exception e ->
+      release rt t;
+      raise e
+
+  let is_held t = t.obj.Aobject.state.held
+  let move rt t ~dest = Mobility.move_to rt t.obj ~dest
+  let contended_probes t = t.obj.Aobject.state.failed_probes
+end
+
+module Barrier = struct
+  type state = {
+    parties : int;
+    mutable arrived : int;
+    mutable wakers : (unit -> unit) list;
+    mutable generation : int;
+  }
+
+  type t = { obj : state Aobject.t }
+
+  let create rt ?(name = "barrier") ~parties () =
+    if parties <= 0 then invalid_arg "Barrier.create: parties";
+    {
+      obj =
+        Runtime.create_object rt ~size:32 ~name
+          { parties; arrived = 0; wakers = []; generation = 0 };
+    }
+
+  let pass rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        if s.arrived + 1 >= s.parties then begin
+          (* Last arrival releases everyone and opens a new generation. *)
+          s.arrived <- 0;
+          s.generation <- s.generation + 1;
+          let sleepers = List.rev s.wakers in
+          s.wakers <- [];
+          List.iter (fun wake -> wake ()) sleepers
+        end
+        else begin
+          s.arrived <- s.arrived + 1;
+          Sim.Fiber.block (fun wake -> s.wakers <- wake :: s.wakers)
+        end)
+
+  let generation t = t.obj.Aobject.state.generation
+  let move rt t ~dest = Mobility.move_to rt t.obj ~dest
+end
+
+module Condition = struct
+  type cell = {
+    mutable wake : (unit -> unit) option;
+    mutable signaled : bool;
+  }
+
+  type state = { mutable queue : cell list (* FIFO: oldest first *) }
+  type t = { obj : state Aobject.t }
+
+  let create rt ?(name = "condition") () =
+    { obj = Runtime.create_object rt ~size:24 ~name { queue = [] } }
+
+  let fire cell =
+    cell.signaled <- true;
+    match cell.wake with
+    | Some wake -> wake ()
+    | None -> (* waiter has not blocked yet; it will see [signaled] *) ()
+
+  let wait rt t lock =
+    if not (Lock.is_held lock) then
+      invalid_arg "Condition.wait: lock is not held";
+    let c = Runtime.cost rt in
+    let cell = { wake = None; signaled = false } in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        s.queue <- s.queue @ [ cell ]);
+    Lock.release rt lock;
+    Sim.Fiber.block (fun wake ->
+        if cell.signaled then wake () else cell.wake <- Some wake);
+    Lock.acquire rt lock
+
+  let signal rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        match s.queue with
+        | [] -> ()
+        | cell :: rest ->
+          s.queue <- rest;
+          fire cell)
+
+  let broadcast rt t =
+    let c = Runtime.cost rt in
+    Invoke.invoke rt t.obj (fun s ->
+        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        let cells = s.queue in
+        s.queue <- [];
+        List.iter fire cells)
+
+  let waiters t = List.length t.obj.Aobject.state.queue
+  let move rt t ~dest = Mobility.move_to rt t.obj ~dest
+  let locate rt t = Mobility.locate rt t.obj
+end
+
+module Monitor = struct
+  type t = { lock : Lock.t }
+
+  let create rt ?(name = "monitor") () =
+    { lock = Lock.create rt ~name:(name ^ ".lock") () }
+
+  let enter rt t = Lock.acquire rt t.lock
+  let exit rt t = Lock.release rt t.lock
+
+  let with_monitor rt t f =
+    enter rt t;
+    match f () with
+    | r ->
+      exit rt t;
+      r
+    | exception e ->
+      exit rt t;
+      raise e
+
+  let new_condition rt _t = Condition.create rt ~name:"monitor.cond" ()
+  let wait rt t cond = Condition.wait rt cond t.lock
+  let signal rt cond = Condition.signal rt cond
+  let broadcast rt cond = Condition.broadcast rt cond
+  let move rt t ~dest = Lock.move rt t.lock ~dest
+  let locate rt t = Lock.locate rt t.lock
+end

@@ -1,0 +1,107 @@
+(** Synchronization objects (paper §2.2).
+
+    Amber supplies relinquishing and non-relinquishing locks, barriers,
+    monitors and condition variables.  Every one of them {e is an Amber
+    object}: it lives on some node, can be moved with the mobility
+    primitives, and is remotely invocable — "lock objects … are mobile and
+    can be remotely invoked to enforce concurrency constraints involving
+    multiple objects on different nodes".
+
+    A thread that blocks on a sync object blocks {e at the object's node}
+    (it migrated there by invoking it); when it resumes it returns to its
+    caller's node through the normal return-time residency check. *)
+
+(** Relinquishing lock: a blocked acquirer gives up its processor. *)
+module Lock : sig
+  type t
+
+  val create : Runtime.t -> ?name:string -> unit -> t
+  val acquire : Runtime.t -> t -> unit
+
+  (** Raises [Invalid_argument] if the lock is not held. *)
+  val release : Runtime.t -> t -> unit
+
+  val try_acquire : Runtime.t -> t -> bool
+  val with_lock : Runtime.t -> t -> (unit -> 'a) -> 'a
+  val is_held : t -> bool
+  val move : Runtime.t -> t -> dest:int -> unit
+  val locate : Runtime.t -> t -> int
+end
+
+(** Non-relinquishing (spin) lock: acquirers burn CPU probing, with
+    exponential backoff.  Intended for co-resident, short critical
+    sections (§2.2, §3.6). *)
+module Spinlock : sig
+  type t
+
+  val create : Runtime.t -> ?name:string -> unit -> t
+  val acquire : Runtime.t -> t -> unit
+  val release : Runtime.t -> t -> unit
+  val with_lock : Runtime.t -> t -> (unit -> 'a) -> 'a
+  val is_held : t -> bool
+  val move : Runtime.t -> t -> dest:int -> unit
+
+  (** Number of failed probes over the lock's lifetime (contention
+      indicator). *)
+  val contended_probes : t -> int
+end
+
+(** Barrier synchronization for a fixed party count. *)
+module Barrier : sig
+  type t
+
+  val create : Runtime.t -> ?name:string -> parties:int -> unit -> t
+
+  (** Block until [parties] threads have called [pass] in the current
+      generation. *)
+  val pass : Runtime.t -> t -> unit
+
+  (** Completed generations. *)
+  val generation : t -> int
+
+  val move : Runtime.t -> t -> dest:int -> unit
+end
+
+(** Condition variables, used with a {!Lock.t}. *)
+module Condition : sig
+  type t
+
+  val create : Runtime.t -> ?name:string -> unit -> t
+
+  (** [wait rt c lock] atomically releases [lock] and suspends; on wakeup
+      the lock is re-acquired before returning.  The caller must hold
+      [lock]. *)
+  val wait : Runtime.t -> t -> Lock.t -> unit
+
+  (** Wake one waiter (no-op when none). *)
+  val signal : Runtime.t -> t -> unit
+
+  val broadcast : Runtime.t -> t -> unit
+  val waiters : t -> int
+  val move : Runtime.t -> t -> dest:int -> unit
+  val locate : Runtime.t -> t -> int
+end
+
+(** Monitors: an entry lock plus condition variables (§2.2). *)
+module Monitor : sig
+  type t
+
+  val create : Runtime.t -> ?name:string -> unit -> t
+  val enter : Runtime.t -> t -> unit
+  val exit : Runtime.t -> t -> unit
+  val with_monitor : Runtime.t -> t -> (unit -> 'a) -> 'a
+  val new_condition : Runtime.t -> t -> Condition.t
+
+  (** Wait on a condition created from this monitor; the monitor must be
+      entered. *)
+  val wait : Runtime.t -> t -> Condition.t -> unit
+
+  val signal : Runtime.t -> Condition.t -> unit
+  val broadcast : Runtime.t -> Condition.t -> unit
+
+  (** Move the monitor's entry lock (conditions are separate objects and
+      move independently). *)
+  val move : Runtime.t -> t -> dest:int -> unit
+
+  val locate : Runtime.t -> t -> int
+end

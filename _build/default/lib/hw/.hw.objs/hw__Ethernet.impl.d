@@ -1,0 +1,1 @@
+lib/hw/ethernet.ml: Float Format Hashtbl List Option Packet Sim

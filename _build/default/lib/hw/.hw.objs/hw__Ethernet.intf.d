@@ -1,0 +1,1 @@
+lib/hw/ethernet.mli: Packet Sim

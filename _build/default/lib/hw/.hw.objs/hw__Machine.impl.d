@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Float Format List Logs Printexc Printf Sched_policy Sim

@@ -1,0 +1,1 @@
+lib/hw/packet.ml: Format

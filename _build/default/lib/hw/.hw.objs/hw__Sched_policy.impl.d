@@ -1,0 +1,1 @@
+lib/hw/sched_policy.ml: List

@@ -1,0 +1,188 @@
+type mac = Fifo | Csma_cd
+
+(* A packet deferring for the medium under CSMA/CD. *)
+type pending = {
+  pkt : Packet.t;
+  submitted : float;
+  mutable attempts : int;
+  mutable backoff_until : float;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  bandwidth_bps : float;
+  propagation : float;
+  wire_overhead : float;
+  header_bytes : int;
+  mac : mac;
+  rng : Sim.Rng.t;
+  trace : Sim.Trace.t;
+  mutable free_at : float;
+  (* CSMA/CD state *)
+  mutable waiting : pending list;
+  (* Earliest contention-round event currently scheduled (infinity when
+     none).  Extra stale rounds are harmless: they just recompute. *)
+  mutable next_round : float;
+  (* statistics *)
+  mutable packets : int;
+  mutable bytes : int;
+  mutable queueing : float;
+  mutable busy : float;
+  mutable collision_count : int;
+  by_kind : (string, int * int) Hashtbl.t;
+}
+
+let slot_time = 51.2e-6
+let jam_time = 4.8e-6
+let max_backoff_exp = 10
+
+let create ~engine ?(bandwidth_bps = 10e6) ?(propagation = 20e-6)
+    ?(wire_overhead = 50e-6) ?(header_bytes = 64) ?(mac = Fifo)
+    ?(trace = Sim.Trace.create ()) () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Ethernet.create: bandwidth";
+  {
+    eng = engine;
+    bandwidth_bps;
+    propagation;
+    wire_overhead;
+    header_bytes;
+    mac;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    trace;
+    free_at = 0.0;
+    waiting = [];
+    next_round = Float.infinity;
+    packets = 0;
+    bytes = 0;
+    queueing = 0.0;
+    busy = 0.0;
+    collision_count = 0;
+    by_kind = Hashtbl.create 16;
+  }
+
+let tx_time t ~size =
+  t.wire_overhead
+  +. (8.0 *. float_of_int (size + t.header_bytes) /. t.bandwidth_bps)
+
+let busy_until t = t.free_at
+
+let account t (p : Packet.t) ~waited ~tx =
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + p.Packet.size;
+  (let n, b =
+     Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_kind p.Packet.kind)
+   in
+   Hashtbl.replace t.by_kind p.Packet.kind (n + 1, b + p.Packet.size));
+  t.queueing <- t.queueing +. waited;
+  t.busy <- t.busy +. tx
+
+(* Begin transmitting [p] at [start] (medium known free then). *)
+let transmit t (p : Packet.t) ~submitted ~start =
+  let tx = tx_time t ~size:p.Packet.size in
+  let done_at = start +. tx in
+  t.free_at <- done_at;
+  account t p ~waited:(start -. submitted) ~tx;
+  let delivery = done_at +. t.propagation in
+  Sim.Trace.emit t.trace ~time:start ~category:"net"
+    ~detail:
+      (lazy
+        (Format.asprintf "%a queued=%.0fus tx=%.0fus" Packet.pp p
+           ((start -. submitted) *. 1e6)
+           (tx *. 1e6)));
+  ignore
+    (Sim.Engine.schedule_at t.eng ~time:delivery p.Packet.deliver
+      : Sim.Engine.event_id);
+  delivery
+
+(* --- CSMA/CD ------------------------------------------------------------ *)
+
+(* Run one contention round at the current time: the stations whose
+   backoff has expired attempt together; one succeeds alone, several
+   collide and back off. *)
+let rec csma_round t =
+  t.next_round <- Float.infinity;
+  let now = Sim.Engine.now t.eng in
+  if now < t.free_at then schedule_round t t.free_at
+  else begin
+    let ready, deferred =
+      List.partition (fun w -> w.backoff_until <= now +. 1e-12) t.waiting
+    in
+    match ready with
+    | [] ->
+      (match deferred with
+      | [] -> ()
+      | _ ->
+        let next =
+          List.fold_left
+            (fun acc w -> Float.min acc w.backoff_until)
+            Float.infinity deferred
+        in
+        schedule_round t next)
+    | [ w ] ->
+      t.waiting <- deferred;
+      ignore (transmit t w.pkt ~submitted:w.submitted ~start:now : float);
+      if deferred <> [] then schedule_round t t.free_at
+    | several ->
+      (* Collision: everyone jams, then picks a fresh backoff slot. *)
+      t.collision_count <- t.collision_count + 1;
+      t.busy <- t.busy +. jam_time;
+      t.free_at <- now +. jam_time;
+      List.iter
+        (fun w ->
+          w.attempts <- w.attempts + 1;
+          let exp = min w.attempts max_backoff_exp in
+          let slots = Sim.Rng.int t.rng (1 lsl exp) in
+          w.backoff_until <-
+            now +. jam_time +. (slot_time *. float_of_int slots))
+        several;
+      t.waiting <- several @ deferred;
+      let next =
+        List.fold_left
+          (fun acc w -> Float.min acc w.backoff_until)
+          Float.infinity t.waiting
+      in
+      schedule_round t (Float.max next t.free_at)
+  end
+
+and schedule_round t time =
+  let time = Float.max time (Sim.Engine.now t.eng) in
+  if time < t.next_round -. 1e-12 then begin
+    t.next_round <- time;
+    ignore
+      (Sim.Engine.schedule_at t.eng ~time (fun () -> csma_round t)
+        : Sim.Engine.event_id)
+  end
+
+let send t (p : Packet.t) =
+  let now = Sim.Engine.now t.eng in
+  match t.mac with
+  | Fifo ->
+    let start = Float.max now t.free_at in
+    t.free_at <- start +. tx_time t ~size:p.Packet.size;
+    transmit t p ~submitted:now ~start
+  | Csma_cd ->
+    let w =
+      { pkt = p; submitted = now; attempts = 0; backoff_until = now }
+    in
+    t.waiting <- t.waiting @ [ w ];
+    schedule_round t (Float.max now t.free_at);
+    (* Earliest possible delivery, ignoring collisions. *)
+    Float.max now t.free_at +. tx_time t ~size:p.Packet.size +. t.propagation
+
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes
+let total_queueing t = t.queueing
+let busy_seconds t = t.busy
+let collisions t = t.collision_count
+
+let traffic_by_kind t =
+  Hashtbl.fold (fun kind (n, b) acc -> (kind, n, b) :: acc) t.by_kind []
+  |> List.sort compare
+
+let reset_stats t =
+  t.packets <- 0;
+  t.bytes <- 0;
+  t.queueing <- 0.0;
+  t.busy <- 0.0;
+  t.collision_count <- 0;
+  Hashtbl.reset t.by_kind

@@ -1,0 +1,73 @@
+(** Shared-medium Ethernet model (the paper's 10 Mbit/s segment).
+
+    All nodes share one transmission medium.  A packet's wire time is
+
+    {v  tx = wire_overhead + 8 * (size + header_bytes) / bandwidth_bps  v}
+
+    and delivery happens [propagation] seconds after its transmission
+    completes, at which point the packet's [deliver] callback runs.
+
+    Two media-access models are available:
+
+    - {!Fifo} (default): transmissions serialize in submission order —
+      an idealized collision-free bus.  All calibration against the
+      paper's Table 1 uses this model.
+    - {!Csma_cd}: the real 1989 Ethernet.  A station that finds the
+      medium busy defers; stations that attempt simultaneously collide,
+      jam, and retry under binary exponential backoff (slot time 51.2 µs).
+      Under light load it behaves like FIFO; near saturation it loses
+      goodput to collisions — measurable with `bench ablate-mac`.
+
+    Both models capture the two effects the paper's evaluation depends
+    on: per-message latency and serialization of concurrent senders. *)
+
+type mac = Fifo | Csma_cd
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  ?bandwidth_bps:float ->
+  (* default 10e6, the paper's Ethernet *)
+  ?propagation:float ->
+  (* default 20 us *)
+  ?wire_overhead:float ->
+  (* per-packet fixed wire time (preamble, inter-frame gap); default 50 us *)
+  ?header_bytes:int ->
+  (* default 64: frame header + trailer + minimal protocol headers *)
+  ?mac:mac ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
+
+(** Submit a packet for transmission.  Returns the predicted delivery time
+    under {!Fifo}; under {!Csma_cd} the return value is the earliest
+    possible delivery (collisions may delay it further). *)
+val send : t -> Packet.t -> float
+
+(** Wire time for a packet of [size] payload bytes on an idle medium,
+    excluding propagation. *)
+val tx_time : t -> size:int -> float
+
+(** Instant at which the medium next becomes free. *)
+val busy_until : t -> float
+
+(** {1 Statistics} *)
+
+val packets_sent : t -> int
+val bytes_sent : t -> int
+
+(** Total time packets spent queued or backing off before transmitting. *)
+val total_queueing : t -> float
+
+(** Seconds the medium has spent transmitting (including jam time). *)
+val busy_seconds : t -> float
+
+(** Collision events (always 0 under {!Fifo}). *)
+val collisions : t -> int
+
+(** Traffic broken down by packet kind: [(kind, packets, bytes)], sorted
+    by kind. *)
+val traffic_by_kind : t -> (string * int * int) list
+
+val reset_stats : t -> unit

@@ -1,0 +1,14 @@
+type t = {
+  src : int;
+  dst : int;
+  size : int;
+  kind : string;
+  deliver : unit -> unit;
+}
+
+let make ~src ~dst ~size ~kind deliver =
+  if size < 0 then invalid_arg "Packet.make: negative size";
+  { src; dst; size; kind; deliver }
+
+let pp ppf p =
+  Format.fprintf ppf "%s[%d->%d, %dB]" p.kind p.src p.dst p.size

@@ -1,0 +1,19 @@
+(** Network packets.
+
+    A packet carries no simulated bytes — only a size (which determines
+    transmission time on the wire) and a [deliver] callback executed at the
+    destination when the packet arrives.  The callback typically hands the
+    payload to an OS-level handler (e.g. wakes an RPC server thread). *)
+
+type t = {
+  src : int;  (** source node id *)
+  dst : int;  (** destination node id *)
+  size : int;  (** payload bytes (headers are added by the medium) *)
+  kind : string;  (** for tracing: "rpc-req", "thread", "obj", "page", … *)
+  deliver : unit -> unit;
+}
+
+val make :
+  src:int -> dst:int -> size:int -> kind:string -> (unit -> unit) -> t
+
+val pp : Format.formatter -> t -> unit

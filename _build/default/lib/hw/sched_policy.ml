@@ -1,0 +1,83 @@
+type 'a t = {
+  name : string;
+  enqueue : 'a -> unit;
+  dequeue : unit -> 'a option;
+  remove : ('a -> bool) -> int;
+  length : unit -> int;
+}
+
+(* All three disciplines keep a doubly-ended list representation simple
+   enough to support mid-queue removal, which the machine model needs when
+   a thread is destroyed or explicitly migrated while runnable. *)
+
+let fifo () =
+  let q = ref [] (* rear, reversed *) and front = ref [] in
+  let normalize () =
+    if !front = [] then begin
+      front := List.rev !q;
+      q := []
+    end
+  in
+  let enqueue x = q := x :: !q in
+  let dequeue () =
+    normalize ();
+    match !front with
+    | [] -> None
+    | x :: rest ->
+      front := rest;
+      Some x
+  in
+  let remove pred =
+    let keep l = List.filter (fun x -> not (pred x)) l in
+    let before = List.length !front + List.length !q in
+    front := keep !front;
+    q := keep !q;
+    before - (List.length !front + List.length !q)
+  in
+  let length () = List.length !front + List.length !q in
+  { name = "fifo"; enqueue; dequeue; remove; length }
+
+let lifo () =
+  let stack = ref [] in
+  let enqueue x = stack := x :: !stack in
+  let dequeue () =
+    match !stack with
+    | [] -> None
+    | x :: rest ->
+      stack := rest;
+      Some x
+  in
+  let remove pred =
+    let before = List.length !stack in
+    stack := List.filter (fun x -> not (pred x)) !stack;
+    before - List.length !stack
+  in
+  let length () = List.length !stack in
+  { name = "lifo"; enqueue; dequeue; remove; length }
+
+let by_priority ~priority_of () =
+  (* Sorted association list: highest priority first, FIFO among equals. *)
+  let items = ref [] in
+  let enqueue x =
+    let p = priority_of x in
+    let rec insert = function
+      | [] -> [ (p, x) ]
+      | (p', _) :: _ as rest when p > p' -> (p, x) :: rest
+      | entry :: rest -> entry :: insert rest
+    in
+    items := insert !items
+  in
+  let dequeue () =
+    match !items with
+    | [] -> None
+    | (_, x) :: rest ->
+      items := rest;
+      Some x
+  in
+  let remove pred =
+    let before = List.length !items in
+    items := List.filter (fun (_, x) -> not (pred x)) !items;
+    before - List.length !items
+  in
+  let length () = List.length !items in
+  { name = "priority"; enqueue; dequeue; remove; length }

@@ -1,0 +1,1 @@
+lib/ivy/costs.ml:

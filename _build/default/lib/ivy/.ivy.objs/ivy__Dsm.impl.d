@@ -1,0 +1,1 @@
+lib/ivy/dsm.ml: Amber Array Bytes Costs Hw List Page_table Printf Sim Topaz

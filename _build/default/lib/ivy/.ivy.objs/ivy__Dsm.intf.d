@@ -1,0 +1,1 @@
+lib/ivy/dsm.mli: Amber Costs Page_table

@@ -1,0 +1,1 @@
+lib/ivy/page_table.ml: Array List Sim

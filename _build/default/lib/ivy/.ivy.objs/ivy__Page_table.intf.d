@@ -1,0 +1,1 @@
+lib/ivy/page_table.mli:

@@ -1,0 +1,1 @@
+lib/ivy/process.ml: Amber Hw Sim Topaz

@@ -1,0 +1,1 @@
+lib/ivy/sync_dsm.ml: Dsm Float Sim

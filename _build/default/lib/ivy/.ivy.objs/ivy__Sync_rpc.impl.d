@@ -1,0 +1,1 @@
+lib/ivy/sync_rpc.ml: Amber List Queue Sim Topaz

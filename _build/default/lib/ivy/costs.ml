@@ -1,0 +1,22 @@
+type t = {
+  fault_trap_cpu : float;
+  request_bytes : int;
+  reply_ctrl_bytes : int;
+  page_copy_cpu_per_byte : float;
+  install_cpu : float;
+  invalidate_bytes : int;
+  invalidate_cpu : float;
+  ack_bytes : int;
+}
+
+let default =
+  {
+    fault_trap_cpu = 0.9e-3;
+    request_bytes = 48;
+    reply_ctrl_bytes = 32;
+    page_copy_cpu_per_byte = 0.4e-6;
+    install_cpu = 0.5e-3;
+    invalidate_bytes = 32;
+    invalidate_cpu = 0.3e-3;
+    ack_bytes = 16;
+  }

@@ -1,0 +1,21 @@
+(** Cost constants for the Ivy-style shared virtual memory baseline.
+
+    Calibrated to the same era as the Amber constants: page-fault handling
+    on a CVAX through a user-level handler, page transfers on the shared
+    10 Mbit/s Ethernet.  A remote page fetch lands in the same few-ms range
+    as an Amber remote invocation, which is what makes the §4 comparison
+    meaningful: the two systems differ in {e when} they communicate, not in
+    the price of a message. *)
+
+type t = {
+  fault_trap_cpu : float;  (** taking the fault + handler entry *)
+  request_bytes : int;  (** ownership/copy request message *)
+  reply_ctrl_bytes : int;  (** control part of a reply *)
+  page_copy_cpu_per_byte : float;  (** copy in/out of the VM system *)
+  install_cpu : float;  (** map the received page, fix protections *)
+  invalidate_bytes : int;
+  invalidate_cpu : float;  (** handling one invalidation *)
+  ack_bytes : int;
+}
+
+val default : t

@@ -1,0 +1,49 @@
+type access = No_access | Read | Write
+
+type entry = {
+  mutable access : access;
+  mutable prob_owner : int;
+  mutable is_owner : bool;
+  mutable copyset : int list;
+  mutable busy : bool;
+  mutable busy_waiters : (unit -> unit) list;
+}
+
+type t = { node_id : int; entries : entry array }
+
+let create ~node ~pages ~initial_owner =
+  if pages <= 0 then invalid_arg "Page_table.create: pages";
+  let entries =
+    Array.init pages (fun p ->
+        let owner = initial_owner p in
+        {
+          access = (if owner = node then Write else No_access);
+          prob_owner = owner;
+          is_owner = owner = node;
+          copyset = [];
+          busy = false;
+          busy_waiters = [];
+        })
+  in
+  { node_id = node; entries }
+
+let node t = t.node_id
+let pages t = Array.length t.entries
+
+let entry t p =
+  if p < 0 || p >= Array.length t.entries then
+    invalid_arg "Page_table.entry: page out of range";
+  t.entries.(p)
+
+let rec lock_entry e =
+  if e.busy then begin
+    Sim.Fiber.block (fun wake -> e.busy_waiters <- wake :: e.busy_waiters);
+    lock_entry e
+  end
+  else e.busy <- true
+
+let unlock_entry e =
+  e.busy <- false;
+  let ws = e.busy_waiters in
+  e.busy_waiters <- [];
+  List.iter (fun wake -> wake ()) ws

@@ -1,0 +1,38 @@
+(** Per-node page tables for the shared virtual memory (Li & Hudak).
+
+    Each node records, per page: its access rights, the probable owner
+    hint used to route requests (the dynamic distributed manager
+    algorithm), and — when it is the owner — the copyset of nodes holding
+    read copies.  A per-page busy flag serializes concurrent protocol
+    transactions touching the same page on the same node. *)
+
+type access = No_access | Read | Write
+
+type entry = {
+  mutable access : access;
+  mutable prob_owner : int;  (** routing hint; exact when [is_owner] *)
+  mutable is_owner : bool;
+  mutable copyset : int list;  (** meaningful only at the owner *)
+  mutable busy : bool;  (** a protocol transaction is in flight here *)
+  mutable busy_waiters : (unit -> unit) list;
+}
+
+type t
+
+(** [create ~node ~pages ~initial_owner] sets page [p]'s owner hint to
+    [initial_owner p] everywhere, with the owner itself getting [Write]
+    access and ownership. *)
+val create : node:int -> pages:int -> initial_owner:(int -> int) -> t
+
+val node : t -> int
+val pages : t -> int
+
+(** Raises [Invalid_argument] for out-of-range pages. *)
+val entry : t -> int -> entry
+
+(** Block the calling fiber until the page's busy flag is clear, then set
+    it.  Fiber context. *)
+val lock_entry : entry -> unit
+
+(** Clear the busy flag and wake all waiters (they re-contend). *)
+val unlock_entry : entry -> unit

@@ -1,0 +1,24 @@
+(** Ivy processes: conventional threads with {e explicit process
+    migration} (paper §4: "distribution and load balancing are achieved by
+    explicit process migration").
+
+    Unlike Amber threads, Ivy processes never move implicitly — data comes
+    to them through page faults.  [migrate] is the explicit escape hatch
+    the paper mentions for function-shipping-like behaviour. *)
+
+type 'r t
+
+(** Spawn a process on [node].  Usable from any context. *)
+val spawn : Amber.Runtime.t -> node:int -> ?name:string -> (unit -> 'r) -> 'r t
+
+(** Block until the process finishes; re-raises its failure.  Fiber
+    context. *)
+val join : 'r t -> 'r
+
+(** Explicitly move the calling process to [dest], paying a process-state
+    transfer (larger than an Amber thread flight: a whole process context).
+    Fiber context — a process may only migrate itself. *)
+val migrate : Amber.Runtime.t -> ?state_bytes:int -> dest:int -> unit -> unit
+
+val node : 'r t -> int
+val is_finished : 'r t -> bool

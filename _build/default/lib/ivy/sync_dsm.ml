@@ -1,0 +1,80 @@
+module Lock = struct
+  type t = { dsm : Dsm.t; addr : int; mutable failed : int }
+
+  let create dsm ~addr =
+    if Dsm.read_u8 dsm addr <> 0 then
+      invalid_arg "Sync_dsm.Lock.create: word not zero";
+    { dsm; addr; failed = 0 }
+
+  let max_backoff = 200e-6
+
+  (* Test-and-set through the DSM.  Each probe needs write access, so a
+     contended lock drags its whole page across the network every time. *)
+  let acquire t =
+    let rec spin backoff =
+      Dsm.ensure_write t.dsm t.addr;
+      if Dsm.read_u8 t.dsm t.addr = 0 then Dsm.write_u8 t.dsm t.addr 1
+      else begin
+        t.failed <- t.failed + 1;
+        Sim.Fiber.consume backoff;
+        spin (Float.min max_backoff (backoff *. 2.0))
+      end
+    in
+    spin 2e-6
+
+  let release t =
+    Dsm.ensure_write t.dsm t.addr;
+    if Dsm.read_u8 t.dsm t.addr = 0 then
+      invalid_arg "Sync_dsm.Lock.release: lock is not held";
+    Dsm.write_u8 t.dsm t.addr 0
+
+  let with_lock t f =
+    acquire t;
+    match f () with
+    | r ->
+      release t;
+      r
+    | exception e ->
+      release t;
+      raise e
+
+  let contended_probes t = t.failed
+end
+
+module Barrier = struct
+  type t = {
+    dsm : Dsm.t;
+    count_addr : int;  (** arrivals in the current generation *)
+    gen_addr : int;  (** generation counter (mod 256) *)
+    parties : int;
+  }
+
+  let create dsm ~addr ~parties =
+    if parties <= 0 || parties > 255 then
+      invalid_arg "Sync_dsm.Barrier.create: parties";
+    Dsm.write_u8 dsm addr 0;
+    Dsm.write_u8 dsm (addr + 8) 0;
+    { dsm; count_addr = addr; gen_addr = addr + 8; parties }
+
+  (* Sense-reversing barrier over two shared bytes.  Waiters poll the
+     generation byte: every poll is a read access that may fault the page
+     back after the next arrival's write invalidated it. *)
+  let pass t =
+    let my_gen = Dsm.read_u8 t.dsm t.gen_addr in
+    Dsm.ensure_write t.dsm t.count_addr;
+    let arrived = Dsm.read_u8 t.dsm t.count_addr + 1 in
+    if arrived >= t.parties then begin
+      Dsm.write_u8 t.dsm t.count_addr 0;
+      Dsm.write_u8 t.dsm t.gen_addr ((my_gen + 1) land 0xff)
+    end
+    else begin
+      Dsm.write_u8 t.dsm t.count_addr arrived;
+      let rec poll backoff =
+        if Dsm.read_u8 t.dsm t.gen_addr = my_gen then begin
+          Sim.Fiber.consume backoff;
+          poll (Float.min 500e-6 (backoff *. 2.0))
+        end
+      in
+      poll 10e-6
+    end
+end

@@ -1,0 +1,37 @@
+(** Synchronization through the shared memory itself — the naive Ivy
+    approach the paper criticizes in §4.1: "references to a shared lock
+    variable can cause a data-shipping system to thrash by repeatedly
+    shuttling the page containing the lock variable between the nodes".
+
+    The lock is a word in a DSM page; every acquire attempt is a
+    write-fault on that page, so contending nodes ping-pong the page.
+    This module exists to measure that effect (ablation A1). *)
+
+module Lock : sig
+  type t
+
+  (** [create dsm ~addr] claims the byte at [addr] as a lock word (it must
+      be 0 initially). *)
+  val create : Dsm.t -> addr:int -> t
+
+  (** Spin-acquire with exponential backoff; each probe is a DSM
+      write access (potential page fault + transfer). *)
+  val acquire : t -> unit
+
+  val release : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+
+  (** Failed probes so far (ping-pong indicator). *)
+  val contended_probes : t -> int
+end
+
+(** Barrier implemented over shared DSM counters (also thrashes; for
+    measurement). *)
+module Barrier : sig
+  type t
+
+  (** Claims 16 bytes at [addr] for its counters. *)
+  val create : Dsm.t -> addr:int -> parties:int -> t
+
+  val pass : t -> unit
+end

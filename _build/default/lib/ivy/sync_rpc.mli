@@ -1,0 +1,26 @@
+(** RPC-based synchronization — the fix adopted by "recent versions of
+    Ivy", which "handled this problem by deviating from the data-shipping
+    model and accessing shared lock variables with remote procedure calls"
+    (paper §4.1).
+
+    State lives at a fixed home node; operations are control RPCs, so no
+    page ever moves. *)
+
+module Lock : sig
+  type t
+
+  val create : Amber.Runtime.t -> home:int -> t
+
+  (** Blocks (the server parks the request) until granted. *)
+  val acquire : t -> unit
+
+  val release : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Barrier : sig
+  type t
+
+  val create : Amber.Runtime.t -> home:int -> parties:int -> t
+  val pass : t -> unit
+end

@@ -1,0 +1,95 @@
+type event = {
+  id : int;
+  mutable live : bool;
+  thunk : unit -> unit;
+}
+
+type event_id = int
+
+type t = {
+  queue : event Event_queue.t;
+  mutable clock : float;
+  mutable next_id : int;
+  mutable executed : int;
+  (* Pending (not yet fired, not cancelled) events by id.  Entries are
+     removed when an event fires or is cancelled. *)
+  live_ids : (int, event) Hashtbl.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 0x5EEDL) () =
+  {
+    queue = Event_queue.create ();
+    clock = 0.0;
+    next_id = 0;
+    executed = 0;
+    live_ids = Hashtbl.create 256;
+    root_rng = Rng.make seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~time thunk =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ev = { id; live = true; thunk } in
+  Hashtbl.replace t.live_ids id ev;
+  Event_queue.add t.queue ~time ev;
+  id
+
+let schedule t ~delay thunk =
+  if Float.is_nan delay || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or NaN delay";
+  schedule_at t ~time:(t.clock +. delay) thunk
+
+let cancel t id =
+  match Hashtbl.find_opt t.live_ids id with
+  | None -> ()
+  | Some ev ->
+    ev.live <- false;
+    Hashtbl.remove t.live_ids id
+
+let is_pending t id = Hashtbl.mem t.live_ids id
+
+let fire t time ev =
+  t.clock <- time;
+  Hashtbl.remove t.live_ids ev.id;
+  t.executed <- t.executed + 1;
+  ev.thunk ()
+
+let step t =
+  let rec loop () =
+    match Event_queue.pop t.queue with
+    | None -> false
+    | Some (_, ev) when not ev.live -> loop ()
+    | Some (time, ev) ->
+      fire t time ev;
+      true
+  in
+  loop ()
+
+let run ?until t =
+  let start = t.executed in
+  let horizon = match until with None -> Float.infinity | Some u -> u in
+  let rec loop () =
+    match Event_queue.peek t.queue with
+    | None -> ()
+    | Some (time, _) when time > horizon -> ()
+    | Some _ ->
+      ignore (step t : bool);
+      loop ()
+  in
+  loop ();
+  (match until with
+  | Some u when u > t.clock && Float.is_finite u -> t.clock <- u
+  | Some _ | None -> ());
+  t.executed - start
+
+let events_executed t = t.executed
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,57 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a queue of timestamped events
+    (thunks).  Running the engine repeatedly pops the earliest event,
+    advances the clock to its timestamp, and executes it.  Events scheduled
+    for the same instant run in scheduling order, which makes whole-system
+    runs reproducible.
+
+    All simulated state lives in a single OS thread; event thunks must not
+    block the host. *)
+
+type t
+
+(** Identifier for a scheduled event, usable for cancellation. *)
+type event_id
+
+val create : ?seed:int64 -> unit -> t
+
+(** Current virtual time, in seconds. *)
+val now : t -> float
+
+(** Root random state for this simulation (see {!Rng}). *)
+val rng : t -> Rng.t
+
+(** [schedule t ~delay f] runs [f ()] at [now t +. delay].
+    Raises [Invalid_argument] if [delay] is negative or NaN. *)
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+
+(** [schedule_at t ~time f] runs [f ()] at absolute virtual time [time],
+    which must not be in the past. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+
+(** Cancel a pending event.  Cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** Has the event fired or been cancelled? *)
+val is_pending : t -> event_id -> bool
+
+(** Run events until the queue is empty, or until [until] (if given) —
+    events strictly after [until] remain queued and the clock is left at
+    [until].  Returns the number of events executed.
+
+    An exception raised by an event thunk aborts the run and propagates;
+    the clock stays at the failing event's timestamp. *)
+val run : ?until:float -> t -> int
+
+(** Execute exactly one event if one is pending.  Returns [false] when the
+    queue is empty. *)
+val step : t -> bool
+
+(** Number of events executed so far. *)
+val events_executed : t -> int
+
+(** Number of events currently queued (including cancelled ones not yet
+    reaped). *)
+val pending : t -> int

@@ -1,0 +1,28 @@
+(** Binary-heap priority queue for simulation events.
+
+    Entries are ordered by [(time, seq)]: earliest time first, and for equal
+    times, insertion order (FIFO).  This stable tie-break is what makes the
+    whole simulator deterministic, so it is part of the contract. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add q ~time v] inserts [v] with timestamp [time].  Raises
+    [Invalid_argument] if [time] is NaN. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** Earliest entry, without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** Remove and return the earliest entry. *)
+val pop : 'a t -> (float * 'a) option
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** Remove every entry. *)
+val clear : 'a t -> unit
+
+(** Fold over entries in unspecified order (diagnostics only). *)
+val fold : 'a t -> init:'b -> f:('b -> float -> 'a -> 'b) -> 'b

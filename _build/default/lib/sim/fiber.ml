@@ -1,0 +1,44 @@
+type outcome = Completed | Failed of exn
+
+type resumption = { resume : unit -> paused; abort : exn -> paused }
+
+and paused =
+  | Done of outcome
+  | Consumed of float * resumption
+  | Blocked of ((unit -> unit) -> unit) * resumption
+  | Yielded of resumption
+
+type _ Effect.t +=
+  | Consume : float -> unit Effect.t
+  | Block : ((unit -> unit) -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+
+let consume dt =
+  if Float.is_nan dt || dt < 0.0 then
+    invalid_arg "Fiber.consume: negative or NaN duration";
+  if dt > 0.0 then Effect.perform (Consume dt)
+
+let block register = Effect.perform (Block register)
+let yield () = Effect.perform Yield
+
+let start body =
+  let open Effect.Deep in
+  let resumption_of k =
+    { resume = (fun () -> continue k ()); abort = (fun e -> discontinue k e) }
+  in
+  match_with body ()
+    {
+      retc = (fun () -> Done Completed);
+      exnc = (fun e -> Done (Failed e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Consume dt ->
+            Some
+              (fun (k : (a, paused) continuation) ->
+                Consumed (dt, resumption_of k))
+          | Block register ->
+            Some (fun k -> Blocked (register, resumption_of k))
+          | Yield -> Some (fun k -> Yielded (resumption_of k))
+          | _ -> None);
+    }

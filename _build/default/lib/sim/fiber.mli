@@ -1,0 +1,49 @@
+(** Effect-based coroutines ("fibers") — the execution substrate for every
+    simulated thread (Amber threads, Topaz kernel threads, RPC servers).
+
+    A fiber is ordinary OCaml code that periodically performs one of three
+    scheduling effects:
+
+    - {!consume}[ dt] — occupy the executing (virtual) CPU for [dt] virtual
+      seconds.  The executor decides how to account for it, including
+      slicing it across timeslice quanta.
+    - {!block}[ register] — suspend until some other party calls the wake
+      function handed to [register].
+    - {!yield} — relinquish the CPU but remain runnable.
+
+    Fibers are trampolined: {!start} (and each resumption) runs the fiber
+    until its next effect and returns a {!paused} value describing it.  The
+    executor (see [Hw.Cpu]) owns all policy: when to resume, which CPU to
+    charge, how to preempt. *)
+
+type outcome = Completed | Failed of exn
+
+(** How a fiber can be continued after a pause. *)
+type resumption = {
+  resume : unit -> paused;  (** continue normally *)
+  abort : exn -> paused;    (** continue by raising [exn] inside the fiber *)
+}
+
+and paused =
+  | Done of outcome
+  | Consumed of float * resumption
+      (** fiber asked to burn CPU for the given virtual duration *)
+  | Blocked of ((unit -> unit) -> unit) * resumption
+      (** fiber suspended; the function registers a one-shot waker *)
+  | Yielded of resumption
+
+(** Run [body] until its first pause (or completion). *)
+val start : (unit -> unit) -> paused
+
+(** {2 Effects performed from inside a fiber}
+
+    Calling these outside a fiber raises [Effect.Unhandled]. *)
+
+(** Charge [dt] virtual seconds of CPU time.  [dt] must be >= 0. *)
+val consume : float -> unit
+
+(** Suspend; [register] receives the waker that makes this fiber runnable
+    again.  The waker must be called at most once. *)
+val block : ((unit -> unit) -> unit) -> unit
+
+val yield : unit -> unit

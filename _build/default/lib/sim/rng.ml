@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed = { state = seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  (* Re-mix with a distinct constant so child streams starting from nearby
+     seeds do not overlap the parent's sequence. *)
+  { state = mix64 (Int64.logxor seed 0xA0761D6478BD642FL) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+  v mod bound
+
+let float t =
+  (* 53 high-quality bits into the mantissa. *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  let u = float t in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let gaussian t =
+  let u1 = Stdlib.max 1e-300 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

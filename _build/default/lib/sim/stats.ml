@@ -1,0 +1,127 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+    mutable samples : float array;
+    mutable sample_count : int;
+    mutable sorted : bool;
+  }
+
+  let create () =
+    {
+      n = 0;
+      mean = 0.0;
+      m2 = 0.0;
+      min = Float.infinity;
+      max = Float.neg_infinity;
+      total = 0.0;
+      samples = [||];
+      sample_count = 0;
+      sorted = true;
+    }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x;
+    if t.sample_count >= Array.length t.samples then begin
+      let cap = max 64 (2 * Array.length t.samples) in
+      let bigger = Array.make cap 0.0 in
+      Array.blit t.samples 0 bigger 0 t.sample_count;
+      t.samples <- bigger
+    end;
+    t.samples.(t.sample_count) <- x;
+    t.sample_count <- t.sample_count + 1;
+    t.sorted <- false
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Summary.percentile: empty";
+    if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: range";
+    if not t.sorted then begin
+      let live = Array.sub t.samples 0 t.sample_count in
+      Array.sort compare live;
+      Array.blit live 0 t.samples 0 t.sample_count;
+      t.sorted <- true
+    end;
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int t.sample_count)) - 1
+    in
+    let rank = Stdlib.max 0 (Stdlib.min (t.sample_count - 1) rank) in
+    t.samples.(rank)
+
+  let pp ppf t =
+    if t.n = 0 then Format.fprintf ppf "(empty)"
+    else
+      Format.fprintf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" t.n
+        t.mean (stddev t) t.min t.max
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable n : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets";
+    if not (hi > lo) then invalid_arg "Histogram.create: bounds";
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int buckets;
+      counts = Array.make buckets 0;
+      underflow = 0;
+      overflow = 0;
+      n = 0;
+    }
+
+  let add t x =
+    t.n <- t.n + 1;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = Stdlib.min (Array.length t.counts - 1) i in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let count t = t.n
+  let bucket_counts t = Array.copy t.counts
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+
+  let bucket_bounds t i =
+    if i < 0 || i >= Array.length t.counts then
+      invalid_arg "Histogram.bucket_bounds";
+    (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+
+  let pp ppf t =
+    Format.fprintf ppf "hist n=%d under=%d over=%d [" t.n t.underflow
+      t.overflow;
+    Array.iteri
+      (fun i c -> if i > 0 then Format.fprintf ppf "; %d" c
+        else Format.fprintf ppf "%d" c)
+      t.counts;
+    Format.fprintf ppf "]"
+end

@@ -1,0 +1,46 @@
+(** Streaming statistics accumulators and simple histograms, used by the
+    benchmark harness to summarize latencies and by tests as oracles. *)
+
+(** Welford-style mean/variance accumulator that also retains samples for
+    percentile queries. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** Population variance; 0 for fewer than 2 samples. *)
+  val variance : t -> float
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+
+  (** [percentile t p] with [p] in [\[0, 100\]], by nearest-rank on the
+      sorted retained samples.  Raises [Invalid_argument] on an empty
+      summary or out-of-range [p]. *)
+  val percentile : t -> float -> float
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Fixed-bucket histogram over [\[lo, hi)] with uniform bucket width;
+    samples outside the range land in underflow/overflow counters. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  val underflow : t -> int
+  val overflow : t -> int
+
+  (** [(lo, hi)] bounds of bucket [i]. *)
+  val bucket_bounds : t -> int -> float * float
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,50 @@
+type record = { time : float; category : string; detail : string }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  buf : record option array;
+  mutable next : int;  (* next write position *)
+  mutable count : int; (* total records written (monotone) *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  { enabled = false; capacity; buf = Array.make capacity None; next = 0;
+    count = 0 }
+
+let set_enabled t flag = t.enabled <- flag
+let enabled t = t.enabled
+
+let emit t ~time ~category ~detail =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { time; category; detail = Lazy.force detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- t.count + 1
+  end
+
+let records t =
+  let stored = min t.count t.capacity in
+  let start =
+    if t.count <= t.capacity then 0 else t.next
+  in
+  let out = ref [] in
+  for i = stored - 1 downto 0 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  !out
+
+let by_category t category =
+  List.filter (fun r -> String.equal r.category category) (records t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let length t = min t.count t.capacity
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%.6f] %-8s %s" r.time r.category r.detail

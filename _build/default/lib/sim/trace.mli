@@ -1,0 +1,33 @@
+(** Structured simulation trace.
+
+    A bounded ring buffer of timestamped records.  Tracing is off by default
+    and costs one branch per call when disabled; tests and the CLI enable it
+    to inspect protocol-level event sequences (invocations, migrations,
+    packets, faults). *)
+
+type record = {
+  time : float;
+  category : string;  (** e.g. "invoke", "move", "net", "dsm" *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+(** Record an event (no-op when disabled).  [detail] is lazy so that
+    disabled traces never build strings. *)
+val emit : t -> time:float -> category:string -> detail:string Lazy.t -> unit
+
+(** Records in chronological order (oldest first). *)
+val records : t -> record list
+
+(** Records whose category equals [category]. *)
+val by_category : t -> string -> record list
+
+val clear : t -> unit
+val length : t -> int
+val pp_record : Format.formatter -> record -> unit

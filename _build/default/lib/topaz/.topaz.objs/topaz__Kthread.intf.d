@@ -1,0 +1,1 @@
+lib/topaz/kthread.mli: Hw Sim

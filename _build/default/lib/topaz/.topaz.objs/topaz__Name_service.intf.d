@@ -1,0 +1,1 @@
+lib/topaz/name_service.mli:

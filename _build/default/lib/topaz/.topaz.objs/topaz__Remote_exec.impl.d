@@ -1,0 +1,1 @@
+lib/topaz/remote_exec.ml: Array Hw Printf Sim Task

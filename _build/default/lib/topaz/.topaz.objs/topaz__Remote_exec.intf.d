@@ -1,0 +1,1 @@
+lib/topaz/remote_exec.mli: Hw Task

@@ -1,0 +1,1 @@
+lib/topaz/rpc.ml: Array Hw Printf Queue Sim Task

@@ -1,0 +1,1 @@
+lib/topaz/rpc.mli: Hw Task

@@ -1,0 +1,1 @@
+lib/topaz/task.ml: Hw Vm

@@ -1,0 +1,1 @@
+lib/topaz/task.mli: Hw Sim Vm

@@ -1,0 +1,1 @@
+lib/topaz/vm.ml: Bytes Char Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/topaz/vm.mli: Bytes

@@ -1,0 +1,7 @@
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 16
+let register t name v = Hashtbl.replace t name v
+let lookup t name = Hashtbl.find t name
+let lookup_opt t name = Hashtbl.find_opt t name
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

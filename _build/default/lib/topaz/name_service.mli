@@ -1,0 +1,17 @@
+(** Trivial cluster-wide name registry.
+
+    Topaz provided network name services used at program startup (finding
+    peer tasks, the address-space server, …).  Lookups made during the
+    simulation charge no cost — the paper's startup costs are outside all
+    measured intervals. *)
+
+type t
+
+val create : unit -> t
+val register : t -> string -> int -> unit
+
+(** Raises [Not_found]. *)
+val lookup : t -> string -> int
+
+val lookup_opt : t -> string -> int option
+val names : t -> string list

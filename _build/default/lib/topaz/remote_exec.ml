@@ -1,0 +1,34 @@
+let start_all tasks ?(startup_latency = 5e-3) ~init ~main () =
+  match Array.length tasks with
+  | 0 -> invalid_arg "Remote_exec.start_all: no tasks"
+  | n ->
+    let engine = Task.engine tasks.(0) in
+    let remaining = ref n in
+    let main_tcb = ref None in
+    let waiting_wake = ref None in
+    let node_ready () =
+      decr remaining;
+      if !remaining = 0 then
+        match !waiting_wake with Some wake -> wake () | None -> ()
+    in
+    Array.iteri
+      (fun i task ->
+        ignore
+          (Sim.Engine.schedule engine
+             ~delay:(startup_latency *. float_of_int (i + 1))
+             (fun () ->
+               let tcb =
+                 Task.spawn task ~name:(Printf.sprintf "task%d-init" i)
+                   (fun () -> init task)
+               in
+               Hw.Machine.on_finish tcb (fun _ -> node_ready ()))
+            : Sim.Engine.event_id))
+      tasks;
+    let tcb =
+      Task.spawn tasks.(0) ~name:"main" (fun () ->
+          if !remaining > 0 then
+            Sim.Fiber.block (fun wake -> waiting_wake := Some wake);
+          main ())
+    in
+    main_tcb := Some tcb;
+    (match !main_tcb with Some t -> t | None -> assert false)

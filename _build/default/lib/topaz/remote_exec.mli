@@ -1,0 +1,18 @@
+(** Remote process creation: start one task per node from the same program
+    image (paper §3: "tasks are created at program startup using Topaz
+    facilities for creating remote processes").
+
+    Task 0 is the task whose [main] runs the user program; the remaining
+    tasks start their kernel loops and wait for work. *)
+
+(** [start_all tasks ~startup_latency ~init ~main] schedules [init task]
+    on every task after a per-node staggered [startup_latency], then runs
+    [main] in a fresh thread on task 0 once every node has initialized.
+    Returns the main thread's TCB. *)
+val start_all :
+  Task.t array ->
+  ?startup_latency:float ->
+  init:(Task.t -> unit) ->
+  main:(unit -> unit) ->
+  unit ->
+  Hw.Machine.tcb

@@ -1,0 +1,139 @@
+type costs = {
+  send_cpu_fixed : float;
+  send_cpu_per_byte : float;
+  recv_cpu_fixed : float;
+  recv_cpu_per_byte : float;
+  dispatch_cpu : float;
+}
+
+(* Calibrated (together with packet wire times) against the ~2.6 ms null
+   RPC reported for the Firefly [Schroeder & Burrows 89]. *)
+let default_costs =
+  {
+    send_cpu_fixed = 1.0e-3;
+    send_cpu_per_byte = 0.4e-6;
+    recv_cpu_fixed = 1.0e-3;
+    recv_cpu_per_byte = 0.4e-6;
+    dispatch_cpu = 0.1e-3;
+  }
+
+type endpoint = {
+  task : Task.t;
+  queue : (unit -> unit) Queue.t;
+  mutable idle : (unit -> unit) list;  (* wakers of parked server threads *)
+}
+
+type t = {
+  ether : Hw.Ethernet.t;
+  endpoints : endpoint array;
+  c : costs;
+  mutable calls : int;
+  mutable posts : int;
+}
+
+let rec server_loop ep =
+  (match Queue.take_opt ep.queue with
+  | Some work -> work ()
+  | None ->
+    Sim.Fiber.block (fun wake -> ep.idle <- wake :: ep.idle));
+  server_loop ep
+
+let enqueue_work ep work =
+  Queue.add work ep.queue;
+  match ep.idle with
+  | [] -> ()
+  | wake :: rest ->
+    ep.idle <- rest;
+    wake ()
+
+let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8) ()
+    =
+  let endpoints =
+    Array.map
+      (fun task -> { task; queue = Queue.create (); idle = [] })
+      tasks
+  in
+  Array.iteri
+    (fun node ep ->
+      for i = 0 to servers_per_node - 1 do
+        ignore
+          (Task.spawn ep.task
+             ~name:(Printf.sprintf "rpc-server-%d.%d" node i)
+             (fun () -> server_loop ep)
+            : Hw.Machine.tcb)
+      done)
+    endpoints;
+  { ether; endpoints; c = costs; calls = 0; posts = 0 }
+
+let costs t = t.c
+
+let endpoint t node =
+  if node < 0 || node >= Array.length t.endpoints then
+    invalid_arg "Rpc: bad node id";
+  t.endpoints.(node)
+
+let send_side_cpu t size = t.c.send_cpu_fixed +. (t.c.send_cpu_per_byte *. float_of_int size)
+let recv_side_cpu t size =
+  t.c.recv_cpu_fixed +. (t.c.recv_cpu_per_byte *. float_of_int size)
+
+let call t ~dst ~kind ~req_size ~work =
+  t.calls <- t.calls + 1;
+  let src = Hw.Machine.id (Hw.Machine.self_machine ()) in
+  if src = dst then begin
+    (* Local short-circuit: no wire, but the dispatch path still runs. *)
+    Sim.Fiber.consume t.c.dispatch_cpu;
+    let _size, result = work () in
+    result
+  end
+  else begin
+    Sim.Fiber.consume (send_side_cpu t req_size);
+    let result = ref None in
+    Sim.Fiber.block (fun wake ->
+        let deliver_request () =
+          enqueue_work (endpoint t dst) (fun () ->
+              (* Runs in a server fiber on [dst]. *)
+              Sim.Fiber.consume (recv_side_cpu t req_size +. t.c.dispatch_cpu);
+              let reply_size, value = work () in
+              Sim.Fiber.consume (send_side_cpu t reply_size);
+              let deliver_reply () =
+                result := Some value;
+                wake ()
+              in
+              ignore
+                (Hw.Ethernet.send t.ether
+                   (Hw.Packet.make ~src:dst ~dst:src ~size:reply_size
+                      ~kind:(kind ^ "-reply") deliver_reply)
+                  : float))
+        in
+        ignore
+          (Hw.Ethernet.send t.ether
+             (Hw.Packet.make ~src ~dst ~size:req_size ~kind deliver_request)
+            : float));
+    (* Back on the caller: unmarshal the reply. *)
+    Sim.Fiber.consume (recv_side_cpu t 0);
+    match !result with
+    | Some v -> v
+    | None -> assert false
+  end
+
+let post t ~src ~dst ~kind ~size handler =
+  t.posts <- t.posts + 1;
+  if src = dst then
+    enqueue_work (endpoint t dst) (fun () ->
+        Sim.Fiber.consume t.c.dispatch_cpu;
+        handler ())
+  else begin
+    let deliver () =
+      enqueue_work (endpoint t dst) (fun () ->
+          Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
+          handler ())
+    in
+    ignore
+      (Hw.Ethernet.send t.ether
+         (Hw.Packet.make ~src ~dst ~size ~kind deliver)
+        : float)
+  end
+
+let calls_made t = t.calls
+let posts_made t = t.posts
+let backlog t node = Queue.length (endpoint t node).queue

@@ -1,0 +1,61 @@
+(** Topaz-style fast RPC between tasks (Birrell–Nelson / Firefly RPC).
+
+    Amber's kernel uses RPC for object moves, thread migration, locate
+    requests and address-space-server traffic.  The model charges:
+
+    - sender CPU: [send_cpu_fixed + send_cpu_per_byte * size] (marshalling
+      and the kernel send path), on the caller's node;
+    - one packet on the shared Ethernet per direction;
+    - receiver CPU: [recv_cpu_fixed + recv_cpu_per_byte * size] plus
+      [dispatch_cpu], charged to a server thread on the destination node.
+
+    Server threads are real simulated threads: they contend with
+    application threads for the destination node's CPUs, so a busy node
+    serves RPCs slowly — the effect behind the paper's "operations are
+    more expensive on a heavily loaded system" caveat (§5). *)
+
+type t
+
+type costs = {
+  send_cpu_fixed : float;
+  send_cpu_per_byte : float;
+  recv_cpu_fixed : float;
+  recv_cpu_per_byte : float;
+  dispatch_cpu : float;
+}
+
+val default_costs : costs
+
+val create :
+  ether:Hw.Ethernet.t ->
+  tasks:Task.t array ->
+  ?costs:costs ->
+  ?servers_per_node:int ->
+  unit ->
+  t
+
+val costs : t -> costs
+
+(** [call t ~dst ~kind ~req_size ~work] performs a synchronous RPC from the
+    calling fiber's node to node [dst].  [work] executes in a server fiber
+    on [dst] and returns [(reply_size, result)].  The caller blocks until
+    the reply arrives.  A call whose destination is the caller's own node
+    short-circuits the wire but still pays dispatch CPU.
+
+    Must be called from inside a fiber. *)
+val call :
+  t -> dst:int -> kind:string -> req_size:int -> work:(unit -> int * 'a) -> 'a
+
+(** One-way message: [handler] runs in a server fiber on [dst].  Usable
+    from outside a fiber (e.g. an [on_resume] hook), so no send-side CPU is
+    charged here — callers in fiber context account for it themselves. *)
+val post :
+  t -> src:int -> dst:int -> kind:string -> size:int -> (unit -> unit) -> unit
+
+(** {1 Statistics} *)
+
+val calls_made : t -> int
+val posts_made : t -> int
+
+(** Currently queued work items on a node (servers all busy). *)
+val backlog : t -> int -> int

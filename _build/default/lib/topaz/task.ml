@@ -1,0 +1,25 @@
+type t = {
+  m : Hw.Machine.t;
+  mem : Vm.t;
+  mutable spawned : int;
+  mutable live : int;
+}
+
+let create ~machine ?vm () =
+  let mem = match vm with Some v -> v | None -> Vm.create () in
+  { m = machine; mem; spawned = 0; live = 0 }
+
+let node t = Hw.Machine.id t.m
+let machine t = t.m
+let vm t = t.mem
+let engine t = Hw.Machine.engine t.m
+
+let spawn t ~name ?priority body =
+  t.spawned <- t.spawned + 1;
+  t.live <- t.live + 1;
+  let tcb = Hw.Machine.spawn t.m ~name ?priority body in
+  Hw.Machine.on_finish tcb (fun _ -> t.live <- t.live - 1);
+  tcb
+
+let threads_spawned t = t.spawned
+let threads_live t = t.live

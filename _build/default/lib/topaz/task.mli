@@ -1,0 +1,26 @@
+(** A Topaz task: one activation of the program image on one node.
+
+    Amber programs run as one task per participating node (paper §3).  A
+    task bundles the node's machine (CPUs + scheduler), its virtual memory,
+    and bookkeeping for the threads it has spawned. *)
+
+type t
+
+val create : machine:Hw.Machine.t -> ?vm:Vm.t -> unit -> t
+
+(** Node id (equals the machine id). *)
+val node : t -> int
+
+val machine : t -> Hw.Machine.t
+val vm : t -> Vm.t
+val engine : t -> Sim.Engine.t
+
+(** Spawn a kernel thread in this task. *)
+val spawn :
+  t -> name:string -> ?priority:int -> (unit -> unit) -> Hw.Machine.tcb
+
+(** Number of threads ever spawned in this task. *)
+val threads_spawned : t -> int
+
+(** Threads spawned and not yet finished. *)
+val threads_live : t -> int

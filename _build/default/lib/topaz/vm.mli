@@ -1,0 +1,46 @@
+(** Per-task virtual memory with demand-zero pages.
+
+    Topaz zero-fills unwritten pages, a property Amber's descriptor scheme
+    relies on (§3.2: "an uninitialized descriptor is detected because
+    unwritten pages of virtual memory are zero-filled").  This module
+    models a sparse byte-addressable space: a page is materialized
+    (zero-filled) the first time it is touched.  Ivy's DSM stores real page
+    contents here; Amber uses it for zero-fill accounting.
+
+    Addresses are plain [int] byte offsets into the task's virtual space. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] defaults to 1024 bytes (the VAX cluster size Ivy used). *)
+
+val page_size : t -> int
+
+(** Page number containing [addr]. *)
+val page_of_addr : t -> int -> int
+
+(** Materialize (if needed) and return the backing bytes of page [n]. *)
+val page_bytes : t -> int -> Bytes.t
+
+(** Has page [n] been materialized? *)
+val is_mapped : t -> int -> bool
+
+(** Replace the contents of page [n] (e.g. with a copy received from
+    another node).  Materializes the page.  Raises [Invalid_argument] if
+    the buffer length differs from the page size. *)
+val install_page : t -> int -> Bytes.t -> unit
+
+(** Byte and 64-bit-float accessors; addresses may not straddle a page for
+    [read_f64]/[write_f64] (raises [Invalid_argument]). *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+
+(** {1 Statistics} *)
+
+val pages_mapped : t -> int
+
+(** Number of demand-zero fills performed. *)
+val zero_fills : t -> int

@@ -1,0 +1,1 @@
+lib/vaspace/heap.ml: Hashtbl Layout List Region

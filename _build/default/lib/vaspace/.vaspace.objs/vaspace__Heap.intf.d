@@ -1,0 +1,1 @@
+lib/vaspace/heap.mli: Region

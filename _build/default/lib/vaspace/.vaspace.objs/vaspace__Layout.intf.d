@@ -1,0 +1,1 @@
+lib/vaspace/layout.mli:

@@ -1,0 +1,1 @@
+lib/vaspace/region.ml: Format Layout

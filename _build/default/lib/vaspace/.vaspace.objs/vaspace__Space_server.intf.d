@@ -1,0 +1,1 @@
+lib/vaspace/space_server.mli: Region

@@ -1,0 +1,107 @@
+type block = { base : int; size : int }
+
+type t = {
+  owner_node : int;
+  grow : unit -> Region.t;
+  mutable region_list : Region.t list;  (* newest first *)
+  mutable bump : int;  (* next unused byte in the newest region *)
+  mutable bump_limit : int;
+  (* size -> free blocks of exactly that (rounded) size *)
+  free_pool : (int, int list ref) Hashtbl.t;
+  (* base -> block, for every block ever carved (live or free) *)
+  blocks : (int, block) Hashtbl.t;
+  live : (int, unit) Hashtbl.t;
+  mutable reuses : int;
+  mutable grows : int;
+}
+
+let create ~node ~grow () =
+  {
+    owner_node = node;
+    grow;
+    region_list = [];
+    bump = 0;
+    bump_limit = 0;
+    free_pool = Hashtbl.create 32;
+    blocks = Hashtbl.create 256;
+    live = Hashtbl.create 256;
+    reuses = 0;
+    grows = 0;
+  }
+
+let node t = t.owner_node
+
+let round_up size =
+  let a = Layout.block_align in
+  (size + a - 1) / a * a
+
+let add_region t =
+  let r = t.grow () in
+  if r.Region.owner <> t.owner_node then
+    invalid_arg "Heap: grow returned a region owned by another node";
+  t.grows <- t.grows + 1;
+  t.region_list <- r :: t.region_list;
+  t.bump <- r.Region.base;
+  t.bump_limit <- r.Region.base + r.Region.size
+
+let take_free t size =
+  match Hashtbl.find_opt t.free_pool size with
+  | None | Some { contents = [] } -> None
+  | Some lst -> (
+    match !lst with
+    | [] -> None
+    | base :: rest ->
+      lst := rest;
+      Some base)
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Heap.alloc: non-positive size";
+  let size = round_up size in
+  if size > Layout.region_size then invalid_arg "Heap.alloc: size > region";
+  match take_free t size with
+  | Some base ->
+    t.reuses <- t.reuses + 1;
+    Hashtbl.replace t.live base ();
+    base
+  | None ->
+    if t.bump + size > t.bump_limit then add_region t;
+    let base = t.bump in
+    t.bump <- base + size;
+    Hashtbl.replace t.blocks base { base; size };
+    Hashtbl.replace t.live base ();
+    base
+
+let free t base =
+  if not (Hashtbl.mem t.live base) then
+    invalid_arg "Heap.free: not a live block";
+  let block = Hashtbl.find t.blocks base in
+  Hashtbl.remove t.live base;
+  let lst =
+    match Hashtbl.find_opt t.free_pool block.size with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.free_pool block.size l;
+      l
+  in
+  lst := base :: !lst
+
+let block_size t base =
+  match Hashtbl.find_opt t.blocks base with
+  | Some b -> Some b.size
+  | None -> None
+
+let is_live t base = Hashtbl.mem t.live base
+let regions t = t.region_list
+let live_blocks t = Hashtbl.length t.live
+
+let free_blocks t =
+  Hashtbl.fold (fun _ lst acc -> acc + List.length !lst) t.free_pool 0
+
+let bytes_live t =
+  Hashtbl.fold
+    (fun base () acc -> acc + (Hashtbl.find t.blocks base).size)
+    t.live 0
+
+let reuse_count t = t.reuses
+let grow_count t = t.grows

@@ -1,0 +1,19 @@
+let mib = 1024 * 1024
+let static_base = 0
+let static_size = 16 * mib
+let heap_base = static_size
+let region_size = mib
+let address_space_top = 4096 * mib
+let block_align = 16
+let max_regions = (address_space_top - heap_base) / region_size
+let is_heap_addr a = a >= heap_base && a < address_space_top
+let is_static_addr a = a >= static_base && a < static_size
+
+let region_index_of_addr a =
+  if not (is_heap_addr a) then
+    invalid_arg (Printf.sprintf "Layout.region_index_of_addr: 0x%x" a);
+  (a - heap_base) / region_size
+
+let region_base i =
+  if i < 0 || i >= max_regions then invalid_arg "Layout.region_base";
+  heap_base + (i * region_size)

@@ -1,0 +1,39 @@
+(** Global virtual address space layout (paper §3.1).
+
+    Every task arranges its address space identically, so a virtual address
+    names the same object on every node.  The static segment (program code
+    and statically initialized data) is implicitly replicated; everything
+    above it is heap space carved into fixed-size regions handed out by the
+    address-space server. *)
+
+(** Bottom of the address space: program image (code + static data),
+    identical on every node. *)
+val static_base : int
+
+val static_size : int
+
+(** First address available for heap regions. *)
+val heap_base : int
+
+(** Size of one heap region ("currently 1M bytes", §3.1). *)
+val region_size : int
+
+(** Top of the 32-bit VAX address space. *)
+val address_space_top : int
+
+(** Allocation granularity within a region; all heap blocks are multiples
+    of this and aligned to it. *)
+val block_align : int
+
+(** Number of whole regions that fit in the heap segment. *)
+val max_regions : int
+
+val is_heap_addr : int -> bool
+val is_static_addr : int -> bool
+
+(** Index of the region containing a heap address.
+    Raises [Invalid_argument] for non-heap addresses. *)
+val region_index_of_addr : int -> int
+
+(** Base address of region [i]. *)
+val region_base : int -> int

@@ -1,0 +1,11 @@
+type t = { index : int; base : int; size : int; owner : int }
+
+let make ~index ~owner =
+  { index; base = Layout.region_base index; size = Layout.region_size; owner }
+
+let contains t a = a >= t.base && a < t.base + t.size
+let last_addr t = t.base + t.size - 1
+
+let pp ppf t =
+  Format.fprintf ppf "region#%d[0x%x..0x%x owner=%d]" t.index t.base
+    (last_addr t) t.owner

@@ -1,0 +1,15 @@
+(** A contiguous heap region owned by one node.
+
+    The owner is the region's {e home node}: objects allocated from the
+    region were created there, and requests about objects with
+    uninitialized descriptors are forwarded to it (paper §3.3). *)
+
+type t = { index : int; base : int; size : int; owner : int }
+
+val make : index:int -> owner:int -> t
+
+(** Does the region contain address [a]? *)
+val contains : t -> int -> bool
+
+val last_addr : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  nodes : int;
+  initial_per_node : int;
+  (* region index -> owning node *)
+  owners : (int, int) Hashtbl.t;
+  mutable next_region : int;
+}
+
+let create ~nodes ?(initial_per_node = 4) () =
+  if nodes <= 0 then invalid_arg "Space_server.create: nodes";
+  if initial_per_node <= 0 then
+    invalid_arg "Space_server.create: initial_per_node";
+  let owners = Hashtbl.create 64 in
+  for node = 0 to nodes - 1 do
+    for k = 0 to initial_per_node - 1 do
+      Hashtbl.replace owners ((node * initial_per_node) + k) node
+    done
+  done;
+  { nodes; initial_per_node; owners; next_region = nodes * initial_per_node }
+
+let server_node _t = 0
+
+let initial_regions t node =
+  if node < 0 || node >= t.nodes then
+    invalid_arg "Space_server.initial_regions: bad node";
+  List.init t.initial_per_node (fun k ->
+      Region.make ~index:((node * t.initial_per_node) + k) ~owner:node)
+
+let grant t ~node =
+  if node < 0 || node >= t.nodes then invalid_arg "Space_server.grant: node";
+  if t.next_region >= Layout.max_regions then
+    failwith "Space_server.grant: address space exhausted";
+  let index = t.next_region in
+  t.next_region <- index + 1;
+  Hashtbl.replace t.owners index node;
+  Region.make ~index ~owner:node
+
+let owner_of_addr t addr =
+  if not (Layout.is_heap_addr addr) then None
+  else Hashtbl.find_opt t.owners (Layout.region_index_of_addr addr)
+
+let regions_assigned t = Hashtbl.length t.owners
+
+module Client = struct
+  type server = t
+  type nonrec t = { cache : (int, int) Hashtbl.t }
+
+  let create (server : server) =
+    let cache = Hashtbl.create 64 in
+    (* The startup partitioning is known to every task. *)
+    for node = 0 to server.nodes - 1 do
+      for k = 0 to server.initial_per_node - 1 do
+        Hashtbl.replace cache ((node * server.initial_per_node) + k) node
+      done
+    done;
+    { cache }
+
+  let lookup t addr =
+    if not (Layout.is_heap_addr addr) then None
+    else Hashtbl.find_opt t.cache (Layout.region_index_of_addr addr)
+
+  let learn t (r : Region.t) = Hashtbl.replace t.cache r.Region.index r.Region.owner
+  let entries t = Hashtbl.length t.cache
+end

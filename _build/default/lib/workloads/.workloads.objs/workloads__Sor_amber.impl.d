@@ -1,0 +1,1 @@
+lib/workloads/sor_amber.ml: Amber Array Float List Printf Sim Sor_core

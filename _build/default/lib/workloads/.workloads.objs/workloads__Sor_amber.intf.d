@@ -1,0 +1,1 @@
+lib/workloads/sor_amber.mli: Amber Sor_core

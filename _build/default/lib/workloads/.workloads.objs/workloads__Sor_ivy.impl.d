@@ -1,0 +1,1 @@
+lib/workloads/sor_ivy.ml: Amber Fun Ivy List Printf Sim Sor_core Topaz

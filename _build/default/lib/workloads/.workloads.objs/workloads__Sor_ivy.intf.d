@@ -1,0 +1,1 @@
+lib/workloads/sor_ivy.mli: Amber Ivy Sor_core

@@ -1,0 +1,1 @@
+lib/workloads/sor_seq.ml: Amber Sim Sor_core

@@ -1,0 +1,1 @@
+lib/workloads/sor_seq.mli: Amber Sor_core

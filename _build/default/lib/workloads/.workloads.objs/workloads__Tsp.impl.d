@@ -1,0 +1,1 @@
+lib/workloads/tsp.ml: Amber Array Fun Int64 List Printf Sim

@@ -1,0 +1,1 @@
+lib/workloads/work_queue.ml: Amber Array Fun List Printf Sim

@@ -1,0 +1,1 @@
+lib/workloads/work_queue.mli: Amber

@@ -1,0 +1,149 @@
+module A = Amber
+
+type cfg = {
+  n : int;
+  block : int;
+  replicate : bool;
+  workers_per_node : int;
+  flop_cpu : float;
+}
+
+let default_cfg =
+  { n = 128; block = 32; replicate = true; workers_per_node = 4;
+    flop_cpu = 5e-6 }
+
+type result = {
+  checksum : float;
+  elapsed : float;
+  copies : int;
+  remote_invocations : int;
+}
+
+(* Deterministic small-valued inputs. *)
+let a_at ~n i j =
+  ignore n;
+  float_of_int (((i * 7) + (j * 3)) mod 11) /. 10.0
+
+let b_at ~n i j =
+  ignore n;
+  float_of_int (((i * 5) + (j * 2)) mod 13) /. 10.0
+
+let validate cfg =
+  if cfg.n <= 0 || cfg.block <= 0 || cfg.n mod cfg.block <> 0 then
+    invalid_arg "Matmul: block must divide n";
+  if cfg.workers_per_node <= 0 then invalid_arg "Matmul: workers"
+
+let reference_checksum cfg =
+  validate cfg;
+  let n = cfg.n in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a_at ~n i k *. b_at ~n k j)
+      done;
+      sum := !sum +. !acc
+    done
+  done;
+  !sum
+
+let run rt cfg =
+  validate cfg;
+  let n = cfg.n in
+  let nodes = A.Runtime.nodes rt in
+  let ctrs = A.Runtime.counters rt in
+  let remote0 = ctrs.A.Runtime.remote_invocations in
+  let a =
+    A.Runtime.create_object rt ~size:(n * n * 8) ~name:"matA"
+      (Array.init (n * n) (fun k -> a_at ~n (k / n) (k mod n)))
+  in
+  let b =
+    A.Runtime.create_object rt ~size:(n * n * 8) ~name:"matB"
+      (Array.init (n * n) (fun k -> b_at ~n (k / n) (k mod n)))
+  in
+  A.Mobility.set_immutable rt a;
+  A.Mobility.set_immutable rt b;
+  if cfg.replicate then
+    for node = 1 to nodes - 1 do
+      A.Mobility.move_to rt a ~dest:node;
+      A.Mobility.move_to rt b ~dest:node
+    done;
+  let nb = n / cfg.block in
+  let owner_of_block bi bj = ((bi * nb) + bj) mod nodes in
+  let c_blocks =
+    Array.init (nb * nb) (fun k ->
+        let bi = k / nb and bj = k mod nb in
+        let obj =
+          A.Runtime.create_object rt
+            ~size:(cfg.block * cfg.block * 8)
+            ~name:(Printf.sprintf "matC.%d.%d" bi bj)
+            (Array.make (cfg.block * cfg.block) 0.0)
+        in
+        let dest = owner_of_block bi bj in
+        if dest <> 0 then A.Mobility.move_to rt obj ~dest;
+        obj)
+  in
+  let t0 = A.Runtime.now rt in
+  let band_bytes = cfg.block * n * 8 in
+  let compute_block bi bj =
+    let cobj = c_blocks.((bi * nb) + bj) in
+    A.Invoke.invoke rt cobj (fun c ->
+        (* Fetch the operand bands: local invocations when replicas are
+           present, remote invocations carrying the band as payload when
+           they are not. *)
+        let a_band =
+          A.Invoke.invoke rt ~return_payload:band_bytes a (fun am ->
+              Array.init (cfg.block * n) (fun k ->
+                  am.(((bi * cfg.block) + (k / n)) * n + (k mod n))))
+        in
+        let b_band =
+          A.Invoke.invoke rt ~return_payload:band_bytes b (fun bm ->
+              Array.init (n * cfg.block) (fun k ->
+                  bm.((k / cfg.block) * n + (bj * cfg.block) + (k mod cfg.block))))
+        in
+        for i = 0 to cfg.block - 1 do
+          for j = 0 to cfg.block - 1 do
+            let acc = ref 0.0 in
+            for k = 0 to n - 1 do
+              acc := !acc +. (a_band.((i * n) + k) *. b_band.((k * cfg.block) + j))
+            done;
+            c.((i * cfg.block) + j) <- !acc
+          done
+        done;
+        Sim.Fiber.consume
+          (cfg.flop_cpu *. float_of_int (cfg.block * cfg.block * n)))
+  in
+  (* Assign blocks to their owning node's workers. *)
+  let threads =
+    List.concat_map
+      (fun node ->
+        let mine =
+          List.filter
+            (fun k -> owner_of_block (k / nb) (k mod nb) = node)
+            (List.init (nb * nb) Fun.id)
+        in
+        List.init cfg.workers_per_node (fun w ->
+            let assigned =
+              List.filteri
+                (fun idx _ -> idx mod cfg.workers_per_node = w)
+                mine
+            in
+            A.Athread.start rt
+              ~name:(Printf.sprintf "mm-%d.%d" node w)
+              (fun () ->
+                List.iter (fun k -> compute_block (k / nb) (k mod nb)) assigned)))
+      (List.init nodes Fun.id)
+  in
+  List.iter (fun t -> A.Athread.join rt t) threads;
+  let checksum =
+    Array.fold_left
+      (fun acc obj -> acc +. Array.fold_left ( +. ) 0.0 obj.A.Aobject.state)
+      0.0 c_blocks
+  in
+  {
+    checksum;
+    elapsed = A.Runtime.now rt -. t0;
+    copies = ctrs.A.Runtime.object_copies;
+    remote_invocations = ctrs.A.Runtime.remote_invocations - remote0;
+  }

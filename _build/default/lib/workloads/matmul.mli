@@ -1,0 +1,35 @@
+(** Blocked matrix multiply C = A × B over the cluster, demonstrating
+    immutable-object replication (paper §2.3).
+
+    A and B are filled once, marked {e immutable}, and replicated to every
+    node with [MoveTo] (which copies rather than moves an immutable
+    object).  The C blocks are distributed; each node's workers compute
+    their local blocks reading A and B through {e local} invocations on
+    the replicas.
+
+    With [replicate = false] the inputs stay on node 0 and every block
+    read becomes a remote invocation that carries the operand block back
+    as payload — the ablation quantifying what replication buys. *)
+
+type cfg = {
+  n : int;  (** matrix dimension *)
+  block : int;  (** block edge; must divide [n] *)
+  replicate : bool;
+  workers_per_node : int;
+  flop_cpu : float;  (** seconds per multiply-add *)
+}
+
+val default_cfg : cfg
+
+type result = {
+  checksum : float;  (** sum of C's entries *)
+  elapsed : float;
+  copies : int;  (** immutable replications performed *)
+  remote_invocations : int;
+}
+
+(** Reference host-side product checksum for validation. *)
+val reference_checksum : cfg -> float
+
+(** Must be called from the program's main Amber thread. *)
+val run : Amber.Runtime.t -> cfg -> result

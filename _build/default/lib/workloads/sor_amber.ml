@@ -1,0 +1,493 @@
+module A = Amber
+
+type cfg = {
+  sections : int;
+  overlap : bool;
+  workers_per_section : int;
+  placement : (int -> int) option;
+      (* section -> node; None = blocked placement over the cluster *)
+}
+
+let default_cfg rt =
+  let nodes = A.Runtime.nodes rt in
+  let cpus = (A.Runtime.config rt).A.Config.cpus_per_node in
+  (* The paper partitions into 8 sections, except 6 for the 3- and 6-node
+     experiments. *)
+  let sections = if nodes mod 3 = 0 then 6 else 8 in
+  let sections = max sections nodes in
+  {
+    sections;
+    overlap = true;
+    workers_per_section = max 1 (nodes * cpus / sections);
+    placement = None;
+  }
+
+type result = {
+  iterations : int;
+  checksum : float;
+  compute_elapsed : float;
+  total_elapsed : float;
+  remote_invocations : int;
+  thread_migrations : int;
+}
+
+(* --- section state ------------------------------------------------------ *)
+
+(* Local cells are (rows+2) × (ncols+2) row-major: a boundary/ghost ring
+   around the section's interior columns.  Column 0 and column ncols+1
+   hold either the global boundary or ghost copies of neighbor edges. *)
+type section = {
+  idx : int;
+  rows : int;
+  ncols : int;
+  col0 : int;  (* global 1-based column index of local column 1 *)
+  stride : int;
+  cells : float array;
+  mutable comp_phase : int;  (* latest phase released to workers *)
+  mutable push_phase : int;  (* latest phase released to pushers *)
+  mutable interior_release : int;  (* latest phase whose interior may run *)
+  mutable border_done : int;  (* cumulative border-slice completions *)
+  mutable workers_done : int;  (* cumulative phase completions *)
+  mutable pushes_done : int;
+  mutable recv_left : int;  (* latest phase received from the left *)
+  mutable recv_right : int;
+  mutable delta : float;
+  mutable stop : bool;
+  mutable waiters : (unit -> unit) list;
+}
+
+(* Intra-section signalling: the participants are bound to (and therefore
+   co-resident with) the section object, so this is hardware shared-memory
+   synchronization; we charge the fast-lock cost per operation. *)
+let sync_cost rt = (A.Runtime.cost rt).A.Cost_model.lock_fast_cpu
+
+let notify rt s =
+  Sim.Fiber.consume (sync_cost rt);
+  let ws = s.waiters in
+  s.waiters <- [];
+  List.iter (fun wake -> wake ()) ws
+
+let rec wait_for rt s pred =
+  Sim.Fiber.consume (sync_cost rt);
+  if not (pred ()) then begin
+    Sim.Fiber.block (fun wake -> s.waiters <- wake :: s.waiters);
+    wait_for rt s pred
+  end
+
+let phase_color phase = if phase land 1 = 1 then Sor_core.Red else Sor_core.Black
+
+(* Update all points of [color] in local columns [c_from..c_to]; returns
+   (points updated, max delta). *)
+let compute_range s (p : Sor_core.params) color ~c_from ~c_to =
+  let pts = ref 0 and delta = ref 0.0 in
+  for lc = c_from to c_to do
+    let gc = s.col0 + lc - 1 in
+    for r = 1 to s.rows do
+      match (Sor_core.color_of ~r ~c:gc, color) with
+      | Sor_core.Red, Sor_core.Red | Sor_core.Black, Sor_core.Black ->
+        let i = (r * s.stride) + lc in
+        let old = s.cells.(i) in
+        let avg =
+          (s.cells.(i - 1) +. s.cells.(i + 1) +. s.cells.(i - s.stride)
+          +. s.cells.(i + s.stride))
+          /. 4.0
+        in
+        let next = old +. (p.Sor_core.omega *. (avg -. old)) in
+        s.cells.(i) <- next;
+        incr pts;
+        let d = Float.abs (next -. old) in
+        if d > !delta then delta := d
+      | Sor_core.Red, Sor_core.Black | Sor_core.Black, Sor_core.Red -> ()
+    done
+  done;
+  (!pts, !delta)
+
+let charge_points _rt (p : Sor_core.params) pts =
+  if pts > 0 then Sim.Fiber.consume (p.Sor_core.point_cpu *. float_of_int pts)
+
+(* --- master convergence object (barrier with a combined value) ---------- *)
+
+type master_cell = {
+  mutable out : float;
+  mutable cell_wake : (unit -> unit) option;
+  mutable fired : bool;
+}
+
+type master = {
+  parties : int;
+  mutable arrived : int;
+  mutable agg : float;
+  mutable waiting : master_cell list;
+  mutable rounds : int;
+  mutable t_ready : float;  (* completion time of round 1 (setup barrier) *)
+  mutable t_last : float;  (* completion time of the latest round *)
+}
+
+let report rt master_obj clock delta =
+  A.Invoke.invoke rt master_obj (fun m ->
+      if delta > m.agg then m.agg <- delta;
+      if m.arrived + 1 >= m.parties then begin
+        let value = m.agg in
+        m.arrived <- 0;
+        m.agg <- 0.0;
+        m.rounds <- m.rounds + 1;
+        let t = clock () in
+        if m.rounds = 1 then m.t_ready <- t;
+        m.t_last <- t;
+        let cells = m.waiting in
+        m.waiting <- [];
+        List.iter
+          (fun c ->
+            c.out <- value;
+            c.fired <- true;
+            match c.cell_wake with Some wake -> wake () | None -> ())
+          cells;
+        value
+      end
+      else begin
+        m.arrived <- m.arrived + 1;
+        let c = { out = 0.0; cell_wake = None; fired = false } in
+        m.waiting <- c :: m.waiting;
+        Sim.Fiber.block (fun wake ->
+            if c.fired then wake () else c.cell_wake <- Some wake);
+        c.out
+      end)
+
+(* --- worker / pusher / coordinator bodies -------------------------------- *)
+
+(* Update all points of [color] in border column [lc], rows r_from..r_to. *)
+let compute_border_rows s (p : Sor_core.params) color ~lc ~r_from ~r_to =
+  let pts = ref 0 and delta = ref 0.0 in
+  let gc = s.col0 + lc - 1 in
+  for r = r_from to r_to do
+    match (Sor_core.color_of ~r ~c:gc, color) with
+    | Sor_core.Red, Sor_core.Red | Sor_core.Black, Sor_core.Black ->
+      let i = (r * s.stride) + lc in
+      let old = s.cells.(i) in
+      let avg =
+        (s.cells.(i - 1) +. s.cells.(i + 1) +. s.cells.(i - s.stride)
+        +. s.cells.(i + s.stride))
+        /. 4.0
+      in
+      let next = old +. (p.Sor_core.omega *. (avg -. old)) in
+      s.cells.(i) <- next;
+      incr pts;
+      let d = Float.abs (next -. old) in
+      if d > !delta then delta := d
+    | Sor_core.Red, Sor_core.Black | Sor_core.Black, Sor_core.Red -> ()
+  done;
+  (!pts, !delta)
+
+let worker_body rt p cfg sec_obj ~w () =
+  A.Invoke.invoke rt sec_obj (fun s ->
+      let nworkers = cfg.workers_per_section in
+      let rec loop next =
+        wait_for rt s (fun () -> s.stop || s.comp_phase >= next);
+        if not s.stop then begin
+          let color = phase_color next in
+          (* Border columns first, rows split across workers, so the edge
+             values are ready to travel as early as possible. *)
+          let r_from = 1 + (w * s.rows / nworkers) in
+          let r_to = (w + 1) * s.rows / nworkers in
+          if r_to >= r_from then begin
+            let border_cols = if s.ncols = 1 then [ 1 ] else [ 1; s.ncols ] in
+            List.iter
+              (fun lc ->
+                let pts, d =
+                  compute_border_rows s p color ~lc ~r_from ~r_to
+                in
+                charge_points rt p pts;
+                if d > s.delta then s.delta <- d)
+              border_cols
+          end;
+          s.border_done <- s.border_done + 1;
+          notify rt s;
+          (* The interior may be gated behind the edge exchange when
+             overlap is disabled. *)
+          wait_for rt s (fun () -> s.stop || s.interior_release >= next);
+          if not s.stop then begin
+            let lo = 2 and hi = s.ncols - 1 in
+            let width = hi - lo + 1 in
+            if width > 0 then begin
+              let c_from = lo + (w * width / nworkers) in
+              let c_to = lo + (((w + 1) * width / nworkers) - 1) in
+              if c_to >= c_from then begin
+                let pts, d = compute_range s p color ~c_from ~c_to in
+                charge_points rt p pts;
+                if d > s.delta then s.delta <- d
+              end
+            end;
+            s.workers_done <- s.workers_done + 1;
+            notify rt s;
+            loop (next + 1)
+          end
+        end
+      in
+      loop 1)
+
+(* Push this section's border-column values of the current color into the
+   neighbor's ghost column: one invocation per phase, edge as payload. *)
+let pusher_body rt (p : Sor_core.params) sec_obj neighbor_obj ~side () =
+  ignore p;
+  A.Invoke.invoke rt sec_obj (fun s ->
+      let local_col = match side with `Left -> 1 | `Right -> s.ncols in
+      let rec loop next =
+        wait_for rt s (fun () -> s.stop || s.push_phase >= next);
+        if not s.stop then begin
+          let color = phase_color next in
+          let gc = s.col0 + local_col - 1 in
+          let vals = ref [] in
+          for r = s.rows downto 1 do
+            match (Sor_core.color_of ~r ~c:gc, color) with
+            | Sor_core.Red, Sor_core.Red | Sor_core.Black, Sor_core.Black ->
+              vals := (r, s.cells.((r * s.stride) + local_col)) :: !vals
+            | Sor_core.Red, Sor_core.Black | Sor_core.Black, Sor_core.Red ->
+              ()
+          done;
+          let vals = !vals in
+          let payload = 8 * List.length vals in
+          A.Invoke.invoke rt ~payload neighbor_obj (fun ns ->
+              let ghost_col =
+                match side with `Left -> ns.ncols + 1 | `Right -> 0
+              in
+              List.iter
+                (fun (r, v) -> ns.cells.((r * ns.stride) + ghost_col) <- v)
+                vals;
+              (match side with
+              | `Left -> ns.recv_right <- max ns.recv_right next
+              | `Right -> ns.recv_left <- max ns.recv_left next);
+              let ws = ns.waiters in
+              ns.waiters <- [];
+              List.iter (fun wake -> wake ()) ws);
+          s.pushes_done <- s.pushes_done + 1;
+          notify rt s;
+          loop (next + 1)
+        end
+      in
+      loop 1)
+
+type mode = Fixed of int | Converge of { eps : float; max_iters : int }
+
+let coordinator_body rt p cfg master_obj clock sec_objs ~mode i () =
+  let nsections = Array.length sec_objs in
+  let has_left = i > 0 and has_right = i < nsections - 1 in
+  let n_push = (if has_left then 1 else 0) + (if has_right then 1 else 0) in
+  A.Invoke.invoke rt sec_objs.(i) (fun s ->
+      (* Helper threads are created here, on the section's node, and are
+         bound to the section by their own invocations. *)
+      let workers =
+        List.init cfg.workers_per_section (fun w ->
+            A.Athread.start rt
+              ~name:(Printf.sprintf "sor%d-w%d" i w)
+              (worker_body rt p cfg sec_objs.(i) ~w))
+      in
+      let pushers =
+        (if has_left then
+           [
+             A.Athread.start rt
+               ~name:(Printf.sprintf "sor%d-pl" i)
+               (pusher_body rt p sec_objs.(i) sec_objs.(i - 1) ~side:`Left);
+           ]
+         else [])
+        @
+        if has_right then
+          [
+            A.Athread.start rt
+              ~name:(Printf.sprintf "sor%d-pr" i)
+              (pusher_body rt p sec_objs.(i) sec_objs.(i + 1) ~side:`Right);
+          ]
+        else []
+      in
+      (* Setup barrier: timing starts when every section is ready. *)
+      ignore (report rt master_obj clock 0.0 : float);
+      let do_phase phase =
+        (* Ghost values this color reads must be in place. *)
+        wait_for rt s (fun () ->
+            ((not has_left) || s.recv_left >= phase - 1)
+            && ((not has_right) || s.recv_right >= phase - 1));
+        (* Release the workers onto the border columns. *)
+        s.comp_phase <- phase;
+        notify rt s;
+        wait_for rt s (fun () ->
+            s.border_done >= cfg.workers_per_section * phase);
+        (* Edge values are complete: start the exchange. *)
+        s.push_phase <- phase;
+        notify rt s;
+        if not cfg.overlap then
+          (* No overlap: the exchange completes before the interior
+             computation starts. *)
+          wait_for rt s (fun () -> s.pushes_done >= n_push * phase);
+        s.interior_release <- phase;
+        notify rt s;
+        wait_for rt s (fun () ->
+            s.workers_done >= cfg.workers_per_section * phase
+            && s.pushes_done >= n_push * phase)
+      in
+      let iterations_done = ref 0 in
+      let continue_after it global_delta =
+        match mode with
+        | Fixed n -> it < n
+        | Converge { eps; max_iters } -> global_delta >= eps && it < max_iters
+      in
+      let rec iteration it =
+        do_phase (((it - 1) * 2) + 1);
+        do_phase (((it - 1) * 2) + 2);
+        let global_delta = report rt master_obj clock s.delta in
+        s.delta <- 0.0;
+        iterations_done := it;
+        (* Every coordinator sees the same combined delta, so they all
+           make the same decision. *)
+        if continue_after it global_delta then iteration (it + 1)
+      in
+      iteration 1;
+      s.stop <- true;
+      notify rt s;
+      List.iter (fun t -> A.Athread.join rt t) workers;
+      List.iter (fun t -> A.Athread.join rt t) pushers;
+      !iterations_done)
+
+(* --- top level ----------------------------------------------------------- *)
+
+let make_section (p : Sor_core.params) ~idx ~ncols ~col0 ~is_first ~is_last =
+  let stride = ncols + 2 in
+  let cells = Array.make ((p.Sor_core.rows + 2) * stride) 0.0 in
+  (* Boundary ring: top/bottom rows, and the global left/right edges for
+     the outermost sections.  Interior ghosts start at the initial value
+     (0), matching the neighbors' initial interiors. *)
+  for c = 0 to ncols + 1 do
+    cells.(c) <- p.Sor_core.top;
+    cells.(((p.Sor_core.rows + 1) * stride) + c) <- p.Sor_core.bottom
+  done;
+  if is_first then
+    for r = 1 to p.Sor_core.rows do
+      cells.(r * stride) <- p.Sor_core.left
+    done;
+  if is_last then
+    for r = 1 to p.Sor_core.rows do
+      cells.((r * stride) + ncols + 1) <- p.Sor_core.right
+    done;
+  {
+    idx;
+    rows = p.Sor_core.rows;
+    ncols;
+    col0;
+    stride;
+    cells;
+    comp_phase = 0;
+    push_phase = 0;
+    interior_release = 0;
+    border_done = 0;
+    workers_done = 0;
+    pushes_done = 0;
+    recv_left = 0;
+    recv_right = 0;
+    delta = 0.0;
+    stop = false;
+    waiters = [];
+  }
+
+let run_mode rt (p : Sor_core.params) ?cfg mode =
+  (match mode with
+  | Fixed n when n <= 0 -> invalid_arg "Sor_amber: iterations"
+  | Converge { eps; max_iters } when eps <= 0.0 || max_iters <= 0 ->
+    invalid_arg "Sor_amber: convergence parameters"
+  | Fixed _ | Converge _ -> ());
+  let cfg = match cfg with Some c -> c | None -> default_cfg rt in
+  if cfg.sections <= 0 || cfg.sections > p.Sor_core.cols then
+    invalid_arg "Sor_amber.run: bad section count";
+  let ctrs = A.Runtime.counters rt in
+  let remote0 = ctrs.A.Runtime.remote_invocations in
+  let migr0 = ctrs.A.Runtime.thread_migrations in
+  let t0 = A.Runtime.now rt in
+  let clock () = A.Runtime.now rt in
+  let master_state =
+    {
+      parties = cfg.sections;
+      arrived = 0;
+      agg = 0.0;
+      waiting = [];
+      rounds = 0;
+      t_ready = 0.0;
+      t_last = 0.0;
+    }
+  in
+  let master_obj =
+    A.Runtime.create_object rt ~size:128 ~name:"sor-master" master_state
+  in
+  (* Column partitioning: spread the remainder over the first sections. *)
+  let base = p.Sor_core.cols / cfg.sections in
+  let rem = p.Sor_core.cols mod cfg.sections in
+  let widths =
+    Array.init cfg.sections (fun i -> base + (if i < rem then 1 else 0))
+  in
+  let sec_objs =
+    Array.init cfg.sections (fun i ->
+        let col0 =
+          1
+          + Array.fold_left ( + ) 0 (Array.sub widths 0 i)
+        in
+        let state =
+          make_section p ~idx:i ~ncols:widths.(i) ~col0 ~is_first:(i = 0)
+            ~is_last:(i = cfg.sections - 1)
+        in
+        let size = 8 * Array.length state.cells in
+        A.Runtime.create_object rt ~size
+          ~name:(Printf.sprintf "sor-section%d" i)
+          state)
+  in
+  (* Distribute the sections (explicit placement, §2.3). *)
+  let nodes = A.Runtime.nodes rt in
+  let place =
+    match cfg.placement with
+    | Some f -> f
+    | None -> fun i -> i * nodes / cfg.sections
+  in
+  Array.iteri
+    (fun i obj ->
+      let dest = place i in
+      if dest < 0 || dest >= nodes then
+        invalid_arg "Sor_amber.run: placement outside the cluster";
+      if dest <> 0 then A.Mobility.move_to rt obj ~dest)
+    sec_objs;
+  (* One coordinator thread per section; Start makes it run an operation
+     on the section object, migrating it to the section's node. *)
+  let coords =
+    Array.mapi
+      (fun i _ ->
+        A.Athread.start rt
+          ~name:(Printf.sprintf "sor%d-coord" i)
+          (coordinator_body rt p cfg master_obj clock sec_objs ~mode i))
+      sec_objs
+  in
+  let iteration_counts = Array.map (fun t -> A.Athread.join rt t) coords in
+  let iterations = iteration_counts.(0) in
+  Array.iter
+    (fun n ->
+      if n <> iterations then
+        failwith "Sor_amber: coordinators disagree on iteration count")
+    iteration_counts;
+  (* Assemble the global interior in row-major order so the checksum is
+     bit-identical to the sequential implementation's. *)
+  let checksum = ref 0.0 in
+  for r = 1 to p.Sor_core.rows do
+    Array.iter
+      (fun obj ->
+        let s = obj.A.Aobject.state in
+        for lc = 1 to s.ncols do
+          checksum := !checksum +. s.cells.((r * s.stride) + lc)
+        done)
+      sec_objs
+  done;
+  {
+    iterations;
+    checksum = !checksum;
+    compute_elapsed = master_state.t_last -. master_state.t_ready;
+    total_elapsed = A.Runtime.now rt -. t0;
+    remote_invocations = ctrs.A.Runtime.remote_invocations - remote0;
+    thread_migrations = ctrs.A.Runtime.thread_migrations - migr0;
+  }
+
+let run rt p ?cfg ~iters () = run_mode rt p ?cfg (Fixed iters)
+
+let run_to_convergence rt p ?cfg ~eps ~max_iters () =
+  run_mode rt p ?cfg (Converge { eps; max_iters })

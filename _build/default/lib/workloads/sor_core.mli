@@ -1,0 +1,67 @@
+(** Red/Black Successive Over-Relaxation — the numerical core shared by
+    the sequential, Amber, and Ivy implementations (paper §6).
+
+    The problem: steady-state temperature over a rectangular plate with
+    fixed boundary temperatures, governed by Laplace's equation.  The grid
+    is updated checkerboard-style: all red points (r+c even), then all
+    black points.  Updates within one color are independent, so any
+    execution order gives bit-identical results — which is what lets the
+    tests require exact agreement between the three implementations. *)
+
+type params = {
+  rows : int;  (** interior rows (the paper's experiment: 122) *)
+  cols : int;  (** interior columns (the paper's experiment: 842) *)
+  omega : float;  (** over-relaxation factor *)
+  top : float;  (** boundary temperature along the top edge *)
+  bottom : float;
+  left : float;
+  right : float;
+  point_cpu : float;
+      (** simulated CPU seconds to update one point (CVAX-era flops) *)
+}
+
+(** The paper's 122×842 grid with a 100-degree top edge. *)
+val default : params
+
+val with_size : params -> rows:int -> cols:int -> params
+
+(** Interior points ([rows * cols]). *)
+val interior_points : params -> int
+
+type color = Red | Black
+
+val color_of : r:int -> c:int -> color
+
+(** A full grid including the boundary ring: [(rows+2) × (cols+2)],
+    row-major.  Interior coordinates are 1-based. *)
+module Full_grid : sig
+  type t
+
+  val create : params -> t
+  val get : t -> r:int -> c:int -> float
+  val set : t -> r:int -> c:int -> float -> unit
+
+  (** Update every interior point of [color]; returns the maximum absolute
+      change. *)
+  val sweep : t -> params -> color -> float
+
+  (** One red+black iteration; returns the max change over both sweeps. *)
+  val iterate : t -> params -> float
+
+  (** Sum of interior values — a cheap fingerprint for comparing
+      implementations. *)
+  val checksum : t -> float
+
+  (** Copy of the interior as a [rows*cols] row-major array. *)
+  val interior : t -> float array
+end
+
+(** Pure host-side reference solution (no simulation):
+    [reference params ~iters] runs [iters] iterations and returns the
+    grid. *)
+val reference : params -> iters:int -> Full_grid.t
+
+(** Iterations needed until the max change drops below [eps] (capped at
+    [max_iters]). *)
+val iterations_to_converge :
+  params -> eps:float -> max_iters:int -> int * Full_grid.t

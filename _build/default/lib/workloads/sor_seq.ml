@@ -1,0 +1,29 @@
+type result = {
+  iterations : int;
+  checksum : float;
+  compute_elapsed : float;
+}
+
+let run rt (p : Sor_core.params) ~iters =
+  if iters <= 0 then invalid_arg "Sor_seq.run: iters";
+  let g = Sor_core.Full_grid.create p in
+  let sweep_cost =
+    p.Sor_core.point_cpu *. float_of_int (Sor_core.interior_points p) /. 2.0
+  in
+  let t0 = Amber.Runtime.now rt in
+  for _ = 1 to iters do
+    ignore (Sor_core.Full_grid.sweep g p Sor_core.Red : float);
+    Sim.Fiber.consume sweep_cost;
+    ignore (Sor_core.Full_grid.sweep g p Sor_core.Black : float);
+    Sim.Fiber.consume sweep_cost
+  done;
+  {
+    iterations = iters;
+    checksum = Sor_core.Full_grid.checksum g;
+    compute_elapsed = Amber.Runtime.now rt -. t0;
+  }
+
+let predicted_elapsed (p : Sor_core.params) ~iters =
+  float_of_int iters
+  *. float_of_int (Sor_core.interior_points p)
+  *. p.Sor_core.point_cpu

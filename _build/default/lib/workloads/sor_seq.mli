@@ -1,0 +1,20 @@
+(** Simulated sequential SOR — the baseline all the paper's speedups are
+    measured against ("a sequential C++ implementation used as the
+    baseline case", §6).
+
+    Runs on one CPU of one node with no Amber machinery: per sweep it
+    performs the real arithmetic and charges
+    [points/2 × point_cpu] of virtual CPU. *)
+
+type result = {
+  iterations : int;
+  checksum : float;
+  compute_elapsed : float;  (** virtual seconds spent in the solve loop *)
+}
+
+(** Run for exactly [iters] iterations.  Fiber context. *)
+val run : Amber.Runtime.t -> Sor_core.params -> iters:int -> result
+
+(** Predicted sequential solve time without simulating (for large sweeps):
+    [iters × points × point_cpu]. *)
+val predicted_elapsed : Sor_core.params -> iters:int -> float

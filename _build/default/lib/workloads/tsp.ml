@@ -1,0 +1,326 @@
+module A = Amber
+
+type cfg = {
+  cities : int;
+  seed : int;
+  workers_per_node : int;
+  expand_cpu : float;
+  centralize : bool;
+}
+
+let default_cfg =
+  {
+    cities = 10;
+    seed = 7;
+    workers_per_node = 2;
+    expand_cpu = 50e-6;
+    centralize = false;
+  }
+
+type result = {
+  best_cost : int;
+  best_tour : int array;
+  expansions : int;
+  pruned : int;
+  steals : int;
+  elapsed : float;
+  remote_invocations : int;
+}
+
+let validate cfg =
+  if cfg.cities < 3 || cfg.cities > 13 then
+    invalid_arg "Tsp: cities must be in 3..13";
+  if cfg.workers_per_node <= 0 then invalid_arg "Tsp: workers"
+
+let instance cfg =
+  validate cfg;
+  let rng = Sim.Rng.make (Int64.of_int (cfg.seed + 0x7557)) in
+  let n = cfg.cities in
+  let d = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let w = 1 + Sim.Rng.int rng 99 in
+      d.(i).(j) <- w;
+      d.(j).(i) <- w
+    done
+  done;
+  d
+
+let brute_force cfg =
+  let d = instance cfg in
+  let n = cfg.cities in
+  let best = ref max_int in
+  let rec go current visited cost depth =
+    if cost < !best then
+      if depth = n then best := min !best (cost + d.(current).(0))
+      else
+        for c = 1 to n - 1 do
+          if visited land (1 lsl c) = 0 then
+            go c (visited lor (1 lsl c)) (cost + d.(current).(c)) (depth + 1)
+        done
+  in
+  go 0 1 0 1;
+  !best
+
+(* --- parallel branch and bound ------------------------------------------ *)
+
+type subproblem = {
+  tour : int list;  (* visited cities, current city first *)
+  visited : int;  (* bitmask *)
+  cost : int;
+  depth : int;
+}
+
+type pool = { mutable items : subproblem list }
+
+type incumbent = {
+  mutable best : int;
+  mutable best_tour : int array;
+}
+
+type controller = {
+  mutable outstanding : int;
+  mutable finished : bool;
+  mutable idlers : (unit -> unit) list;
+}
+
+(* Weak but admissible lower bound: current cost plus, for the current
+   city and every unvisited city, the cheapest edge leaving it toward a
+   still-eligible destination. *)
+let lower_bound d n sp =
+  let eligible c = sp.visited land (1 lsl c) = 0 || c = 0 in
+  let min_edge from_ =
+    let m = ref max_int in
+    for c = 0 to n - 1 do
+      if c <> from_ && eligible c then
+        if d.(from_).(c) < !m then m := d.(from_).(c)
+    done;
+    if !m = max_int then 0 else !m
+  in
+  let current = match sp.tour with c :: _ -> c | [] -> 0 in
+  let acc = ref (min_edge current) in
+  for c = 1 to n - 1 do
+    if sp.visited land (1 lsl c) = 0 then acc := !acc + min_edge c
+  done;
+  sp.cost + !acc
+
+(* Bytes a subproblem occupies on the wire when stolen. *)
+let subproblem_bytes cfg = 16 + (8 * cfg.cities)
+
+let run rt cfg =
+  validate cfg;
+  let d = instance cfg in
+  let n = cfg.cities in
+  let nodes = A.Runtime.nodes rt in
+  let ctrs = A.Runtime.counters rt in
+  let remote0 = ctrs.A.Runtime.remote_invocations in
+  let pool_count = if cfg.centralize then 1 else nodes in
+  let pools =
+    Array.init pool_count (fun i ->
+        let obj =
+          A.Runtime.create_object rt ~size:4096
+            ~name:(Printf.sprintf "tsp-pool%d" i)
+            { items = [] }
+        in
+        if i <> 0 then A.Mobility.move_to rt obj ~dest:i;
+        obj)
+  in
+  let incumbent_obj =
+    A.Runtime.create_object rt ~size:256 ~name:"tsp-incumbent"
+      { best = max_int; best_tour = [||] }
+  in
+  (* Per-node bound caches, co-located with the workers that read them:
+     a stale bound costs extra expansions, never correctness. *)
+  let caches =
+    Array.init nodes (fun node ->
+        let obj =
+          A.Runtime.create_object rt ~size:64
+            ~name:(Printf.sprintf "tsp-bound%d" node)
+            (ref max_int)
+        in
+        if node <> 0 then A.Mobility.move_to rt obj ~dest:node;
+        obj)
+  in
+  let controller_obj =
+    A.Runtime.create_object rt ~size:128 ~name:"tsp-controller"
+      { outstanding = 1; finished = false; idlers = [] }
+  in
+  let expansions = ref 0 and pruned = ref 0 and steals = ref 0 in
+  (* Root subproblem: at city 0, nothing else visited. *)
+  pools.(0).A.Aobject.state.items <-
+    [ { tour = [ 0 ]; visited = 1; cost = 0; depth = 1 } ];
+  let pool_of_node node = if cfg.centralize then 0 else node in
+  let flush_delta delta =
+    if delta <> 0 then
+      A.Invoke.invoke rt controller_obj (fun c ->
+          c.outstanding <- c.outstanding + delta;
+          let wake_all () =
+            let ws = c.idlers in
+            c.idlers <- [];
+            List.iter (fun wake -> wake ()) ws
+          in
+          if c.outstanding = 0 then begin
+            c.finished <- true;
+            wake_all ()
+          end
+          else if delta > 0 then
+            (* New work appeared somewhere: let idlers re-scan. *)
+            wake_all ())
+  in
+  let improve_incumbent tour cost =
+    let improved =
+      A.Invoke.invoke rt incumbent_obj (fun inc ->
+          if cost < inc.best then begin
+            inc.best <- cost;
+            inc.best_tour <- Array.of_list (List.rev tour);
+            true
+          end
+          else false)
+    in
+    if improved then
+      (* Broadcast the improved bound to every node's cache. *)
+      Array.iter
+        (fun cache -> A.Invoke.invoke rt cache (fun b -> b := min !b cost))
+        caches
+  in
+  let worker node w =
+    A.Athread.start rt
+      ~name:(Printf.sprintf "tsp-%d.%d" node w)
+      (fun () ->
+        let my_pool = pools.(pool_of_node node) in
+        (* The worker is anchored on its node's bound cache: computation
+           happens there, bound checks are member-style direct reads, and
+           pool traffic is local (per-node pools) or remote (centralized
+           baseline). *)
+        A.Invoke.invoke rt caches.(node) (fun bound_ref ->
+            let delta = ref 0 in
+            let batch = ref 0 in
+            let pop () =
+              A.Invoke.invoke rt my_pool (fun ps ->
+                  match ps.items with
+                  | [] -> None
+                  | x :: rest ->
+                    ps.items <- rest;
+                    Some x)
+            in
+            let push children =
+              match children with
+              | [] -> ()
+              | cs ->
+                A.Invoke.invoke rt
+                  ~payload:(List.length cs * subproblem_bytes cfg)
+                  my_pool
+                  (fun ps -> ps.items <- cs @ ps.items)
+            in
+            let process sp =
+              Sim.Fiber.consume cfg.expand_cpu;
+              incr expansions;
+              decr delta;
+              if lower_bound d n sp >= !bound_ref then incr pruned
+              else if sp.depth = n then begin
+                let total = sp.cost + d.(List.hd sp.tour).(0) in
+                if total < !bound_ref then improve_incumbent sp.tour total
+              end
+              else begin
+                let current = List.hd sp.tour in
+                let children = ref [] in
+                for c = 1 to n - 1 do
+                  if sp.visited land (1 lsl c) = 0 then begin
+                    children :=
+                      {
+                        tour = c :: sp.tour;
+                        visited = sp.visited lor (1 lsl c);
+                        cost = sp.cost + d.(current).(c);
+                        depth = sp.depth + 1;
+                      }
+                      :: !children;
+                    incr delta
+                  end
+                done;
+                push !children
+              end
+            in
+            let steal () =
+              let rec try_pool k =
+                if k >= pool_count then false
+                else begin
+                  let victim = (pool_of_node node + k) mod pool_count in
+                  if victim = pool_of_node node then try_pool (k + 1)
+                  else begin
+                    let got =
+                      A.Invoke.invoke rt
+                        ~return_payload:(4 * subproblem_bytes cfg)
+                        pools.(victim)
+                        (fun vs ->
+                          let rec take acc k items =
+                            if k = 0 then (acc, items)
+                            else
+                              match items with
+                              | [] -> (acc, [])
+                              | x :: rest -> take (x :: acc) (k - 1) rest
+                          in
+                          let stolen, rest = take [] 4 vs.items in
+                          vs.items <- rest;
+                          stolen)
+                    in
+                    match got with
+                    | [] -> try_pool (k + 1)
+                    | stolen ->
+                      incr steals;
+                      push stolen;
+                      true
+                  end
+                end
+              in
+              try_pool 1
+            in
+            let flush () =
+              let dv = !delta in
+              delta := 0;
+              batch := 0;
+              flush_delta dv
+            in
+            let rec loop () =
+              match pop () with
+              | Some sp ->
+                process sp;
+                incr batch;
+                (* Flush the outstanding-count delta in batches to keep
+                   controller traffic off the critical path. *)
+                if !batch >= 32 then flush ();
+                loop ()
+              | None ->
+                flush ();
+                if steal () then loop ()
+                else begin
+                  let finished =
+                    A.Invoke.invoke rt controller_obj (fun c ->
+                        if c.finished then true
+                        else begin
+                          Sim.Fiber.block (fun wake ->
+                              c.idlers <- wake :: c.idlers);
+                          c.finished
+                        end)
+                  in
+                  if not finished then loop ()
+                end
+            in
+            loop ()))
+  in
+  let t0 = A.Runtime.now rt in
+  let threads =
+    List.concat_map
+      (fun node -> List.init cfg.workers_per_node (fun w -> worker node w))
+      (List.init nodes Fun.id)
+  in
+  List.iter (fun t -> A.Athread.join rt t) threads;
+  let inc = incumbent_obj.A.Aobject.state in
+  {
+    best_cost = inc.best;
+    best_tour = inc.best_tour;
+    expansions = !expansions;
+    pruned = !pruned;
+    steals = !steals;
+    elapsed = A.Runtime.now rt -. t0;
+    remote_invocations = ctrs.A.Runtime.remote_invocations - remote0;
+  }

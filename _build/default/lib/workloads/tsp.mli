@@ -1,0 +1,50 @@
+(** Parallel branch-and-bound TSP — a second full application, exercising
+    the dynamic program structure the paper's introduction motivates:
+    work is generated at runtime, load is balanced by {e work stealing}
+    between per-node pool objects, and a shared incumbent object carries
+    the global best tour.
+
+    Structure:
+    - one {e pool} object per node holding unexplored subproblems; workers
+      pop from their local pool with cheap local invocations;
+    - an idle worker steals: it invokes a remote pool (one remote
+      invocation moves the thread there and back with the stolen work);
+    - the {e incumbent} (best tour so far) is a single object; reads are
+      snooped from a locally cached bound and only improvements pay a
+      remote invocation;
+    - a {e controller} object performs distributed termination detection
+      (outstanding-subproblem count).
+
+    With [centralize = true] all nodes share one pool on node 0 — the
+    baseline quantifying what per-node pools + stealing buy (used by the
+    `ablate-locality` bench). *)
+
+type cfg = {
+  cities : int;  (** problem size (exact search; keep ≤ 13) *)
+  seed : int;  (** instance generator seed *)
+  workers_per_node : int;
+  expand_cpu : float;  (** CPU per node expansion *)
+  centralize : bool;  (** single shared pool instead of per-node pools *)
+}
+
+val default_cfg : cfg
+
+type result = {
+  best_cost : int;
+  best_tour : int array;
+  expansions : int;
+  pruned : int;
+  steals : int;
+  elapsed : float;
+  remote_invocations : int;
+}
+
+(** Distance matrix of the instance (deterministic from [seed]). *)
+val instance : cfg -> int array array
+
+(** Exhaustive reference solution (for tests; factorial — keep cities
+    small). *)
+val brute_force : cfg -> int
+
+(** Must be called from the program's main Amber thread. *)
+val run : Amber.Runtime.t -> cfg -> result

@@ -1,0 +1,108 @@
+module A = Amber
+
+type cfg = {
+  items : int;
+  work_cpu : float;
+  batch : int;
+  workers_per_node : int;
+  move_queue_at : int option;
+}
+
+let default_cfg =
+  {
+    items = 200;
+    work_cpu = 20e-3;
+    batch = 4;
+    workers_per_node = 4;
+    move_queue_at = None;
+  }
+
+type result = {
+  processed : int;
+  elapsed : float;
+  per_node : int array;
+  queue_final_node : int;
+}
+
+type queue_state = {
+  mutable next : int;  (* next item id to hand out *)
+  total : int;
+  mutable taken : int;
+  mutable done_count : int;
+}
+
+let run rt cfg =
+  if cfg.items <= 0 || cfg.batch <= 0 || cfg.workers_per_node <= 0 then
+    invalid_arg "Work_queue.run: bad configuration";
+  let nodes = A.Runtime.nodes rt in
+  let queue =
+    A.Runtime.create_object rt ~size:256 ~name:"work-queue"
+      { next = 0; total = cfg.items; taken = 0; done_count = 0 }
+  in
+  (* One anchor object per node: a worker executes inside an invocation on
+     its anchor, so its computation happens on the anchor's node and every
+     queue access is a nested (remote) invocation that returns home. *)
+  let anchors =
+    Array.init nodes (fun node ->
+        let anchor =
+          A.Runtime.create_object rt ~size:64
+            ~name:(Printf.sprintf "wq-anchor%d" node)
+            ()
+        in
+        if node <> 0 then A.Mobility.move_to rt anchor ~dest:node;
+        anchor)
+  in
+  let per_node = Array.make nodes 0 in
+  let mover_needed = ref cfg.move_queue_at in
+  let t0 = A.Runtime.now rt in
+  let worker node () =
+    A.Invoke.invoke rt anchors.(node) (fun () ->
+        let rec loop () =
+          let batch =
+            A.Invoke.invoke rt queue (fun q ->
+                let n = min cfg.batch (q.total - q.next) in
+                let ids = List.init n (fun k -> q.next + k) in
+                q.next <- q.next + n;
+                q.taken <- q.taken + n;
+                ids)
+          in
+          match batch with
+          | [] -> ()
+          | ids ->
+            (* Mid-run re-placement of the hot object, at most once. *)
+            (match !mover_needed with
+            | Some threshold
+              when queue.A.Aobject.state.taken >= threshold && nodes > 1 ->
+              mover_needed := None;
+              A.Mobility.move_to rt queue ~dest:(nodes - 1)
+            | Some _ | None -> ());
+            List.iter
+              (fun _id ->
+                Sim.Fiber.consume cfg.work_cpu;
+                per_node.(node) <- per_node.(node) + 1)
+              ids;
+            ignore
+              (A.Invoke.invoke rt queue (fun q ->
+                   q.done_count <- q.done_count + List.length ids;
+                   q.done_count)
+                : int);
+            loop ()
+        in
+        loop ())
+  in
+  let threads =
+    List.concat_map
+      (fun node ->
+        List.init cfg.workers_per_node (fun k ->
+            A.Athread.start rt
+              ~name:(Printf.sprintf "wq-%d.%d" node k)
+              (worker node)))
+      (List.init nodes Fun.id)
+  in
+  List.iter (fun t -> A.Athread.join rt t) threads;
+  {
+    processed = queue.A.Aobject.state.done_count;
+    elapsed = A.Runtime.now rt -. t0;
+    per_node;
+    queue_final_node = queue.A.Aobject.location;
+  }

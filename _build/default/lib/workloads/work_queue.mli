@@ -1,0 +1,31 @@
+(** Distributed work queue: a master queue object with worker threads
+    spread over the cluster.
+
+    The queue is an ordinary Amber object — workers on every node pull
+    batches with remote invocations, compute locally, and report results
+    back.  It exercises the function-shipping model under contention on a
+    single hot object, and demonstrates {!Amber.Mobility.move_to} under
+    load: the queue can be re-placed mid-run and the protocol (forwarding
+    addresses, bound-thread migration) keeps everything running. *)
+
+type cfg = {
+  items : int;
+  work_cpu : float;  (** CPU seconds per item *)
+  batch : int;  (** items fetched per queue invocation *)
+  workers_per_node : int;
+  move_queue_at : int option;
+      (** after this many items are taken, migrate the queue to the last
+          node (a mid-run re-placement) *)
+}
+
+val default_cfg : cfg
+
+type result = {
+  processed : int;
+  elapsed : float;
+  per_node : int array;  (** items processed by workers of each node *)
+  queue_final_node : int;
+}
+
+(** Must be called from the program's main Amber thread. *)
+val run : Amber.Runtime.t -> cfg -> result

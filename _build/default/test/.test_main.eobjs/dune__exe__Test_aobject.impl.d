@@ -1,0 +1,1 @@
+test/test_aobject.ml: Alcotest Amber List

@@ -1,0 +1,1 @@
+test/test_athread.ml: Alcotest Amber List Sim Topaz Util

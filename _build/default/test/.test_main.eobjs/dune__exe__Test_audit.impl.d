@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Amber Array Int64 List Printf QCheck QCheck_alcotest Sim Util

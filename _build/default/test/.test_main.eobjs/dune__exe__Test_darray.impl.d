@@ -1,0 +1,1 @@
+test/test_darray.ml: Alcotest Amber Array Fun QCheck QCheck_alcotest Util

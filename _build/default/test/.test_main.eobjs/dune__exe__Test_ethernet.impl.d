@@ -1,0 +1,1 @@
+test/test_ethernet.ml: Alcotest Hw Sim

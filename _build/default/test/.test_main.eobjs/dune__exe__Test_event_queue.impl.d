@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Float Fun List QCheck QCheck_alcotest Sim

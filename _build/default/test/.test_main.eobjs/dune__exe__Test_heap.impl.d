@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Vaspace

@@ -1,0 +1,1 @@
+test/test_hw_extra.ml: Alcotest Amber Float Format Fun Gen Hw List QCheck QCheck_alcotest Sim

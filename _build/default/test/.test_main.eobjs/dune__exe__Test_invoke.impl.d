@@ -1,0 +1,1 @@
+test/test_invoke.ml: Alcotest Amber Float List Sim Topaz Util

@@ -1,0 +1,1 @@
+test/test_ivy.ml: Alcotest Amber Array Gen Hw Ivy List Option QCheck QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/test_ivy_extra.ml: Alcotest Array Hw Ivy List Option Sim Topaz Util

@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest Amber List Sim String Topaz Util Vaspace

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Amber Array List Printf Sim Util

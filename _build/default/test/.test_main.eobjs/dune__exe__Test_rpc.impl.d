@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Array Float Hw Printf Sim Topaz

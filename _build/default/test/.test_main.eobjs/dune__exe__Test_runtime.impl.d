@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Amber Array List Sim Util Vaspace

@@ -1,0 +1,1 @@
+test/test_sched_policy.ml: Alcotest Hw List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats_report.ml: Alcotest Amber Array Format List Sim String Util

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Amber List Option Printf Queue Sim Topaz Util

@@ -1,0 +1,1 @@
+test/test_topaz_misc.ml: Alcotest Array Hw List Sim Topaz

@@ -1,0 +1,1 @@
+test/test_tsp.ml: Alcotest Array Fun QCheck QCheck_alcotest Util Workloads

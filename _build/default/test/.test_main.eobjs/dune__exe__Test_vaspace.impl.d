@@ -1,0 +1,1 @@
+test/test_vaspace.ml: Alcotest List Vaspace

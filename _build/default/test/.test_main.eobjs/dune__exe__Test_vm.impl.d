@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytes Char Hashtbl List QCheck QCheck_alcotest Topaz

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Amber Array Float Ivy List Printf QCheck QCheck_alcotest Util Workloads

@@ -1,0 +1,120 @@
+(* The protocol audit facility, and its use as an oracle after stress. *)
+
+module A = Amber
+
+let test_clean_world_passes () =
+  Util.run (fun rt ->
+      let objs =
+        List.init 5 (fun i ->
+            let o = A.Api.create rt ~name:(string_of_int i) () in
+            A.Api.move_to rt o ~dest:(i mod 4);
+            A.Aobject.Any o)
+      in
+      Alcotest.(check int) "no violations" 0
+        (List.length (A.Audit.check_objects rt objs));
+      A.Audit.check_exn rt objs)
+
+let test_detects_missing_residency () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"broken" () in
+      (* Sabotage the descriptor space directly. *)
+      A.Descriptor.clear (A.Runtime.descriptors rt 0) o.A.Aobject.addr;
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      Alcotest.(check bool) "violations reported" true (List.length vs > 0);
+      match A.Audit.check_exn rt [ A.Aobject.Any o ] with
+      | () -> Alcotest.fail "check_exn should raise"
+      | exception Failure _ -> ())
+
+let test_detects_spurious_residency () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"dup" () in
+      A.Descriptor.set_resident (A.Runtime.descriptors rt 3) o.A.Aobject.addr;
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      Alcotest.(check bool) "spurious copy found" true
+        (List.exists (fun v -> v.A.Audit.node = 3) vs))
+
+let test_detects_broken_chain () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"loop" () in
+      A.Api.move_to rt o ~dest:2;
+      (* Create a forwarding cycle between two bystander nodes. *)
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 1) o.A.Aobject.addr 3;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 3) o.A.Aobject.addr 1;
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      Alcotest.(check bool) "cycle detected" true
+        (List.exists
+           (fun v -> v.A.Audit.problem = "forwarding chain does not terminate")
+           vs))
+
+let test_immutable_replicas_audited () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"imm" () in
+      A.Api.set_immutable rt o;
+      A.Api.move_to rt o ~dest:1;
+      A.Api.move_to rt o ~dest:2;
+      A.Audit.check_exn rt [ A.Aobject.Any o ])
+
+let test_chain_length_diagnostic () =
+  Util.run ~nodes:6 (fun rt ->
+      let o = A.Api.create rt ~name:"o" () in
+      let anchor = A.Api.create rt ~name:"anchor" () in
+      A.Api.move_to rt anchor ~dest:1;
+      let mover =
+        A.Api.start_invoke rt anchor (fun () ->
+            List.iter (fun d -> A.Api.move_to rt o ~dest:d) [ 2; 3; 4; 5 ])
+      in
+      A.Api.join rt mover;
+      let before = A.Audit.max_chain_length rt o in
+      ignore (A.Api.locate rt o : int);
+      let after = A.Audit.max_chain_length rt o in
+      Alcotest.(check bool) "chains exist after moves" true (before >= 2);
+      Alcotest.(check bool) "locate compressed them" true (after < before))
+
+(* Use the audit as the oracle for a randomized mobility storm. *)
+let prop_audit_after_storm =
+  QCheck.Test.make ~name:"descriptor space coherent after mobility storms"
+    ~count:12
+    QCheck.(int_bound 1000)
+    (fun salt ->
+      Util.run ~nodes:5 ~cpus:2 (fun rt ->
+          let rng = Sim.Rng.make (Int64.of_int (salt + 99)) in
+          let objs =
+            Array.init 6 (fun i ->
+                A.Api.create rt ~name:(Printf.sprintf "s%d" i) (ref 0))
+          in
+          let ts =
+            List.init 4 (fun w ->
+                let ops =
+                  List.init 12 (fun _ ->
+                      ( Sim.Rng.int rng 6,
+                        Sim.Rng.int rng 4,
+                        Sim.Rng.int rng 5 ))
+                in
+                A.Api.start rt ~name:(Printf.sprintf "w%d" w) (fun () ->
+                    List.iter
+                      (fun (o, kind, dest) ->
+                        match kind with
+                        | 0 | 1 -> A.Api.move_to rt objs.(o) ~dest
+                        | 2 -> A.Api.invoke rt objs.(o) (fun c -> incr c)
+                        | _ -> ignore (A.Api.locate rt objs.(o) : int))
+                      ops))
+          in
+          List.iter (fun t -> A.Api.join rt t) ts;
+          A.Audit.check_objects rt
+            (Array.to_list (Array.map (fun o -> A.Aobject.Any o) objs))
+          = []))
+
+let suite =
+  [
+    Alcotest.test_case "clean world passes" `Quick test_clean_world_passes;
+    Alcotest.test_case "detects missing residency" `Quick
+      test_detects_missing_residency;
+    Alcotest.test_case "detects spurious residency" `Quick
+      test_detects_spurious_residency;
+    Alcotest.test_case "detects broken chains" `Quick test_detects_broken_chain;
+    Alcotest.test_case "immutable replicas audited" `Quick
+      test_immutable_replicas_audited;
+    Alcotest.test_case "chain-length diagnostic" `Quick
+      test_chain_length_diagnostic;
+    QCheck_alcotest.to_alcotest prop_audit_after_storm;
+  ]

@@ -1,0 +1,127 @@
+(* Distributed arrays over the Amber primitives. *)
+
+module A = Amber
+
+let mk rt ?chunks ?placement len =
+  A.Darray.create rt ?chunks ?placement ~name:"arr" ~len (fun i -> i * 10)
+
+let test_create_and_distribution () =
+  Util.run ~nodes:4 (fun rt ->
+      let a = mk rt 100 in
+      Alcotest.(check int) "length" 100 (A.Darray.length a);
+      Alcotest.(check int) "one chunk per node" 4 (A.Darray.chunk_count a);
+      (* Blocked placement: quartiles on successive nodes. *)
+      Alcotest.(check int) "first quarter" 0 (A.Darray.node_of_index a 10);
+      Alcotest.(check int) "last quarter" 3 (A.Darray.node_of_index a 99))
+
+let test_get_set_routing () =
+  Util.run ~nodes:3 (fun rt ->
+      let a = mk rt 30 in
+      Alcotest.(check int) "initial" 250 (A.Darray.get rt a 25);
+      A.Darray.set rt a 25 999;
+      Alcotest.(check int) "after set" 999 (A.Darray.get rt a 25);
+      (* Other elements untouched. *)
+      Alcotest.(check int) "neighbor" 240 (A.Darray.get rt a 24))
+
+let test_get_costs_more_remotely () =
+  Util.run ~nodes:2 (fun rt ->
+      let a = mk rt 20 in
+      (* Element 1 is on node 0 (local to main); element 19 on node 1. *)
+      let time f =
+        let t0 = A.Api.now rt in
+        f ();
+        A.Api.now rt -. t0
+      in
+      let local = time (fun () -> ignore (A.Darray.get rt a 1 : int)) in
+      let remote = time (fun () -> ignore (A.Darray.get rt a 19 : int)) in
+      Alcotest.(check bool) "remote access pays function shipping" true
+        (remote > 100.0 *. local))
+
+let test_map_in_place () =
+  Util.run ~nodes:4 (fun rt ->
+      let a = mk rt 50 in
+      A.Darray.map_in_place rt a (fun i x -> x + i);
+      Alcotest.(check int) "mapped" (70 + 7) (A.Darray.get rt a 7))
+
+let test_fold_matches_sequential () =
+  Util.run ~nodes:4 (fun rt ->
+      let a = mk rt 63 in
+      let sum =
+        A.Darray.fold rt a ~init:0 ~f:(fun acc x -> acc + x)
+          ~combine:( + )
+      in
+      let want = Array.fold_left ( + ) 0 (Array.init 63 (fun i -> i * 10)) in
+      Alcotest.(check int) "sum" want sum)
+
+let test_fold_runs_in_parallel () =
+  (* With per-element cost c and one chunk per node, the fold should take
+     about len/nodes * c, not len * c. *)
+  let elapsed =
+    Util.run ~nodes:4 ~cpus:2 (fun rt ->
+        let a = mk rt 400 in
+        let t0 = A.Api.now rt in
+        ignore
+          (A.Darray.fold rt ~cost_per_elt:1e-3 a ~init:0
+             ~f:(fun acc x -> acc + x)
+             ~combine:( + )
+            : int);
+        A.Api.now rt -. t0)
+  in
+  (* Sequential would be 0.4 s; 4-way parallel ~0.1 s plus messaging. *)
+  Alcotest.(check bool) "parallel speedup" true (elapsed < 0.2)
+
+let test_to_array () =
+  Util.run ~nodes:3 (fun rt ->
+      let a = mk rt 31 in
+      A.Darray.map_in_place rt a (fun i _ -> i);
+      Alcotest.(check (array int)) "gathered" (Array.init 31 Fun.id)
+        (A.Darray.to_array rt a))
+
+let test_redistribute () =
+  Util.run ~nodes:4 (fun rt ->
+      let a = mk rt 40 in
+      A.Darray.redistribute rt a (A.Placement.pinned ~node:2);
+      Alcotest.(check int) "all on node 2 (first)" 2
+        (A.Darray.node_of_index a 0);
+      Alcotest.(check int) "all on node 2 (last)" 2
+        (A.Darray.node_of_index a 39);
+      (* Values survive the moves. *)
+      Alcotest.(check int) "intact" 390 (A.Darray.get rt a 39))
+
+let test_bounds_checked () =
+  Util.run ~nodes:2 (fun rt ->
+      let a = mk rt 10 in
+      Alcotest.check_raises "oob" (Invalid_argument "Darray: index out of bounds")
+        (fun () -> ignore (A.Darray.get rt a 10 : int)))
+
+let prop_chunking_covers_indices =
+  QCheck.Test.make ~name:"every index maps into exactly one chunk" ~count:50
+    QCheck.(pair (int_range 1 200) (int_range 1 16))
+    (fun (len, chunks) ->
+      let chunks = min chunks len in
+      Util.run ~nodes:2 (fun rt ->
+          let a =
+            A.Darray.create rt ~chunks ~name:"p" ~len (fun i -> i)
+          in
+          let ok = ref true in
+          for i = 0 to len - 1 do
+            if A.Darray.get rt a i <> i then ok := false
+          done;
+          !ok))
+
+let suite =
+  [
+    Alcotest.test_case "creation and distribution" `Quick
+      test_create_and_distribution;
+    Alcotest.test_case "get/set routing" `Quick test_get_set_routing;
+    Alcotest.test_case "remote access pays shipping" `Quick
+      test_get_costs_more_remotely;
+    Alcotest.test_case "map_in_place" `Quick test_map_in_place;
+    Alcotest.test_case "fold matches sequential" `Quick
+      test_fold_matches_sequential;
+    Alcotest.test_case "fold parallelizes" `Quick test_fold_runs_in_parallel;
+    Alcotest.test_case "to_array gathers" `Quick test_to_array;
+    Alcotest.test_case "redistribute" `Quick test_redistribute;
+    Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+    QCheck_alcotest.to_alcotest prop_chunking_covers_indices;
+  ]

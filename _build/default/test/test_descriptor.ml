@@ -1,0 +1,58 @@
+(* Descriptor tables: the uninitialized-reads-as-non-resident contract. *)
+
+let test_uninitialized_is_none () =
+  let t = Amber.Descriptor.create_table ~node:0 in
+  Alcotest.(check bool) "absent" true (Amber.Descriptor.get t 0x1000 = None);
+  Alcotest.(check bool) "not resident" false
+    (Amber.Descriptor.is_resident t 0x1000);
+  Alcotest.(check int) "uninit read counted" 1
+    (Amber.Descriptor.uninitialized_reads t)
+
+let test_resident () =
+  let t = Amber.Descriptor.create_table ~node:2 in
+  Amber.Descriptor.set_resident t 0x2000;
+  Alcotest.(check bool) "resident" true (Amber.Descriptor.is_resident t 0x2000);
+  Alcotest.(check bool) "get" true
+    (Amber.Descriptor.get t 0x2000 = Some Amber.Descriptor.Resident)
+
+let test_forwarded () =
+  let t = Amber.Descriptor.create_table ~node:0 in
+  Amber.Descriptor.set_forwarded t 0x3000 5;
+  Alcotest.(check bool) "forwarded" true
+    (Amber.Descriptor.get t 0x3000 = Some (Amber.Descriptor.Forwarded 5));
+  Alcotest.(check bool) "not resident" false
+    (Amber.Descriptor.is_resident t 0x3000)
+
+let test_transitions () =
+  let t = Amber.Descriptor.create_table ~node:0 in
+  Amber.Descriptor.set_resident t 0x10;
+  Amber.Descriptor.set_forwarded t 0x10 3;
+  Alcotest.(check bool) "now forwarded" true
+    (Amber.Descriptor.get t 0x10 = Some (Amber.Descriptor.Forwarded 3));
+  Amber.Descriptor.set_resident t 0x10;
+  Alcotest.(check bool) "back resident" true (Amber.Descriptor.is_resident t 0x10)
+
+let test_clear () =
+  let t = Amber.Descriptor.create_table ~node:0 in
+  Amber.Descriptor.set_resident t 0x10;
+  Amber.Descriptor.clear t 0x10;
+  Alcotest.(check bool) "cleared reads uninitialized" true
+    (Amber.Descriptor.get t 0x10 = None)
+
+let test_entries_count () =
+  let t = Amber.Descriptor.create_table ~node:0 in
+  Amber.Descriptor.set_resident t 1;
+  Amber.Descriptor.set_forwarded t 2 1;
+  Amber.Descriptor.set_resident t 1;
+  Alcotest.(check int) "distinct entries" 2 (Amber.Descriptor.entries t)
+
+let suite =
+  [
+    Alcotest.test_case "uninitialized descriptor" `Quick
+      test_uninitialized_is_none;
+    Alcotest.test_case "resident" `Quick test_resident;
+    Alcotest.test_case "forwarded" `Quick test_forwarded;
+    Alcotest.test_case "state transitions" `Quick test_transitions;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "entry counting" `Quick test_entries_count;
+  ]

@@ -1,0 +1,155 @@
+(* The non-splitting heap allocator (§3.2 constraints). *)
+
+let make_heap ?(node = 0) () =
+  let server = Vaspace.Space_server.create ~nodes:1 ~initial_per_node:64 () in
+  let pool = ref (Vaspace.Space_server.initial_regions server node) in
+  let grow () =
+    match !pool with
+    | r :: rest ->
+      pool := rest;
+      r
+    | [] -> Vaspace.Space_server.grant server ~node
+  in
+  Vaspace.Heap.create ~node ~grow ()
+
+let test_alloc_basic () =
+  let h = make_heap () in
+  let a = Vaspace.Heap.alloc h 100 in
+  Alcotest.(check bool) "heap address" true (Vaspace.Layout.is_heap_addr a);
+  Alcotest.(check bool) "aligned" true (a mod Vaspace.Layout.block_align = 0);
+  Alcotest.(check bool) "live" true (Vaspace.Heap.is_live h a);
+  Alcotest.(check (option int)) "size rounded" (Some 112)
+    (Vaspace.Heap.block_size h a)
+
+let test_allocations_disjoint () =
+  let h = make_heap () in
+  let blocks = List.init 100 (fun i -> (Vaspace.Heap.alloc h (16 + i), 16 + i)) in
+  let rounded b = (b + 15) / 16 * 16 in
+  List.iteri
+    (fun i (a1, s1) ->
+      List.iteri
+        (fun j (a2, _) ->
+          if i <> j then
+            Alcotest.(check bool) "disjoint" true
+              (a2 >= a1 + rounded s1 || a2 < a1 || a2 = a1 && false))
+        blocks)
+    blocks
+
+let test_free_and_reuse_exact () =
+  let h = make_heap () in
+  let a = Vaspace.Heap.alloc h 64 in
+  Vaspace.Heap.free h a;
+  Alcotest.(check bool) "not live" false (Vaspace.Heap.is_live h a);
+  let b = Vaspace.Heap.alloc h 64 in
+  Alcotest.(check int) "reused whole block" a b;
+  Alcotest.(check int) "reuse counted" 1 (Vaspace.Heap.reuse_count h)
+
+let test_freed_blocks_never_split () =
+  let h = make_heap () in
+  let a = Vaspace.Heap.alloc h 256 in
+  Vaspace.Heap.free h a;
+  (* A smaller allocation must NOT carve up the freed 256-byte block. *)
+  let b = Vaspace.Heap.alloc h 16 in
+  Alcotest.(check bool) "fresh block, not a fragment of the freed one" true
+    (b <> a);
+  (* The freed block is still reusable as a whole for its own size. *)
+  let c = Vaspace.Heap.alloc h 256 in
+  Alcotest.(check int) "whole-block reuse still possible" a c
+
+let test_double_free_rejected () =
+  let h = make_heap () in
+  let a = Vaspace.Heap.alloc h 32 in
+  Vaspace.Heap.free h a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Heap.free: not a live block") (fun () ->
+      Vaspace.Heap.free h a)
+
+let test_free_unknown_rejected () =
+  let h = make_heap () in
+  Alcotest.check_raises "bogus free"
+    (Invalid_argument "Heap.free: not a live block") (fun () ->
+      Vaspace.Heap.free h 424242)
+
+let test_grow_on_exhaustion () =
+  let h = make_heap () in
+  (* Region is 1 MiB; allocate 3 regions' worth in big chunks. *)
+  let big = 512 * 1024 in
+  for _ = 1 to 6 do
+    ignore (Vaspace.Heap.alloc h big)
+  done;
+  Alcotest.(check bool) "grew several times" true
+    (Vaspace.Heap.grow_count h >= 3);
+  Alcotest.(check int) "all live" 6 (Vaspace.Heap.live_blocks h)
+
+let test_oversized_rejected () =
+  let h = make_heap () in
+  Alcotest.check_raises "too big" (Invalid_argument "Heap.alloc: size > region")
+    (fun () -> ignore (Vaspace.Heap.alloc h (2 * 1024 * 1024)))
+
+let test_bytes_live () =
+  let h = make_heap () in
+  let a = Vaspace.Heap.alloc h 16 in
+  let _b = Vaspace.Heap.alloc h 32 in
+  Alcotest.(check int) "48 live" 48 (Vaspace.Heap.bytes_live h);
+  Vaspace.Heap.free h a;
+  Alcotest.(check int) "32 live" 32 (Vaspace.Heap.bytes_live h)
+
+(* Property: arbitrary alloc/free interleavings maintain the §3.2
+   invariants: live blocks disjoint, all addresses within owned regions,
+   blocks only ever reused whole (block base set never gains an address
+   inside an existing block). *)
+let prop_invariants =
+  QCheck.Test.make ~name:"heap invariants under random workloads" ~count:100
+    QCheck.(list (pair bool (int_range 1 2048)))
+    (fun ops ->
+      let h = make_heap () in
+      let live = Hashtbl.create 32 in
+      let bases = ref [] in
+      List.iter
+        (fun (is_alloc, size) ->
+          if is_alloc || Hashtbl.length live = 0 then begin
+            let a = Vaspace.Heap.alloc h size in
+            let rounded = (size + 15) / 16 * 16 in
+            (* Check disjointness against the live set. *)
+            Hashtbl.iter
+              (fun b s ->
+                if a < b + s && b < a + rounded then
+                  QCheck.Test.fail_report "overlapping live blocks")
+              live;
+            (* A block base must never fall strictly inside a previously
+               carved block (blocks are never split). *)
+            List.iter
+              (fun (b, s) ->
+                if a > b && a < b + s then
+                  QCheck.Test.fail_report "block was split")
+              !bases;
+            if not (List.mem_assoc a !bases) then bases := (a, rounded) :: !bases;
+            Hashtbl.replace live a rounded
+          end
+          else begin
+            (* Free a pseudo-random live block. *)
+            let keys = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+            let victim = List.nth keys (size mod List.length keys) in
+            Vaspace.Heap.free h victim;
+            Hashtbl.remove live victim
+          end)
+        ops;
+      Hashtbl.fold
+        (fun a _ ok -> ok && Vaspace.Heap.is_live h a)
+        live true)
+
+let suite =
+  [
+    Alcotest.test_case "basic allocation" `Quick test_alloc_basic;
+    Alcotest.test_case "allocations disjoint" `Quick test_allocations_disjoint;
+    Alcotest.test_case "exact-fit reuse" `Quick test_free_and_reuse_exact;
+    Alcotest.test_case "freed blocks never split (§3.2)" `Quick
+      test_freed_blocks_never_split;
+    Alcotest.test_case "double free rejected" `Quick test_double_free_rejected;
+    Alcotest.test_case "unknown free rejected" `Quick test_free_unknown_rejected;
+    Alcotest.test_case "grows by whole regions" `Quick test_grow_on_exhaustion;
+    Alcotest.test_case "oversized allocation rejected" `Quick
+      test_oversized_rejected;
+    Alcotest.test_case "live byte accounting" `Quick test_bytes_live;
+    QCheck_alcotest.to_alcotest prop_invariants;
+  ]

@@ -1,0 +1,219 @@
+(* Additional hardware-layer coverage: work-conservation properties,
+   Ethernet traffic accounting, packets, machine introspection. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* Work conservation: for any set of compute demands on any CPU count,
+   total busy time equals total demand and the makespan is bounded by
+   list scheduling: total/P <= makespan <= total/P + max_job. *)
+let prop_work_conservation =
+  QCheck.Test.make ~name:"machine conserves work; makespan bounded" ~count:80
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size (Gen.int_range 1 12) (int_range 1 50)))
+    (fun (cpus, jobs_ds) ->
+      let e = Sim.Engine.create () in
+      let m = Hw.Machine.create ~engine:e ~id:0 ~cpus ~quantum:0.015 () in
+      let jobs = List.map (fun d -> float_of_int d /. 100.0) jobs_ds in
+      List.iteri
+        (fun i d ->
+          ignore
+            (Hw.Machine.spawn m ~name:(string_of_int i) (fun () ->
+                 Sim.Fiber.consume d)))
+        jobs;
+      ignore (Sim.Engine.run e : int);
+      let total = List.fold_left ( +. ) 0.0 jobs in
+      let longest = List.fold_left Float.max 0.0 jobs in
+      let makespan = Sim.Engine.now e in
+      let busy = Hw.Machine.total_busy_time m in
+      Float.abs (busy -. total) < 1e-6
+      && makespan >= (total /. float_of_int cpus) -. 1e-9
+      && makespan <= (total /. float_of_int cpus) +. longest +. 1e-6)
+
+let test_busy_cpus_and_running () =
+  let e = Sim.Engine.create () in
+  let m = Hw.Machine.create ~engine:e ~id:0 ~cpus:4 () in
+  for i = 0 to 2 do
+    ignore
+      (Hw.Machine.spawn m ~name:(string_of_int i) (fun () ->
+           Sim.Fiber.consume 1.0))
+  done;
+  ignore (Sim.Engine.run ~until:0.5 e);
+  Alcotest.(check int) "three busy" 3 (Hw.Machine.busy_cpus m);
+  Alcotest.(check int) "three running" 3
+    (List.length (Hw.Machine.running_tcbs m));
+  Alcotest.(check int) "queue empty" 0 (Hw.Machine.ready_length m);
+  ignore (Sim.Engine.run e)
+
+let test_spawn_priority_effective_at_first_dispatch () =
+  let e = Sim.Engine.create () in
+  let m =
+    Hw.Machine.create ~engine:e ~id:0 ~cpus:1
+      ~policy:(Hw.Sched_policy.by_priority ~priority_of:Hw.Machine.priority ())
+      ()
+  in
+  let order = ref [] in
+  (* Occupy the CPU first so the contenders queue. *)
+  ignore (Hw.Machine.spawn m ~name:"hog" (fun () -> Sim.Fiber.consume 0.1));
+  ignore (Sim.Engine.run ~until:0.01 e);
+  ignore
+    (Hw.Machine.spawn m ~name:"low" ~priority:1 (fun () ->
+         order := "low" :: !order));
+  ignore
+    (Hw.Machine.spawn m ~name:"high" ~priority:9 (fun () ->
+         order := "high" :: !order));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (list string)) "high first" [ "high"; "low" ]
+    (List.rev !order)
+
+let test_packet_pp_and_validation () =
+  let p = Hw.Packet.make ~src:1 ~dst:2 ~size:128 ~kind:"x" (fun () -> ()) in
+  Alcotest.(check string) "pp" "x[1->2, 128B]"
+    (Format.asprintf "%a" Hw.Packet.pp p);
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Packet.make: negative size") (fun () ->
+      ignore (Hw.Packet.make ~src:0 ~dst:0 ~size:(-1) ~kind:"x" (fun () -> ())))
+
+let test_ethernet_traffic_by_kind () =
+  let e = Sim.Engine.create () in
+  let n = Hw.Ethernet.create ~engine:e () in
+  let send kind size =
+    ignore
+      (Hw.Ethernet.send n (Hw.Packet.make ~src:0 ~dst:1 ~size ~kind (fun () -> ())))
+  in
+  send "thread" 512;
+  send "thread" 512;
+  send "obj" 1000;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (list (triple string int int))) "breakdown"
+    [ ("obj", 1, 1000); ("thread", 2, 1024) ]
+    (Hw.Ethernet.traffic_by_kind n);
+  Hw.Ethernet.reset_stats n;
+  Alcotest.(check (list (triple string int int))) "reset" []
+    (Hw.Ethernet.traffic_by_kind n)
+
+(* Ethernet keeps virtual FIFO order even for different-size packets. *)
+let prop_ethernet_fifo =
+  QCheck.Test.make ~name:"ethernet delivers in submission order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 2000))
+    (fun sizes ->
+      let e = Sim.Engine.create () in
+      let n = Hw.Ethernet.create ~engine:e () in
+      let log = ref [] in
+      List.iteri
+        (fun i size ->
+          ignore
+            (Hw.Ethernet.send n
+               (Hw.Packet.make ~src:0 ~dst:1 ~size ~kind:"f" (fun () ->
+                    log := i :: !log))))
+        sizes;
+      ignore (Sim.Engine.run e : int);
+      List.rev !log = List.init (List.length sizes) Fun.id)
+
+let test_csma_idle_send_like_fifo () =
+  let e = Sim.Engine.create () in
+  let n = Hw.Ethernet.create ~engine:e ~mac:Hw.Ethernet.Csma_cd () in
+  let at = ref 0.0 in
+  ignore
+    (Hw.Ethernet.send n
+       (Hw.Packet.make ~src:0 ~dst:1 ~size:100 ~kind:"x" (fun () ->
+            at := Sim.Engine.now e)));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (float 1e-9)) "idle medium: normal latency"
+    (Hw.Ethernet.tx_time n ~size:100 +. 20e-6)
+    !at;
+  Alcotest.(check int) "no collisions" 0 (Hw.Ethernet.collisions n)
+
+let test_csma_simultaneous_senders_collide () =
+  let e = Sim.Engine.create () in
+  let n = Hw.Ethernet.create ~engine:e ~mac:Hw.Ethernet.Csma_cd () in
+  let delivered = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Hw.Ethernet.send n
+         (Hw.Packet.make ~src:i ~dst:9 ~size:200 ~kind:"burst" (fun () ->
+              incr delivered)))
+  done;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "all delivered despite collisions" 4 !delivered;
+  Alcotest.(check bool) "collisions happened" true
+    (Hw.Ethernet.collisions n > 0);
+  Alcotest.(check int) "each counted once" 4 (Hw.Ethernet.packets_sent n)
+
+let test_fifo_never_collides () =
+  let e = Sim.Engine.create () in
+  let n = Hw.Ethernet.create ~engine:e () in
+  for i = 0 to 9 do
+    ignore
+      (Hw.Ethernet.send n
+         (Hw.Packet.make ~src:i ~dst:0 ~size:500 ~kind:"x" (fun () -> ())))
+  done;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "zero collisions under fifo" 0
+    (Hw.Ethernet.collisions n)
+
+(* Conservation under random bursty CSMA/CD load: every packet delivered
+   exactly once, in bounded virtual time. *)
+let prop_csma_conservation =
+  QCheck.Test.make ~name:"CSMA/CD delivers every packet exactly once"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 25) (pair (int_range 0 400) (int_range 0 1400)))
+    (fun pkts ->
+      let e = Sim.Engine.create () in
+      let n = Hw.Ethernet.create ~engine:e ~mac:Hw.Ethernet.Csma_cd () in
+      let delivered = ref 0 in
+      List.iter
+        (fun (delay_us, size) ->
+          ignore
+            (Sim.Engine.schedule e
+               ~delay:(float_of_int delay_us *. 1e-6)
+               (fun () ->
+                 ignore
+                   (Hw.Ethernet.send n
+                      (Hw.Packet.make ~src:0 ~dst:1 ~size ~kind:"p"
+                         (fun () -> incr delivered))))))
+        pkts;
+      ignore (Sim.Engine.run e : int);
+      !delivered = List.length pkts
+      && Hw.Ethernet.packets_sent n = List.length pkts)
+
+let test_cluster_runs_under_csma () =
+  (* The whole Amber stack works over the collision-prone medium. *)
+  let cfg = Amber.Config.make ~nodes:4 ~cpus:2 () in
+  let cfg = { cfg with Amber.Config.ether_mac = Hw.Ethernet.Csma_cd } in
+  let v =
+    Amber.Cluster.run_value cfg (fun rt ->
+        let o = Amber.Api.create rt ~name:"o" (ref 0) in
+        Amber.Api.move_to rt o ~dest:2;
+        let ts =
+          List.init 6 (fun i ->
+              Amber.Api.start rt ~name:(string_of_int i) (fun () ->
+                  for _ = 1 to 5 do
+                    Amber.Api.invoke rt o (fun c -> incr c)
+                  done))
+        in
+        List.iter (fun t -> Amber.Api.join rt t) ts;
+        !(o.Amber.Aobject.state))
+  in
+  Alcotest.(check int) "all invocations landed" 30 v
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_work_conservation;
+    Alcotest.test_case "CSMA idle send" `Quick test_csma_idle_send_like_fifo;
+    Alcotest.test_case "CSMA simultaneous senders collide" `Quick
+      test_csma_simultaneous_senders_collide;
+    Alcotest.test_case "FIFO never collides" `Quick test_fifo_never_collides;
+    QCheck_alcotest.to_alcotest prop_csma_conservation;
+    Alcotest.test_case "Amber stack over CSMA/CD" `Quick
+      test_cluster_runs_under_csma;
+    Alcotest.test_case "busy cpus introspection" `Quick
+      test_busy_cpus_and_running;
+    Alcotest.test_case "spawn priority effective immediately" `Quick
+      test_spawn_priority_effective_at_first_dispatch;
+    Alcotest.test_case "packet pp and validation" `Quick
+      test_packet_pp_and_validation;
+    Alcotest.test_case "ethernet traffic by kind" `Quick
+      test_ethernet_traffic_by_kind;
+    QCheck_alcotest.to_alcotest prop_ethernet_fifo;
+  ]

@@ -1,0 +1,272 @@
+(* The invocation protocol: local fast path, remote trap + thread
+   migration, forwarding chains, return-time checks, co-residency. *)
+
+module A = Amber
+
+let test_local_invoke_returns_value () =
+  let v =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" (ref 10) in
+        A.Api.invoke rt o (fun r ->
+            incr r;
+            !r))
+  in
+  Alcotest.(check int) "value" 11 v
+
+let test_local_invoke_counted_and_cheap () =
+  let elapsed, counters =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        let t0 = A.Api.now rt in
+        for _ = 1 to 10 do
+          A.Api.invoke rt o (fun () -> ())
+        done;
+        ((A.Api.now rt -. t0) /. 10.0, A.Runtime.counters rt))
+  in
+  Alcotest.(check int) "10 local" 10 counters.A.Runtime.local_invocations;
+  Alcotest.(check bool) "12 us each" true
+    (Float.abs (elapsed -. 12e-6) < 1e-6)
+
+let test_remote_invoke_migrates_and_runs_there () =
+  let ran_on, back_home =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        A.Api.move_to rt o ~dest:2;
+        let home = A.Api.create rt ~name:"home" () in
+        A.Api.invoke rt home (fun () ->
+            let ran_on = A.Api.invoke rt o (fun () -> A.Api.my_node rt) in
+            (ran_on, A.Api.my_node rt)))
+  in
+  Alcotest.(check int) "operation ran at the object" 2 ran_on;
+  Alcotest.(check int) "thread returned to caller frame's node" 0 back_home
+
+let test_remote_invoke_costs_table1 () =
+  let per_call =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        A.Api.move_to rt o ~dest:1;
+        let home = A.Api.create rt ~name:"home" () in
+        A.Api.invoke rt home (fun () ->
+            let t0 = A.Api.now rt in
+            for _ = 1 to 5 do
+              A.Api.invoke rt o (fun () -> ())
+            done;
+            (A.Api.now rt -. t0) /. 5.0))
+  in
+  Alcotest.(check bool) "approx 8.3 ms" true
+    (per_call > 7.5e-3 && per_call < 9.2e-3)
+
+let test_thread_floats_without_enclosing_frame () =
+  (* No enclosing frame: after a remote invocation the thread stays on the
+     object's node (this is what makes repeated invocations cheap). *)
+  let final_node =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        A.Api.move_to rt o ~dest:3;
+        A.Api.invoke rt o (fun () -> ());
+        A.Api.my_node rt)
+  in
+  Alcotest.(check int) "stayed at the object" 3 final_node
+
+let test_forwarding_chain_followed () =
+  let v =
+    Util.run ~nodes:6 (fun rt ->
+        let o = A.Api.create rt ~name:"o" (ref 0) in
+        (* Build a chain by moving via a helper anchored on node 1 so the
+           main thread's node-0 descriptor goes stale. *)
+        let anchor = A.Api.create rt ~name:"anchor" () in
+        A.Api.move_to rt anchor ~dest:1;
+        let mover =
+          A.Api.start_invoke rt anchor (fun () ->
+              List.iter (fun d -> A.Api.move_to rt o ~dest:d) [ 2; 3; 4; 5 ])
+        in
+        A.Api.join rt mover;
+        A.Api.invoke rt o (fun r ->
+            incr r;
+            A.Api.my_node rt))
+  in
+  Alcotest.(check int) "found through the chain" 5 v
+
+let test_payload_adds_wire_time () =
+  let small, large =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        A.Api.move_to rt o ~dest:1;
+        let home = A.Api.create rt ~name:"home" () in
+        A.Api.invoke rt home (fun () ->
+            let t0 = A.Api.now rt in
+            A.Api.invoke rt o (fun () -> ());
+            let small = A.Api.now rt -. t0 in
+            let t1 = A.Api.now rt in
+            A.Api.invoke rt ~payload:20000 o (fun () -> ());
+            (small, A.Api.now rt -. t1)))
+  in
+  (* 20 kB at 10 Mbit/s adds ~16 ms of wire time one way. *)
+  Alcotest.(check bool) "payload costs wire time" true (large > small +. 10e-3)
+
+let test_nested_invocations () =
+  let result =
+    Util.run (fun rt ->
+        let a = A.Api.create rt ~name:"a" (ref 0) in
+        let b = A.Api.create rt ~name:"b" (ref 0) in
+        A.Api.move_to rt b ~dest:2;
+        A.Api.invoke rt a (fun ra ->
+            ra := 1;
+            A.Api.invoke rt b (fun rb ->
+                rb := 2;
+                !ra + !rb)))
+  in
+  Alcotest.(check int) "nested" 3 result
+
+let test_exception_propagates_with_return_migration () =
+  let caught =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        A.Api.move_to rt o ~dest:1;
+        let home = A.Api.create rt ~name:"home" () in
+        A.Api.invoke rt home (fun () ->
+            match A.Api.invoke rt o (fun () -> failwith "inside") with
+            | () -> "no exception"
+            | exception Failure m ->
+              (* We must be back at the caller's node even on the
+                 exception path. *)
+              if A.Api.my_node rt = 0 then m else "wrong node"))
+  in
+  Alcotest.(check string) "exception after return migration" "inside" caught
+
+let test_executing_within () =
+  let inside, outside =
+    Util.run (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        let inside = A.Invoke.invoke rt o (fun () -> A.Invoke.executing_within rt o) in
+        (inside, A.Invoke.executing_within rt o))
+  in
+  Alcotest.(check bool) "inside" true inside;
+  Alcotest.(check bool) "outside" false outside
+
+let test_immutable_replica_invoked_locally () =
+  let remote_count =
+    Util.run (fun rt ->
+        let table = A.Api.create rt ~name:"t" (ref 5) in
+        A.Api.set_immutable rt table;
+        A.Api.move_to rt table ~dest:2;
+        (* A thread anchored on node 2 invokes the replica: no migration. *)
+        let anchor = A.Api.create rt ~name:"anchor" () in
+        A.Api.move_to rt anchor ~dest:2;
+        let before = (A.Runtime.counters rt).A.Runtime.remote_invocations in
+        let t =
+          A.Api.start_invoke rt anchor (fun () ->
+              A.Api.invoke rt table (fun r -> !r))
+        in
+        let v = A.Api.join rt t in
+        Alcotest.(check int) "value readable" 5 v;
+        (A.Runtime.counters rt).A.Runtime.remote_invocations - before)
+  in
+  (* The anchor invocation is remote (thread travels to node 2) but the
+     table invocation must be local. *)
+  Alcotest.(check int) "only the anchor hop is remote" 1 remote_count
+
+let test_invoke_member_fast_path () =
+  let elapsed_member, elapsed_full =
+    Util.run (fun rt ->
+        let parent = A.Api.create rt ~name:"protected" (ref 0) in
+        let lock_like = A.Api.create rt ~name:"member-lock" (ref 0) in
+        A.Api.attach rt ~parent ~child:lock_like;
+        A.Api.invoke rt parent (fun _ ->
+            let t0 = A.Api.now rt in
+            for _ = 1 to 100 do
+              A.Invoke.invoke_member rt lock_like (fun c -> incr c)
+            done;
+            let member = A.Api.now rt -. t0 in
+            let t1 = A.Api.now rt in
+            for _ = 1 to 100 do
+              A.Api.invoke rt lock_like (fun c -> incr c)
+            done;
+            (member, A.Api.now rt -. t1)))
+  in
+  Alcotest.(check bool) "inline call markedly cheaper" true
+    (elapsed_member < elapsed_full /. 2.0)
+
+let test_invoke_member_requires_attachment () =
+  Util.run (fun rt ->
+      let parent = A.Api.create rt ~name:"p" () in
+      let stranger = A.Api.create rt ~name:"s" (ref 0) in
+      A.Api.invoke rt parent (fun () ->
+          match A.Invoke.invoke_member rt stranger (fun c -> incr c) with
+          | () -> Alcotest.fail "expected rejection"
+          | exception Invalid_argument _ -> ()))
+
+let test_invoke_member_requires_frame () =
+  Util.run (fun rt ->
+      let parent = A.Api.create rt ~name:"p" () in
+      let child = A.Api.create rt ~name:"c" (ref 0) in
+      A.Api.attach rt ~parent ~child;
+      (* Not executing within the parent: rejected. *)
+      match A.Invoke.invoke_member rt child (fun c -> incr c) with
+      | () -> Alcotest.fail "expected rejection"
+      | exception Invalid_argument _ -> ())
+
+let test_invoke_member_moves_with_closure () =
+  (* The member stays usable while the whole closure (and the bound
+     thread) migrates. *)
+  let final_node, count =
+    Util.run (fun rt ->
+        let parent = A.Api.create rt ~name:"p" () in
+        let child = A.Api.create rt ~name:"c" (ref 0) in
+        A.Api.attach rt ~parent ~child;
+        let t =
+          A.Api.start_invoke rt parent (fun () ->
+              for _ = 1 to 30 do
+                Sim.Fiber.consume 1e-3;
+                A.Invoke.invoke_member rt child (fun c -> incr c)
+              done;
+              A.Api.my_node rt)
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 8e-3;
+        A.Api.move_to rt parent ~dest:3;
+        let final = A.Api.join rt t in
+        (final, !(child.A.Aobject.state)))
+  in
+  Alcotest.(check int) "thread followed the closure" 3 final_node;
+  Alcotest.(check int) "no lost member calls" 30 count
+
+let test_invoke_outside_thread_rejected () =
+  let cfg = A.Config.make ~nodes:1 ~cpus:1 () in
+  let rt = A.Runtime.create cfg in
+  Alcotest.check_raises "no fiber"
+    (Failure "Runtime.current: caller is not an Amber thread") (fun () ->
+      ignore (A.Runtime.current rt))
+
+let suite =
+  [
+    Alcotest.test_case "local invoke returns value" `Quick
+      test_local_invoke_returns_value;
+    Alcotest.test_case "local invoke cost and counter" `Quick
+      test_local_invoke_counted_and_cheap;
+    Alcotest.test_case "remote invoke migrates the thread" `Quick
+      test_remote_invoke_migrates_and_runs_there;
+    Alcotest.test_case "remote invoke cost (Table 1)" `Quick
+      test_remote_invoke_costs_table1;
+    Alcotest.test_case "thread floats with empty stack" `Quick
+      test_thread_floats_without_enclosing_frame;
+    Alcotest.test_case "forwarding chain followed" `Quick
+      test_forwarding_chain_followed;
+    Alcotest.test_case "payload adds wire time" `Quick
+      test_payload_adds_wire_time;
+    Alcotest.test_case "nested invocations" `Quick test_nested_invocations;
+    Alcotest.test_case "exception path migrates back" `Quick
+      test_exception_propagates_with_return_migration;
+    Alcotest.test_case "executing_within" `Quick test_executing_within;
+    Alcotest.test_case "immutable replicas are local" `Quick
+      test_immutable_replica_invoked_locally;
+    Alcotest.test_case "invoke_member fast path (§3.6)" `Quick
+      test_invoke_member_fast_path;
+    Alcotest.test_case "invoke_member requires attachment" `Quick
+      test_invoke_member_requires_attachment;
+    Alcotest.test_case "invoke_member requires a frame" `Quick
+      test_invoke_member_requires_frame;
+    Alcotest.test_case "invoke_member under migration" `Quick
+      test_invoke_member_moves_with_closure;
+    Alcotest.test_case "invoke outside an Amber thread" `Quick
+      test_invoke_outside_thread_rejected;
+  ]

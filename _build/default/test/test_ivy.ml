@@ -1,0 +1,308 @@
+(* Ivy DSM: protocol unit tests plus a coherence oracle property. *)
+
+module A = Amber
+
+let with_dsm ?(nodes = 4) ?(pages = 8) body =
+  Util.run ~nodes (fun rt ->
+      let dsm = Ivy.Dsm.create rt ~pages () in
+      body rt dsm)
+
+(* Run [f] as a process pinned to [node] and wait for it. *)
+let on_node rt node f =
+  let p = Ivy.Process.spawn rt ~node ~name:"probe" f in
+  Ivy.Process.join p
+
+let test_initial_ownership () =
+  with_dsm (fun _rt dsm ->
+      (* Default distribution is round-robin. *)
+      Alcotest.(check int) "page 0" 0 (Ivy.Dsm.owner_of dsm 0);
+      Alcotest.(check int) "page 1" 1 (Ivy.Dsm.owner_of dsm 1);
+      Alcotest.(check int) "page 5" 1 (Ivy.Dsm.owner_of dsm 5))
+
+let test_owner_write_is_free () =
+  with_dsm (fun rt dsm ->
+      on_node rt 1 (fun () ->
+          (* Page 1 belongs to node 1: no faults. *)
+          Ivy.Dsm.write_f64 dsm 1024 3.5;
+          Alcotest.(check (float 0.0)) "read back" 3.5
+            (Ivy.Dsm.read_f64 dsm 1024));
+      let st = Ivy.Dsm.stats dsm in
+      Alcotest.(check int) "no faults" 0
+        (st.Ivy.Dsm.read_faults + st.Ivy.Dsm.write_faults))
+
+let test_read_fault_copies_page () =
+  with_dsm (fun rt dsm ->
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 1024 7.25);
+      on_node rt 2 (fun () ->
+          Alcotest.(check (float 0.0)) "remote read sees the data" 7.25
+            (Ivy.Dsm.read_f64 dsm 1024));
+      let st = Ivy.Dsm.stats dsm in
+      Alcotest.(check int) "one read fault" 1 st.Ivy.Dsm.read_faults;
+      Alcotest.(check int) "one transfer" 1 st.Ivy.Dsm.page_transfers;
+      (* Both nodes hold the page now. *)
+      Alcotest.(check bool) "reader has a copy" true
+        (List.mem 2 (Ivy.Dsm.holders dsm 1));
+      Alcotest.(check int) "owner unchanged" 1 (Ivy.Dsm.owner_of dsm 1))
+
+let test_write_fault_transfers_ownership () =
+  with_dsm (fun rt dsm ->
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 1024 1.0);
+      on_node rt 3 (fun () -> Ivy.Dsm.write_f64 dsm 1032 2.0);
+      Alcotest.(check int) "ownership moved" 3 (Ivy.Dsm.owner_of dsm 1);
+      (* Old owner's copy is gone. *)
+      Alcotest.(check bool) "old owner invalidated" false
+        (List.mem 1 (Ivy.Dsm.holders dsm 1));
+      on_node rt 3 (fun () ->
+          Alcotest.(check (float 0.0)) "new owner sees old data" 1.0
+            (Ivy.Dsm.read_f64 dsm 1024)))
+
+let test_write_invalidates_readers () =
+  with_dsm (fun rt dsm ->
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 1024 1.0);
+      on_node rt 0 (fun () -> ignore (Ivy.Dsm.read_f64 dsm 1024 : float));
+      on_node rt 2 (fun () -> ignore (Ivy.Dsm.read_f64 dsm 1024 : float));
+      Alcotest.(check int) "three holders" 3
+        (List.length (Ivy.Dsm.holders dsm 1));
+      on_node rt 3 (fun () -> Ivy.Dsm.write_f64 dsm 1024 9.0);
+      Alcotest.(check (list int)) "only the writer remains" [ 3 ]
+        (Ivy.Dsm.holders dsm 1);
+      let st = Ivy.Dsm.stats dsm in
+      Alcotest.(check bool) "invalidations sent" true
+        (st.Ivy.Dsm.invalidations >= 2);
+      on_node rt 0 (fun () ->
+          Alcotest.(check (float 0.0)) "readers refault and see new value" 9.0
+            (Ivy.Dsm.read_f64 dsm 1024)))
+
+let test_owner_upgrade () =
+  with_dsm (fun rt dsm ->
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 1024 1.0);
+      on_node rt 2 (fun () -> ignore (Ivy.Dsm.read_f64 dsm 1024 : float));
+      (* Owner writes again: upgrade in place, reader invalidated. *)
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 1024 2.0);
+      let st = Ivy.Dsm.stats dsm in
+      Alcotest.(check int) "upgrade counted" 1 st.Ivy.Dsm.upgrades;
+      Alcotest.(check int) "owner still 1" 1 (Ivy.Dsm.owner_of dsm 1);
+      Alcotest.(check (list int)) "reader gone" [ 1 ] (Ivy.Dsm.holders dsm 1))
+
+let test_owner_chain_chased () =
+  with_dsm (fun rt dsm ->
+      (* Bounce ownership around, then access from a node with stale
+         hints. *)
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 0 1.0);
+      on_node rt 2 (fun () -> Ivy.Dsm.write_f64 dsm 0 2.0);
+      on_node rt 3 (fun () -> Ivy.Dsm.write_f64 dsm 0 3.0);
+      on_node rt 1 (fun () ->
+          Alcotest.(check (float 0.0)) "found through chain" 3.0
+            (Ivy.Dsm.read_f64 dsm 0));
+      let st = Ivy.Dsm.stats dsm in
+      Alcotest.(check bool) "hints were chased" true
+        (st.Ivy.Dsm.forward_hops >= 1))
+
+let test_faults_cost_time () =
+  with_dsm (fun rt dsm ->
+      let elapsed =
+        on_node rt 2 (fun () ->
+            let e = A.Runtime.engine rt in
+            let t0 = Sim.Engine.now e in
+            ignore (Ivy.Dsm.read_f64 dsm 1024 : float);
+            Sim.Engine.now e -. t0)
+      in
+      Alcotest.(check bool) "multi-ms fault" true (elapsed > 1e-3))
+
+(* Coherence oracle: arbitrary interleavings of writes and reads from
+   arbitrary nodes, executed sequentially, must behave like one flat
+   array. *)
+let prop_coherence =
+  QCheck.Test.make ~name:"DSM linearizes to a flat memory" ~count:30
+    QCheck.(
+      list_of_size (Gen.int_range 1 40)
+        (triple (int_bound 3) (int_bound 31) (option (int_bound 255))))
+    (fun ops ->
+      let result =
+        Util.run ~nodes:4 (fun rt ->
+            let dsm = Ivy.Dsm.create rt ~pages:4 () in
+            let model = Array.make 32 0 in
+            let ok = ref true in
+            List.iter
+              (fun (node, slot, write) ->
+                on_node rt node (fun () ->
+                    let addr = slot * 8 in
+                    match write with
+                    | Some v ->
+                      Ivy.Dsm.write_u8 dsm addr v;
+                      model.(slot) <- v
+                    | None ->
+                      if Ivy.Dsm.read_u8 dsm addr <> model.(slot) then
+                        ok := false))
+              ops;
+            !ok)
+      in
+      result)
+
+(* Exactly one owner per page, always, after arbitrary traffic. *)
+let prop_single_owner =
+  QCheck.Test.make ~name:"single owner invariant" ~count:20
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (triple (int_bound 3) (int_bound 3) bool))
+    (fun ops ->
+      Util.run ~nodes:4 (fun rt ->
+          let dsm = Ivy.Dsm.create rt ~pages:4 () in
+          List.iter
+            (fun (node, page, is_write) ->
+              on_node rt node (fun () ->
+                  let addr = page * Ivy.Dsm.page_size dsm in
+                  if is_write then Ivy.Dsm.write_u8 dsm addr 1
+                  else ignore (Ivy.Dsm.read_u8 dsm addr : int)))
+            ops;
+          List.for_all
+            (fun page ->
+              match Ivy.Dsm.owner_of dsm page with
+              | _ -> true
+              | exception Failure _ -> false)
+            [ 0; 1; 2; 3 ]))
+
+let test_fixed_manager_basics () =
+  Util.run ~nodes:4 (fun rt ->
+      let dsm = Ivy.Dsm.create rt ~manager:Ivy.Dsm.Fixed ~pages:8 () in
+      on_node rt 1 (fun () -> Ivy.Dsm.write_f64 dsm 0 1.0);
+      on_node rt 2 (fun () -> Ivy.Dsm.write_f64 dsm 0 2.0);
+      on_node rt 3 (fun () ->
+          Alcotest.(check (float 0.0)) "reads latest" 2.0
+            (Ivy.Dsm.read_f64 dsm 0));
+      let st = Ivy.Dsm.stats dsm in
+      Alcotest.(check bool) "manager consulted" true
+        (st.Ivy.Dsm.manager_lookups >= 3);
+      Alcotest.(check int) "owner settled" 2 (Ivy.Dsm.owner_of dsm 0))
+
+let prop_fixed_manager_coherence =
+  QCheck.Test.make ~name:"fixed-manager DSM linearizes too" ~count:15
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (triple (int_bound 3) (int_bound 15) (option (int_bound 255))))
+    (fun ops ->
+      Util.run ~nodes:4 (fun rt ->
+          let dsm = Ivy.Dsm.create rt ~manager:Ivy.Dsm.Fixed ~pages:2 () in
+          let model = Array.make 16 0 in
+          let ok = ref true in
+          List.iter
+            (fun (node, slot, write) ->
+              on_node rt node (fun () ->
+                  let addr = slot * 8 in
+                  match write with
+                  | Some v ->
+                    Ivy.Dsm.write_u8 dsm addr v;
+                    model.(slot) <- v
+                  | None ->
+                    if Ivy.Dsm.read_u8 dsm addr <> model.(slot) then
+                      ok := false))
+            ops;
+          !ok))
+
+let test_sync_rpc_lock () =
+  let peak =
+    Util.run ~nodes:3 (fun rt ->
+        let lock = Ivy.Sync_rpc.Lock.create rt ~home:0 in
+        let inside = ref 0 and peak = ref 0 in
+        let procs =
+          List.init 3 (fun node ->
+              Ivy.Process.spawn rt ~node ~name:(string_of_int node) (fun () ->
+                  for _ = 1 to 3 do
+                    Ivy.Sync_rpc.Lock.with_lock lock (fun () ->
+                        incr inside;
+                        if !inside > !peak then peak := !inside;
+                        Sim.Fiber.consume 1e-3;
+                        decr inside)
+                  done))
+        in
+        List.iter (fun p -> Ivy.Process.join p) procs;
+        !peak)
+  in
+  Alcotest.(check int) "rpc lock excludes" 1 peak
+
+let test_sync_rpc_barrier () =
+  let after =
+    Util.run ~nodes:3 (fun rt ->
+        let b = Ivy.Sync_rpc.Barrier.create rt ~home:0 ~parties:3 in
+        let released = ref 0 in
+        let procs =
+          List.init 3 (fun node ->
+              Ivy.Process.spawn rt ~node ~name:(string_of_int node) (fun () ->
+                  Sim.Fiber.consume (float_of_int node *. 1e-3);
+                  Ivy.Sync_rpc.Barrier.pass b;
+                  incr released))
+        in
+        List.iter (fun p -> Ivy.Process.join p) procs;
+        !released)
+  in
+  Alcotest.(check int) "all released" 3 after
+
+let test_sync_dsm_lock_thrashes () =
+  let transfers, peak =
+    Util.run ~nodes:2 (fun rt ->
+        let dsm = Ivy.Dsm.create rt ~pages:1 () in
+        let lock = ref None in
+        (* Create the lock from node 0 (owner of page 0). *)
+        on_node rt 0 (fun () ->
+            lock := Some (Ivy.Sync_dsm.Lock.create dsm ~addr:0));
+        let lock = Option.get !lock in
+        let inside = ref 0 and peak = ref 0 in
+        let procs =
+          List.init 2 (fun node ->
+              Ivy.Process.spawn rt ~node ~name:(string_of_int node) (fun () ->
+                  for _ = 1 to 4 do
+                    Ivy.Sync_dsm.Lock.with_lock lock (fun () ->
+                        incr inside;
+                        if !inside > !peak then peak := !inside;
+                        Sim.Fiber.consume 1e-3;
+                        decr inside);
+                    (* Think time between sections, so both nodes keep
+                       contending and the lock page ping-pongs. *)
+                    Sim.Fiber.consume 3e-3
+                  done))
+        in
+        List.iter (fun p -> Ivy.Process.join p) procs;
+        ((Ivy.Dsm.stats dsm).Ivy.Dsm.page_transfers, !peak))
+  in
+  Alcotest.(check int) "still a correct lock" 1 peak;
+  (* The whole point: the lock page ping-pongs. *)
+  Alcotest.(check bool) "page ping-pong" true (transfers >= 6)
+
+let test_process_migrate () =
+  let nodes_seen =
+    Util.run ~nodes:3 (fun rt ->
+        let p =
+          Ivy.Process.spawn rt ~node:0 ~name:"nomad" (fun () ->
+              let a = Hw.Machine.id (Hw.Machine.self_machine ()) in
+              Ivy.Process.migrate rt ~dest:2 ();
+              let b = Hw.Machine.id (Hw.Machine.self_machine ()) in
+              (a, b))
+        in
+        Ivy.Process.join p)
+  in
+  Alcotest.(check (pair int int)) "explicit migration" (0, 2) nodes_seen
+
+let suite =
+  [
+    Alcotest.test_case "initial ownership" `Quick test_initial_ownership;
+    Alcotest.test_case "owner access is free" `Quick test_owner_write_is_free;
+    Alcotest.test_case "read fault copies the page" `Quick
+      test_read_fault_copies_page;
+    Alcotest.test_case "write fault transfers ownership" `Quick
+      test_write_fault_transfers_ownership;
+    Alcotest.test_case "writes invalidate readers" `Quick
+      test_write_invalidates_readers;
+    Alcotest.test_case "owner upgrade" `Quick test_owner_upgrade;
+    Alcotest.test_case "owner chain chased" `Quick test_owner_chain_chased;
+    Alcotest.test_case "faults cost virtual time" `Quick test_faults_cost_time;
+    QCheck_alcotest.to_alcotest prop_coherence;
+    QCheck_alcotest.to_alcotest prop_single_owner;
+    Alcotest.test_case "fixed manager basics" `Quick
+      test_fixed_manager_basics;
+    QCheck_alcotest.to_alcotest prop_fixed_manager_coherence;
+    Alcotest.test_case "RPC lock" `Quick test_sync_rpc_lock;
+    Alcotest.test_case "RPC barrier" `Quick test_sync_rpc_barrier;
+    Alcotest.test_case "DSM lock thrashes (§4.1)" `Quick
+      test_sync_dsm_lock_thrashes;
+    Alcotest.test_case "explicit process migration" `Quick test_process_migrate;
+  ]

@@ -1,0 +1,243 @@
+(* The multiprocessor node model: parallelism, timeslicing, preemption,
+   blocking, the on_resume hook, and cross-machine transfer. *)
+
+let make ?(cpus = 2) ?(quantum = 0.1) ?(ctx_switch = 0.0) ?(preempt_cost = 0.0)
+    () =
+  let e = Sim.Engine.create () in
+  let m =
+    Hw.Machine.create ~engine:e ~id:0 ~cpus ~ctx_switch ~quantum ~preempt_cost
+      ()
+  in
+  (e, m)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_single_thread_consumes () =
+  let e, m = make () in
+  let t = Hw.Machine.spawn m ~name:"t" (fun () -> Sim.Fiber.consume 1.0) in
+  ignore (Sim.Engine.run e);
+  feq "virtual time" 1.0 (Sim.Engine.now e);
+  feq "thread cpu time" 1.0 (Hw.Machine.cpu_time t)
+
+let test_parallelism_on_p_cpus () =
+  (* 4 threads x 1s on 2 CPUs => makespan 2s. *)
+  let e, m = make ~cpus:2 () in
+  for i = 0 to 3 do
+    ignore
+      (Hw.Machine.spawn m ~name:(string_of_int i) (fun () ->
+           Sim.Fiber.consume 1.0))
+  done;
+  ignore (Sim.Engine.run e);
+  feq "makespan" 2.0 (Sim.Engine.now e);
+  feq "busy time" 4.0 (Hw.Machine.total_busy_time m)
+
+let test_timeslicing_interleaves () =
+  (* 2 threads, 1 CPU, quantum 0.1: each gets slices; both finish at 2.0,
+     and neither finishes before 1.0 could possibly allow. *)
+  let e, m = make ~cpus:1 ~quantum:0.1 () in
+  let done_at = Array.make 2 0.0 in
+  for i = 0 to 1 do
+    let t =
+      Hw.Machine.spawn m ~name:(string_of_int i) (fun () ->
+          Sim.Fiber.consume 1.0)
+    in
+    Hw.Machine.on_finish t (fun _ -> done_at.(i) <- Sim.Engine.now e)
+  done;
+  ignore (Sim.Engine.run e);
+  feq "total" 2.0 (Sim.Engine.now e);
+  (* With timeslicing both threads finish near the end, not one at 1.0. *)
+  Alcotest.(check bool) "first did not hog the cpu" true (done_at.(0) > 1.5)
+
+let test_no_preemption_when_alone () =
+  let e, m = make ~cpus:1 ~quantum:0.1 () in
+  ignore (Hw.Machine.spawn m ~name:"solo" (fun () -> Sim.Fiber.consume 1.0));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "no preemptions" 0 (Hw.Machine.preemption_count m)
+
+let test_yield_round_robin () =
+  let e, m = make ~cpus:1 () in
+  let log = ref [] in
+  for i = 0 to 1 do
+    ignore
+      (Hw.Machine.spawn m ~name:(string_of_int i) (fun () ->
+           for _ = 1 to 3 do
+             log := i :: !log;
+             Sim.Fiber.yield ()
+           done))
+  done;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (list int)) "alternation" [ 0; 1; 0; 1; 0; 1 ]
+    (List.rev !log)
+
+let test_block_and_wake () =
+  let e, m = make () in
+  let waker = ref None in
+  let t =
+    Hw.Machine.spawn m ~name:"sleeper" (fun () ->
+        Sim.Fiber.block (fun wake -> waker := Some wake);
+        Sim.Fiber.consume 0.5)
+  in
+  ignore (Sim.Engine.run e);
+  Alcotest.(check bool) "blocked" true (Hw.Machine.state t = Hw.Machine.Blocked);
+  (match !waker with Some w -> w () | None -> Alcotest.fail "no waker");
+  ignore (Sim.Engine.run e);
+  Alcotest.(check bool) "finished" true
+    (match Hw.Machine.state t with Hw.Machine.Finished _ -> true | _ -> false)
+
+let test_wake_via_machine_api () =
+  let e, m = make () in
+  let t =
+    Hw.Machine.spawn m ~name:"s" (fun () -> Sim.Fiber.block (fun _ -> ()))
+  in
+  ignore (Sim.Engine.run e);
+  Hw.Machine.wake t;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check bool) "done" true
+    (match Hw.Machine.state t with Hw.Machine.Finished _ -> true | _ -> false)
+
+let test_ctx_switch_charged () =
+  let e, m = make ~cpus:1 ~ctx_switch:0.01 () in
+  ignore (Hw.Machine.spawn m ~name:"t" (fun () -> Sim.Fiber.consume 1.0));
+  ignore (Sim.Engine.run e);
+  feq "dispatch cost added" 1.01 (Sim.Engine.now e)
+
+let test_preempt_all () =
+  let e, m = make ~cpus:2 ~quantum:10.0 ~preempt_cost:0.05 () in
+  ignore (Hw.Machine.spawn m ~name:"a" (fun () -> Sim.Fiber.consume 1.0));
+  ignore (Hw.Machine.spawn m ~name:"b" (fun () -> Sim.Fiber.consume 1.0));
+  ignore (Sim.Engine.run ~until:0.5 e);
+  let n = Hw.Machine.preempt_all m in
+  Alcotest.(check int) "both preempted" 2 n;
+  ignore (Sim.Engine.run e);
+  (* Each thread: 1.0 of work + 0.05 preempt penalty. *)
+  feq "work conserved with penalty" 2.1 (Hw.Machine.total_busy_time m)
+
+let test_preempt_all_except () =
+  let e, m = make ~cpus:2 ~quantum:10.0 () in
+  let a = Hw.Machine.spawn m ~name:"a" (fun () -> Sim.Fiber.consume 1.0) in
+  ignore (Hw.Machine.spawn m ~name:"b" (fun () -> Sim.Fiber.consume 1.0));
+  ignore (Sim.Engine.run ~until:0.5 e);
+  let n = Hw.Machine.preempt_all ~except:a m in
+  Alcotest.(check int) "one preempted" 1 n;
+  ignore (Sim.Engine.run e)
+
+let test_on_resume_hook_runs () =
+  let e, m = make ~cpus:1 () in
+  let hook_calls = ref 0 in
+  let t = Hw.Machine.spawn m ~name:"h" (fun () -> Sim.Fiber.consume 0.2) in
+  Hw.Machine.set_on_resume t
+    (Some
+       (fun _ ->
+         incr hook_calls;
+         true));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "hook ran once (single dispatch)" 1 !hook_calls
+
+let test_on_resume_hook_can_divert () =
+  (* Hook parks the thread on its first dispatch; we then wake it and let
+     it run. *)
+  let e, m = make ~cpus:1 () in
+  let diverted = ref false in
+  let ran = ref false in
+  let t = Hw.Machine.spawn m ~name:"d" (fun () -> ran := true) in
+  Hw.Machine.set_on_resume t
+    (Some
+       (fun tcb ->
+         if !diverted then true
+         else begin
+           diverted := true;
+           Hw.Machine.park tcb;
+           false
+         end));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check bool) "not yet run" false !ran;
+  Alcotest.(check bool) "parked" true (Hw.Machine.state t = Hw.Machine.Blocked);
+  Hw.Machine.wake t;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check bool) "ran after wake" true !ran
+
+let test_transfer () =
+  let e = Sim.Engine.create () in
+  let m0 = Hw.Machine.create ~engine:e ~id:0 ~cpus:1 () in
+  let m1 = Hw.Machine.create ~engine:e ~id:1 ~cpus:1 () in
+  let where = ref (-1) in
+  let t =
+    Hw.Machine.spawn m0 ~name:"mover" (fun () ->
+        Sim.Fiber.block (fun _ -> ());
+        Sim.Fiber.consume 0.1)
+  in
+  Hw.Machine.on_finish t (fun _ -> where := Hw.Machine.id (Hw.Machine.home t));
+  ignore (Sim.Engine.run e);
+  Hw.Machine.transfer t ~dest:m1;
+  Hw.Machine.wake t;
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "finished on node 1" 1 !where;
+  Alcotest.(check bool) "work charged to m1" true
+    (Hw.Machine.total_busy_time m1 > 0.0)
+
+let test_transfer_running_rejected () =
+  let e, m = make () in
+  let t = Hw.Machine.spawn m ~name:"r" (fun () -> Sim.Fiber.consume 1.0) in
+  ignore (Sim.Engine.run ~until:0.5 e);
+  Alcotest.check_raises "running"
+    (Invalid_argument "Machine.transfer: thread must be blocked") (fun () ->
+      Hw.Machine.transfer t ~dest:m)
+
+let test_failure_recorded () =
+  let e, m = make () in
+  ignore (Hw.Machine.spawn m ~name:"f" (fun () -> failwith "dead"));
+  ignore (Sim.Engine.run e);
+  match Hw.Machine.failures m with
+  | [ (_, Failure msg) ] when msg = "dead" -> ()
+  | _ -> Alcotest.fail "expected one failure"
+
+let test_set_policy_drains () =
+  let e, m = make ~cpus:1 () in
+  let log = ref [] in
+  (* Fill the queue while the cpu is busy. *)
+  ignore (Hw.Machine.spawn m ~name:"busy" (fun () -> Sim.Fiber.consume 1.0));
+  ignore (Sim.Engine.run ~until:0.1 e);
+  for i = 0 to 2 do
+    ignore (Hw.Machine.spawn m ~name:(string_of_int i) (fun () -> log := i :: !log))
+  done;
+  Hw.Machine.set_policy m (Hw.Sched_policy.lifo ());
+  Alcotest.(check string) "policy name" "lifo" (Hw.Machine.policy_name m);
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "all ran" 3 (List.length !log)
+
+let test_pending_work () =
+  let e, m = make ~cpus:1 () in
+  let t = Hw.Machine.spawn m ~name:"p" (fun () -> Sim.Fiber.block (fun _ -> ())) in
+  ignore (Sim.Engine.run e);
+  Hw.Machine.add_pending_work t 0.3;
+  Hw.Machine.wake t;
+  ignore (Sim.Engine.run e);
+  feq "pending work charged" 0.3 (Hw.Machine.cpu_time t)
+
+let suite =
+  [
+    Alcotest.test_case "single thread consumes" `Quick
+      test_single_thread_consumes;
+    Alcotest.test_case "P-way parallelism" `Quick test_parallelism_on_p_cpus;
+    Alcotest.test_case "timeslicing interleaves" `Quick
+      test_timeslicing_interleaves;
+    Alcotest.test_case "no preemption when alone" `Quick
+      test_no_preemption_when_alone;
+    Alcotest.test_case "yield round-robin" `Quick test_yield_round_robin;
+    Alcotest.test_case "block and wake" `Quick test_block_and_wake;
+    Alcotest.test_case "machine wake API" `Quick test_wake_via_machine_api;
+    Alcotest.test_case "context-switch cost" `Quick test_ctx_switch_charged;
+    Alcotest.test_case "preempt_all conserves work" `Quick test_preempt_all;
+    Alcotest.test_case "preempt_all except" `Quick test_preempt_all_except;
+    Alcotest.test_case "on_resume hook runs" `Quick test_on_resume_hook_runs;
+    Alcotest.test_case "on_resume hook can divert" `Quick
+      test_on_resume_hook_can_divert;
+    Alcotest.test_case "transfer re-homes a thread" `Quick test_transfer;
+    Alcotest.test_case "transfer of running thread rejected" `Quick
+      test_transfer_running_rejected;
+    Alcotest.test_case "failures recorded" `Quick test_failure_recorded;
+    Alcotest.test_case "policy replacement drains queue" `Quick
+      test_set_policy_drains;
+    Alcotest.test_case "pending work charged before resume" `Quick
+      test_pending_work;
+  ]

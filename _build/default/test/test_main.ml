@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "amber"
+    [
+      ("sim.event_queue", Test_event_queue.suite);
+      ("sim.engine", Test_engine.suite);
+      ("sim.rng", Test_rng.suite);
+      ("sim.stats", Test_stats.suite);
+      ("sim.trace", Test_trace.suite);
+      ("sim.fiber", Test_fiber.suite);
+      ("hw.sched_policy", Test_sched_policy.suite);
+      ("hw.machine", Test_machine.suite);
+      ("hw.ethernet", Test_ethernet.suite);
+      ("hw.extra", Test_hw_extra.suite);
+      ("topaz.vm", Test_vm.suite);
+      ("topaz.rpc", Test_rpc.suite);
+      ("topaz.misc", Test_topaz_misc.suite);
+      ("vaspace", Test_vaspace.suite);
+      ("vaspace.heap", Test_heap.suite);
+      ("amber.descriptor", Test_descriptor.suite);
+      ("amber.aobject", Test_aobject.suite);
+      ("amber.runtime", Test_runtime.suite);
+      ("amber.invoke", Test_invoke.suite);
+      ("amber.mobility", Test_mobility.suite);
+      ("amber.sync", Test_sync.suite);
+      ("amber.athread", Test_athread.suite);
+      ("amber.table1", Test_table1.suite);
+      ("amber.placement", Test_placement.suite);
+      ("amber.darray", Test_darray.suite);
+      ("amber.audit", Test_audit.suite);
+      ("amber.stats_report", Test_stats_report.suite);
+      ("amber.config", Test_config.suite);
+      ("amber.stress", Test_stress.suite);
+      ("ivy", Test_ivy.suite);
+      ("ivy.extra", Test_ivy_extra.suite);
+      ("workloads", Test_workloads.suite);
+      ("workloads.tsp", Test_tsp.suite);
+    ]

@@ -1,0 +1,95 @@
+(* Placement policies and the distribution driver. *)
+
+module A = Amber
+
+let test_round_robin () =
+  Util.run ~nodes:3 (fun rt ->
+      let p = A.Placement.round_robin rt in
+      Alcotest.(check string) "name" "round-robin" (A.Placement.name p);
+      Alcotest.(check (list int)) "cycle" [ 0; 1; 2; 0; 1 ]
+        (List.init 5 (fun i -> A.Placement.assign p ~i ~count:5)))
+
+let test_blocked () =
+  Util.run ~nodes:2 (fun rt ->
+      let p = A.Placement.blocked rt in
+      Alcotest.(check (list int)) "halves" [ 0; 0; 1; 1 ]
+        (List.init 4 (fun i -> A.Placement.assign p ~i ~count:4)))
+
+let test_pinned () =
+  Util.run ~nodes:4 (fun rt ->
+      ignore rt;
+      let p = A.Placement.pinned ~node:2 in
+      Alcotest.(check (list int)) "all pinned" [ 2; 2; 2 ]
+        (List.init 3 (fun i -> A.Placement.assign p ~i ~count:3)))
+
+let test_random_in_range_and_deterministic () =
+  let draws1 =
+    Util.run ~nodes:4 (fun rt ->
+        let p = A.Placement.random rt in
+        List.init 20 (fun i -> A.Placement.assign p ~i ~count:20))
+  in
+  let draws2 =
+    Util.run ~nodes:4 (fun rt ->
+        let p = A.Placement.random rt in
+        List.init 20 (fun i -> A.Placement.assign p ~i ~count:20))
+  in
+  Alcotest.(check bool) "in range" true
+    (List.for_all (fun n -> n >= 0 && n < 4) draws1);
+  Alcotest.(check (list int)) "same seed, same draws" draws1 draws2
+
+let test_least_loaded_prefers_idle () =
+  Util.run ~nodes:3 (fun rt ->
+      (* Burn CPU on nodes 0 and 1 so node 2 is the least loaded. *)
+      let busy node =
+        let a = A.Api.create rt ~name:"a" () in
+        A.Api.move_to rt a ~dest:node;
+        A.Api.start_invoke rt a (fun () -> Sim.Fiber.consume 50e-3)
+      in
+      let t0 = busy 0 and t1 = busy 1 in
+      A.Api.join rt t0;
+      A.Api.join rt t1;
+      let p = A.Placement.least_loaded rt in
+      Alcotest.(check int) "picks node 2" 2
+        (A.Placement.assign p ~i:0 ~count:1))
+
+let test_distribute_moves_objects () =
+  Util.run ~nodes:3 (fun rt ->
+      let objs =
+        Array.init 6 (fun i -> A.Api.create rt ~name:(string_of_int i) ())
+      in
+      A.Placement.distribute rt (A.Placement.round_robin rt) objs;
+      Array.iteri
+        (fun i o ->
+          Alcotest.(check int)
+            (Printf.sprintf "obj %d" i)
+            (i mod 3) o.A.Aobject.location)
+        objs)
+
+let test_distribute_rejects_bad_policy () =
+  Util.run ~nodes:2 (fun rt ->
+      let objs = [| A.Api.create rt ~name:"x" () |] in
+      let bad = A.Placement.custom ~name:"bad" (fun ~i:_ ~count:_ -> 99) in
+      Alcotest.check_raises "out of range"
+        (Invalid_argument "Placement.distribute: assignment outside the cluster")
+        (fun () -> A.Placement.distribute rt bad objs))
+
+let test_histogram () =
+  Util.run ~nodes:4 (fun rt ->
+      let h = A.Placement.histogram rt (A.Placement.round_robin rt) ~count:10 in
+      Alcotest.(check (array int)) "balanced" [| 3; 3; 2; 2 |] h)
+
+let suite =
+  [
+    Alcotest.test_case "round robin" `Quick test_round_robin;
+    Alcotest.test_case "blocked" `Quick test_blocked;
+    Alcotest.test_case "pinned" `Quick test_pinned;
+    Alcotest.test_case "random is bounded and deterministic" `Quick
+      test_random_in_range_and_deterministic;
+    Alcotest.test_case "least-loaded prefers the idle node" `Quick
+      test_least_loaded_prefers_idle;
+    Alcotest.test_case "distribute moves objects" `Quick
+      test_distribute_moves_objects;
+    Alcotest.test_case "distribute validates assignments" `Quick
+      test_distribute_rejects_bad_policy;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+  ]

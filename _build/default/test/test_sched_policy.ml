@@ -1,0 +1,71 @@
+(* Scheduling disciplines. *)
+
+let drain pol =
+  let rec go acc =
+    match pol.Hw.Sched_policy.dequeue () with
+    | None -> List.rev acc
+    | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_fifo () =
+  let p = Hw.Sched_policy.fifo () in
+  List.iter p.Hw.Sched_policy.enqueue [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (drain p)
+
+let test_fifo_interleaved () =
+  let p = Hw.Sched_policy.fifo () in
+  p.Hw.Sched_policy.enqueue 1;
+  p.Hw.Sched_policy.enqueue 2;
+  Alcotest.(check (option int)) "1" (Some 1) (p.Hw.Sched_policy.dequeue ());
+  p.Hw.Sched_policy.enqueue 3;
+  Alcotest.(check (option int)) "2" (Some 2) (p.Hw.Sched_policy.dequeue ());
+  Alcotest.(check (option int)) "3" (Some 3) (p.Hw.Sched_policy.dequeue ())
+
+let test_lifo () =
+  let p = Hw.Sched_policy.lifo () in
+  List.iter p.Hw.Sched_policy.enqueue [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "lifo" [ 3; 2; 1 ] (drain p)
+
+let test_priority () =
+  let p = Hw.Sched_policy.by_priority ~priority_of:fst () in
+  List.iter p.Hw.Sched_policy.enqueue
+    [ (1, "low"); (5, "high"); (3, "mid"); (5, "high2") ];
+  Alcotest.(check (list string)) "priority order with FIFO ties"
+    [ "high"; "high2"; "mid"; "low" ]
+    (List.map snd (drain p))
+
+let test_remove () =
+  let p = Hw.Sched_policy.fifo () in
+  List.iter p.Hw.Sched_policy.enqueue [ 1; 2; 3; 4 ];
+  let removed = p.Hw.Sched_policy.remove (fun x -> x mod 2 = 0) in
+  Alcotest.(check int) "two removed" 2 removed;
+  Alcotest.(check (list int)) "odds remain in order" [ 1; 3 ] (drain p)
+
+let test_length () =
+  let p = Hw.Sched_policy.lifo () in
+  Alcotest.(check int) "empty" 0 (p.Hw.Sched_policy.length ());
+  p.Hw.Sched_policy.enqueue 1;
+  p.Hw.Sched_policy.enqueue 2;
+  Alcotest.(check int) "two" 2 (p.Hw.Sched_policy.length ());
+  ignore (p.Hw.Sched_policy.dequeue ());
+  Alcotest.(check int) "one" 1 (p.Hw.Sched_policy.length ())
+
+let prop_fifo_order =
+  QCheck.Test.make ~name:"fifo preserves order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let p = Hw.Sched_policy.fifo () in
+      List.iter p.Hw.Sched_policy.enqueue xs;
+      drain p = xs)
+
+let suite =
+  [
+    Alcotest.test_case "fifo" `Quick test_fifo;
+    Alcotest.test_case "fifo interleaved" `Quick test_fifo_interleaved;
+    Alcotest.test_case "lifo" `Quick test_lifo;
+    Alcotest.test_case "priority with FIFO ties" `Quick test_priority;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "length" `Quick test_length;
+    QCheck_alcotest.to_alcotest prop_fifo_order;
+  ]

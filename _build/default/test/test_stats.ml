@@ -1,0 +1,85 @@
+(* Stats accumulators against closed-form oracles. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_summary_basic () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Sim.Stats.Summary.count s);
+  feq "mean" 2.5 (Sim.Stats.Summary.mean s);
+  feq "variance" 1.25 (Sim.Stats.Summary.variance s);
+  feq "min" 1.0 (Sim.Stats.Summary.min s);
+  feq "max" 4.0 (Sim.Stats.Summary.max s);
+  feq "total" 10.0 (Sim.Stats.Summary.total s)
+
+let test_summary_single () =
+  let s = Sim.Stats.Summary.create () in
+  Sim.Stats.Summary.add s 7.0;
+  feq "mean" 7.0 (Sim.Stats.Summary.mean s);
+  feq "variance is 0" 0.0 (Sim.Stats.Summary.variance s)
+
+let test_percentiles () =
+  let s = Sim.Stats.Summary.create () in
+  for i = 1 to 100 do
+    Sim.Stats.Summary.add s (float_of_int i)
+  done;
+  feq "p50" 50.0 (Sim.Stats.Summary.percentile s 50.0);
+  feq "p100" 100.0 (Sim.Stats.Summary.percentile s 100.0);
+  feq "p1" 1.0 (Sim.Stats.Summary.percentile s 1.0)
+
+let test_percentile_interleaved_with_add () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 5.0; 1.0 ];
+  feq "p100 before" 5.0 (Sim.Stats.Summary.percentile s 100.0);
+  Sim.Stats.Summary.add s 9.0;
+  feq "p100 after" 9.0 (Sim.Stats.Summary.percentile s 100.0)
+
+let test_percentile_empty_raises () =
+  let s = Sim.Stats.Summary.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.percentile: empty")
+    (fun () -> ignore (Sim.Stats.Summary.percentile s 50.0))
+
+let prop_mean_matches_naive =
+  QCheck.Test.make ~name:"streaming mean equals naive mean" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_bound_inclusive 1e6))
+    (fun xs ->
+      let s = Sim.Stats.Summary.create () in
+      List.iter (Sim.Stats.Summary.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Sim.Stats.Summary.mean s -. naive)
+      <= 1e-6 *. (1.0 +. Float.abs naive))
+
+let test_histogram_buckets () =
+  let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  List.iter (Sim.Stats.Histogram.add h) [ 0.5; 1.0; 3.0; 9.9; -1.0; 10.0 ];
+  Alcotest.(check int) "count" 6 (Sim.Stats.Histogram.count h);
+  Alcotest.(check int) "under" 1 (Sim.Stats.Histogram.underflow h);
+  Alcotest.(check int) "over" 1 (Sim.Stats.Histogram.overflow h);
+  Alcotest.(check (array int)) "buckets" [| 2; 1; 0; 0; 1 |]
+    (Sim.Stats.Histogram.bucket_counts h)
+
+let test_histogram_bounds () =
+  let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let lo, hi = Sim.Stats.Histogram.bucket_bounds h 2 in
+  feq "lo" 4.0 lo;
+  feq "hi" 6.0 hi
+
+let test_histogram_bad_args () =
+  Alcotest.check_raises "buckets" (Invalid_argument "Histogram.create: buckets")
+    (fun () ->
+      ignore (Sim.Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0))
+
+let suite =
+  [
+    Alcotest.test_case "summary basics" `Quick test_summary_basic;
+    Alcotest.test_case "single sample" `Quick test_summary_single;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "percentile after more adds" `Quick
+      test_percentile_interleaved_with_add;
+    Alcotest.test_case "empty percentile raises" `Quick
+      test_percentile_empty_raises;
+    QCheck_alcotest.to_alcotest prop_mean_matches_naive;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram bucket bounds" `Quick test_histogram_bounds;
+    Alcotest.test_case "histogram bad args" `Quick test_histogram_bad_args;
+  ]

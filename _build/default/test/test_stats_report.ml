@@ -1,0 +1,62 @@
+(* Stats-report capture. *)
+
+module A = Amber
+
+let capture_after body =
+  Util.run ~nodes:2 ~cpus:2 (fun rt ->
+      body rt;
+      A.Stats_report.capture rt)
+
+let test_capture_basics () =
+  let r =
+    capture_after (fun rt ->
+        let o = A.Api.create rt ~name:"o" () in
+        A.Api.move_to rt o ~dest:1;
+        A.Api.invoke rt o (fun () -> Sim.Fiber.consume 10e-3))
+  in
+  Alcotest.(check int) "two nodes" 2 (Array.length r.A.Stats_report.nodes);
+  Alcotest.(check bool) "elapsed positive" true (r.A.Stats_report.elapsed > 0.0);
+  Alcotest.(check bool) "node1 did work" true
+    (r.A.Stats_report.nodes.(1).A.Stats_report.cpu_busy > 0.0);
+  Alcotest.(check bool) "packets counted" true (r.A.Stats_report.packets > 0);
+  Alcotest.(check bool) "net utilization sane" true
+    (r.A.Stats_report.net_utilization >= 0.0
+    && r.A.Stats_report.net_utilization <= 1.0)
+
+let test_utilization_bounds () =
+  let r =
+    capture_after (fun rt ->
+        let ts =
+          List.init 4 (fun _ -> A.Api.start rt (fun () -> Sim.Fiber.consume 20e-3))
+        in
+        List.iter (fun t -> A.Api.join rt t) ts)
+  in
+  Array.iter
+    (fun n ->
+      Alcotest.(check bool) "0 <= util <= 1" true
+        (n.A.Stats_report.utilization >= 0.0
+        && n.A.Stats_report.utilization <= 1.0))
+    r.A.Stats_report.nodes
+
+let test_heap_accounting_visible () =
+  let r =
+    capture_after (fun rt ->
+        for i = 1 to 5 do
+          ignore (A.Api.create rt ~name:(string_of_int i) () : unit A.Aobject.t)
+        done)
+  in
+  Alcotest.(check bool) "live objects counted" true
+    (r.A.Stats_report.nodes.(0).A.Stats_report.heap_live_blocks >= 5)
+
+let test_pp_does_not_raise () =
+  let r = capture_after (fun _rt -> ()) in
+  let s = Format.asprintf "%a" A.Stats_report.pp r in
+  Alcotest.(check bool) "non-empty output" true (String.length s > 50)
+
+let suite =
+  [
+    Alcotest.test_case "capture basics" `Quick test_capture_basics;
+    Alcotest.test_case "utilization bounded" `Quick test_utilization_bounds;
+    Alcotest.test_case "heap accounting" `Quick test_heap_accounting_visible;
+    Alcotest.test_case "pretty printer" `Quick test_pp_does_not_raise;
+  ]

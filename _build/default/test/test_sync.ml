@@ -1,0 +1,335 @@
+(* Synchronization objects: exclusion, fairness, barriers, conditions,
+   monitors, and their mobility. *)
+
+module A = Amber
+
+let test_lock_mutual_exclusion () =
+  let max_inside =
+    Util.run (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        let inside = ref 0 and peak = ref 0 in
+        let threads =
+          List.init 8 (fun i ->
+              A.Api.start rt ~name:(string_of_int i) (fun () ->
+                  for _ = 1 to 5 do
+                    A.Sync.Lock.with_lock rt lock (fun () ->
+                        incr inside;
+                        if !inside > !peak then peak := !inside;
+                        Sim.Fiber.consume 1e-3;
+                        decr inside)
+                  done))
+        in
+        List.iter (fun t -> A.Api.join rt t) threads;
+        !peak)
+  in
+  Alcotest.(check int) "never two inside" 1 max_inside
+
+let test_lock_release_without_hold () =
+  Util.run (fun rt ->
+      let lock = A.Sync.Lock.create rt () in
+      Alcotest.check_raises "release unheld"
+        (Invalid_argument "Lock.release: lock is not held") (fun () ->
+          A.Sync.Lock.release rt lock))
+
+let test_try_acquire () =
+  Util.run (fun rt ->
+      let lock = A.Sync.Lock.create rt () in
+      Alcotest.(check bool) "first succeeds" true
+        (A.Sync.Lock.try_acquire rt lock);
+      Alcotest.(check bool) "second fails" false
+        (A.Sync.Lock.try_acquire rt lock);
+      A.Sync.Lock.release rt lock;
+      Alcotest.(check bool) "after release" true
+        (A.Sync.Lock.try_acquire rt lock))
+
+let test_lock_fifo_handoff () =
+  let order =
+    Util.run (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        let order = ref [] in
+        A.Sync.Lock.acquire rt lock;
+        let ts =
+          List.init 3 (fun i ->
+              let t =
+                A.Api.start rt ~name:(string_of_int i) (fun () ->
+                    A.Sync.Lock.acquire rt lock;
+                    order := i :: !order;
+                    A.Sync.Lock.release rt lock)
+              in
+              (* Stagger arrivals deterministically. *)
+              Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 5e-3;
+              t)
+        in
+        A.Sync.Lock.release rt lock;
+        List.iter (fun t -> A.Api.join rt t) ts;
+        List.rev !order)
+  in
+  Alcotest.(check (list int)) "granted in arrival order" [ 0; 1; 2 ] order
+
+let test_remote_lock () =
+  (* A lock on node 2 synchronizes threads living on nodes 0 and 1. *)
+  let peak =
+    Util.run ~nodes:3 (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        A.Sync.Lock.move rt lock ~dest:2;
+        Alcotest.(check int) "lock placed" 2 (A.Sync.Lock.locate rt lock);
+        let inside = ref 0 and peak = ref 0 in
+        let anchors =
+          List.init 2 (fun n ->
+              let a = A.Api.create rt ~name:(Printf.sprintf "a%d" n) () in
+              A.Api.move_to rt a ~dest:n;
+              a)
+        in
+        let ts =
+          List.map
+            (fun anchor ->
+              A.Api.start_invoke rt anchor (fun () ->
+                  for _ = 1 to 3 do
+                    A.Sync.Lock.with_lock rt lock (fun () ->
+                        incr inside;
+                        if !inside > !peak then peak := !inside;
+                        Sim.Fiber.consume 2e-3;
+                        decr inside)
+                  done))
+            anchors
+        in
+        List.iter (fun t -> A.Api.join rt t) ts;
+        !peak)
+  in
+  Alcotest.(check int) "exclusion across nodes" 1 peak
+
+let test_spinlock () =
+  let peak, probes =
+    Util.run ~nodes:1 ~cpus:4 (fun rt ->
+        let lock = A.Sync.Spinlock.create rt () in
+        let inside = ref 0 and peak = ref 0 in
+        let ts =
+          List.init 4 (fun i ->
+              A.Api.start rt ~name:(string_of_int i) (fun () ->
+                  for _ = 1 to 4 do
+                    A.Sync.Spinlock.with_lock rt lock (fun () ->
+                        incr inside;
+                        if !inside > !peak then peak := !inside;
+                        Sim.Fiber.consume 0.5e-3;
+                        decr inside)
+                  done))
+        in
+        List.iter (fun t -> A.Api.join rt t) ts;
+        (!peak, A.Sync.Spinlock.contended_probes lock))
+  in
+  Alcotest.(check int) "exclusion" 1 peak;
+  Alcotest.(check bool) "spinning happened" true (probes > 0)
+
+let test_barrier_generations () =
+  let gens =
+    Util.run (fun rt ->
+        let b = A.Sync.Barrier.create rt ~parties:4 () in
+        let ts =
+          List.init 4 (fun i ->
+              A.Api.start rt ~name:(string_of_int i) (fun () ->
+                  for _ = 1 to 3 do
+                    Sim.Fiber.consume (1e-3 *. float_of_int (i + 1));
+                    A.Sync.Barrier.pass rt b
+                  done))
+        in
+        List.iter (fun t -> A.Api.join rt t) ts;
+        A.Sync.Barrier.generation b)
+  in
+  Alcotest.(check int) "three generations" 3 gens
+
+let test_barrier_blocks_until_full () =
+  let released_early =
+    Util.run (fun rt ->
+        let b = A.Sync.Barrier.create rt ~parties:2 () in
+        let released = ref false in
+        let t =
+          A.Api.start rt (fun () ->
+              A.Sync.Barrier.pass rt b;
+              released := true)
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 50e-3;
+        let early = !released in
+        A.Sync.Barrier.pass rt b;
+        A.Api.join rt t;
+        early)
+  in
+  Alcotest.(check bool) "no early release" false released_early
+
+let test_condition_signal () =
+  let consumed =
+    Util.run (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        let cond = A.Sync.Condition.create rt () in
+        let items = Queue.create () in
+        let consumer =
+          A.Api.start rt ~name:"consumer" (fun () ->
+              A.Sync.Lock.acquire rt lock;
+              while Queue.is_empty items do
+                A.Sync.Condition.wait rt cond lock
+              done;
+              let v = Queue.pop items in
+              A.Sync.Lock.release rt lock;
+              v)
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 10e-3;
+        A.Sync.Lock.acquire rt lock;
+        Queue.add 42 items;
+        A.Sync.Condition.signal rt cond;
+        A.Sync.Lock.release rt lock;
+        A.Api.join rt consumer)
+  in
+  Alcotest.(check int) "value handed over" 42 consumed
+
+let test_condition_signal_before_block_not_lost () =
+  (* The waiter's cell mechanism must tolerate a signal landing between
+     queue registration and the actual block. *)
+  let ok =
+    Util.run (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        let cond = A.Sync.Condition.create rt () in
+        let flag = ref false in
+        let waiter =
+          A.Api.start rt (fun () ->
+              A.Sync.Lock.acquire rt lock;
+              while not !flag do
+                A.Sync.Condition.wait rt cond lock
+              done;
+              A.Sync.Lock.release rt lock;
+              true)
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 5e-3;
+        A.Sync.Lock.acquire rt lock;
+        flag := true;
+        A.Sync.Condition.signal rt cond;
+        A.Sync.Lock.release rt lock;
+        A.Api.join rt waiter)
+  in
+  Alcotest.(check bool) "woken" true ok
+
+let test_condition_broadcast () =
+  let woken =
+    Util.run (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        let cond = A.Sync.Condition.create rt () in
+        let go = ref false in
+        let count = ref 0 in
+        let ts =
+          List.init 5 (fun i ->
+              A.Api.start rt ~name:(string_of_int i) (fun () ->
+                  A.Sync.Lock.acquire rt lock;
+                  while not !go do
+                    A.Sync.Condition.wait rt cond lock
+                  done;
+                  incr count;
+                  A.Sync.Lock.release rt lock))
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 20e-3;
+        A.Sync.Lock.acquire rt lock;
+        go := true;
+        A.Sync.Condition.broadcast rt cond;
+        A.Sync.Lock.release rt lock;
+        List.iter (fun t -> A.Api.join rt t) ts;
+        !count)
+  in
+  Alcotest.(check int) "all woken" 5 woken
+
+let test_condition_wait_requires_lock () =
+  Util.run (fun rt ->
+      let lock = A.Sync.Lock.create rt () in
+      let cond = A.Sync.Condition.create rt () in
+      Alcotest.check_raises "no lock"
+        (Invalid_argument "Condition.wait: lock is not held") (fun () ->
+          A.Sync.Condition.wait rt cond lock))
+
+let test_monitor () =
+  let v =
+    Util.run (fun rt ->
+        let m = A.Sync.Monitor.create rt () in
+        let cond = A.Sync.Monitor.new_condition rt m in
+        let cell = ref None in
+        let reader =
+          A.Api.start rt (fun () ->
+              A.Sync.Monitor.with_monitor rt m (fun () ->
+                  while !cell = None do
+                    A.Sync.Monitor.wait rt m cond
+                  done;
+                  Option.get !cell))
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 5e-3;
+        A.Sync.Monitor.with_monitor rt m (fun () ->
+            cell := Some 7;
+            A.Sync.Monitor.signal rt cond);
+        A.Api.join rt reader)
+  in
+  Alcotest.(check int) "monitor handoff" 7 v
+
+let test_barrier_single_party () =
+  Util.run (fun rt ->
+      let b = A.Sync.Barrier.create rt ~parties:1 () in
+      A.Sync.Barrier.pass rt b;
+      A.Sync.Barrier.pass rt b;
+      Alcotest.(check int) "each pass completes a generation" 2
+        (A.Sync.Barrier.generation b))
+
+let test_signal_without_waiters_is_noop () =
+  Util.run (fun rt ->
+      let cond = A.Sync.Condition.create rt () in
+      A.Sync.Condition.signal rt cond;
+      A.Sync.Condition.broadcast rt cond;
+      Alcotest.(check int) "no waiters" 0 (A.Sync.Condition.waiters cond))
+
+let test_spinlock_is_mobile () =
+  Util.run ~nodes:3 (fun rt ->
+      let l = A.Sync.Spinlock.create rt () in
+      A.Sync.Spinlock.move rt l ~dest:2;
+      A.Sync.Spinlock.with_lock rt l (fun () -> Sim.Fiber.consume 1e-3);
+      Alcotest.(check bool) "released" false (A.Sync.Spinlock.is_held l))
+
+let test_lock_moves_with_waiters_pending () =
+  (* Move a lock while threads are blocked on it; they must still be
+     granted the lock afterwards. *)
+  let finished =
+    Util.run ~nodes:3 (fun rt ->
+        let lock = A.Sync.Lock.create rt () in
+        A.Sync.Lock.acquire rt lock;
+        let ts =
+          List.init 3 (fun i ->
+              A.Api.start rt ~name:(string_of_int i) (fun () ->
+                  A.Sync.Lock.with_lock rt lock (fun () ->
+                      Sim.Fiber.consume 1e-3);
+                  1))
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 10e-3;
+        A.Sync.Lock.move rt lock ~dest:2;
+        A.Sync.Lock.release rt lock;
+        List.fold_left (fun acc t -> acc + A.Api.join rt t) 0 ts)
+  in
+  Alcotest.(check int) "all granted after move" 3 finished
+
+let suite =
+  [
+    Alcotest.test_case "lock mutual exclusion" `Quick test_lock_mutual_exclusion;
+    Alcotest.test_case "release of unheld lock rejected" `Quick
+      test_lock_release_without_hold;
+    Alcotest.test_case "try_acquire" `Quick test_try_acquire;
+    Alcotest.test_case "FIFO handoff" `Quick test_lock_fifo_handoff;
+    Alcotest.test_case "remote lock synchronizes nodes" `Quick test_remote_lock;
+    Alcotest.test_case "spinlock" `Quick test_spinlock;
+    Alcotest.test_case "barrier generations" `Quick test_barrier_generations;
+    Alcotest.test_case "barrier blocks until full" `Quick
+      test_barrier_blocks_until_full;
+    Alcotest.test_case "condition signal" `Quick test_condition_signal;
+    Alcotest.test_case "signal-before-block not lost" `Quick
+      test_condition_signal_before_block_not_lost;
+    Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+    Alcotest.test_case "condition wait requires lock" `Quick
+      test_condition_wait_requires_lock;
+    Alcotest.test_case "monitor" `Quick test_monitor;
+    Alcotest.test_case "barrier with one party" `Quick
+      test_barrier_single_party;
+    Alcotest.test_case "signal without waiters" `Quick
+      test_signal_without_waiters_is_noop;
+    Alcotest.test_case "spinlock is mobile" `Quick test_spinlock_is_mobile;
+    Alcotest.test_case "lock moves with waiters pending" `Quick
+      test_lock_moves_with_waiters_pending;
+  ]

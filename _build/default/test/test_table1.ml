@@ -1,0 +1,87 @@
+(* The headline reproduction check: all five Table-1 operations within
+   10% of the paper's published latencies, measured under the paper's
+   stated conditions (§5: light load, one-packet transfers, one-hop
+   forwarding chains). *)
+
+module A = Amber
+
+let within_pct ~pct ~paper measured =
+  Float.abs (measured -. paper) <= pct /. 100.0 *. paper
+
+let measure rt n f =
+  let t0 = A.Api.now rt in
+  for _ = 1 to n do
+    f ()
+  done;
+  (A.Api.now rt -. t0) /. float_of_int n
+
+let run_all () =
+  let cfg = A.Config.make ~nodes:3 ~cpus:4 () in
+  A.Cluster.run_value cfg (fun rt ->
+      let create =
+        measure rt 50 (fun () ->
+            ignore (A.Api.create rt ~size:64 ~name:"o" () : unit A.Aobject.t))
+      in
+      let local_obj = A.Api.create rt ~size:64 ~name:"local" () in
+      let local =
+        measure rt 50 (fun () -> A.Api.invoke rt local_obj (fun () -> ()))
+      in
+      let home = A.Api.create rt ~size:64 ~name:"home" () in
+      let target = A.Api.create rt ~size:64 ~name:"target" () in
+      A.Api.move_to rt target ~dest:1;
+      let remote =
+        A.Api.invoke rt home (fun () ->
+            measure rt 25 (fun () -> A.Api.invoke rt target (fun () -> ())))
+      in
+      let ball = A.Api.create rt ~size:1024 ~name:"ball" () in
+      A.Api.move_to rt ball ~dest:1;
+      let flip = ref 2 in
+      let move =
+        measure rt 20 (fun () ->
+            A.Api.move_to rt ball ~dest:!flip;
+            flip := (if !flip = 1 then 2 else 1))
+      in
+      let start_join =
+        measure rt 50 (fun () ->
+            let t = A.Api.start rt (fun () -> ()) in
+            A.Api.join rt t)
+      in
+      (create, local, remote, move, start_join))
+
+let results = lazy (run_all ())
+
+let check name paper measured =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: measured %.4f ms vs paper %.4f ms" name
+       (measured *. 1e3) (paper *. 1e3))
+    true
+    (within_pct ~pct:10.0 ~paper measured)
+
+let test_create () =
+  let c, _, _, _, _ = Lazy.force results in
+  check "object create" 0.18e-3 c
+
+let test_local () =
+  let _, l, _, _, _ = Lazy.force results in
+  check "local invoke/return" 0.012e-3 l
+
+let test_remote () =
+  let _, _, r, _, _ = Lazy.force results in
+  check "remote invoke/return" 8.32e-3 r
+
+let test_move () =
+  let _, _, _, m, _ = Lazy.force results in
+  check "object move" 12.43e-3 m
+
+let test_start_join () =
+  let _, _, _, _, s = Lazy.force results in
+  check "thread start/join" 1.33e-3 s
+
+let suite =
+  [
+    Alcotest.test_case "Table 1: object create" `Quick test_create;
+    Alcotest.test_case "Table 1: local invoke/return" `Quick test_local;
+    Alcotest.test_case "Table 1: remote invoke/return" `Quick test_remote;
+    Alcotest.test_case "Table 1: object move" `Quick test_move;
+    Alcotest.test_case "Table 1: thread start/join" `Quick test_start_join;
+  ]

@@ -1,0 +1,98 @@
+(* Task, Kthread, Name_service, Remote_exec. *)
+
+let build () =
+  let e = Sim.Engine.create () in
+  let m = Hw.Machine.create ~engine:e ~id:0 ~cpus:2 () in
+  let task = Topaz.Task.create ~machine:m () in
+  (e, m, task)
+
+let test_task_spawn_counts () =
+  let e, _, task = build () in
+  for _ = 1 to 3 do
+    ignore (Topaz.Task.spawn task ~name:"t" (fun () -> Sim.Fiber.consume 0.1))
+  done;
+  Alcotest.(check int) "spawned" 3 (Topaz.Task.threads_spawned task);
+  Alcotest.(check bool) "live while queued" true
+    (Topaz.Task.threads_live task > 0);
+  ignore (Sim.Engine.run e);
+  Alcotest.(check int) "none live after run" 0 (Topaz.Task.threads_live task)
+
+let test_kthread_join () =
+  let e, _, task = build () in
+  let order = ref [] in
+  let worker =
+    Topaz.Task.spawn task ~name:"w" (fun () ->
+        Sim.Fiber.consume 0.5;
+        order := "worker" :: !order)
+  in
+  ignore
+    (Topaz.Task.spawn task ~name:"joiner" (fun () ->
+         (match Topaz.Kthread.join worker with
+         | Sim.Fiber.Completed -> ()
+         | Sim.Fiber.Failed _ -> Alcotest.fail "worker failed");
+         order := "joiner" :: !order));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (list string)) "join waited" [ "joiner"; "worker" ] !order
+
+let test_kthread_join_finished () =
+  let e, _, task = build () in
+  let worker = Topaz.Task.spawn task ~name:"w" (fun () -> ()) in
+  ignore (Sim.Engine.run e);
+  let joined = ref false in
+  ignore
+    (Topaz.Task.spawn task ~name:"j" (fun () ->
+         (match Topaz.Kthread.join worker with
+         | Sim.Fiber.Completed -> joined := true
+         | Sim.Fiber.Failed _ -> ())));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check bool) "join of finished thread returns" true !joined
+
+let test_kthread_sleep () =
+  let e, _, task = build () in
+  let woke = ref 0.0 in
+  ignore
+    (Topaz.Task.spawn task ~name:"s" (fun () ->
+         Topaz.Kthread.sleep ~engine:e 2.5;
+         woke := Sim.Engine.now e));
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (float 1e-9)) "slept" 2.5 !woke
+
+let test_name_service () =
+  let ns = Topaz.Name_service.create () in
+  Topaz.Name_service.register ns "as-server" 0;
+  Topaz.Name_service.register ns "master" 3;
+  Alcotest.(check int) "lookup" 3 (Topaz.Name_service.lookup ns "master");
+  Alcotest.(check (option int)) "missing" None
+    (Topaz.Name_service.lookup_opt ns "nope");
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (Topaz.Name_service.lookup ns "nope"));
+  Alcotest.(check int) "names" 2 (List.length (Topaz.Name_service.names ns))
+
+let test_remote_exec () =
+  let e = Sim.Engine.create () in
+  let machines =
+    Array.init 3 (fun id -> Hw.Machine.create ~engine:e ~id ~cpus:1 ())
+  in
+  let tasks = Array.map (fun m -> Topaz.Task.create ~machine:m ()) machines in
+  let inited = ref [] in
+  let main_ran_at = ref (-1.0) in
+  ignore
+    (Topaz.Remote_exec.start_all tasks ~startup_latency:1e-3
+       ~init:(fun task -> inited := Topaz.Task.node task :: !inited)
+       ~main:(fun () -> main_ran_at := Sim.Engine.now e)
+       ());
+  ignore (Sim.Engine.run e);
+  Alcotest.(check (list int)) "all nodes initialized" [ 0; 1; 2 ]
+    (List.sort compare !inited);
+  Alcotest.(check bool) "main ran after all inits" true (!main_ran_at >= 3e-3)
+
+let suite =
+  [
+    Alcotest.test_case "task spawn bookkeeping" `Quick test_task_spawn_counts;
+    Alcotest.test_case "kthread join blocks" `Quick test_kthread_join;
+    Alcotest.test_case "join of finished thread" `Quick
+      test_kthread_join_finished;
+    Alcotest.test_case "sleep" `Quick test_kthread_sleep;
+    Alcotest.test_case "name service" `Quick test_name_service;
+    Alcotest.test_case "remote exec starts all nodes" `Quick test_remote_exec;
+  ]

@@ -1,0 +1,64 @@
+(* Trace ring buffer behaviour. *)
+
+let emit t time cat msg =
+  Sim.Trace.emit t ~time ~category:cat ~detail:(lazy msg)
+
+let test_disabled_by_default () =
+  let t = Sim.Trace.create () in
+  emit t 1.0 "x" "hello";
+  Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.length t)
+
+let test_lazy_detail_not_forced_when_disabled () =
+  let t = Sim.Trace.create () in
+  let forced = ref false in
+  Sim.Trace.emit t ~time:1.0 ~category:"x"
+    ~detail:
+      (lazy
+        (forced := true;
+         "expensive"));
+  Alcotest.(check bool) "not forced" false !forced
+
+let test_records_in_order () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.set_enabled t true;
+  emit t 1.0 "a" "one";
+  emit t 2.0 "b" "two";
+  let r = Sim.Trace.records t in
+  Alcotest.(check (list string)) "order" [ "one"; "two" ]
+    (List.map (fun r -> r.Sim.Trace.detail) r)
+
+let test_ring_wraps () =
+  let t = Sim.Trace.create ~capacity:3 () in
+  Sim.Trace.set_enabled t true;
+  List.iter (fun i -> emit t (float_of_int i) "n" (string_of_int i))
+    [ 1; 2; 3; 4; 5 ];
+  let r = Sim.Trace.records t in
+  Alcotest.(check (list string)) "last three" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Sim.Trace.detail) r)
+
+let test_by_category () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.set_enabled t true;
+  emit t 1.0 "net" "p1";
+  emit t 2.0 "invoke" "i1";
+  emit t 3.0 "net" "p2";
+  Alcotest.(check int) "two net records" 2
+    (List.length (Sim.Trace.by_category t "net"))
+
+let test_clear () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.set_enabled t true;
+  emit t 1.0 "x" "a";
+  Sim.Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Sim.Trace.length t)
+
+let suite =
+  [
+    Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "lazy detail not forced when disabled" `Quick
+      test_lazy_detail_not_forced_when_disabled;
+    Alcotest.test_case "records kept in order" `Quick test_records_in_order;
+    Alcotest.test_case "ring buffer wraps" `Quick test_ring_wraps;
+    Alcotest.test_case "filter by category" `Quick test_by_category;
+    Alcotest.test_case "clear" `Quick test_clear;
+  ]

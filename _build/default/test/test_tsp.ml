@@ -1,0 +1,84 @@
+(* Branch-and-bound TSP: optimality against brute force, work stealing,
+   termination, and the centralized baseline. *)
+
+module W = Workloads
+
+let run ?(nodes = 4) ?(cpus = 2) cfg =
+  Util.run ~nodes ~cpus (fun rt -> W.Tsp.run rt cfg)
+
+let test_finds_optimum () =
+  let cfg = { W.Tsp.default_cfg with W.Tsp.cities = 8 } in
+  let r = run cfg in
+  Alcotest.(check int) "optimal" (W.Tsp.brute_force cfg) r.W.Tsp.best_cost
+
+let test_tour_is_valid () =
+  let cfg = { W.Tsp.default_cfg with W.Tsp.cities = 8 } in
+  let r = run cfg in
+  let tour = r.W.Tsp.best_tour in
+  Alcotest.(check int) "visits every city" cfg.W.Tsp.cities
+    (Array.length tour);
+  let sorted = Array.copy tour in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init cfg.W.Tsp.cities Fun.id)
+    sorted;
+  (* Tour cost equals the reported cost. *)
+  let d = W.Tsp.instance cfg in
+  let cost = ref 0 in
+  for i = 0 to Array.length tour - 1 do
+    cost := !cost + d.(tour.(i)).(tour.((i + 1) mod Array.length tour))
+  done;
+  Alcotest.(check int) "cost matches tour" r.W.Tsp.best_cost !cost
+
+let test_centralized_agrees () =
+  let cfg = { W.Tsp.default_cfg with W.Tsp.cities = 8 } in
+  let distributed = run cfg in
+  let central = run { cfg with W.Tsp.centralize = true } in
+  Alcotest.(check int) "same optimum" distributed.W.Tsp.best_cost
+    central.W.Tsp.best_cost;
+  Alcotest.(check int) "no stealing with one pool" 0 central.W.Tsp.steals
+
+let test_stealing_happens () =
+  (* All work starts on node 0's pool, so other nodes must steal. *)
+  let cfg = { W.Tsp.default_cfg with W.Tsp.cities = 9 } in
+  let r = run ~nodes:4 cfg in
+  Alcotest.(check bool) "steals occurred" true (r.W.Tsp.steals > 0)
+
+let test_expansion_accounting () =
+  let cfg = { W.Tsp.default_cfg with W.Tsp.cities = 7 } in
+  let r = run cfg in
+  Alcotest.(check bool) "expansions counted" true (r.W.Tsp.expansions > 0);
+  Alcotest.(check bool) "pruning happened" true (r.W.Tsp.pruned > 0);
+  Alcotest.(check bool) "pruned below expansions" true
+    (r.W.Tsp.pruned <= r.W.Tsp.expansions)
+
+let test_single_node_works () =
+  let cfg = { W.Tsp.default_cfg with W.Tsp.cities = 7 } in
+  let r = run ~nodes:1 ~cpus:4 cfg in
+  Alcotest.(check int) "optimal" (W.Tsp.brute_force cfg) r.W.Tsp.best_cost
+
+let test_bad_cfg_rejected () =
+  Alcotest.check_raises "too many cities"
+    (Invalid_argument "Tsp: cities must be in 3..13") (fun () ->
+      ignore (W.Tsp.instance { W.Tsp.default_cfg with W.Tsp.cities = 20 }))
+
+let prop_optimal_across_instances =
+  QCheck.Test.make ~name:"parallel B&B optimal on random instances" ~count:8
+    QCheck.(pair (int_range 4 8) (int_bound 500))
+    (fun (cities, seed) ->
+      let cfg = { W.Tsp.default_cfg with W.Tsp.cities; seed } in
+      let r = run ~nodes:3 cfg in
+      r.W.Tsp.best_cost = W.Tsp.brute_force cfg)
+
+let suite =
+  [
+    Alcotest.test_case "finds the optimum" `Quick test_finds_optimum;
+    Alcotest.test_case "best tour is a valid cycle" `Quick test_tour_is_valid;
+    Alcotest.test_case "centralized baseline agrees" `Quick
+      test_centralized_agrees;
+    Alcotest.test_case "work stealing happens" `Quick test_stealing_happens;
+    Alcotest.test_case "expansion accounting" `Quick test_expansion_accounting;
+    Alcotest.test_case "single node" `Quick test_single_node_works;
+    Alcotest.test_case "bad configuration rejected" `Quick test_bad_cfg_rejected;
+    QCheck_alcotest.to_alcotest prop_optimal_across_instances;
+  ]

@@ -1,0 +1,96 @@
+(* Layout arithmetic, region assignment, and the address-space server. *)
+
+let test_layout_regions () =
+  Alcotest.(check int) "region 0 base" Vaspace.Layout.heap_base
+    (Vaspace.Layout.region_base 0);
+  Alcotest.(check int) "region 1 base"
+    (Vaspace.Layout.heap_base + Vaspace.Layout.region_size)
+    (Vaspace.Layout.region_base 1);
+  Alcotest.(check int) "index round trip" 5
+    (Vaspace.Layout.region_index_of_addr
+       (Vaspace.Layout.region_base 5 + 1234))
+
+let test_layout_classification () =
+  Alcotest.(check bool) "static" true (Vaspace.Layout.is_static_addr 100);
+  Alcotest.(check bool) "static is not heap" false
+    (Vaspace.Layout.is_heap_addr 100);
+  Alcotest.(check bool) "heap" true
+    (Vaspace.Layout.is_heap_addr Vaspace.Layout.heap_base)
+
+let test_layout_bad_addr () =
+  Alcotest.check_raises "static addr rejected"
+    (Invalid_argument "Layout.region_index_of_addr: 0x10") (fun () ->
+      ignore (Vaspace.Layout.region_index_of_addr 16))
+
+let test_region_contains () =
+  let r = Vaspace.Region.make ~index:2 ~owner:1 in
+  Alcotest.(check bool) "base" true
+    (Vaspace.Region.contains r r.Vaspace.Region.base);
+  Alcotest.(check bool) "last" true
+    (Vaspace.Region.contains r (Vaspace.Region.last_addr r));
+  Alcotest.(check bool) "past end" false
+    (Vaspace.Region.contains r (Vaspace.Region.last_addr r + 1))
+
+let test_server_initial_assignment () =
+  let s = Vaspace.Space_server.create ~nodes:3 ~initial_per_node:2 () in
+  let all =
+    List.concat_map
+      (fun node -> Vaspace.Space_server.initial_regions s node)
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "six regions" 6 (List.length all);
+  (* Disjoint indices. *)
+  let idxs = List.map (fun r -> r.Vaspace.Region.index) all in
+  Alcotest.(check int) "disjoint" 6
+    (List.length (List.sort_uniq compare idxs));
+  (* Ownership consistent with owner_of_addr. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check (option int)) "owner" (Some r.Vaspace.Region.owner)
+        (Vaspace.Space_server.owner_of_addr s r.Vaspace.Region.base))
+    all
+
+let test_server_grant () =
+  let s = Vaspace.Space_server.create ~nodes:2 ~initial_per_node:1 () in
+  let before = Vaspace.Space_server.regions_assigned s in
+  let r = Vaspace.Space_server.grant s ~node:1 in
+  Alcotest.(check int) "fresh index" 2 r.Vaspace.Region.index;
+  Alcotest.(check int) "owner" 1 r.Vaspace.Region.owner;
+  Alcotest.(check int) "assigned count grew" (before + 1)
+    (Vaspace.Space_server.regions_assigned s);
+  Alcotest.(check (option int)) "queryable" (Some 1)
+    (Vaspace.Space_server.owner_of_addr s r.Vaspace.Region.base)
+
+let test_server_grants_disjoint () =
+  let s = Vaspace.Space_server.create ~nodes:2 () in
+  let r1 = Vaspace.Space_server.grant s ~node:0 in
+  let r2 = Vaspace.Space_server.grant s ~node:1 in
+  Alcotest.(check bool) "disjoint" true
+    (r1.Vaspace.Region.index <> r2.Vaspace.Region.index)
+
+let test_client_cache () =
+  let s = Vaspace.Space_server.create ~nodes:2 ~initial_per_node:1 () in
+  let c = Vaspace.Space_server.Client.create s in
+  (* Pre-populated with the startup partitioning. *)
+  Alcotest.(check (option int)) "initial known" (Some 1)
+    (Vaspace.Space_server.Client.lookup c (Vaspace.Layout.region_base 1));
+  let fresh = Vaspace.Space_server.grant s ~node:0 in
+  Alcotest.(check (option int)) "fresh unknown" None
+    (Vaspace.Space_server.Client.lookup c fresh.Vaspace.Region.base);
+  Vaspace.Space_server.Client.learn c fresh;
+  Alcotest.(check (option int)) "learned" (Some 0)
+    (Vaspace.Space_server.Client.lookup c fresh.Vaspace.Region.base)
+
+let suite =
+  [
+    Alcotest.test_case "layout region arithmetic" `Quick test_layout_regions;
+    Alcotest.test_case "layout address classification" `Quick
+      test_layout_classification;
+    Alcotest.test_case "layout rejects non-heap" `Quick test_layout_bad_addr;
+    Alcotest.test_case "region containment" `Quick test_region_contains;
+    Alcotest.test_case "server initial assignment" `Quick
+      test_server_initial_assignment;
+    Alcotest.test_case "server grant" `Quick test_server_grant;
+    Alcotest.test_case "grants are disjoint" `Quick test_server_grants_disjoint;
+    Alcotest.test_case "client cache" `Quick test_client_cache;
+  ]

@@ -1,0 +1,82 @@
+(* Topaz VM: demand-zero pages and typed accessors. *)
+
+let test_zero_fill () =
+  let vm = Topaz.Vm.create () in
+  Alcotest.(check int) "unmapped reads as zero" 0 (Topaz.Vm.read_u8 vm 12345);
+  Alcotest.(check bool) "page now mapped" true
+    (Topaz.Vm.is_mapped vm (Topaz.Vm.page_of_addr vm 12345))
+
+let test_rw_u8 () =
+  let vm = Topaz.Vm.create () in
+  Topaz.Vm.write_u8 vm 100 42;
+  Alcotest.(check int) "read back" 42 (Topaz.Vm.read_u8 vm 100);
+  Alcotest.(check int) "neighbor still zero" 0 (Topaz.Vm.read_u8 vm 101)
+
+let test_rw_f64 () =
+  let vm = Topaz.Vm.create () in
+  Topaz.Vm.write_f64 vm 2048 3.14159;
+  Alcotest.(check (float 0.0)) "f64 round trip" 3.14159
+    (Topaz.Vm.read_f64 vm 2048)
+
+let test_f64_cross_page_rejected () =
+  let vm = Topaz.Vm.create ~page_size:1024 () in
+  Alcotest.check_raises "straddle"
+    (Invalid_argument "Vm: f64 access straddles a page") (fun () ->
+      ignore (Topaz.Vm.read_f64 vm 1020))
+
+let test_install_page () =
+  let vm = Topaz.Vm.create ~page_size:16 () in
+  let page = Bytes.make 16 'x' in
+  Topaz.Vm.install_page vm 3 page;
+  Alcotest.(check int) "installed contents" (Char.code 'x')
+    (Topaz.Vm.read_u8 vm 50);
+  (* Mutating the source afterwards must not alias the stored page. *)
+  Bytes.set page 2 'y';
+  Alcotest.(check int) "no aliasing" (Char.code 'x') (Topaz.Vm.read_u8 vm 50)
+
+let test_install_wrong_size () =
+  let vm = Topaz.Vm.create ~page_size:16 () in
+  Alcotest.check_raises "size" (Invalid_argument "Vm.install_page: wrong page size")
+    (fun () -> Topaz.Vm.install_page vm 0 (Bytes.create 8))
+
+let test_zero_fill_count () =
+  let vm = Topaz.Vm.create ~page_size:64 () in
+  ignore (Topaz.Vm.read_u8 vm 0);
+  ignore (Topaz.Vm.read_u8 vm 1);
+  ignore (Topaz.Vm.read_u8 vm 64);
+  Alcotest.(check int) "two zero fills" 2 (Topaz.Vm.zero_fills vm);
+  Alcotest.(check int) "two pages" 2 (Topaz.Vm.pages_mapped vm)
+
+let test_bad_page_size () =
+  Alcotest.check_raises "alignment"
+    (Invalid_argument "Vm.create: page size must be positive and 8-byte aligned")
+    (fun () -> ignore (Topaz.Vm.create ~page_size:10 ()))
+
+let prop_u8_roundtrip =
+  QCheck.Test.make ~name:"u8 writes read back" ~count:200
+    QCheck.(list (pair (int_bound 10000) (int_bound 255)))
+    (fun writes ->
+      let vm = Topaz.Vm.create ~page_size:256 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (addr, v) ->
+          Topaz.Vm.write_u8 vm addr v;
+          Hashtbl.replace model addr v)
+        writes;
+      Hashtbl.fold
+        (fun addr v ok -> ok && Topaz.Vm.read_u8 vm addr = v)
+        model true)
+
+let suite =
+  [
+    Alcotest.test_case "demand-zero fill" `Quick test_zero_fill;
+    Alcotest.test_case "u8 read/write" `Quick test_rw_u8;
+    Alcotest.test_case "f64 read/write" `Quick test_rw_f64;
+    Alcotest.test_case "f64 cannot straddle pages" `Quick
+      test_f64_cross_page_rejected;
+    Alcotest.test_case "install_page copies" `Quick test_install_page;
+    Alcotest.test_case "install_page size check" `Quick test_install_wrong_size;
+    Alcotest.test_case "zero-fill accounting" `Quick test_zero_fill_count;
+    Alcotest.test_case "page size validation" `Quick test_bad_page_size;
+    QCheck_alcotest.to_alcotest prop_u8_roundtrip;
+  ]

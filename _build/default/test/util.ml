@@ -1,0 +1,16 @@
+(* Shared helpers for Amber-level tests. *)
+
+(* Run [body] as the main thread of a fresh cluster and return its result. *)
+let run ?(nodes = 4) ?(cpus = 2) body =
+  let cfg = Amber.Config.make ~nodes ~cpus () in
+  Amber.Cluster.run_value cfg body
+
+let run_report ?(nodes = 4) ?(cpus = 2) body =
+  let cfg = Amber.Config.make ~nodes ~cpus () in
+  Amber.Cluster.run cfg body
+
+(* The node where the protocol currently believes the object to be, read
+   from ground truth. *)
+let location obj = obj.Amber.Aobject.location
+
+let check_float = Alcotest.(check (float 1e-9))

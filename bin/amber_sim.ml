@@ -20,9 +20,83 @@ let nodes_arg =
 let cpus_arg =
   Arg.(value & opt int 4 & info [ "cpus"; "p" ] ~docv:"P" ~doc:"CPUs per node.")
 
-let mk_config nodes cpus =
+(* --- fault injection (shared by every subcommand) ------------------------ *)
+
+let stall_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ n; f; u ] -> (
+      try
+        Ok
+          {
+            Hw.Ethernet.node = int_of_string (String.trim n);
+            from_t = float_of_string (String.trim f);
+            until_t = float_of_string (String.trim u);
+          }
+      with _ -> Error (`Msg "stall: expected NODE:FROM:UNTIL"))
+    | _ -> Error (`Msg "stall: expected NODE:FROM:UNTIL")
+  in
+  let print ppf (s : Hw.Ethernet.stall) =
+    Format.fprintf ppf "%d:%g:%g" s.Hw.Ethernet.node s.Hw.Ethernet.from_t
+      s.Hw.Ethernet.until_t
+  in
+  Arg.conv (parse, print)
+
+let faults_term =
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-packet loss probability, [0,1).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P"
+          ~doc:"Per-packet duplicate-delivery probability, [0,1).")
+  in
+  let delay_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay-prob" ] ~docv:"P"
+          ~doc:"Per-packet latency-spike probability, [0,1).")
+  in
+  let delay_spike =
+    Arg.(
+      value & opt float 10e-3
+      & info [ "delay-spike" ] ~docv:"SECONDS"
+          ~doc:"Extra delivery latency on a spike (default 10 ms).")
+  in
+  let stalls =
+    Arg.(
+      value
+      & opt_all stall_conv []
+      & info [ "stall" ] ~docv:"NODE:FROM:UNTIL"
+          ~doc:
+            "Hold packets arriving at NODE between virtual times FROM and \
+             UNTIL (seconds); repeatable.")
+  in
+  let mk drop_prob dup_prob delay_prob delay_spike stalls =
+    { Hw.Ethernet.drop_prob; dup_prob; delay_prob; delay_spike; stalls }
+  in
+  Term.(const mk $ drop $ dup $ delay_prob $ delay_spike $ stalls)
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sim-seed" ] ~docv:"S"
+        ~doc:
+          "Simulation seed (also seeds the fault pattern; same seed, same \
+           faults).")
+
+let mk_config nodes cpus faults seed =
   if nodes <= 0 || cpus <= 0 then failwith "nodes and cpus must be positive";
-  Amber.Config.make ~nodes ~cpus ()
+  let seed =
+    match seed with
+    | Some s -> Int64.of_int s
+    | None -> Amber.Config.default.Amber.Config.seed
+  in
+  Amber.Config.make ~nodes ~cpus ~seed ~faults ()
 
 (* --- sor ---------------------------------------------------------------- *)
 
@@ -60,9 +134,10 @@ let sor_cmd =
       value & flag
       & info [ "report" ] ~doc:"Print per-node utilization and protocol counters.")
   in
-  let run nodes cpus system rows cols iters sections no_overlap report =
+  let run nodes cpus faults seed system rows cols iters sections no_overlap
+      report =
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
-    let cfg = mk_config nodes cpus in
+    let cfg = mk_config nodes cpus faults seed in
     let seq_pred = Workloads.Sor_seq.predicted_elapsed p ~iters in
     let maybe_report rt =
       if report then
@@ -121,8 +196,8 @@ let sor_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ system $ rows $ cols $ iters
-      $ sections $ no_overlap $ report_flag)
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ system
+      $ rows $ cols $ iters $ sections $ no_overlap $ report_flag)
   in
   Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
     term
@@ -148,18 +223,24 @@ let workqueue_cmd =
       & info [ "move-at" ] ~docv:"K"
           ~doc:"Migrate the queue after K items are taken.")
   in
-  let run nodes cpus items batch workers move_at =
-    let cfg = mk_config nodes cpus in
+  let run nodes cpus faults seed items batch workers move_at report =
+    let cfg = mk_config nodes cpus faults seed in
     let r =
       Amber.Cluster.run_value cfg (fun rt ->
-          Workloads.Work_queue.run rt
-            {
-              Workloads.Work_queue.items;
-              work_cpu = 10e-3;
-              batch;
-              workers_per_node = workers;
-              move_queue_at = move_at;
-            })
+          let r =
+            Workloads.Work_queue.run rt
+              {
+                Workloads.Work_queue.items;
+                work_cpu = 10e-3;
+                batch;
+                workers_per_node = workers;
+                move_queue_at = move_at;
+              }
+          in
+          if report then
+            Format.printf "@.%a" Amber.Stats_report.pp
+              (Amber.Stats_report.capture rt);
+          r)
     in
     Printf.printf "processed %d items in %.3f virtual s\n"
       r.Workloads.Work_queue.processed r.Workloads.Work_queue.elapsed;
@@ -170,8 +251,16 @@ let workqueue_cmd =
       r.Workloads.Work_queue.queue_final_node;
     0
   in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Print per-node utilization and protocol counters.")
+  in
   let term =
-    Term.(const run $ nodes_arg $ cpus_arg $ items $ batch $ workers $ move_at)
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ items
+      $ batch $ workers $ move_at $ report_flag)
   in
   Cmd.v
     (Cmd.info "workqueue" ~doc:"Run the distributed work-queue workload.")
@@ -192,8 +281,8 @@ let matmul_cmd =
       & info [ "no-replicate" ]
           ~doc:"Keep A and B on node 0 instead of replicating.")
   in
-  let run nodes cpus n block no_replicate =
-    let cfg = mk_config nodes cpus in
+  let run nodes cpus faults seed n block no_replicate =
+    let cfg = mk_config nodes cpus faults seed in
     let mcfg =
       {
         Workloads.Matmul.n;
@@ -215,7 +304,11 @@ let matmul_cmd =
       (if ok then "(correct)" else "(WRONG)");
     0
   in
-  let term = Term.(const run $ nodes_arg $ cpus_arg $ n $ block $ no_replicate) in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ n $ block
+      $ no_replicate)
+  in
   Cmd.v (Cmd.info "matmul" ~doc:"Run the replicated matrix multiply.") term
 
 (* --- tsp ----------------------------------------------------------------- *)
@@ -237,8 +330,8 @@ let tsp_cmd =
       value & flag
       & info [ "check" ] ~doc:"Verify the result against brute force (slow).")
   in
-  let run nodes cpus cities seed central check =
-    let cfg = mk_config nodes cpus in
+  let run nodes cpus faults sim_seed cities seed central check =
+    let cfg = mk_config nodes cpus faults sim_seed in
     let tcfg =
       {
         Workloads.Tsp.cities;
@@ -267,7 +360,11 @@ let tsp_cmd =
     end;
     0
   in
-  let term = Term.(const run $ nodes_arg $ cpus_arg $ cities $ seed $ central $ check) in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ cities
+      $ seed $ central $ check)
+  in
   Cmd.v
     (Cmd.info "tsp" ~doc:"Run parallel branch-and-bound TSP with work stealing.")
     term
@@ -289,8 +386,8 @@ let trace_cmd =
             "Only records of this category (create, migrate, move, net, \
              sched).")
   in
-  let run nodes cpus limit category =
-    let cfg = mk_config nodes cpus in
+  let run nodes cpus faults seed limit category =
+    let cfg = mk_config nodes cpus faults seed in
     let rt_box = ref None in
     let () =
       Amber.Cluster.run_value cfg (fun rt ->
@@ -328,7 +425,11 @@ let trace_cmd =
         records);
     0
   in
-  let term = Term.(const run $ nodes_arg $ cpus_arg $ limit $ category) in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ limit
+      $ category)
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a small scenario with protocol tracing enabled and dump it.")

@@ -60,11 +60,9 @@ let join rt t =
   let here = Runtime.current_node rt in
   if finished_on <> here then
     Sim.Fiber.block (fun wake ->
-        ignore
-          (Hw.Ethernet.send (Runtime.ether rt)
-             (Hw.Packet.make ~src:finished_on ~dst:here ~size:64
-                ~kind:"join-notify" wake)
-            : float));
+        (* Reliable: a lost completion notification must not hang Join. *)
+        Topaz.Rpc.send_reliable (Runtime.rpc rt) ~src:finished_on ~dst:here
+          ~size:64 ~kind:"join-notify" wake);
   match outcome with
   | Sim.Fiber.Completed -> (
     match !(t.result) with

@@ -12,6 +12,9 @@ type t = {
   cost : Cost_model.t;
   initial_regions_per_node : int;
   vm_page_size : int;
+  faults : Hw.Ethernet.faults;
+  rpc_rto : float;
+  max_forward_hops : int;
   seed : int64;
   trace_capacity : int;
 }
@@ -31,13 +34,16 @@ let default =
     cost = Cost_model.default;
     initial_regions_per_node = 4;
     vm_page_size = 1024;
+    faults = Hw.Ethernet.no_faults;
+    rpc_rto = 25e-3;
+    max_forward_hops = 64;
     seed = 0xA3BE5L;
     trace_capacity = 8192;
   }
 
-let make ~nodes ~cpus ?(cost = Cost_model.default) ?(seed = default.seed) ()
-    =
-  { default with nodes; cpus_per_node = cpus; cost; seed }
+let make ~nodes ~cpus ?(cost = Cost_model.default) ?(seed = default.seed)
+    ?(faults = Hw.Ethernet.no_faults) () =
+  { default with nodes; cpus_per_node = cpus; cost; seed; faults }
 
 let validate t =
   if t.nodes <= 0 then invalid_arg "Config: nodes must be positive";
@@ -47,4 +53,8 @@ let validate t =
   if t.rpc_servers_per_node <= 0 then invalid_arg "Config: rpc servers";
   if t.initial_regions_per_node <= 0 then invalid_arg "Config: regions";
   if t.vm_page_size <= 0 || t.vm_page_size land 7 <> 0 then
-    invalid_arg "Config: vm_page_size"
+    invalid_arg "Config: vm_page_size";
+  Hw.Ethernet.validate_faults t.faults;
+  if t.rpc_rto <= 0.0 then invalid_arg "Config: rpc_rto must be positive";
+  if t.max_forward_hops <= 0 then
+    invalid_arg "Config: max_forward_hops must be positive"

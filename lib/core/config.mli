@@ -14,6 +14,14 @@ type t = {
   cost : Cost_model.t;
   initial_regions_per_node : int;
   vm_page_size : int;  (** task VM page size (Ivy's coherence unit) *)
+  faults : Hw.Ethernet.faults;
+      (** network fault-injection model; when any fault is enabled the
+          runtime switches its RPC fabric into reliable (retransmitting)
+          mode *)
+  rpc_rto : float;  (** initial RPC retransmission timeout, seconds *)
+  max_forward_hops : int;
+      (** forwarding-chain hop budget before falling back to the object's
+          home node *)
   seed : int64;
   trace_capacity : int;
 }
@@ -23,7 +31,14 @@ type t = {
 val default : t
 
 (** [make ~nodes ~cpus ()] is {!default} with the cluster size replaced. *)
-val make : nodes:int -> cpus:int -> ?cost:Cost_model.t -> ?seed:int64 -> unit -> t
+val make :
+  nodes:int ->
+  cpus:int ->
+  ?cost:Cost_model.t ->
+  ?seed:int64 ->
+  ?faults:Hw.Ethernet.faults ->
+  unit ->
+  t
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical configurations. *)

@@ -1,28 +1,34 @@
-(* Settle the calling thread at a node where [obj] is usable, chasing the
-   forwarding chain.  Returns the number of hops taken. *)
-let rec settle rt ts (obj : 'a Aobject.t) ~payload ~hops =
+(* Settle the calling thread at a node where the object at [addr] is
+   usable, migrating along the forwarding chain ({!Runtime.chase} supplies
+   hop budgeting, home-node bootstrap/fallback and dangling detection).
+   Every node left behind goes on the thread's chase path, so §3.3
+   compression repairs its descriptor once the object is found.  Returns
+   the number of migrations taken. *)
+let chase_to_object rt ts ~what ~addr ~payload =
   let c = Runtime.cost rt in
-  let here = Runtime.current_node rt in
-  match Runtime.probe rt ~node:here ~addr:obj.Aobject.addr with
-  | `Resident ->
-    if ts.Runtime.chase_path <> [] then
-      Runtime.flush_chase_compression rt ts ~addr:obj.Aobject.addr
-        ~found:here;
-    hops
-  | `Hop next ->
-    if next = here then
-      (* The descriptor is uninitialized on the object's own home node:
-         the object was destroyed (or never existed). *)
-      failwith
-        (Printf.sprintf "Invoke: dangling reference to object 0x%x"
-           obj.Aobject.addr);
-    if hops > 64 then failwith "Invoke: forwarding chain too long";
-    Sim.Fiber.consume c.Cost_model.trap_cpu;
-    ts.Runtime.chase_path <- here :: ts.Runtime.chase_path;
-    ts.Runtime.carry_bytes <- payload;
-    Runtime.migrate_self rt ~payload ~dest:next ();
-    ts.Runtime.carry_bytes <- 0;
-    settle rt ts obj ~payload ~hops:(hops + 1)
+  let moved = ref 0 in
+  Runtime.chase rt ~what ~addr ~start:(Runtime.current_node rt)
+    ~step:(fun ~node ~hops:_ ->
+      let here = Runtime.current_node rt in
+      if node <> here then begin
+        Sim.Fiber.consume c.Cost_model.trap_cpu;
+        ts.Runtime.chase_path <- here :: ts.Runtime.chase_path;
+        ts.Runtime.carry_bytes <- payload;
+        Runtime.migrate_self rt ~payload ~dest:node ();
+        ts.Runtime.carry_bytes <- 0;
+        incr moved
+      end;
+      match Descriptor.get (Runtime.descriptors rt node) addr with
+      | Some Descriptor.Resident ->
+        if ts.Runtime.chase_path <> [] then
+          Runtime.flush_chase_compression rt ts ~addr ~found:node;
+        Runtime.Found ()
+      | Some (Descriptor.Forwarded next) -> Runtime.Follow next
+      | None -> Runtime.Miss);
+  !moved
+
+let settle rt ts (obj : 'a Aobject.t) ~payload =
+  chase_to_object rt ts ~what:"Invoke" ~addr:obj.Aobject.addr ~payload
 
 let invoke rt ?(payload = 0) ?(return_payload = 0) obj op =
   let ts = Runtime.current rt in
@@ -34,7 +40,7 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) obj op =
   let entered_at = Runtime.now rt in
   Sim.Fiber.consume c.Cost_model.invoke_entry_cpu;
   let hops =
-    try settle rt ts obj ~payload ~hops:0
+    try settle rt ts obj ~payload
     with e ->
       (* The invocation never started (e.g. dangling reference): unwind
          the frame we pushed before re-raising. *)
@@ -61,25 +67,15 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) obj op =
     match ts.Runtime.frames with
     | [] -> ()
     | enclosing :: _ ->
-      let encl_obj =
+      let encl_addr =
         match enclosing with Aobject.Any o -> o.Aobject.addr
       in
-      let rec go hops =
-        let here = Runtime.current_node rt in
-        match Runtime.probe rt ~node:here ~addr:encl_obj with
-        | `Resident -> ()
-        | `Hop next ->
-          if next = here then
-            failwith
-              (Printf.sprintf
-                 "Invoke: dangling return into destroyed object 0x%x"
-                 encl_obj);
-          if hops > 64 then failwith "Invoke: return chain too long";
-          Sim.Fiber.consume c.Cost_model.trap_cpu;
-          Runtime.migrate_self rt ~payload:return_payload ~dest:next ();
-          go (hops + 1)
-      in
-      go 0
+      (* Same chase as settling, so the return trip also records its path
+         and compresses the chain it walked. *)
+      ignore
+        (chase_to_object rt ts ~what:"Invoke.return" ~addr:encl_addr
+           ~payload:return_payload
+          : int)
   in
   match op obj.Aobject.state with
   | result ->

@@ -40,46 +40,45 @@ let do_move_here rt (root : Aobject.any) ~dest =
 (* Chase the forwarding chain with the move request itself: each hop is
    one control RPC, and the node that actually holds the object executes
    the move before replying (so a one-hop-accurate hint costs a single
-   round trip, the paper's Table-1 scenario). *)
+   round trip, the paper's Table-1 scenario).  {!Runtime.chase} supplies
+   the hop budget, home-node fallback and dangling detection. *)
 let move_mutable rt (obj_addr : int) (root : Aobject.any) ~dest =
   let c = Runtime.cost rt in
-  let rec attempt node hops =
-    if hops > 64 then failwith "Mobility: forwarding chain too long";
-    let here = Runtime.current_node rt in
-    if node = here then begin
-      Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
-      match Runtime.probe rt ~node ~addr:obj_addr with
-      | `Resident -> do_move_here rt root ~dest
-      | `Hop next ->
-        if next = node then
-          failwith
-            (Printf.sprintf "Mobility: dangling reference to 0x%x" obj_addr);
-        attempt next (hops + 1)
-    end
-    else begin
+  let visited = ref [] in
+  let probe_and_move node =
+    Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+    match Descriptor.get (Runtime.descriptors rt node) obj_addr with
+    | Some Descriptor.Resident ->
+      do_move_here rt root ~dest;
+      `Moved
+    | Some (Descriptor.Forwarded next) -> `Try next
+    | None -> `Missing
+  in
+  Runtime.chase rt ~what:"Mobility" ~addr:obj_addr
+    ~start:(Runtime.current_node rt)
+    ~step:(fun ~node ~hops:_ ->
       let verdict =
-        Topaz.Rpc.call (Runtime.rpc rt) ~dst:node ~kind:"move-req"
-          ~req_size:64 ~work:(fun () ->
-            Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
-            match Runtime.probe rt ~node ~addr:obj_addr with
-            | `Resident ->
-              do_move_here rt root ~dest;
-              (32, `Moved)
-            | `Hop next when next = node -> (32, `Dangling)
-            | `Hop next -> (32, `Try next))
+        if node = Runtime.current_node rt then probe_and_move node
+        else
+          Topaz.Rpc.call (Runtime.rpc rt) ~dst:node ~kind:"move-req"
+            ~req_size:64 ~work:(fun () -> (32, probe_and_move node))
       in
       match verdict with
-      | `Dangling ->
-        failwith
-          (Printf.sprintf "Mobility: dangling reference to 0x%x" obj_addr)
-      | `Moved ->
-        (* Cache the new location locally (§3.3). *)
-        if here <> dest then
-          Descriptor.set_forwarded (Runtime.descriptors rt here) obj_addr dest
-      | `Try next -> attempt next (hops + 1)
-    end
-  in
-  attempt (Runtime.current_node rt) 0
+      | `Moved -> Runtime.Found ()
+      | `Try next ->
+        visited := node :: !visited;
+        Runtime.Follow next
+      | `Missing -> Runtime.Miss);
+  (* §3.3 on the move path: every node whose stale pointer the request
+     chased learns the object's new location, not just the caller's. *)
+  List.iter
+    (fun v ->
+      if v <> dest then
+        Descriptor.set_forwarded (Runtime.descriptors rt v) obj_addr dest)
+    !visited;
+  let here = Runtime.current_node rt in
+  if here <> dest && not (List.mem here !visited) then
+    Descriptor.set_forwarded (Runtime.descriptors rt here) obj_addr dest
 
 (* Immutable replication: ship a copy of the closure to [dest] from some
    node that holds one; existing copies stay valid. *)
@@ -94,6 +93,10 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
     let install_and_ack ~ack_to wake =
       Topaz.Rpc.post (Runtime.rpc rt) ~src:source ~dst:dest ~kind:"obj-copy"
         ~size:bytes (fun () ->
+          (* Count the copy only once it is installed at the destination:
+             a copy request that dies on the wire is not a copy. *)
+          ctrs.Runtime.object_copies <- ctrs.Runtime.object_copies + 1;
+          ctrs.Runtime.move_bytes <- ctrs.Runtime.move_bytes + bytes;
           List.iter
             (fun (Aobject.Any o) ->
               if not (List.mem dest o.Aobject.replicas) then
@@ -106,8 +109,6 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
               wake ()))
     in
     let here = Runtime.current_node rt in
-    ctrs.Runtime.object_copies <- ctrs.Runtime.object_copies + 1;
-    ctrs.Runtime.move_bytes <- ctrs.Runtime.move_bytes + bytes;
     let copy_out () =
       Sim.Fiber.consume
         (c.Cost_model.move_fixed_cpu

@@ -23,6 +23,7 @@ type counters = {
   mutable move_bytes : int;
   mutable locates : int;
   mutable forward_hops : int;
+  mutable home_fallbacks : int;
   mutable objects_created : int;
   mutable threads_started : int;
 }
@@ -55,6 +56,7 @@ let fresh_counters () =
     move_bytes = 0;
     locates = 0;
     forward_hops = 0;
+    home_fallbacks = 0;
     objects_created = 0;
     threads_started = 0;
   }
@@ -83,11 +85,16 @@ let create cfg =
       ~bandwidth_bps:cfg.Config.ether_bandwidth_bps
       ~propagation:cfg.Config.ether_propagation
       ~wire_overhead:cfg.Config.ether_wire_overhead
-      ~mac:cfg.Config.ether_mac ~trace:trc ()
+      ~mac:cfg.Config.ether_mac ~faults:cfg.Config.faults ~trace:trc ()
   in
   let rpc_fabric =
+    (* A lossy wire needs an end-to-end transport: retransmission kicks in
+       exactly when fault injection is on, so fault-free runs keep the
+       original at-most-once packet pattern bit for bit. *)
     Topaz.Rpc.create ~ether:net ~tasks ~costs:cfg.Config.rpc_costs
-      ~servers_per_node:cfg.Config.rpc_servers_per_node ()
+      ~servers_per_node:cfg.Config.rpc_servers_per_node
+      ~reliable:(Hw.Ethernet.faults_enabled cfg.Config.faults)
+      ~rto:cfg.Config.rpc_rto ()
   in
   let server =
     Vaspace.Space_server.create ~nodes:cfg.Config.nodes
@@ -229,13 +236,14 @@ let send_thread_packet t ts ~dest =
     (lazy
       (Printf.sprintf "%s: node%d -> node%d (%dB)"
          (Hw.Machine.tcb_name ts.tcb) src dest size));
-  ignore
-    (Hw.Ethernet.send t.net
-       (Hw.Packet.make ~src ~dst:dest ~size ~kind:"thread" (fun () ->
-            Descriptor.set_resident (descriptors t dest) ts.taddr;
-            Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
-            Hw.Machine.wake ts.tcb))
-      : float)
+  (* Thread state must survive packet loss — a dropped flight would
+     strand the thread forever — so it rides the reliable datagram
+     service (a plain send when faults are off). *)
+  Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size ~kind:"thread"
+    (fun () ->
+      Descriptor.set_resident (descriptors t dest) ts.taddr;
+      Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
+      Hw.Machine.wake ts.tcb)
 
 (* §3.3: when a chase ends, every node the thread passed through learns
    the object's location (piggybacked on the protocol, no extra packets),
@@ -266,12 +274,22 @@ let install_resume_check t ts =
                 so the protocol path inside the fiber raises properly. *)
              true
            | `Hop next ->
-             (* The object moved while we were descheduled: chase it
-                (§3.5's context-switch-in check). *)
-             ts.chase_path <- here :: ts.chase_path;
-             Hw.Machine.park tcb;
-             send_thread_packet t ts ~dest:next;
-             false)))
+             if List.length ts.chase_path >= t.cfg.Config.max_forward_hops
+             then
+               (* The switch-in chase has followed as many hops as the
+                  forwarding budget allows without finding the object —
+                  stale descriptors may form a loop here.  Let the thread
+                  run: the in-fiber chase applies the home-node fallback
+                  and dangling detection, which this callback cannot. *)
+               true
+             else begin
+               (* The object moved while we were descheduled: chase it
+                  (§3.5's context-switch-in check). *)
+               ts.chase_path <- here :: ts.chase_path;
+               Hw.Machine.park tcb;
+               send_thread_packet t ts ~dest:next;
+               false
+             end)))
 
 let migrate_self t ?(payload = 0) ~dest () =
   let ts = current t in
@@ -289,52 +307,114 @@ let migrate_self t ?(payload = 0) ~dest () =
         (Printf.sprintf "%s: node%d -> node%d (%dB, explicit)"
            (Hw.Machine.tcb_name ts.tcb) src dest size));
     Sim.Fiber.block (fun wake ->
-        ignore
-          (Hw.Ethernet.send t.net
-             (Hw.Packet.make ~src ~dst:dest ~size ~kind:"thread" (fun () ->
-                  Descriptor.set_resident (descriptors t dest) ts.taddr;
-                  Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
-                  wake ()))
-            : float));
+        Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size
+          ~kind:"thread" (fun () ->
+            Descriptor.set_resident (descriptors t dest) ts.taddr;
+            Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
+            wake ()));
     Sim.Fiber.consume c.Cost_model.thread_recv_cpu
   end
 
-let max_chain = 64
+(* --- the shared chain chase ---------------------------------------------- *)
+
+type 'a chase_step = Found of 'a | Follow of int | Miss
+
+(* [chase] is the one forwarding-chain walker in the system; Locate,
+   MoveTo, invocation settling and the invocation return path all express
+   their per-node probe as a [step] function and share the policy here:
+
+   - [Follow next] with [next = node] is a self-loop left by sabotaged
+     descriptors: the reference is dangling.
+   - [Miss] (uninitialized descriptor) away from the object's {e home
+     node} means that node never heard of the object, or a move is in
+     flight (the source already forwarded, the destination not yet
+     installed): bounce to the home node, whose region owner learns of
+     the object at creation and is the one place a live object can
+     always be traced from (§3.3).  A [Miss] {e at} the home node means
+     the object was destroyed there — the only node where a heap block
+     can be freed — so the reference is dangling.
+   - A chain longer than [max_forward_hops] (stale descriptors can form
+     long, even looping, chains under message loss) is {e repaired} by
+     restarting from the home node with a fresh hop budget instead of
+     failing; each restart is counted in [home_fallbacks].  Two restarts
+     without an answer mean the descriptors are mutating faster than we
+     chase — give up. *)
+let chase t ~what ~addr ~start ~step =
+  let budget = t.cfg.Config.max_forward_hops in
+  let home = home_node t ~addr in
+  let dangling () =
+    failwith (Printf.sprintf "%s: dangling reference to 0x%x" what addr)
+  in
+  let rec restart fallbacks =
+    if fallbacks > 2 then
+      failwith
+        (Printf.sprintf
+           "%s: reference to 0x%x did not resolve after %d home-node restarts"
+           what addr (fallbacks - 1))
+    else begin
+      t.ctrs.home_fallbacks <- t.ctrs.home_fallbacks + 1;
+      emit t "chase"
+        (lazy
+          (Printf.sprintf
+             "%s: hop budget (%d) exhausted for 0x%x, restarting at home node%d"
+             what budget addr home));
+      walk home ~hops:0 ~fallbacks
+    end
+  and walk node ~hops ~fallbacks =
+    if hops > budget then restart (fallbacks + 1)
+    else
+      match step ~node ~hops with
+      | Found v -> v
+      | Follow next ->
+        if next = node then dangling ();
+        t.ctrs.forward_hops <- t.ctrs.forward_hops + 1;
+        walk next ~hops:(hops + 1) ~fallbacks
+      | Miss ->
+        if node <> home then begin
+          t.ctrs.forward_hops <- t.ctrs.forward_hops + 1;
+          walk home ~hops:(hops + 1) ~fallbacks
+        end
+        else dangling ()
+  in
+  walk start ~hops:0 ~fallbacks:0
 
 let resolve_location t ~addr =
   let c = cost t in
   let here = current_node t in
-  let rec loop node visited hops =
-    if hops > max_chain then
-      failwith "Runtime.resolve_location: forwarding chain too long";
-    let verdict =
-      if node = here then begin
-        Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
-        probe t ~node ~addr
-      end
-      else
-        Topaz.Rpc.call t.rpc_fabric ~dst:node ~kind:"locate"
-          ~req_size:c.Cost_model.locate_req_bytes ~work:(fun () ->
-            Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
-            (16, probe t ~node ~addr))
-    in
-    match verdict with
-    | `Resident ->
-      (* §3.3: the answer is cached on the nodes along the chain. *)
-      List.iter
-        (fun v ->
-          if v <> node then Descriptor.set_forwarded (descriptors t v) addr node)
-        visited;
-      node
-    | `Hop next ->
-      if next = node then
-        failwith
-          (Printf.sprintf
-             "Runtime.resolve_location: dangling reference to 0x%x" addr);
-      t.ctrs.forward_hops <- t.ctrs.forward_hops + 1;
-      loop next (node :: visited) (hops + 1)
+  let visited = ref [] in
+  let lookup node =
+    Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+    Descriptor.get (descriptors t node) addr
   in
-  loop here [] 0
+  let found =
+    chase t ~what:"Runtime.resolve_location" ~addr ~start:here
+      ~step:(fun ~node ~hops:_ ->
+        let d =
+          if node = here then lookup node
+          else
+            Topaz.Rpc.call t.rpc_fabric ~dst:node ~kind:"locate"
+              ~req_size:c.Cost_model.locate_req_bytes ~work:(fun () ->
+                (16, lookup node))
+        in
+        match d with
+        | Some Descriptor.Resident ->
+          visited := node :: !visited;
+          Found node
+        | Some (Descriptor.Forwarded next) ->
+          visited := node :: !visited;
+          Follow next
+        | None ->
+          (* The start node's uninitialized descriptor also gets the
+             answer cached (the chase bounces via the home node). *)
+          visited := node :: !visited;
+          Miss)
+  in
+  (* §3.3: the answer is cached on the nodes along the chain. *)
+  List.iter
+    (fun v ->
+      if v <> found then Descriptor.set_forwarded (descriptors t v) addr found)
+    !visited;
+  found
 
 (* --- object lifecycle ---------------------------------------------------- *)
 

@@ -96,6 +96,36 @@ val probe : t -> node:int -> addr:int -> [ `Resident | `Hop of int ]
     context. *)
 val migrate_self : t -> ?payload:int -> dest:int -> unit -> unit
 
+(** Verdict of one chase step at a node: the chase is over ([Found]), the
+    node holds a forwarding address ([Follow next]), or the node's
+    descriptor is uninitialized ([Miss]). *)
+type 'a chase_step = Found of 'a | Follow of int | Miss
+
+(** [chase t ~what ~addr ~start ~step] is the single forwarding-chain
+    walker shared by Locate, MoveTo, invocation settling and the
+    invocation return path.  [step ~node ~hops] probes (or acts at) one
+    node; [chase] supplies the policy:
+
+    - each [Follow] hop is counted and bounded by
+      [Config.max_forward_hops]; exhausting the budget {e repairs} the
+      chase by restarting at the object's home node with a fresh budget
+      (counted in the [home_fallbacks] counter, at most twice) rather
+      than failing;
+    - a [Miss] away from the home node bounces the chase to the home
+      node (that node never heard of the object, or a move is in
+      flight); a [Miss] {e at} the home node — the only node where the
+      object's heap block can be freed — or a self-loop [Follow] raises
+      [Failure "<what>: dangling reference to 0x<addr>"].
+
+    [what] prefixes error messages.  Fiber context if [step] is. *)
+val chase :
+  t ->
+  what:string ->
+  addr:int ->
+  start:int ->
+  step:(node:int -> hops:int -> 'a chase_step) ->
+  'a
+
 (** Chase descriptors with control RPCs (no thread motion) until the node
     where [addr] is resident is found; used by Locate and MoveTo.  Updates
     the descriptors of visited nodes to point at the answer (§3.3 chain
@@ -127,6 +157,9 @@ type counters = {
   mutable move_bytes : int;
   mutable locates : int;
   mutable forward_hops : int;
+  mutable home_fallbacks : int;
+      (** chases restarted at the object's home node after exhausting the
+          forwarding-hop budget *)
   mutable objects_created : int;
   mutable threads_started : int;
 }

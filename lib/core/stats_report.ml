@@ -9,6 +9,22 @@ type node_stats = {
   heap_regions : int;
 }
 
+type fault_stats = {
+  faults_enabled : bool;
+  packets_dropped : int;
+  packets_duplicated : int;
+  packets_delayed : int;
+  packets_stalled : int;
+  rpc_timeouts : int;
+  rpc_retransmits : int;
+  dup_requests : int;
+  dup_replies : int;
+  dup_datagrams : int;
+  reply_resends : int;
+  acks_sent : int;
+  home_fallbacks : int;
+}
+
 type t = {
   elapsed : float;
   nodes : node_stats array;
@@ -19,6 +35,7 @@ type t = {
   net_utilization : float;
   net_queueing : float;
   traffic_by_kind : (string * int * int) list;
+  faults : fault_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
 }
@@ -55,6 +72,25 @@ let capture rt =
     net_utilization = (if elapsed > 0.0 then net_busy /. elapsed else 0.0);
     net_queueing = Hw.Ethernet.total_queueing ether;
     traffic_by_kind = Hw.Ethernet.traffic_by_kind ether;
+    faults =
+      (let rel = Topaz.Rpc.reliability (Runtime.rpc rt) in
+       let v = Sim.Stats.Counter.value in
+       {
+         faults_enabled =
+           Hw.Ethernet.faults_enabled (Hw.Ethernet.faults_in_effect ether);
+         packets_dropped = Hw.Ethernet.packets_dropped ether;
+         packets_duplicated = Hw.Ethernet.packets_duplicated ether;
+         packets_delayed = Hw.Ethernet.packets_delayed ether;
+         packets_stalled = Hw.Ethernet.packets_stalled ether;
+         rpc_timeouts = v rel.Topaz.Rpc.timeouts;
+         rpc_retransmits = v rel.Topaz.Rpc.retransmits;
+         dup_requests = v rel.Topaz.Rpc.dup_requests;
+         dup_replies = v rel.Topaz.Rpc.dup_replies;
+         dup_datagrams = v rel.Topaz.Rpc.dup_datagrams;
+         reply_resends = v rel.Topaz.Rpc.reply_resends;
+         acks_sent = v rel.Topaz.Rpc.acks_sent;
+         home_fallbacks = (Runtime.counters rt).Runtime.home_fallbacks;
+       });
     remote_invoke_latency = Runtime.remote_invoke_latency rt;
     move_latency = Runtime.move_latency rt;
   }
@@ -91,6 +127,21 @@ let pp ppf t =
     (fun (kind, n, b) ->
       Format.fprintf ppf "  %-14s %6d packets %10d bytes@." kind n b)
     t.traffic_by_kind;
+  (let f = t.faults in
+   if f.faults_enabled then begin
+     Format.fprintf ppf
+       "faults: %d dropped, %d duplicated, %d delayed, %d stalled@."
+       f.packets_dropped f.packets_duplicated f.packets_delayed
+       f.packets_stalled;
+     Format.fprintf ppf
+       "recovery: %d timeouts, %d retransmits; suppressed %d dup requests, \
+        %d dup replies, %d dup datagrams; %d reply resends, %d acks@."
+       f.rpc_timeouts f.rpc_retransmits f.dup_requests f.dup_replies
+       f.dup_datagrams f.reply_resends f.acks_sent
+   end;
+   if f.home_fallbacks > 0 then
+     Format.fprintf ppf "chain repair: %d home-node fallbacks@."
+       f.home_fallbacks);
   if Sim.Stats.Summary.count t.remote_invoke_latency > 0 then
     Format.fprintf ppf "remote invoke latency: %a@." Sim.Stats.Summary.pp
       t.remote_invoke_latency;

@@ -12,6 +12,25 @@ type node_stats = {
   heap_regions : int;
 }
 
+(** Fault-injection and recovery summary.  All zero on a fault-free run
+    ([faults_enabled = false]); [home_fallbacks] can be nonzero even
+    without faults (sabotaged descriptor chains). *)
+type fault_stats = {
+  faults_enabled : bool;
+  packets_dropped : int;
+  packets_duplicated : int;
+  packets_delayed : int;
+  packets_stalled : int;
+  rpc_timeouts : int;
+  rpc_retransmits : int;
+  dup_requests : int;
+  dup_replies : int;
+  dup_datagrams : int;
+  reply_resends : int;
+  acks_sent : int;
+  home_fallbacks : int;
+}
+
 type t = {
   elapsed : float;
   nodes : node_stats array;
@@ -23,6 +42,7 @@ type t = {
   net_queueing : float;
   traffic_by_kind : (string * int * int) list;
       (** [(packet kind, packets, bytes)] *)
+  faults : fault_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
 }

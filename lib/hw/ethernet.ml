@@ -1,5 +1,48 @@
 type mac = Fifo | Csma_cd
 
+(* A node that stops receiving for a window of virtual time (GC pause,
+   overload, half-dead interface): packets arriving inside the window
+   are held and delivered when it ends. *)
+type stall = { node : int; from_t : float; until_t : float }
+
+type faults = {
+  drop_prob : float;  (* lose the packet after it crossed the wire *)
+  dup_prob : float;  (* deliver the packet twice *)
+  delay_prob : float;  (* delivery hit by a latency spike *)
+  delay_spike : float;  (* seconds added on a spike *)
+  stalls : stall list;
+}
+
+let no_faults =
+  {
+    drop_prob = 0.0;
+    dup_prob = 0.0;
+    delay_prob = 0.0;
+    delay_spike = 0.0;
+    stalls = [];
+  }
+
+let faults_enabled f =
+  f.drop_prob > 0.0 || f.dup_prob > 0.0 || f.delay_prob > 0.0
+  || f.stalls <> []
+
+let validate_faults f =
+  let prob name p =
+    if p < 0.0 || p >= 1.0 || Float.is_nan p then
+      invalid_arg (Printf.sprintf "Ethernet faults: %s must be in [0, 1)" name)
+  in
+  prob "drop_prob" f.drop_prob;
+  prob "dup_prob" f.dup_prob;
+  prob "delay_prob" f.delay_prob;
+  if f.delay_spike < 0.0 || Float.is_nan f.delay_spike then
+    invalid_arg "Ethernet faults: delay_spike must be non-negative";
+  List.iter
+    (fun s ->
+      if s.node < 0 then invalid_arg "Ethernet faults: stall node";
+      if not (s.until_t > s.from_t) || s.from_t < 0.0 then
+        invalid_arg "Ethernet faults: stall window must be ordered")
+    f.stalls
+
 (* A packet deferring for the medium under CSMA/CD. *)
 type pending = {
   pkt : Packet.t;
@@ -16,6 +59,11 @@ type t = {
   header_bytes : int;
   mac : mac;
   rng : Sim.Rng.t;
+  faults : faults;
+  (* Dedicated stream so fault decisions never perturb CSMA/CD backoff;
+     absent when faults are off, so a fault-free run draws exactly the
+     same random numbers as a build without this layer. *)
+  frng : Sim.Rng.t option;
   trace : Sim.Trace.t;
   mutable free_at : float;
   (* CSMA/CD state *)
@@ -29,6 +77,10 @@ type t = {
   mutable queueing : float;
   mutable busy : float;
   mutable collision_count : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable stalled : int;
   by_kind : (string, int * int) Hashtbl.t;
 }
 
@@ -38,8 +90,10 @@ let max_backoff_exp = 10
 
 let create ~engine ?(bandwidth_bps = 10e6) ?(propagation = 20e-6)
     ?(wire_overhead = 50e-6) ?(header_bytes = 64) ?(mac = Fifo)
-    ?(trace = Sim.Trace.create ()) () =
+    ?(faults = no_faults) ?(trace = Sim.Trace.create ()) () =
   if bandwidth_bps <= 0.0 then invalid_arg "Ethernet.create: bandwidth";
+  validate_faults faults;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   {
     eng = engine;
     bandwidth_bps;
@@ -47,7 +101,9 @@ let create ~engine ?(bandwidth_bps = 10e6) ?(propagation = 20e-6)
     wire_overhead;
     header_bytes;
     mac;
-    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    rng;
+    faults;
+    frng = (if faults_enabled faults then Some (Sim.Rng.split rng) else None);
     trace;
     free_at = 0.0;
     waiting = [];
@@ -57,8 +113,14 @@ let create ~engine ?(bandwidth_bps = 10e6) ?(propagation = 20e-6)
     queueing = 0.0;
     busy = 0.0;
     collision_count = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    stalled = 0;
     by_kind = Hashtbl.create 16;
   }
+
+let engine t = t.eng
 
 let tx_time t ~size =
   t.wire_overhead
@@ -76,6 +138,61 @@ let account t (p : Packet.t) ~waited ~tx =
   t.queueing <- t.queueing +. waited;
   t.busy <- t.busy +. tx
 
+(* Fault injection happens between the wire and the receiver: the packet
+   always pays its transmission time (it really crossed the medium), and
+   then may be lost, duplicated, or delayed before its [deliver] callback
+   is scheduled.  All decisions come from the dedicated seeded stream, so
+   a run's fault pattern is a pure function of the configuration seed. *)
+let inject t (p : Packet.t) ~delivery =
+  match t.frng with
+  | None ->
+    ignore
+      (Sim.Engine.schedule_at t.eng ~time:delivery p.Packet.deliver
+        : Sim.Engine.event_id)
+  | Some rng ->
+    let f = t.faults in
+    let emit_fault what =
+      Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~category:"fault"
+        ~detail:(lazy (Format.asprintf "%s %a" what Packet.pp p))
+    in
+    let delivery =
+      List.fold_left
+        (fun d s ->
+          if s.node = p.Packet.dst && d >= s.from_t && d < s.until_t then begin
+            t.stalled <- t.stalled + 1;
+            emit_fault
+              (Printf.sprintf "stall(node%d until %.6fs)" s.node s.until_t);
+            s.until_t
+          end
+          else d)
+        delivery f.stalls
+    in
+    if f.drop_prob > 0.0 && Sim.Rng.float rng < f.drop_prob then begin
+      t.dropped <- t.dropped + 1;
+      emit_fault "drop"
+    end
+    else begin
+      let delivery =
+        if f.delay_prob > 0.0 && Sim.Rng.float rng < f.delay_prob then begin
+          t.delayed <- t.delayed + 1;
+          emit_fault (Printf.sprintf "delay(+%.0fus)" (f.delay_spike *. 1e6));
+          delivery +. f.delay_spike
+        end
+        else delivery
+      in
+      ignore
+        (Sim.Engine.schedule_at t.eng ~time:delivery p.Packet.deliver
+          : Sim.Engine.event_id);
+      if f.dup_prob > 0.0 && Sim.Rng.float rng < f.dup_prob then begin
+        t.duplicated <- t.duplicated + 1;
+        emit_fault "duplicate";
+        ignore
+          (Sim.Engine.schedule_at t.eng ~time:(delivery +. t.propagation)
+             p.Packet.deliver
+            : Sim.Engine.event_id)
+      end
+    end
+
 (* Begin transmitting [p] at [start] (medium known free then). *)
 let transmit t (p : Packet.t) ~submitted ~start =
   let tx = tx_time t ~size:p.Packet.size in
@@ -89,9 +206,7 @@ let transmit t (p : Packet.t) ~submitted ~start =
         (Format.asprintf "%a queued=%.0fus tx=%.0fus" Packet.pp p
            ((start -. submitted) *. 1e6)
            (tx *. 1e6)));
-  ignore
-    (Sim.Engine.schedule_at t.eng ~time:delivery p.Packet.deliver
-      : Sim.Engine.event_id);
+  inject t p ~delivery;
   delivery
 
 (* --- CSMA/CD ------------------------------------------------------------ *)
@@ -174,6 +289,11 @@ let bytes_sent t = t.bytes
 let total_queueing t = t.queueing
 let busy_seconds t = t.busy
 let collisions t = t.collision_count
+let faults_in_effect t = t.faults
+let packets_dropped t = t.dropped
+let packets_duplicated t = t.duplicated
+let packets_delayed t = t.delayed
+let packets_stalled t = t.stalled
 
 let traffic_by_kind t =
   Hashtbl.fold (fun kind (n, b) acc -> (kind, n, b) :: acc) t.by_kind []
@@ -185,4 +305,8 @@ let reset_stats t =
   t.queueing <- 0.0;
   t.busy <- 0.0;
   t.collision_count <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  t.delayed <- 0;
+  t.stalled <- 0;
   Hashtbl.reset t.by_kind

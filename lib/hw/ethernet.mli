@@ -23,6 +23,43 @@
 
 type mac = Fifo | Csma_cd
 
+(** {1 Fault injection}
+
+    A seeded fault model applied between the wire and the receiver: a
+    packet always pays its transmission time, then may be {e dropped},
+    {e duplicated}, or hit by a {e latency spike} before delivery, and a
+    packet arriving at a node inside one of its {e stall windows} is held
+    until the window ends.  Decisions are drawn from a dedicated RNG
+    stream split off the engine seed, so the fault pattern of a run is a
+    pure function of the configuration — two runs with the same seed see
+    identical losses.  With [no_faults] (the default) the layer is
+    bypassed entirely and behavior is bit-identical to a fault-free
+    build. *)
+
+type stall = {
+  node : int;  (** receiving node the window applies to *)
+  from_t : float;  (** window start, virtual seconds *)
+  until_t : float;  (** window end (exclusive) *)
+}
+
+type faults = {
+  drop_prob : float;  (** per-packet loss probability, [0, 1) *)
+  dup_prob : float;  (** per-packet duplicate-delivery probability *)
+  delay_prob : float;  (** per-packet latency-spike probability *)
+  delay_spike : float;  (** seconds added to delivery on a spike *)
+  stalls : stall list;
+}
+
+val no_faults : faults
+
+(** True if any fault mechanism is active (the condition under which the
+    runtime must run its RPC layer in reliable mode). *)
+val faults_enabled : faults -> bool
+
+(** Raises [Invalid_argument] on out-of-range probabilities or
+    malformed stall windows. *)
+val validate_faults : faults -> unit
+
 type t
 
 val create :
@@ -36,9 +73,15 @@ val create :
   ?header_bytes:int ->
   (* default 64: frame header + trailer + minimal protocol headers *)
   ?mac:mac ->
+  ?faults:faults ->
+  (* default no_faults *)
   ?trace:Sim.Trace.t ->
   unit ->
   t
+
+(** The engine this medium schedules on (used by transport-layer
+    retransmission timers). *)
+val engine : t -> Sim.Engine.t
 
 (** Submit a packet for transmission.  Returns the predicted delivery time
     under {!Fifo}; under {!Csma_cd} the return value is the earliest
@@ -69,5 +112,15 @@ val collisions : t -> int
 (** Traffic broken down by packet kind: [(kind, packets, bytes)], sorted
     by kind. *)
 val traffic_by_kind : t -> (string * int * int) list
+
+(** {2 Fault-injection statistics} *)
+
+val faults_in_effect : t -> faults
+val packets_dropped : t -> int
+val packets_duplicated : t -> int
+val packets_delayed : t -> int
+
+(** Packets held by a stall window. *)
+val packets_stalled : t -> int
 
 val reset_stats : t -> unit

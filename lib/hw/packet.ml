@@ -3,12 +3,15 @@ type t = {
   dst : int;
   size : int;
   kind : string;
+  seq : int;
   deliver : unit -> unit;
 }
 
-let make ~src ~dst ~size ~kind deliver =
+let make ?(seq = -1) ~src ~dst ~size ~kind deliver =
   if size < 0 then invalid_arg "Packet.make: negative size";
-  { src; dst; size; kind; deliver }
+  { src; dst; size; kind; seq; deliver }
 
 let pp ppf p =
-  Format.fprintf ppf "%s[%d->%d, %dB]" p.kind p.src p.dst p.size
+  if p.seq >= 0 then
+    Format.fprintf ppf "%s#%d[%d->%d, %dB]" p.kind p.seq p.src p.dst p.size
+  else Format.fprintf ppf "%s[%d->%d, %dB]" p.kind p.src p.dst p.size

@@ -10,10 +10,17 @@ type t = {
   dst : int;  (** destination node id *)
   size : int;  (** payload bytes (headers are added by the medium) *)
   kind : string;  (** for tracing: "rpc-req", "thread", "obj", "page", … *)
+  seq : int;
+      (** transport sequence number, or [-1] for unsequenced traffic.
+          Retransmissions of the same logical message carry the same
+          [seq], which is what receiver-side duplicate suppression keys
+          on (and what makes retransmitted packets identifiable in
+          traces). *)
   deliver : unit -> unit;
 }
 
 val make :
-  src:int -> dst:int -> size:int -> kind:string -> (unit -> unit) -> t
+  ?seq:int -> src:int -> dst:int -> size:int -> kind:string ->
+  (unit -> unit) -> t
 
 val pp : Format.formatter -> t -> unit

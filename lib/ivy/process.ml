@@ -33,13 +33,11 @@ let migrate rt ?(state_bytes = default_state_bytes) ~dest () =
     let c = Runtime.cost rt in
     Sim.Fiber.consume c.Amber.Cost_model.thread_send_cpu;
     Sim.Fiber.block (fun wake ->
-        ignore
-          (Hw.Ethernet.send (Runtime.ether rt)
-             (Hw.Packet.make ~src ~dst:dest ~size:state_bytes ~kind:"process"
-                (fun () ->
-                  Hw.Machine.transfer tcb ~dest:(Runtime.machine rt dest);
-                  wake ()))
-            : float));
+        (* Reliable: a dropped process-state flight would strand it. *)
+        Topaz.Rpc.send_reliable (Runtime.rpc rt) ~src ~dst:dest
+          ~size:state_bytes ~kind:"process" (fun () ->
+            Hw.Machine.transfer tcb ~dest:(Runtime.machine rt dest);
+            wake ()));
     Sim.Fiber.consume c.Amber.Cost_model.thread_recv_cpu
   end
 

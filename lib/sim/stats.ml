@@ -1,3 +1,22 @@
+module Counter = struct
+  type t = { name : string; mutable n : int }
+
+  let create ?(name = "") () = { name; n = 0 }
+  let incr t = t.n <- t.n + 1
+
+  let add t k =
+    if k < 0 then invalid_arg "Counter.add: negative increment";
+    t.n <- t.n + k
+
+  let value t = t.n
+  let name t = t.name
+  let reset t = t.n <- 0
+
+  let pp ppf t =
+    if t.name = "" then Format.fprintf ppf "%d" t.n
+    else Format.fprintf ppf "%s=%d" t.name t.n
+end
+
 module Summary = struct
   type t = {
     mutable n : int;

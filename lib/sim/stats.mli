@@ -1,6 +1,24 @@
 (** Streaming statistics accumulators and simple histograms, used by the
     benchmark harness to summarize latencies and by tests as oracles. *)
 
+(** Named monotonic event counter — the unit of protocol accounting used
+    by the RPC reliability layer (retries, timeouts, suppressed
+    duplicates) and surfaced through [Stats_report]. *)
+module Counter : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val incr : t -> unit
+
+  (** Raises [Invalid_argument] on a negative increment. *)
+  val add : t -> int -> unit
+
+  val value : t -> int
+  val name : t -> string
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
 (** Welford-style mean/variance accumulator that also retains samples for
     percentile queries. *)
 module Summary : sig

@@ -23,10 +23,46 @@ type endpoint = {
   mutable idle : (unit -> unit) list;  (* wakers of parked server threads *)
 }
 
+type reliability_counters = {
+  timeouts : Sim.Stats.Counter.t;
+  retransmits : Sim.Stats.Counter.t;
+  dup_requests : Sim.Stats.Counter.t;
+  dup_replies : Sim.Stats.Counter.t;
+  dup_datagrams : Sim.Stats.Counter.t;
+  reply_resends : Sim.Stats.Counter.t;
+  acks_sent : Sim.Stats.Counter.t;
+}
+
+let fresh_reliability_counters () =
+  {
+    timeouts = Sim.Stats.Counter.create ~name:"timeouts" ();
+    retransmits = Sim.Stats.Counter.create ~name:"retransmits" ();
+    dup_requests = Sim.Stats.Counter.create ~name:"dup-requests" ();
+    dup_replies = Sim.Stats.Counter.create ~name:"dup-replies" ();
+    dup_datagrams = Sim.Stats.Counter.create ~name:"dup-datagrams" ();
+    reply_resends = Sim.Stats.Counter.create ~name:"reply-resends" ();
+    acks_sent = Sim.Stats.Counter.create ~name:"acks" ();
+  }
+
+(* Server-side progress of a sequence-numbered call: [Started] while the
+   work executes (duplicate requests are suppressed), [Answered resend]
+   after the reply went out (a duplicate request means the reply was
+   probably lost, so it is retransmitted). *)
+type call_progress = Started | Answered of (unit -> unit)
+
 type t = {
   ether : Hw.Ethernet.t;
   endpoints : endpoint array;
   c : costs;
+  (* Reliability layer (only active when [reliable]; with it off the
+     fabric is wire-transparent and behaves exactly like the original
+     at-most-once transport). *)
+  reliable : bool;
+  rto : float;  (* initial retransmission timeout *)
+  rel : reliability_counters;
+  mutable seq : int;
+  call_state : (int, call_progress) Hashtbl.t;
+  delivered : (int, unit) Hashtbl.t;  (* one-way datagrams already executed *)
   mutable calls : int;
   mutable posts : int;
 }
@@ -46,8 +82,9 @@ let enqueue_work ep work =
     ep.idle <- rest;
     wake ()
 
-let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8) ()
-    =
+let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
+    ?(reliable = false) ?(rto = 25e-3) () =
+  if rto <= 0.0 then invalid_arg "Rpc.create: rto must be positive";
   let endpoints =
     Array.map
       (fun task -> { task; queue = Queue.create (); idle = [] })
@@ -63,9 +100,23 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8) ()
             : Hw.Machine.tcb)
       done)
     endpoints;
-  { ether; endpoints; c = costs; calls = 0; posts = 0 }
+  {
+    ether;
+    endpoints;
+    c = costs;
+    reliable;
+    rto;
+    rel = fresh_reliability_counters ();
+    seq = 0;
+    call_state = Hashtbl.create 256;
+    delivered = Hashtbl.create 256;
+    calls = 0;
+    posts = 0;
+  }
 
 let costs t = t.c
+let reliable_mode t = t.reliable
+let reliability t = t.rel
 
 let endpoint t node =
   if node < 0 || node >= Array.length t.endpoints then
@@ -76,6 +127,84 @@ let send_side_cpu t size = t.c.send_cpu_fixed +. (t.c.send_cpu_per_byte *. float
 let recv_side_cpu t size =
   t.c.recv_cpu_fixed +. (t.c.recv_cpu_per_byte *. float_of_int size)
 
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let max_backoff_exp = 6
+
+let backoff_delay t attempts =
+  t.rto *. (2.0 ** float_of_int (min attempts max_backoff_exp))
+
+let ack_bytes = 16
+
+(* --- reliable one-way datagram ------------------------------------------- *)
+
+(* At-least-once wire delivery with receiver-side dedup, i.e. exactly-once
+   execution of [deliver] (which runs in event context at [dst], like a
+   bare [Hw.Ethernet.send] callback).  The receiver acks every arrival;
+   the sender retransmits with exponential backoff until acked.  With the
+   fabric in unreliable mode this is a plain Ethernet send. *)
+let send_reliable t ~src ~dst ~size ~kind deliver =
+  if not t.reliable then
+    ignore
+      (Hw.Ethernet.send t.ether (Hw.Packet.make ~src ~dst ~size ~kind deliver)
+        : float)
+  else begin
+    let eng = Hw.Ethernet.engine t.ether in
+    let seq = next_seq t in
+    let acked = ref false in
+    let timer = ref None in
+    let attempts = ref 0 in
+    let deliver_ack () =
+      if not !acked then begin
+        acked := true;
+        (match !timer with
+        | Some id -> Sim.Engine.cancel eng id
+        | None -> ());
+        timer := None
+      end
+    in
+    let deliver_datagram () =
+      if Hashtbl.mem t.delivered seq then
+        Sim.Stats.Counter.incr t.rel.dup_datagrams
+      else begin
+        Hashtbl.replace t.delivered seq ();
+        deliver ()
+      end;
+      (* Ack every arrival: if the previous ack was lost, the
+         retransmitted datagram re-triggers it. *)
+      Sim.Stats.Counter.incr t.rel.acks_sent;
+      ignore
+        (Hw.Ethernet.send t.ether
+           (Hw.Packet.make ~seq ~src:dst ~dst:src ~size:ack_bytes
+              ~kind:(kind ^ "-ack") deliver_ack)
+          : float)
+    in
+    let rec send_datagram () =
+      ignore
+        (Hw.Ethernet.send t.ether
+           (Hw.Packet.make ~seq ~src ~dst ~size ~kind deliver_datagram)
+          : float);
+      arm ()
+    and arm () =
+      timer :=
+        Some
+          (Sim.Engine.schedule eng ~delay:(backoff_delay t !attempts)
+             (fun () ->
+               timer := None;
+               if not !acked then begin
+                 Sim.Stats.Counter.incr t.rel.timeouts;
+                 Sim.Stats.Counter.incr t.rel.retransmits;
+                 incr attempts;
+                 send_datagram ()
+               end))
+    in
+    send_datagram ()
+  end
+
+(* --- request/reply -------------------------------------------------------- *)
+
 let call t ~dst ~kind ~req_size ~work =
   t.calls <- t.calls + 1;
   let src = Hw.Machine.id (Hw.Machine.self_machine ()) in
@@ -85,7 +214,7 @@ let call t ~dst ~kind ~req_size ~work =
     let _size, result = work () in
     result
   end
-  else begin
+  else if not t.reliable then begin
     Sim.Fiber.consume (send_side_cpu t req_size);
     let result = ref None in
     Sim.Fiber.block (fun wake ->
@@ -115,6 +244,90 @@ let call t ~dst ~kind ~req_size ~work =
     | Some v -> v
     | None -> assert false
   end
+  else begin
+    (* Reliable mode: the request carries a sequence number and is
+       retransmitted with exponential backoff until a reply arrives (the
+       reply is the request's implicit ack).  The server runs [work] at
+       most once per sequence number: a duplicate request arriving while
+       the work executes is suppressed, and one arriving after the reply
+       went out retransmits the recorded reply.  The client suppresses
+       duplicate replies, so side effects happen exactly once. *)
+    Sim.Fiber.consume (send_side_cpu t req_size);
+    let eng = Hw.Ethernet.engine t.ether in
+    let seq = next_seq t in
+    let result = ref None in
+    Sim.Fiber.block (fun wake ->
+        let completed = ref false in
+        let timer = ref None in
+        let attempts = ref 0 in
+        let cancel_timer () =
+          match !timer with
+          | Some id ->
+            Sim.Engine.cancel eng id;
+            timer := None
+          | None -> ()
+        in
+        let deliver_reply value () =
+          if !completed then Sim.Stats.Counter.incr t.rel.dup_replies
+          else begin
+            completed := true;
+            cancel_timer ();
+            result := Some value;
+            wake ()
+          end
+        in
+        let deliver_request () =
+          match Hashtbl.find_opt t.call_state seq with
+          | Some Started -> Sim.Stats.Counter.incr t.rel.dup_requests
+          | Some (Answered resend) ->
+            Sim.Stats.Counter.incr t.rel.dup_requests;
+            Sim.Stats.Counter.incr t.rel.reply_resends;
+            resend ()
+          | None ->
+            Hashtbl.replace t.call_state seq Started;
+            enqueue_work (endpoint t dst) (fun () ->
+                (* Runs in a server fiber on [dst]. *)
+                Sim.Fiber.consume
+                  (recv_side_cpu t req_size +. t.c.dispatch_cpu);
+                let reply_size, value = work () in
+                Sim.Fiber.consume (send_side_cpu t reply_size);
+                let send_reply () =
+                  ignore
+                    (Hw.Ethernet.send t.ether
+                       (Hw.Packet.make ~seq ~src:dst ~dst:src ~size:reply_size
+                          ~kind:(kind ^ "-reply") (deliver_reply value))
+                      : float)
+                in
+                Hashtbl.replace t.call_state seq (Answered send_reply);
+                send_reply ())
+        in
+        let rec send_request () =
+          ignore
+            (Hw.Ethernet.send t.ether
+               (Hw.Packet.make ~seq ~src ~dst ~size:req_size ~kind
+                  deliver_request)
+              : float);
+          arm ()
+        and arm () =
+          timer :=
+            Some
+              (Sim.Engine.schedule eng ~delay:(backoff_delay t !attempts)
+                 (fun () ->
+                   timer := None;
+                   if not !completed then begin
+                     Sim.Stats.Counter.incr t.rel.timeouts;
+                     Sim.Stats.Counter.incr t.rel.retransmits;
+                     incr attempts;
+                     send_request ()
+                   end))
+        in
+        send_request ());
+    (* Back on the caller: unmarshal the reply. *)
+    Sim.Fiber.consume (recv_side_cpu t 0);
+    match !result with
+    | Some v -> v
+    | None -> assert false
+  end
 
 let post t ~src ~dst ~kind ~size handler =
   t.posts <- t.posts + 1;
@@ -122,17 +335,11 @@ let post t ~src ~dst ~kind ~size handler =
     enqueue_work (endpoint t dst) (fun () ->
         Sim.Fiber.consume t.c.dispatch_cpu;
         handler ())
-  else begin
-    let deliver () =
-      enqueue_work (endpoint t dst) (fun () ->
-          Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
-          handler ())
-    in
-    ignore
-      (Hw.Ethernet.send t.ether
-         (Hw.Packet.make ~src ~dst ~size ~kind deliver)
-        : float)
-  end
+  else
+    send_reliable t ~src ~dst ~size ~kind (fun () ->
+        enqueue_work (endpoint t dst) (fun () ->
+            Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
+            handler ()))
 
 let calls_made t = t.calls
 let posts_made t = t.posts

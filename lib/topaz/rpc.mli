@@ -12,7 +12,29 @@
     Server threads are real simulated threads: they contend with
     application threads for the destination node's CPUs, so a busy node
     serves RPCs slowly — the effect behind the paper's "operations are
-    more expensive on a heavily loaded system" caveat (§5). *)
+    more expensive on a heavily loaded system" caveat (§5).
+
+    {2 Reliability}
+
+    When created with [~reliable:true] (the runtime does this whenever
+    fault injection is enabled on the Ethernet), the fabric layers an
+    end-to-end retransmission protocol over the lossy medium:
+
+    - every request and one-way datagram carries a fresh sequence number;
+    - the sender retransmits on a timeout with exponential backoff
+      ([rto], [2*rto], [4*rto], … capped at [2^6 * rto]);
+    - for {!call}, the reply is the implicit acknowledgement; the server
+      deduplicates requests by sequence number (suppressing duplicates
+      while the work runs, retransmitting the recorded reply afterwards)
+      and the client suppresses duplicate replies — so [work] runs
+      exactly once per call;
+    - {!send_reliable} (and {!post}, which is built on it) uses an
+      explicit small ack packet plus receiver-side dedup for the same
+      exactly-once guarantee.
+
+    With [reliable = false] (the default) none of this machinery exists:
+    no sequence numbers, no timers, no extra packets — behavior is
+    byte-identical to the original at-most-once transport. *)
 
 type t
 
@@ -26,15 +48,37 @@ type costs = {
 
 val default_costs : costs
 
+(** End-to-end reliability counters (all zero when [reliable = false]).
+    [timeouts] counts retransmission-timer expiries, [retransmits] the
+    packets re-sent as a result; [dup_requests]/[dup_replies]/
+    [dup_datagrams] count suppressed duplicates at the receiving ends;
+    [reply_resends] counts recorded replies retransmitted in response to
+    a duplicate request; [acks_sent] counts explicit datagram acks. *)
+type reliability_counters = {
+  timeouts : Sim.Stats.Counter.t;
+  retransmits : Sim.Stats.Counter.t;
+  dup_requests : Sim.Stats.Counter.t;
+  dup_replies : Sim.Stats.Counter.t;
+  dup_datagrams : Sim.Stats.Counter.t;
+  reply_resends : Sim.Stats.Counter.t;
+  acks_sent : Sim.Stats.Counter.t;
+}
+
 val create :
   ether:Hw.Ethernet.t ->
   tasks:Task.t array ->
   ?costs:costs ->
   ?servers_per_node:int ->
+  ?reliable:bool ->
+  (* default false *)
+  ?rto:float ->
+  (* initial retransmission timeout, default 25 ms *)
   unit ->
   t
 
 val costs : t -> costs
+val reliable_mode : t -> bool
+val reliability : t -> reliability_counters
 
 (** [call t ~dst ~kind ~req_size ~work] performs a synchronous RPC from the
     calling fiber's node to node [dst].  [work] executes in a server fiber
@@ -42,13 +86,27 @@ val costs : t -> costs
     the reply arrives.  A call whose destination is the caller's own node
     short-circuits the wire but still pays dispatch CPU.
 
+    In reliable mode the call survives lost requests and lost replies,
+    and [work] still executes exactly once (see {e Reliability} above).
+
     Must be called from inside a fiber. *)
 val call :
   t -> dst:int -> kind:string -> req_size:int -> work:(unit -> int * 'a) -> 'a
 
+(** [send_reliable t ~src ~dst ~size ~kind deliver] sends a one-way
+    datagram whose [deliver] callback runs in event context at [dst]
+    (exactly like a bare [Hw.Ethernet.send] callback — not in a server
+    fiber).  In reliable mode the datagram is acknowledged, retransmitted
+    until acked, and deduplicated at the receiver, so [deliver] runs
+    exactly once even under packet loss; otherwise it is a plain
+    Ethernet send.  Usable from outside a fiber. *)
+val send_reliable :
+  t -> src:int -> dst:int -> size:int -> kind:string -> (unit -> unit) -> unit
+
 (** One-way message: [handler] runs in a server fiber on [dst].  Usable
     from outside a fiber (e.g. an [on_resume] hook), so no send-side CPU is
-    charged here — callers in fiber context account for it themselves. *)
+    charged here — callers in fiber context account for it themselves.
+    Built on {!send_reliable}, so exactly-once under faults. *)
 val post :
   t -> src:int -> dst:int -> kind:string -> size:int -> (unit -> unit) -> unit
 

@@ -30,6 +30,7 @@ let () =
       ("amber.stats_report", Test_stats_report.suite);
       ("amber.config", Test_config.suite);
       ("amber.stress", Test_stress.suite);
+      ("amber.faults", Test_faults.suite);
       ("ivy", Test_ivy.suite);
       ("ivy.extra", Test_ivy_extra.suite);
       ("workloads", Test_workloads.suite);

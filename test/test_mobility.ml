@@ -242,6 +242,75 @@ let test_destroy_remote_rejected () =
         (Invalid_argument "Runtime.destroy_object: object is not resident here")
         (fun () -> A.Api.destroy rt o))
 
+let test_attach_deep_cycle_rejected () =
+  (* is_ancestor must walk the whole chain, not just the direct parent. *)
+  Util.run (fun rt ->
+      let a = A.Api.create rt ~name:"a" () in
+      let b = A.Api.create rt ~name:"b" () in
+      let c = A.Api.create rt ~name:"c" () in
+      A.Api.attach rt ~parent:a ~child:b;
+      A.Api.attach rt ~parent:b ~child:c;
+      Alcotest.check_raises "a -> b -> c -> a"
+        (Invalid_argument "Mobility.attach: attachment would create a cycle")
+        (fun () -> A.Api.attach rt ~parent:c ~child:a))
+
+let test_reattach_after_unattach () =
+  Util.run (fun rt ->
+      let parent = A.Api.create rt ~name:"p" () in
+      let child = A.Api.create rt ~name:"c" () in
+      A.Api.attach rt ~parent ~child;
+      A.Api.move_to rt parent ~dest:2;
+      A.Api.unattach rt ~child;
+      (* Independent again: the child can wander off... *)
+      A.Api.move_to rt child ~dest:1;
+      Alcotest.(check int) "child moved alone" 1 (Util.location child);
+      Alcotest.(check int) "parent unaffected" 2 (Util.location parent);
+      (* ...and a re-attach restores co-residency and joint movement. *)
+      A.Api.attach rt ~parent ~child;
+      Alcotest.(check int) "re-attach co-locates" 2 (Util.location child);
+      A.Api.move_to rt parent ~dest:3;
+      Alcotest.(check int) "moves together again" 3 (Util.location child))
+
+let test_attach_immutable_child_replicates () =
+  (* Attaching an immutable child to a remote parent must make the child
+     usable at the parent's node via a replica; the master stays put. *)
+  Util.run (fun rt ->
+      let child = A.Api.create rt ~name:"c" (ref 7) in
+      A.Api.set_immutable rt child;
+      let parent = A.Api.create rt ~name:"p" () in
+      A.Api.move_to rt parent ~dest:2;
+      let copies_before = (A.Runtime.counters rt).A.Runtime.object_copies in
+      A.Api.attach rt ~parent ~child;
+      Alcotest.(check bool) "replica at the parent's node" true
+        (A.Aobject.usable_on child 2);
+      Alcotest.(check int) "master still at home" 0 (Util.location child);
+      Alcotest.(check int) "exactly one installed copy" (copies_before + 1)
+        (A.Runtime.counters rt).A.Runtime.object_copies;
+      Alcotest.(check int) "replica readable in place" 7
+        (A.Api.invoke rt parent (fun () ->
+             A.Api.invoke rt child (fun r -> !r))))
+
+let test_settle_dangling_through_stale_chain () =
+  (* Stale forwarding pointers at bystanders lead a settling thread toward
+     a destroyed object: the chase must end in a clean dangling failure,
+     not a loop or a crash. *)
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~size:208 ~name:"doomed" (ref 0) in
+      let addr = o.A.Aobject.addr in
+      A.Api.destroy rt o;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 2) addr 3;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 3) addr 2;
+      let anchor = A.Api.create rt ~size:96 ~name:"anchor" () in
+      A.Api.move_to rt anchor ~dest:2;
+      let t =
+        A.Api.start_invoke rt anchor (fun () ->
+            match A.Api.invoke rt o (fun r -> !r) with
+            | _ -> false
+            | exception Failure _ -> true)
+      in
+      Alcotest.(check bool) "settle raised a clean failure" true
+        (A.Api.join rt t))
+
 let suite =
   [
     Alcotest.test_case "move updates descriptors" `Quick
@@ -275,6 +344,14 @@ let suite =
       test_dangling_locate_detected;
     Alcotest.test_case "freed block reuse works (§3.2)" `Quick
       test_destroyed_block_reuse_is_fresh;
+    Alcotest.test_case "attach deep cycle rejected" `Quick
+      test_attach_deep_cycle_rejected;
+    Alcotest.test_case "re-attach after unattach" `Quick
+      test_reattach_after_unattach;
+    Alcotest.test_case "attach immutable child replicates" `Quick
+      test_attach_immutable_child_replicates;
+    Alcotest.test_case "settle dangling through stale chain" `Quick
+      test_settle_dangling_through_stale_chain;
     Alcotest.test_case "destroy of remote object rejected" `Quick
       test_destroy_remote_rejected;
   ]

@@ -98,6 +98,35 @@ let mk_config nodes cpus faults seed =
   in
   Amber.Config.make ~nodes ~cpus ~seed ~faults ()
 
+(* --- sanitizer (shared by every subcommand) ------------------------------ *)
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run under AmberSan: report data races, lock-order cycles and \
+           coherence drift; exit 3 on any finding.")
+
+(* Attach AmberSan around a cluster run when requested.  Returns the
+   workload result plus the exit status (3 on findings). *)
+let run_cluster ~sanitize cfg f =
+  let san = ref None in
+  let r =
+    Amber.Cluster.run_value cfg (fun rt ->
+        if sanitize then san := Some (Analysis.Ambersan.attach rt);
+        f rt)
+  in
+  let status =
+    match !san with
+    | None -> 0
+    | Some s ->
+      let rep = Analysis.Ambersan.finalize s in
+      Format.printf "%a" Analysis.Ambersan.pp_report rep;
+      if Analysis.Ambersan.failed rep then 3 else 0
+  in
+  (r, status)
+
 (* --- sor ---------------------------------------------------------------- *)
 
 let sor_cmd =
@@ -135,7 +164,7 @@ let sor_cmd =
       & info [ "report" ] ~doc:"Print per-node utilization and protocol counters.")
   in
   let run nodes cpus faults seed system rows cols iters sections no_overlap
-      report =
+      report sanitize =
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
     let cfg = mk_config nodes cpus faults seed in
     let seq_pred = Workloads.Sor_seq.predicted_elapsed p ~iters in
@@ -144,20 +173,21 @@ let sor_cmd =
         Format.printf "@.%a" Amber.Stats_report.pp
           (Amber.Stats_report.capture rt)
     in
-    (match system with
+    match system with
     | `Seq ->
-      let r =
-        Amber.Cluster.run_value cfg (fun rt ->
+      let r, status =
+        run_cluster ~sanitize cfg (fun rt ->
             let r = Workloads.Sor_seq.run rt p ~iters in
             maybe_report rt;
             r)
       in
       Printf.printf "sequential: %d iterations in %.3f virtual s (checksum %.6g)\n"
         r.Workloads.Sor_seq.iterations r.Workloads.Sor_seq.compute_elapsed
-        r.Workloads.Sor_seq.checksum
+        r.Workloads.Sor_seq.checksum;
+      status
     | `Amber ->
-      let r =
-        Amber.Cluster.run_value cfg (fun rt ->
+      let r, status =
+        run_cluster ~sanitize cfg (fun rt ->
             let c = Workloads.Sor_amber.default_cfg rt in
             let c =
               match sections with
@@ -176,10 +206,11 @@ let sor_cmd =
         r.Workloads.Sor_amber.checksum;
       Printf.printf "  remote invocations: %d, thread migrations: %d\n"
         r.Workloads.Sor_amber.remote_invocations
-        r.Workloads.Sor_amber.thread_migrations
+        r.Workloads.Sor_amber.thread_migrations;
+      status
     | `Ivy ->
-      let r =
-        Amber.Cluster.run_value cfg (fun rt ->
+      let r, status =
+        run_cluster ~sanitize cfg (fun rt ->
             let r = Workloads.Sor_ivy.run rt p ~iters () in
             maybe_report rt;
             r)
@@ -191,13 +222,14 @@ let sor_cmd =
         r.Workloads.Sor_ivy.checksum;
       Printf.printf "  faults: %d read, %d write; invalidations: %d; %d bytes\n"
         r.Workloads.Sor_ivy.read_faults r.Workloads.Sor_ivy.write_faults
-        r.Workloads.Sor_ivy.invalidations r.Workloads.Sor_ivy.transfer_bytes);
-    0
+        r.Workloads.Sor_ivy.invalidations r.Workloads.Sor_ivy.transfer_bytes;
+      status
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ system
-      $ rows $ cols $ iters $ sections $ no_overlap $ report_flag)
+      $ rows $ cols $ iters $ sections $ no_overlap $ report_flag
+      $ sanitize_arg)
   in
   Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
     term
@@ -223,10 +255,10 @@ let workqueue_cmd =
       & info [ "move-at" ] ~docv:"K"
           ~doc:"Migrate the queue after K items are taken.")
   in
-  let run nodes cpus faults seed items batch workers move_at report =
+  let run nodes cpus faults seed items batch workers move_at report sanitize =
     let cfg = mk_config nodes cpus faults seed in
-    let r =
-      Amber.Cluster.run_value cfg (fun rt ->
+    let r, status =
+      run_cluster ~sanitize cfg (fun rt ->
           let r =
             Workloads.Work_queue.run rt
               {
@@ -249,7 +281,7 @@ let workqueue_cmd =
       r.Workloads.Work_queue.per_node;
     Printf.printf "queue finished on node %d\n"
       r.Workloads.Work_queue.queue_final_node;
-    0
+    status
   in
   let report_flag =
     Arg.(
@@ -260,7 +292,7 @@ let workqueue_cmd =
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ items
-      $ batch $ workers $ move_at $ report_flag)
+      $ batch $ workers $ move_at $ report_flag $ sanitize_arg)
   in
   Cmd.v
     (Cmd.info "workqueue" ~doc:"Run the distributed work-queue workload.")
@@ -281,7 +313,7 @@ let matmul_cmd =
       & info [ "no-replicate" ]
           ~doc:"Keep A and B on node 0 instead of replicating.")
   in
-  let run nodes cpus faults seed n block no_replicate =
+  let run nodes cpus faults seed n block no_replicate sanitize =
     let cfg = mk_config nodes cpus faults seed in
     let mcfg =
       {
@@ -293,7 +325,9 @@ let matmul_cmd =
       }
     in
     let want = Workloads.Matmul.reference_checksum mcfg in
-    let r = Amber.Cluster.run_value cfg (fun rt -> Workloads.Matmul.run rt mcfg) in
+    let r, status =
+      run_cluster ~sanitize cfg (fun rt -> Workloads.Matmul.run rt mcfg)
+    in
     let ok = Float.abs (r.Workloads.Matmul.checksum -. want) <= 1e-6 *. want in
     Printf.printf
       "matmul %dx%d (%s): %.3f virtual s, %d remote invocations, %d copies %s\n"
@@ -302,12 +336,12 @@ let matmul_cmd =
       r.Workloads.Matmul.elapsed r.Workloads.Matmul.remote_invocations
       r.Workloads.Matmul.copies
       (if ok then "(correct)" else "(WRONG)");
-    0
+    status
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ n $ block
-      $ no_replicate)
+      $ no_replicate $ sanitize_arg)
   in
   Cmd.v (Cmd.info "matmul" ~doc:"Run the replicated matrix multiply.") term
 
@@ -330,7 +364,7 @@ let tsp_cmd =
       value & flag
       & info [ "check" ] ~doc:"Verify the result against brute force (slow).")
   in
-  let run nodes cpus faults sim_seed cities seed central check =
+  let run nodes cpus faults sim_seed cities seed central check sanitize =
     let cfg = mk_config nodes cpus faults sim_seed in
     let tcfg =
       {
@@ -341,7 +375,9 @@ let tsp_cmd =
         centralize = central;
       }
     in
-    let r = Amber.Cluster.run_value cfg (fun rt -> Workloads.Tsp.run rt tcfg) in
+    let r, status =
+      run_cluster ~sanitize cfg (fun rt -> Workloads.Tsp.run rt tcfg)
+    in
     Printf.printf
       "tsp %d cities (%s): best tour cost %d in %.3f virtual s\n"
       cities
@@ -358,12 +394,12 @@ let tsp_cmd =
       Printf.printf "  brute force says %d: %s\n" want
         (if want = r.Workloads.Tsp.best_cost then "OPTIMAL" else "WRONG")
     end;
-    0
+    status
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ cities
-      $ seed $ central $ check)
+      $ seed $ central $ check $ sanitize_arg)
   in
   Cmd.v
     (Cmd.info "tsp" ~doc:"Run parallel branch-and-bound TSP with work stealing.")
@@ -386,13 +422,24 @@ let trace_cmd =
             "Only records of this category (create, migrate, move, net, \
              sched).")
   in
-  let run nodes cpus faults seed limit category =
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Record sanitizer events during the run and lint the trace \
+             offline with AmberSan afterwards.")
+  in
+  let run nodes cpus faults seed limit category lint =
     let cfg = mk_config nodes cpus faults seed in
     let rt_box = ref None in
     let () =
       Amber.Cluster.run_value cfg (fun rt ->
           rt_box := Some rt;
           Sim.Trace.set_enabled (Amber.Runtime.trace rt) true;
+          if lint then
+            (* Record the "san" event stream without online analysis. *)
+            ignore (Analysis.Ambersan.attach ~analyze:false rt : Analysis.Ambersan.t);
           let counter = Amber.Api.create rt ~name:"counter" (ref 0) in
           Amber.Api.move_to rt counter ~dest:(min 1 (nodes - 1));
           let lock = Amber.Sync.Lock.create rt () in
@@ -406,8 +453,8 @@ let trace_cmd =
           in
           List.iter (fun t -> Amber.Api.join rt t) ts)
     in
-    (match !rt_box with
-    | None -> ()
+    match !rt_box with
+    | None -> 0
     | Some rt ->
       let trace = Amber.Runtime.trace rt in
       let records =
@@ -422,17 +469,69 @@ let trace_cmd =
         (fun i r ->
           if i < limit then
             Format.printf "%a@." Sim.Trace.pp_record r)
-        records);
-    0
+        records;
+      if lint then begin
+        let rep = Analysis.Ambersan.lint_trace (Sim.Trace.records trace) in
+        Format.printf "offline lint: %a" Analysis.Ambersan.pp_report rep;
+        if Analysis.Ambersan.failed rep then 3 else 0
+      end
+      else 0
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ limit
-      $ category)
+      $ category $ lint_flag)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a small scenario with protocol tracing enabled and dump it.")
+    term
+
+(* --- fixture ------------------------------------------------------------- *)
+
+let fixture_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("racy", `Racy); ("clean", `Clean) ]) `Racy
+      & info [ "variant" ] ~docv:"V"
+          ~doc:
+            "Which counter fixture to run: $(b,racy) (unsynchronized \
+             read-modify-write, AmberSan must flag it) or $(b,clean) (the \
+             same protocol under a lock).")
+  in
+  let threads =
+    Arg.(
+      value & opt int 4
+      & info [ "threads" ] ~docv:"T" ~doc:"Incrementing threads.")
+  in
+  let increments =
+    Arg.(
+      value & opt int 25
+      & info [ "increments" ] ~docv:"K" ~doc:"Increments per thread.")
+  in
+  let run nodes cpus faults seed variant threads increments sanitize =
+    let cfg = mk_config nodes cpus faults seed in
+    let (r : Workloads.Fixtures.result), status =
+      run_cluster ~sanitize cfg (fun rt ->
+          match variant with
+          | `Racy -> Workloads.Fixtures.racy_counter rt ~threads ~increments
+          | `Clean -> Workloads.Fixtures.clean_counter rt ~threads ~increments)
+    in
+    Printf.printf "counter: %d of %d expected increments%s\n"
+      r.Workloads.Fixtures.final r.Workloads.Fixtures.expected
+      (if r.Workloads.Fixtures.final = r.Workloads.Fixtures.expected then ""
+       else " (updates lost)");
+    status
+  in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ variant
+      $ threads $ increments $ sanitize_arg)
+  in
+  Cmd.v
+    (Cmd.info "fixture"
+       ~doc:"Run a seeded sanitizer fixture (racy or clean shared counter).")
     term
 
 let () =
@@ -441,4 +540,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; trace_cmd ]))
+          [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; trace_cmd;
+            fixture_cmd ]))

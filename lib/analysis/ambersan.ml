@@ -1,0 +1,665 @@
+open Amber
+
+module Imap = Map.Make (Int)
+
+type clock = int Imap.t
+
+let cjoin a b = Imap.union (fun _ x y -> Some (max x y)) a b
+let cget c tid = match Imap.find_opt tid c with Some v -> v | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type barrier_phase = Arrive | Release | Resume
+
+  type t =
+    | Thread_start of { parent : int; child : int }
+    | Thread_join of { parent : int; child : int }
+    | Migrate of { tid : int; src : int; dst : int }
+    | Object_created of { addr : int; name : string }
+    | Object_destroyed of { addr : int }
+    | Sync_created of { addr : int; kind : string }
+    | Access of { tid : int; addr : int; mode : San_hooks.mode }
+    | Access_end of { tid : int; addr : int }
+    | Lock_acquired of { tid : int; addr : int }
+    | Lock_released of { tid : int; addr : int }
+    | Barrier of { tid : int; addr : int; gen : int; phase : barrier_phase }
+    | Cond_signal of { tid : int; token : int }
+    | Cond_wake of { tid : int; token : int }
+
+  let phase_to_string = function
+    | Arrive -> "arrive"
+    | Release -> "release"
+    | Resume -> "resume"
+
+  let to_string = function
+    | Thread_start { parent; child } ->
+      Printf.sprintf "start p=%d c=%d" parent child
+    | Thread_join { parent; child } ->
+      Printf.sprintf "join p=%d c=%d" parent child
+    | Migrate { tid; src; dst } ->
+      Printf.sprintf "migrate t=%d src=%d dst=%d" tid src dst
+    (* Name last so names with spaces survive the round trip. *)
+    | Object_created { addr; name } -> Printf.sprintf "new 0x%x %s" addr name
+    | Object_destroyed { addr } -> Printf.sprintf "del 0x%x" addr
+    | Sync_created { addr; kind } -> Printf.sprintf "sync 0x%x %s" addr kind
+    | Access { tid; addr; mode } ->
+      Printf.sprintf "acc t=%d 0x%x %s" tid addr (San_hooks.mode_to_string mode)
+    | Access_end { tid; addr } -> Printf.sprintf "fin t=%d 0x%x" tid addr
+    | Lock_acquired { tid; addr } -> Printf.sprintf "acq t=%d 0x%x" tid addr
+    | Lock_released { tid; addr } -> Printf.sprintf "rel t=%d 0x%x" tid addr
+    | Barrier { tid; addr; gen; phase } ->
+      Printf.sprintf "bar t=%d 0x%x g=%d %s" tid addr gen
+        (phase_to_string phase)
+    | Cond_signal { tid; token } -> Printf.sprintf "sig t=%d k=%d" tid token
+    | Cond_wake { tid; token } -> Printf.sprintf "wake t=%d k=%d" tid token
+
+  (* "p=3" with the expected key -> 3; raises on mismatch. *)
+  let kv key tok =
+    match String.split_on_char '=' tok with
+    | [ k; v ] when String.equal k key -> int_of_string v
+    | _ -> failwith "Ambersan.Event.kv"
+
+  let of_string s =
+    match String.split_on_char ' ' s with
+    | [ "start"; p; c ] ->
+      Some (Thread_start { parent = kv "p" p; child = kv "c" c })
+    | [ "join"; p; c ] ->
+      Some (Thread_join { parent = kv "p" p; child = kv "c" c })
+    | [ "migrate"; t; src; dst ] ->
+      Some
+        (Migrate { tid = kv "t" t; src = kv "src" src; dst = kv "dst" dst })
+    | "new" :: addr :: (_ :: _ as name_parts) ->
+      Some
+        (Object_created
+           {
+             addr = int_of_string addr;
+             name = String.concat " " name_parts;
+           })
+    | [ "del"; addr ] -> Some (Object_destroyed { addr = int_of_string addr })
+    | [ "sync"; addr; kind ] ->
+      Some (Sync_created { addr = int_of_string addr; kind })
+    | [ "acc"; t; addr; m ] -> (
+      match San_hooks.mode_of_string m with
+      | Some mode ->
+        Some (Access { tid = kv "t" t; addr = int_of_string addr; mode })
+      | None -> None)
+    | [ "fin"; t; addr ] ->
+      Some (Access_end { tid = kv "t" t; addr = int_of_string addr })
+    | [ "acq"; t; addr ] ->
+      Some (Lock_acquired { tid = kv "t" t; addr = int_of_string addr })
+    | [ "rel"; t; addr ] ->
+      Some (Lock_released { tid = kv "t" t; addr = int_of_string addr })
+    | [ "bar"; t; addr; g; ph ] ->
+      let phase =
+        match ph with
+        | "arrive" -> Arrive
+        | "release" -> Release
+        | "resume" -> Resume
+        | _ -> failwith "Ambersan.Event.of_string: barrier phase"
+      in
+      Some
+        (Barrier
+           { tid = kv "t" t; addr = int_of_string addr; gen = kv "g" g; phase })
+    | [ "sig"; t; k ] -> Some (Cond_signal { tid = kv "t" t; token = kv "k" k })
+    | [ "wake"; t; k ] -> Some (Cond_wake { tid = kv "t" t; token = kv "k" k })
+    | _ -> None
+
+  let of_string s = try of_string s with _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type race = {
+  addr : int;
+  name : string;
+  tid : int;
+  mode : San_hooks.mode;
+  prior_tid : int;
+  prior_mode : San_hooks.mode;
+}
+
+let pp_race ppf r =
+  Format.fprintf ppf "race on %s@0x%x: thread %d %a vs thread %d %a" r.name
+    r.addr r.prior_tid San_hooks.pp_mode r.prior_mode r.tid San_hooks.pp_mode
+    r.mode
+
+type cycle = { addrs : int list; names : string list }
+
+let pp_cycle ppf c =
+  Format.fprintf ppf "lock-order cycle: %s"
+    (String.concat " -> " (c.names @ [ List.hd c.names ]))
+
+type report = {
+  races : race list;
+  cycles : cycle list;
+  violations : Audit.violation list;
+  events : int;
+  threads : int;
+  objects_tracked : int;
+}
+
+let findings r =
+  List.length r.races + List.length r.cycles + List.length r.violations
+
+let clean r = findings r = 0
+let failed r = not (clean r)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "AmberSan: %d events, %d threads, %d objects tracked@." r.events r.threads
+    r.objects_tracked;
+  if clean r then Format.fprintf ppf "no findings@."
+  else begin
+    List.iter (fun x -> Format.fprintf ppf "%a@." pp_race x) r.races;
+    List.iter (fun x -> Format.fprintf ppf "%a@." pp_cycle x) r.cycles;
+    List.iter
+      (fun v -> Format.fprintf ppf "coherence: %a@." Audit.pp_violation v)
+      r.violations
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The happens-before engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Core = struct
+  (* Last access by one thread: its component of the thread clock at the
+     access, plus how it accessed.  Keeping only the latest access per
+     thread is sound because a thread's accesses to one object are
+     totally ordered by program order. *)
+  type epoch = { etid : int; etime : int; emode : San_hooks.mode }
+
+  type obj_info = {
+    oname : string;
+    mutable oclock : clock;  (* published at atomic rendezvous points *)
+    mutable writes : epoch list;  (* Write/Atomic frontier, one per tid *)
+    mutable reads : epoch list;  (* Read frontier, one per tid *)
+  }
+
+  type barrier_info = {
+    mutable pending : clock;  (* accumulated arrivals of the open gen *)
+    released : (int, clock) Hashtbl.t;  (* generation -> release clock *)
+  }
+
+  type t = {
+    clocks : (int, clock ref) Hashtbl.t;  (* tcb id -> vector clock *)
+    objects : (int, obj_info) Hashtbl.t;
+    sync_addrs : (int, unit) Hashtbl.t;
+    names : (int, string) Hashtbl.t;
+    locks : (int, clock) Hashtbl.t;  (* lock addr -> last-release clock *)
+    barriers : (int, barrier_info) Hashtbl.t;
+    signals : (int, clock) Hashtbl.t;  (* condition token -> signal clock *)
+    open_accesses : (int * int, San_hooks.mode list ref) Hashtbl.t;
+    held : (int, int list ref) Hashtbl.t;  (* tid -> held locks, LIFO *)
+    lock_edges : (int * int, unit) Hashtbl.t;  (* held -> acquired *)
+    mutable races : race list;
+    race_keys : (int * int * int, unit) Hashtbl.t;
+    mutable events : int;
+  }
+
+  let create () =
+    {
+      clocks = Hashtbl.create 32;
+      objects = Hashtbl.create 64;
+      sync_addrs = Hashtbl.create 16;
+      names = Hashtbl.create 64;
+      locks = Hashtbl.create 16;
+      barriers = Hashtbl.create 8;
+      signals = Hashtbl.create 16;
+      open_accesses = Hashtbl.create 16;
+      held = Hashtbl.create 16;
+      lock_edges = Hashtbl.create 16;
+      races = [];
+      race_keys = Hashtbl.create 16;
+      events = 0;
+    }
+
+  let thread_clock t tid =
+    match Hashtbl.find_opt t.clocks tid with
+    | Some r -> r
+    | None ->
+      let r = ref (Imap.singleton tid 1) in
+      Hashtbl.replace t.clocks tid r;
+      r
+
+  let tick r tid = r := Imap.add tid (cget !r tid + 1) !r
+
+  let obj_info t addr =
+    match Hashtbl.find_opt t.objects addr with
+    | Some o -> o
+    | None ->
+      let o =
+        {
+          oname =
+            (match Hashtbl.find_opt t.names addr with
+            | Some n -> n
+            | None -> Printf.sprintf "0x%x" addr);
+          oclock = Imap.empty;
+          writes = [];
+          reads = [];
+        }
+      in
+      Hashtbl.replace t.objects addr o;
+      o
+
+  let barrier_info t addr =
+    match Hashtbl.find_opt t.barriers addr with
+    | Some b -> b
+    | None ->
+      let b = { pending = Imap.empty; released = Hashtbl.create 8 } in
+      Hashtbl.replace t.barriers addr b;
+      b
+
+  let is_sync t addr = Hashtbl.mem t.sync_addrs addr
+
+  let record_race t ~addr ~name ~tid ~mode ~(prior : epoch) =
+    let key = (addr, min tid prior.etid, max tid prior.etid) in
+    if not (Hashtbl.mem t.race_keys key) then begin
+      Hashtbl.replace t.race_keys key ();
+      t.races <-
+        {
+          addr;
+          name;
+          tid;
+          mode;
+          prior_tid = prior.etid;
+          prior_mode = prior.emode;
+        }
+        :: t.races
+    end
+
+  (* Replace [tid]'s entry in an epoch frontier. *)
+  let update_frontier frontier ep =
+    ep :: List.filter (fun e -> e.etid <> ep.etid) frontier
+
+  let feed_access t ~tid ~addr ~mode =
+    let o = obj_info t addr in
+    let cr = thread_clock t tid in
+    (* An atomic action is serialized at the object: it rendezvouses with
+       every earlier atomic action through the object's clock.  Joining at
+       entry (not just exit) keeps overlapping atomic invocations — e.g.
+       two threads holding invocation frames on the same anchor — from
+       looking concurrent. *)
+    (match mode with
+    | San_hooks.Atomic -> cr := cjoin !cr o.oclock
+    | San_hooks.Read | San_hooks.Write -> ());
+    let ordered (e : epoch) = e.etime <= cget !cr e.etid in
+    let conflicts frontier =
+      List.filter (fun e -> e.etid <> tid && not (ordered e)) frontier
+    in
+    let prior =
+      match mode with
+      | San_hooks.Read -> conflicts o.writes
+      | San_hooks.Write | San_hooks.Atomic ->
+        conflicts o.writes @ conflicts o.reads
+    in
+    List.iter
+      (fun p -> record_race t ~addr ~name:o.oname ~tid ~mode ~prior:p)
+      prior;
+    let ep = { etid = tid; etime = cget !cr tid; emode = mode } in
+    (match mode with
+    | San_hooks.Read -> o.reads <- update_frontier o.reads ep
+    | San_hooks.Write | San_hooks.Atomic ->
+      o.writes <- update_frontier o.writes ep);
+    (match mode with
+    | San_hooks.Atomic -> o.oclock <- cjoin o.oclock !cr
+    | San_hooks.Read | San_hooks.Write -> ());
+    tick cr tid;
+    let stack =
+      match Hashtbl.find_opt t.open_accesses (tid, addr) with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.replace t.open_accesses (tid, addr) s;
+        s
+    in
+    stack := mode :: !stack
+
+  let feed_access_end t ~tid ~addr =
+    match Hashtbl.find_opt t.open_accesses (tid, addr) with
+    | None -> ()
+    | Some stack -> (
+      match !stack with
+      | [] -> ()
+      | mode :: rest ->
+        stack := rest;
+        (match mode with
+        | San_hooks.Atomic ->
+          (* Exit rendezvous: absorb publications made by invocations that
+             overlapped this one, and publish our post-access clock. *)
+          let o = obj_info t addr in
+          let cr = thread_clock t tid in
+          cr := cjoin !cr o.oclock;
+          o.oclock <- cjoin o.oclock !cr
+        | San_hooks.Read | San_hooks.Write -> ()))
+
+  let held_stack t tid =
+    match Hashtbl.find_opt t.held tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.replace t.held tid s;
+      s
+
+  let feed t ev =
+    t.events <- t.events + 1;
+    match ev with
+    | Event.Thread_start { parent; child } ->
+      let cc = thread_clock t child in
+      if parent >= 0 then begin
+        let pc = thread_clock t parent in
+        cc := cjoin !cc !pc;
+        tick pc parent
+      end
+    | Event.Thread_join { parent; child } ->
+      if parent >= 0 then begin
+        let pc = thread_clock t parent in
+        let cc = thread_clock t child in
+        pc := cjoin !pc !cc
+      end
+    | Event.Migrate _ ->
+      (* Clocks are keyed by tcb id, which survives migration; the
+         thread-state flight itself is program order. *)
+      ()
+    | Event.Object_created { addr; name } ->
+      Hashtbl.replace t.names addr name;
+      (* Heap addresses are reused after destroy: a fresh object at a
+         known address starts with no access history. *)
+      Hashtbl.replace t.objects addr
+        { oname = name; oclock = Imap.empty; writes = []; reads = [] }
+    | Event.Object_destroyed { addr } -> Hashtbl.remove t.objects addr
+    | Event.Sync_created { addr; kind = _ } ->
+      Hashtbl.replace t.sync_addrs addr ()
+    | Event.Access { tid; addr; mode } ->
+      if not (is_sync t addr) then feed_access t ~tid ~addr ~mode
+    | Event.Access_end { tid; addr } ->
+      if not (is_sync t addr) then feed_access_end t ~tid ~addr
+    | Event.Lock_acquired { tid; addr } ->
+      let cr = thread_clock t tid in
+      (match Hashtbl.find_opt t.locks addr with
+      | Some l -> cr := cjoin !cr l
+      | None -> ());
+      let h = held_stack t tid in
+      List.iter
+        (fun prior ->
+          if prior <> addr then Hashtbl.replace t.lock_edges (prior, addr) ())
+        !h;
+      h := addr :: !h
+    | Event.Lock_released { tid; addr } ->
+      let cr = thread_clock t tid in
+      let l =
+        match Hashtbl.find_opt t.locks addr with
+        | Some l -> l
+        | None -> Imap.empty
+      in
+      Hashtbl.replace t.locks addr (cjoin l !cr);
+      tick cr tid;
+      let h = held_stack t tid in
+      let removed = ref false in
+      h :=
+        List.filter
+          (fun a ->
+            if (not !removed) && a = addr then begin
+              removed := true;
+              false
+            end
+            else true)
+          !h
+    | Event.Barrier { tid; addr; gen; phase } -> (
+      let b = barrier_info t addr in
+      let cr = thread_clock t tid in
+      match phase with
+      | Event.Arrive -> b.pending <- cjoin b.pending !cr
+      | Event.Release ->
+        Hashtbl.replace b.released gen b.pending;
+        cr := cjoin !cr b.pending;
+        b.pending <- Imap.empty;
+        tick cr tid
+      | Event.Resume ->
+        (match Hashtbl.find_opt b.released gen with
+        | Some c -> cr := cjoin !cr c
+        | None -> ());
+        tick cr tid)
+    | Event.Cond_signal { tid; token } ->
+      let cr = thread_clock t tid in
+      Hashtbl.replace t.signals token !cr;
+      tick cr tid
+    | Event.Cond_wake { tid; token } -> (
+      let cr = thread_clock t tid in
+      match Hashtbl.find_opt t.signals token with
+      | Some c -> cr := cjoin !cr c
+      | None -> ())
+
+  let lock_name t addr =
+    match Hashtbl.find_opt t.names addr with
+    | Some n -> n
+    | None -> Printf.sprintf "0x%x" addr
+
+  (* Cycles in the lock-order graph, deduplicated by node set.  The graph
+     is tiny (one node per lock ever held nested), so a plain path-list
+     DFS is fine. *)
+  let lock_cycles t =
+    let adj = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (a, b) () ->
+        let cur = try Hashtbl.find adj a with Not_found -> [] in
+        Hashtbl.replace adj a (b :: cur))
+      t.lock_edges;
+    let cycles = ref [] in
+    let seen_sets = Hashtbl.create 4 in
+    let finished = Hashtbl.create 16 in
+    let rec dfs path node =
+      if List.mem node path then begin
+        let rec take acc = function
+          | [] -> acc
+          | x :: rest -> if x = node then x :: acc else take (x :: acc) rest
+        in
+        let cyc = take [] path in
+        let key = List.sort compare cyc in
+        if not (Hashtbl.mem seen_sets key) then begin
+          Hashtbl.replace seen_sets key ();
+          cycles := cyc :: !cycles
+        end
+      end
+      else if not (Hashtbl.mem finished node) then begin
+        List.iter
+          (dfs (node :: path))
+          (try Hashtbl.find adj node with Not_found -> []);
+        Hashtbl.replace finished node ()
+      end
+    in
+    Hashtbl.iter (fun node _ -> dfs [] node) adj;
+    List.map
+      (fun addrs -> { addrs; names = List.map (lock_name t) addrs })
+      !cycles
+
+  let report ?(violations = []) t =
+    {
+      races = List.rev t.races;
+      cycles = lock_cycles t;
+      violations;
+      events = t.events;
+      threads = Hashtbl.length t.clocks;
+      objects_tracked = Hashtbl.length t.objects;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Online sanitizer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  rt : Runtime.t;
+  core : Core.t;
+  analyze : bool;
+  registry : (int, Aobject.any) Hashtbl.t;  (* live objects, by address *)
+  mutable inflight_moves : int;
+  mutable pending_audit : Aobject.any list;
+  mutable violations : Audit.violation list;
+  violation_keys : (int * int * string, unit) Hashtbl.t;
+}
+
+let add_violations t vs =
+  List.iter
+    (fun (v : Audit.violation) ->
+      let key = (v.Audit.addr, v.Audit.node, v.Audit.problem) in
+      if not (Hashtbl.mem t.violation_keys key) then begin
+        Hashtbl.replace t.violation_keys key ();
+        t.violations <- v :: t.violations
+      end)
+    vs
+
+(* Audit is only sound at move quiescence: mid-move an object legally has
+   no resident node yet (contents in flight), so run the deferred checks
+   when the in-flight counter returns to zero. *)
+let audit_pending t =
+  if t.pending_audit <> [] && t.inflight_moves = 0 then begin
+    add_violations t (Audit.check_objects t.rt t.pending_audit);
+    t.pending_audit <- []
+  end
+
+let report t =
+  {
+    (Core.report ~violations:(List.rev t.violations) t.core) with
+    objects_tracked = Hashtbl.length t.registry;
+  }
+
+let summary_lines t () =
+  let r = report t in
+  let line fmt = Format.asprintf fmt in
+  let header =
+    line "%d events analyzed, %d threads, %d objects tracked" r.events
+      r.threads r.objects_tracked
+  in
+  if clean r then [ header; "no findings" ]
+  else
+    header
+    :: (List.map (line "%a" pp_race) r.races
+       @ List.map (line "%a" pp_cycle) r.cycles
+       @ List.map (line "coherence: %a" Audit.pp_violation) r.violations)
+
+let attach ?(analyze = true) rt =
+  let t =
+    {
+      rt;
+      core = Core.create ();
+      analyze;
+      registry = Hashtbl.create 64;
+      inflight_moves = 0;
+      pending_audit = [];
+      violations = [];
+      violation_keys = Hashtbl.create 16;
+    }
+  in
+  let ev e =
+    Sim.Trace.emit (Runtime.trace rt) ~time:(Runtime.now rt) ~category:"san"
+      ~detail:(lazy (Event.to_string e));
+    if t.analyze then Core.feed t.core e
+  in
+  let tid () = Hw.Machine.tcb_id (Hw.Machine.self_exn ()) in
+  let hooks =
+    {
+      San_hooks.on_thread_start =
+        (fun ~parent ~child ->
+          let p =
+            match parent with Some p -> Hw.Machine.tcb_id p | None -> -1
+          in
+          ev
+            (Event.Thread_start { parent = p; child = Hw.Machine.tcb_id child }));
+      on_thread_join =
+        (fun ~child ->
+          ev
+            (Event.Thread_join
+               { parent = tid (); child = Hw.Machine.tcb_id child }));
+      on_migrate =
+        (fun ~tcb ~src ~dst ->
+          ev (Event.Migrate { tid = Hw.Machine.tcb_id tcb; src; dst }));
+      on_object_created =
+        (fun (Aobject.Any o as any) ->
+          Hashtbl.replace t.registry o.Aobject.addr any;
+          ev
+            (Event.Object_created
+               { addr = o.Aobject.addr; name = o.Aobject.name }));
+      on_object_destroyed =
+        (fun ~addr ->
+          Hashtbl.remove t.registry addr;
+          ev (Event.Object_destroyed { addr }));
+      on_sync_created =
+        (fun ~addr ~kind -> ev (Event.Sync_created { addr; kind }));
+      on_access =
+        (fun (Aobject.Any o) mode ->
+          (* A sync object's own state is protocol-internal: every probe of
+             a contended spinlock would otherwise look like an access. *)
+          if not (Core.is_sync t.core o.Aobject.addr) then
+            ev (Event.Access { tid = tid (); addr = o.Aobject.addr; mode }));
+      on_access_end =
+        (fun (Aobject.Any o) ->
+          if not (Core.is_sync t.core o.Aobject.addr) then
+            ev (Event.Access_end { tid = tid (); addr = o.Aobject.addr }));
+      on_lock_acquired =
+        (fun ~addr ~name:_ -> ev (Event.Lock_acquired { tid = tid (); addr }));
+      on_lock_released =
+        (fun ~addr -> ev (Event.Lock_released { tid = tid (); addr }));
+      on_barrier_arrive =
+        (fun ~addr ~gen ->
+          ev
+            (Event.Barrier
+               { tid = tid (); addr; gen; phase = Event.Arrive }));
+      on_barrier_release =
+        (fun ~addr ~gen ->
+          ev
+            (Event.Barrier
+               { tid = tid (); addr; gen; phase = Event.Release }));
+      on_barrier_resume =
+        (fun ~addr ~gen ->
+          ev
+            (Event.Barrier
+               { tid = tid (); addr; gen; phase = Event.Resume }));
+      on_cond_signal =
+        (fun ~token -> ev (Event.Cond_signal { tid = tid (); token }));
+      on_cond_wake =
+        (fun ~token -> ev (Event.Cond_wake { tid = tid (); token }));
+      on_move_begin =
+        (fun ~addr:_ -> t.inflight_moves <- t.inflight_moves + 1);
+      on_move_end =
+        (fun any ->
+          t.inflight_moves <- t.inflight_moves - 1;
+          t.pending_audit <- any :: t.pending_audit;
+          if t.analyze then audit_pending t);
+    }
+  in
+  Runtime.set_sanitizer rt hooks;
+  Runtime.add_report_section rt ~name:"sanitizer" (summary_lines t);
+  t
+
+let finalize t =
+  if t.analyze then begin
+    t.inflight_moves <- 0;
+    audit_pending t;
+    add_violations t
+      (Audit.check_objects t.rt
+         (Hashtbl.fold (fun _ any acc -> any :: acc) t.registry []))
+  end;
+  report t
+
+(* ------------------------------------------------------------------ *)
+(* Offline lint                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lint_events events =
+  let core = Core.create () in
+  List.iter (Core.feed core) events;
+  Core.report core
+
+let lint_trace records =
+  lint_events
+    (List.filter_map
+       (fun (r : Sim.Trace.record) ->
+         if String.equal r.Sim.Trace.category "san" then
+           Event.of_string r.Sim.Trace.detail
+         else None)
+       records)

@@ -38,11 +38,12 @@ val create : runtime -> ?size:int -> name:string -> 'a -> 'a obj
 val destroy : runtime -> 'a obj -> unit
 
 val invoke :
-  runtime -> ?payload:int -> ?return_payload:int -> 'a obj -> ('a -> 'b) ->
-  'b
+  runtime -> ?payload:int -> ?return_payload:int -> ?mode:San_hooks.mode ->
+  'a obj -> ('a -> 'b) -> 'b
 
 (** §3.6 inline member invocation; see {!Invoke.invoke_member}. *)
-val invoke_member : runtime -> 'a obj -> ('a -> 'b) -> 'b
+val invoke_member :
+  runtime -> ?mode:San_hooks.mode -> 'a obj -> ('a -> 'b) -> 'b
 
 (** {1 Mobility} *)
 

@@ -31,6 +31,8 @@ let start_on rt ~node ?(name = "thread") ?priority body =
     }
   in
   Runtime.register_thread rt ts;
+  Runtime.with_san rt (fun h ->
+      h.San_hooks.on_thread_start ~parent:(Hw.Machine.self ()) ~child:tcb);
   Runtime.install_resume_check rt ts;
   Hw.Machine.on_finish tcb (fun _ -> Runtime.unregister_thread rt ts);
   let ctrs = Runtime.counters rt in
@@ -63,6 +65,8 @@ let join rt t =
         (* Reliable: a lost completion notification must not hang Join. *)
         Topaz.Rpc.send_reliable (Runtime.rpc rt) ~src:finished_on ~dst:here
           ~size:64 ~kind:"join-notify" wake);
+  Runtime.with_san rt (fun h ->
+      h.San_hooks.on_thread_join ~child:t.ts.Runtime.tcb);
   match outcome with
   | Sim.Fiber.Completed -> (
     match !(t.result) with

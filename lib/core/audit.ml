@@ -10,10 +10,12 @@ let pp_violation ppf v =
 
 (* Follow forwarding addresses from [start] without charging any cost;
    returns the number of hops to reach [target], or None on a cycle /
-   overlong chain. *)
+   overlong chain.  Cycles are caught by a visited set the moment a node
+   repeats — a mutual 1↔3 forwarding loop (the PR-1 livelock shape) is
+   detected on its second hop, not after exhausting a hop budget. *)
 let chain_length rt ~addr ~start ~target =
-  let rec walk node hops =
-    if hops > 64 then None
+  let rec walk node hops visited =
+    if hops > 64 || List.mem node visited then None
     else if node = target then Some hops
     else
       match Runtime.probe rt ~node ~addr with
@@ -21,9 +23,9 @@ let chain_length rt ~addr ~start ~target =
         (* Resident on a node that is not the target: the caller decides
            whether that is legal (immutable replica) or a violation. *)
         Some hops
-      | `Hop next -> if next = node then None else walk next (hops + 1)
+      | `Hop next -> if next = node then None else walk next (hops + 1) (node :: visited)
   in
-  walk start 0
+  walk start 0 []
 
 let check_one rt (Aobject.Any o) =
   let violations = ref [] in

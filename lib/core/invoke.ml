@@ -30,7 +30,8 @@ let chase_to_object rt ts ~what ~addr ~payload =
 let settle rt ts (obj : 'a Aobject.t) ~payload =
   chase_to_object rt ts ~what:"Invoke" ~addr:obj.Aobject.addr ~payload
 
-let invoke rt ?(payload = 0) ?(return_payload = 0) obj op =
+let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
+    obj op =
   let ts = Runtime.current rt in
   let c = Runtime.cost rt in
   let ctrs = Runtime.counters rt in
@@ -77,11 +78,14 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) obj op =
            ~payload:return_payload
           : int)
   in
+  Runtime.with_san rt (fun h -> h.San_hooks.on_access (Aobject.Any obj) mode);
   match op obj.Aobject.state with
   | result ->
+    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
     result
   | exception e ->
+    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
     raise e
 
@@ -93,7 +97,7 @@ let executing_within rt obj =
       (fun (Aobject.Any o) -> o.Aobject.addr = obj.Aobject.addr)
       ts.Runtime.frames
 
-let invoke_member rt obj op =
+let invoke_member rt ?(mode = San_hooks.Atomic) obj op =
   let ts = Runtime.current rt in
   let guaranteed =
     match ts.Runtime.frames with
@@ -113,4 +117,11 @@ let invoke_member rt obj op =
       "Invoke.invoke_member: co-residency is not guaranteed (the object is \
        not attached to the executing frame's closure)";
   Sim.Fiber.consume (Runtime.cost rt).Cost_model.lock_fast_cpu;
-  op obj.Aobject.state
+  Runtime.with_san rt (fun h -> h.San_hooks.on_access (Aobject.Any obj) mode);
+  match op obj.Aobject.state with
+  | result ->
+    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
+    result
+  | exception e ->
+    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
+    raise e

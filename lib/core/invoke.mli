@@ -20,12 +20,19 @@
     [return_payload] models result bytes carried back.  Both default to 0
     — reference parameters are addresses and effectively free.
 
+    [mode] is the access declaration the sanitizer checks (see
+    {!San_hooks.mode}); it has no effect on execution.  The default
+    [Atomic] declares a self-contained action serialized at the object;
+    [`Read]/[`Write] declare one step of a multi-invocation protocol that
+    must be ordered by explicit synchronization.
+
     Must be called from an Amber thread.  Exceptions raised by [op]
     propagate after the return-path accounting. *)
 val invoke :
   Runtime.t ->
   ?payload:int ->
   ?return_payload:int ->
+  ?mode:San_hooks.mode ->
   'a Aobject.t ->
   ('a -> 'b) ->
   'b
@@ -45,4 +52,5 @@ val executing_within : Runtime.t -> 'a Aobject.t -> bool
     its root, so [obj] can never escape mid-call.  Raises
     [Invalid_argument] when the guarantee does not hold — the safe
     surfacing of what in C++ would be "incorrect program behavior". *)
-val invoke_member : Runtime.t -> 'a Aobject.t -> ('a -> 'b) -> 'b
+val invoke_member :
+  Runtime.t -> ?mode:San_hooks.mode -> 'a Aobject.t -> ('a -> 'b) -> 'b

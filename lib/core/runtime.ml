@@ -43,6 +43,8 @@ type t = {
   ctrs : counters;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
+  mutable san : San_hooks.t option;
+  mutable report_sections : (string * (unit -> string list)) list;
 }
 
 let fresh_counters () =
@@ -119,6 +121,8 @@ let create cfg =
       ctrs = fresh_counters ();
       remote_invoke_latency = Sim.Stats.Summary.create ();
       move_latency = Sim.Stats.Summary.create ();
+      san = None;
+      report_sections = [];
     }
   in
   (* Heaps grow by asking the address-space server (an RPC when the
@@ -178,6 +182,20 @@ let move_latency t = t.move_latency
 let emit t category detail =
   Sim.Trace.emit t.trc ~time:(now t) ~category ~detail
 
+(* --- sanitizer hooks ----------------------------------------------------- *)
+
+let set_sanitizer t h = t.san <- Some h
+let clear_sanitizer t = t.san <- None
+let sanitizer t = t.san
+
+(* Disabled sanitizer = one branch, like a disabled trace. *)
+let with_san t f = match t.san with None -> () | Some h -> f h
+
+let add_report_section t ~name f =
+  t.report_sections <- t.report_sections @ [ (name, f) ]
+
+let report_sections t = t.report_sections
+
 (* --- thread bookkeeping ------------------------------------------------- *)
 
 let register_thread t ts =
@@ -236,6 +254,7 @@ let send_thread_packet t ts ~dest =
     (lazy
       (Printf.sprintf "%s: node%d -> node%d (%dB)"
          (Hw.Machine.tcb_name ts.tcb) src dest size));
+  with_san t (fun h -> h.San_hooks.on_migrate ~tcb:ts.tcb ~src ~dst:dest);
   (* Thread state must survive packet loss — a dropped flight would
      strand the thread forever — so it rides the reliable datagram
      service (a plain send when faults are off). *)
@@ -306,6 +325,7 @@ let migrate_self t ?(payload = 0) ~dest () =
       (lazy
         (Printf.sprintf "%s: node%d -> node%d (%dB, explicit)"
            (Hw.Machine.tcb_name ts.tcb) src dest size));
+    with_san t (fun h -> h.San_hooks.on_migrate ~tcb:ts.tcb ~src ~dst:dest);
     Sim.Fiber.block (fun wake ->
         Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size
           ~kind:"thread" (fun () ->
@@ -430,7 +450,9 @@ let create_object t ?(size = 64) ~name state =
   t.ctrs.objects_created <- t.ctrs.objects_created + 1;
   emit t "create"
     (lazy (Printf.sprintf "%s@0x%x (%dB) on node%d" name addr size node));
-  Aobject.make ~addr ~name ~size ~node state
+  let obj = Aobject.make ~addr ~name ~size ~node state in
+  with_san t (fun h -> h.San_hooks.on_object_created (Aobject.Any obj));
+  obj
 
 let destroy_object t obj =
   let node = current_node t in
@@ -440,7 +462,8 @@ let destroy_object t obj =
     invalid_arg "Runtime.destroy_object: object has attachments";
   Sim.Fiber.consume (cost t).Cost_model.forward_lookup_cpu;
   Vaspace.Heap.free (heap t node) obj.Aobject.addr;
-  Descriptor.clear (descriptors t node) obj.Aobject.addr
+  Descriptor.clear (descriptors t node) obj.Aobject.addr;
+  with_san t (fun h -> h.San_hooks.on_object_destroyed ~addr:obj.Aobject.addr)
 
 let check_failures t =
   Array.iter

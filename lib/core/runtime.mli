@@ -174,3 +174,26 @@ val move_latency : t -> Sim.Stats.Summary.t
 
 (** Raise the first recorded thread failure, if any. *)
 val check_failures : t -> unit
+
+(** {1 Sanitizer} *)
+
+(** Install dynamic-analysis hooks (see {!San_hooks}); at most one
+    sanitizer is attached at a time, the last install wins. *)
+val set_sanitizer : t -> San_hooks.t -> unit
+
+val clear_sanitizer : t -> unit
+val sanitizer : t -> San_hooks.t option
+
+(** [with_san t f] applies [f] to the installed hooks, or does nothing —
+    the single-branch fast path the instrumentation sites use. *)
+val with_san : t -> (San_hooks.t -> unit) -> unit
+
+(** {1 Report plug-ins} *)
+
+(** Register a named section that {!Stats_report.capture} evaluates and
+    {!Stats_report.pp} prints after the built-in counters; used by
+    optional layers (the sanitizer) to surface findings in the standard
+    report without a reverse dependency. *)
+val add_report_section : t -> name:string -> (unit -> string list) -> unit
+
+val report_sections : t -> (string * (unit -> string list)) list

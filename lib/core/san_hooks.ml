@@ -1,0 +1,33 @@
+type mode = Read | Write | Atomic
+
+type t = {
+  on_thread_start : parent:Hw.Machine.tcb option -> child:Hw.Machine.tcb -> unit;
+  on_thread_join : child:Hw.Machine.tcb -> unit;
+  on_migrate : tcb:Hw.Machine.tcb -> src:int -> dst:int -> unit;
+  on_object_created : Aobject.any -> unit;
+  on_object_destroyed : addr:int -> unit;
+  on_sync_created : addr:int -> kind:string -> unit;
+  on_access : Aobject.any -> mode -> unit;
+  on_access_end : Aobject.any -> unit;
+  on_lock_acquired : addr:int -> name:string -> unit;
+  on_lock_released : addr:int -> unit;
+  on_barrier_arrive : addr:int -> gen:int -> unit;
+  on_barrier_release : addr:int -> gen:int -> unit;
+  on_barrier_resume : addr:int -> gen:int -> unit;
+  on_cond_signal : token:int -> unit;
+  on_cond_wake : token:int -> unit;
+  on_move_begin : addr:int -> unit;
+  on_move_end : Aobject.any -> unit;
+}
+
+let mode_to_string = function Read -> "r" | Write -> "w" | Atomic -> "a"
+
+let mode_of_string = function
+  | "r" -> Some Read
+  | "w" -> Some Write
+  | "a" -> Some Atomic
+  | _ -> None
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with Read -> "read" | Write -> "write" | Atomic -> "atomic")

@@ -38,6 +38,7 @@ type t = {
   faults : fault_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
+  extra : (string * string list) list;
 }
 
 let capture rt =
@@ -93,6 +94,10 @@ let capture rt =
        });
     remote_invoke_latency = Runtime.remote_invoke_latency rt;
     move_latency = Runtime.move_latency rt;
+    extra =
+      List.map
+        (fun (name, f) -> (name, f ()))
+        (Runtime.report_sections rt);
   }
 
 let pp_nodes ppf t =
@@ -147,4 +152,9 @@ let pp ppf t =
       t.remote_invoke_latency;
   if Sim.Stats.Summary.count t.move_latency > 0 then
     Format.fprintf ppf "object move latency:   %a@." Sim.Stats.Summary.pp
-      t.move_latency
+      t.move_latency;
+  List.iter
+    (fun (name, lines) ->
+      Format.fprintf ppf "%s:@." name;
+      List.iter (fun l -> Format.fprintf ppf "  %s@." l) lines)
+    t.extra

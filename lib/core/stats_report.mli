@@ -45,6 +45,9 @@ type t = {
   faults : fault_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
+  extra : (string * string list) list;
+      (** plug-in sections (see {!Runtime.add_report_section}), evaluated
+          at capture time *)
 }
 
 (** Snapshot the runtime now (typically after the program finished). *)

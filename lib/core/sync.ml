@@ -1,46 +1,74 @@
+(* The id of the calling thread; all sync operations run in fiber
+   context (they go through [Invoke.invoke]). *)
+let self_id () = Hw.Machine.tcb_id (Hw.Machine.self_exn ())
+
+let register_sync rt addr kind =
+  Runtime.with_san rt (fun h -> h.San_hooks.on_sync_created ~addr ~kind)
+
 module Lock = struct
   type state = {
-    mutable held : bool;
-    waiters : (unit -> unit) Queue.t;
+    mutable owner : int option;  (* tcb id of the holding thread *)
+    waiters : (int * (unit -> unit)) Queue.t;
   }
 
   type t = { obj : state Aobject.t }
 
   let create rt ?(name = "lock") () =
-    {
-      obj =
-        Runtime.create_object rt ~size:32 ~name
-          { held = false; waiters = Queue.create () };
-    }
+    let obj =
+      Runtime.create_object rt ~size:32 ~name
+        { owner = None; waiters = Queue.create () }
+    in
+    register_sync rt obj.Aobject.addr "lock";
+    { obj }
 
   let acquire rt t =
     let c = Runtime.cost rt in
     Invoke.invoke rt t.obj (fun s ->
         Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
-        if not s.held then s.held <- true
-        else
+        let me = self_id () in
+        match s.owner with
+        | None -> s.owner <- Some me
+        | Some _ ->
           (* Ownership is handed over directly by [release], so when the
              waker fires the lock is already ours. *)
-          Sim.Fiber.block (fun wake -> Queue.add wake s.waiters))
+          Sim.Fiber.block (fun wake -> Queue.add (me, wake) s.waiters));
+    Runtime.with_san rt (fun h ->
+        h.San_hooks.on_lock_acquired ~addr:t.obj.Aobject.addr
+          ~name:t.obj.Aobject.name)
 
   let release rt t =
     let c = Runtime.cost rt in
     Invoke.invoke rt t.obj (fun s ->
         Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
-        if not s.held then invalid_arg "Lock.release: lock is not held";
+        (match s.owner with
+        | None -> invalid_arg "Lock.release: lock is not held"
+        | Some owner ->
+          if owner <> self_id () then
+            invalid_arg "Lock.release: lock is held by another thread");
+        Runtime.with_san rt (fun h ->
+            h.San_hooks.on_lock_released ~addr:t.obj.Aobject.addr);
         match Queue.take_opt s.waiters with
-        | None -> s.held <- false
-        | Some wake -> wake ())
+        | None -> s.owner <- None
+        | Some (next, wake) ->
+          s.owner <- Some next;
+          wake ())
 
   let try_acquire rt t =
     let c = Runtime.cost rt in
-    Invoke.invoke rt t.obj (fun s ->
-        Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
-        if s.held then false
-        else begin
-          s.held <- true;
-          true
-        end)
+    let got =
+      Invoke.invoke rt t.obj (fun s ->
+          Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+          match s.owner with
+          | Some _ -> false
+          | None ->
+            s.owner <- Some (self_id ());
+            true)
+    in
+    if got then
+      Runtime.with_san rt (fun h ->
+          h.San_hooks.on_lock_acquired ~addr:t.obj.Aobject.addr
+            ~name:t.obj.Aobject.name);
+    got
 
   let with_lock rt t f =
     acquire rt t;
@@ -52,25 +80,27 @@ module Lock = struct
       release rt t;
       raise e
 
-  let is_held t = t.obj.Aobject.state.held
+  let is_held t = t.obj.Aobject.state.owner <> None
+  let holder t = t.obj.Aobject.state.owner
   let move rt t ~dest = Mobility.move_to rt t.obj ~dest
   let locate rt t = Mobility.locate rt t.obj
 end
 
 module Spinlock = struct
   type state = {
-    mutable held : bool;
+    mutable owner : int option;
     mutable failed_probes : int;
   }
 
   type t = { obj : state Aobject.t }
 
   let create rt ?(name = "spinlock") () =
-    {
-      obj =
-        Runtime.create_object rt ~size:16 ~name
-          { held = false; failed_probes = 0 };
-    }
+    let obj =
+      Runtime.create_object rt ~size:16 ~name
+        { owner = None; failed_probes = 0 }
+    in
+    register_sync rt obj.Aobject.addr "spinlock";
+    { obj }
 
   let max_backoff = 100e-6
 
@@ -79,14 +109,13 @@ module Spinlock = struct
     let probe () =
       Invoke.invoke rt t.obj (fun s ->
           Sim.Fiber.consume c.Cost_model.spin_probe_cpu;
-          if s.held then begin
+          match s.owner with
+          | Some _ ->
             s.failed_probes <- s.failed_probes + 1;
             false
-          end
-          else begin
-            s.held <- true;
-            true
-          end)
+          | None ->
+            s.owner <- Some (self_id ());
+            true)
     in
     let rec spin backoff =
       if not (probe ()) then begin
@@ -95,14 +124,23 @@ module Spinlock = struct
         spin (Float.min max_backoff (backoff *. 2.0))
       end
     in
-    spin c.Cost_model.spin_probe_cpu
+    spin c.Cost_model.spin_probe_cpu;
+    Runtime.with_san rt (fun h ->
+        h.San_hooks.on_lock_acquired ~addr:t.obj.Aobject.addr
+          ~name:t.obj.Aobject.name)
 
   let release rt t =
     let c = Runtime.cost rt in
     Invoke.invoke rt t.obj (fun s ->
         Sim.Fiber.consume c.Cost_model.spin_probe_cpu;
-        if not s.held then invalid_arg "Spinlock.release: lock is not held";
-        s.held <- false)
+        (match s.owner with
+        | None -> invalid_arg "Spinlock.release: lock is not held"
+        | Some owner ->
+          if owner <> self_id () then
+            invalid_arg "Spinlock.release: lock is held by another thread");
+        Runtime.with_san rt (fun h ->
+            h.San_hooks.on_lock_released ~addr:t.obj.Aobject.addr);
+        s.owner <- None)
 
   let with_lock rt t f =
     acquire rt t;
@@ -114,7 +152,8 @@ module Spinlock = struct
       release rt t;
       raise e
 
-  let is_held t = t.obj.Aobject.state.held
+  let is_held t = t.obj.Aobject.state.owner <> None
+  let holder t = t.obj.Aobject.state.owner
   let move rt t ~dest = Mobility.move_to rt t.obj ~dest
   let contended_probes t = t.obj.Aobject.state.failed_probes
 end
@@ -131,27 +170,35 @@ module Barrier = struct
 
   let create rt ?(name = "barrier") ~parties () =
     if parties <= 0 then invalid_arg "Barrier.create: parties";
-    {
-      obj =
-        Runtime.create_object rt ~size:32 ~name
-          { parties; arrived = 0; wakers = []; generation = 0 };
-    }
+    let obj =
+      Runtime.create_object rt ~size:32 ~name
+        { parties; arrived = 0; wakers = []; generation = 0 }
+    in
+    register_sync rt obj.Aobject.addr "barrier";
+    { obj }
 
   let pass rt t =
     let c = Runtime.cost rt in
+    let addr = t.obj.Aobject.addr in
     Invoke.invoke rt t.obj (fun s ->
         Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
+        let gen = s.generation in
+        Runtime.with_san rt (fun h -> h.San_hooks.on_barrier_arrive ~addr ~gen);
         if s.arrived + 1 >= s.parties then begin
           (* Last arrival releases everyone and opens a new generation. *)
           s.arrived <- 0;
           s.generation <- s.generation + 1;
           let sleepers = List.rev s.wakers in
           s.wakers <- [];
+          Runtime.with_san rt (fun h ->
+              h.San_hooks.on_barrier_release ~addr ~gen);
           List.iter (fun wake -> wake ()) sleepers
         end
         else begin
           s.arrived <- s.arrived + 1;
-          Sim.Fiber.block (fun wake -> s.wakers <- wake :: s.wakers)
+          Sim.Fiber.block (fun wake -> s.wakers <- wake :: s.wakers);
+          Runtime.with_san rt (fun h ->
+              h.San_hooks.on_barrier_resume ~addr ~gen)
         end)
 
   let generation t = t.obj.Aobject.state.generation
@@ -160,6 +207,7 @@ end
 
 module Condition = struct
   type cell = {
+    token : int;  (* process-unique id linking signal to wakeup *)
     mutable wake : (unit -> unit) option;
     mutable signaled : bool;
   }
@@ -167,26 +215,36 @@ module Condition = struct
   type state = { mutable queue : cell list (* FIFO: oldest first *) }
   type t = { obj : state Aobject.t }
 
-  let create rt ?(name = "condition") () =
-    { obj = Runtime.create_object rt ~size:24 ~name { queue = [] } }
+  let next_token = ref 0
 
-  let fire cell =
+  let create rt ?(name = "condition") () =
+    let obj = Runtime.create_object rt ~size:24 ~name { queue = [] } in
+    register_sync rt obj.Aobject.addr "condition";
+    { obj }
+
+  let fire rt cell =
+    Runtime.with_san rt (fun h -> h.San_hooks.on_cond_signal ~token:cell.token);
     cell.signaled <- true;
     match cell.wake with
     | Some wake -> wake ()
     | None -> (* waiter has not blocked yet; it will see [signaled] *) ()
 
   let wait rt t lock =
-    if not (Lock.is_held lock) then
-      invalid_arg "Condition.wait: lock is not held";
+    (match Lock.holder lock with
+    | None -> invalid_arg "Condition.wait: lock is not held"
+    | Some owner ->
+      if owner <> self_id () then
+        invalid_arg "Condition.wait: lock is held by another thread");
     let c = Runtime.cost rt in
-    let cell = { wake = None; signaled = false } in
+    incr next_token;
+    let cell = { token = !next_token; wake = None; signaled = false } in
     Invoke.invoke rt t.obj (fun s ->
         Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
         s.queue <- s.queue @ [ cell ]);
     Lock.release rt lock;
     Sim.Fiber.block (fun wake ->
         if cell.signaled then wake () else cell.wake <- Some wake);
+    Runtime.with_san rt (fun h -> h.San_hooks.on_cond_wake ~token:cell.token);
     Lock.acquire rt lock
 
   let signal rt t =
@@ -197,7 +255,7 @@ module Condition = struct
         | [] -> ()
         | cell :: rest ->
           s.queue <- rest;
-          fire cell)
+          fire rt cell)
 
   let broadcast rt t =
     let c = Runtime.cost rt in
@@ -205,7 +263,7 @@ module Condition = struct
         Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
         let cells = s.queue in
         s.queue <- [];
-        List.iter fire cells)
+        List.iter (fire rt) cells)
 
   let waiters t = List.length t.obj.Aobject.state.queue
   let move rt t ~dest = Mobility.move_to rt t.obj ~dest

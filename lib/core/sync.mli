@@ -18,12 +18,17 @@ module Lock : sig
   val create : Runtime.t -> ?name:string -> unit -> t
   val acquire : Runtime.t -> t -> unit
 
-  (** Raises [Invalid_argument] if the lock is not held. *)
+  (** Raises [Invalid_argument] if the lock is not held, or is held by a
+      thread other than the caller. *)
   val release : Runtime.t -> t -> unit
 
   val try_acquire : Runtime.t -> t -> bool
   val with_lock : Runtime.t -> t -> (unit -> 'a) -> 'a
   val is_held : t -> bool
+
+  (** Tcb id of the holding thread, if any. *)
+  val holder : t -> int option
+
   val move : Runtime.t -> t -> dest:int -> unit
   val locate : Runtime.t -> t -> int
 end
@@ -36,9 +41,17 @@ module Spinlock : sig
 
   val create : Runtime.t -> ?name:string -> unit -> t
   val acquire : Runtime.t -> t -> unit
+
+  (** Raises [Invalid_argument] if the lock is not held, or is held by a
+      thread other than the caller. *)
   val release : Runtime.t -> t -> unit
+
   val with_lock : Runtime.t -> t -> (unit -> 'a) -> 'a
   val is_held : t -> bool
+
+  (** Tcb id of the holding thread, if any. *)
+  val holder : t -> int option
+
   val move : Runtime.t -> t -> dest:int -> unit
 
   (** Number of failed probes over the lock's lifetime (contention

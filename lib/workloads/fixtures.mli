@@ -1,0 +1,14 @@
+(** Seeded sanitizer fixtures: tiny workloads with a known verdict, used
+    by the CLI ([amber_sim fixture]) and the AmberSan tests.
+
+    Both fixtures increment a shared counter [threads × increments]
+    times using a two-invocation read-modify-write protocol.  The racy
+    variant runs it bare — AmberSan must report a race on ["counter"]
+    (and lost updates usually make [final < expected]); the clean
+    variant holds a lock across the pair — AmberSan must stay silent and
+    [final = expected]. *)
+
+type result = { final : int; expected : int }
+
+val racy_counter : Amber.Runtime.t -> threads:int -> increments:int -> result
+val clean_counter : Amber.Runtime.t -> threads:int -> increments:int -> result

@@ -46,6 +46,24 @@ let test_detects_broken_chain () =
            (fun v -> v.A.Audit.problem = "forwarding chain does not terminate")
            vs))
 
+let test_detects_mutual_forwarding_through_home () =
+  (* The PR-1 livelock shape: two stale descriptors forwarding to each
+     other, with the object's home node inside the cycle — a chase
+     starting there ping-pongs forever.  The audit must report it as a
+     non-terminating chain (the visited-set check catches the repeat on
+     the second hop rather than after exhausting a hop budget). *)
+  Util.run (fun rt ->
+      (* Created on node 0, so node 0 is the home node. *)
+      let o = A.Api.create rt ~name:"pingpong" () in
+      A.Api.move_to rt o ~dest:2;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 0) o.A.Aobject.addr 1;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 1) o.A.Aobject.addr 0;
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      Alcotest.(check bool) "cycle through home detected" true
+        (List.exists
+           (fun v -> v.A.Audit.problem = "forwarding chain does not terminate")
+           vs))
+
 let test_immutable_replicas_audited () =
   Util.run (fun rt ->
       let o = A.Api.create rt ~name:"imm" () in
@@ -112,6 +130,8 @@ let suite =
     Alcotest.test_case "detects spurious residency" `Quick
       test_detects_spurious_residency;
     Alcotest.test_case "detects broken chains" `Quick test_detects_broken_chain;
+    Alcotest.test_case "detects mutual forwarding through home" `Quick
+      test_detects_mutual_forwarding_through_home;
     Alcotest.test_case "immutable replicas audited" `Quick
       test_immutable_replicas_audited;
     Alcotest.test_case "chain-length diagnostic" `Quick

@@ -233,6 +233,53 @@ let test_condition_broadcast () =
   in
   Alcotest.(check int) "all woken" 5 woken
 
+let test_monitor_broadcast () =
+  let woken =
+    Util.run (fun rt ->
+        let m = A.Sync.Monitor.create rt () in
+        let cond = A.Sync.Monitor.new_condition rt m in
+        let go = ref false in
+        let count = ref 0 in
+        let ts =
+          List.init 4 (fun i ->
+              A.Api.start rt ~name:(string_of_int i) (fun () ->
+                  A.Sync.Monitor.with_monitor rt m (fun () ->
+                      while not !go do
+                        A.Sync.Monitor.wait rt m cond
+                      done;
+                      incr count)))
+        in
+        Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 20e-3;
+        A.Sync.Monitor.with_monitor rt m (fun () ->
+            go := true;
+            A.Sync.Monitor.broadcast rt cond);
+        List.iter (fun t -> A.Api.join rt t) ts;
+        !count)
+  in
+  Alcotest.(check int) "all waiters woken" 4 woken
+
+let test_barrier_generation_reuse () =
+  (* The same barrier object is reused across generations with a
+     different last arriver each round; a generation's waiters must never
+     leak into the next one. *)
+  let gens =
+    Util.run (fun rt ->
+        let b = A.Sync.Barrier.create rt ~parties:2 () in
+        let t =
+          A.Api.start rt (fun () ->
+              (* Last to arrive in round 1, first in round 2. *)
+              Sim.Fiber.consume 5e-3;
+              A.Sync.Barrier.pass rt b;
+              A.Sync.Barrier.pass rt b)
+        in
+        A.Sync.Barrier.pass rt b;
+        Sim.Fiber.consume 10e-3;
+        A.Sync.Barrier.pass rt b;
+        A.Api.join rt t;
+        A.Sync.Barrier.generation b)
+  in
+  Alcotest.(check int) "two clean generations" 2 gens
+
 let test_condition_wait_requires_lock () =
   Util.run (fun rt ->
       let lock = A.Sync.Lock.create rt () in
@@ -322,6 +369,9 @@ let suite =
     Alcotest.test_case "signal-before-block not lost" `Quick
       test_condition_signal_before_block_not_lost;
     Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+    Alcotest.test_case "monitor broadcast" `Quick test_monitor_broadcast;
+    Alcotest.test_case "barrier generation reuse" `Quick
+      test_barrier_generation_reuse;
     Alcotest.test_case "condition wait requires lock" `Quick
       test_condition_wait_requires_lock;
     Alcotest.test_case "monitor" `Quick test_monitor;

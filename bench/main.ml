@@ -31,13 +31,9 @@ let measure rt n f =
   done;
   (A.Api.now rt -. t0) /. float_of_int n
 
-let table1 () =
-  header
-    "Table 1: Latency of Amber operations (paper §5; Firefly conditions: \
-     light load,\none-packet transfers, one-hop forwarding chains)";
+let table1_measure () =
   let cfg = A.Config.make ~nodes:3 ~cpus:4 () in
-  let create, local, remote, move, start_join =
-    A.Cluster.run_value cfg (fun rt ->
+  A.Cluster.run_value cfg (fun rt ->
         let create =
           measure rt 100 (fun () ->
               ignore (A.Api.create rt ~size:64 ~name:"o" () : unit A.Aobject.t))
@@ -67,7 +63,12 @@ let table1 () =
               A.Api.join rt t)
         in
         (create, local, remote, move, start_join))
-  in
+
+let table1 () =
+  header
+    "Table 1: Latency of Amber operations (paper §5; Firefly conditions: \
+     light load,\none-packet transfers, one-hop forwarding chains)";
+  let create, local, remote, move, start_join = table1_measure () in
   Printf.printf "%-24s %14s %14s %8s\n" "operation" "paper (ms)"
     "measured (ms)" "ratio";
   let row name paper got =
@@ -680,11 +681,119 @@ let host () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable baseline: --json and check-json (the CI guard)     *)
+(* ------------------------------------------------------------------ *)
+
+(* A reduced, fast subset of the paper numbers: Table 1 latencies, one
+   Fig-2 and one Fig-3 SOR configuration, and the read-mostly workload
+   with and without replication.  Everything is a deterministic
+   virtual-time measurement, so a committed baseline (BENCH_table1.json)
+   only drifts when a protocol or cost-model change drifts it —
+   [check_json] fails the build when any metric slows by more than 10%. *)
+
+let readmostly_measure ~replicate () =
+  A.Cluster.run_value (A.Config.make ~nodes:4 ~cpus:2 ()) (fun rt ->
+      W.Read_mostly.run rt
+        {
+          W.Read_mostly.objects = 4;
+          readers_per_node = 2;
+          reads_per_reader = 30;
+          write_every = 10;
+          replicate;
+        })
+
+let json_metrics () =
+  let create, local, remote, move, start_join = table1_measure () in
+  let sor_elapsed ~nodes ~cpus p iters =
+    (sor_run ~nodes ~cpus ~overlap:true p iters).W.Sor_amber.compute_elapsed
+  in
+  let p2 = W.Sor_core.default in
+  let p3 = W.Sor_core.with_size W.Sor_core.default ~rows:61 ~cols:421 in
+  let rm_on = readmostly_measure ~replicate:true () in
+  let rm_off = readmostly_measure ~replicate:false () in
+  let mean_ms s = Sim.Stats.Summary.mean s *. 1e3 in
+  [
+    ("table1_create_ms", create *. 1e3);
+    ("table1_local_invoke_ms", local *. 1e3);
+    ("table1_remote_invoke_ms", remote *. 1e3);
+    ("table1_object_move_ms", move *. 1e3);
+    ("table1_thread_start_join_ms", start_join *. 1e3);
+    ("fig2_sor_122x842_1n2p_elapsed_s", sor_elapsed ~nodes:1 ~cpus:2 p2 5);
+    ("fig2_sor_122x842_4n4p_elapsed_s", sor_elapsed ~nodes:4 ~cpus:4 p2 5);
+    ("fig3_sor_61x421_4n4p_elapsed_s", sor_elapsed ~nodes:4 ~cpus:4 p3 5);
+    ( "readmostly_replicated_read_mean_ms",
+      mean_ms rm_on.W.Read_mostly.read_latency );
+    ( "readmostly_unreplicated_read_mean_ms",
+      mean_ms rm_off.W.Read_mostly.read_latency );
+    ("readmostly_replicated_elapsed_s", rm_on.W.Read_mostly.elapsed);
+  ]
+
+let print_json () =
+  let ms = json_metrics () in
+  let last = List.length ms - 1 in
+  print_string "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.printf "  %S: %.9g%s\n" k v (if i = last then "" else ","))
+    ms;
+  print_string "}\n"
+
+(* The baseline is the flat one-number-per-line object [print_json]
+   emits; parsing it back needs no JSON library. *)
+let parse_baseline file =
+  let ic = open_in file in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match Scanf.sscanf line " %S : %f" (fun k v -> (k, v)) with
+       | kv -> entries := kv :: !entries
+       | exception Scanf.Scan_failure _ | (exception End_of_file) -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let check_json file =
+  let base = parse_baseline file in
+  if base = [] then begin
+    Printf.eprintf "check-json: no metrics found in %s\n" file;
+    exit 1
+  end;
+  let cur = json_metrics () in
+  let fails = ref 0 in
+  Printf.printf "%-40s %14s %14s %9s\n" "metric" "baseline" "current" "delta";
+  List.iter
+    (fun (k, b) ->
+      match List.assoc_opt k cur with
+      | None ->
+        incr fails;
+        Printf.printf "%-40s %14.6g %14s %9s\n" k b "missing" "FAIL"
+      | Some c ->
+        let delta = if b <> 0.0 then (c -. b) /. b *. 100.0 else 0.0 in
+        let regressed = c > b *. 1.10 in
+        if regressed then incr fails;
+        Printf.printf "%-40s %14.6g %14.6g %+8.1f%%%s\n" k b c delta
+          (if regressed then "  REGRESSION" else ""))
+    base;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k base) then
+        Printf.printf "note: metric %s is not in the baseline yet\n" k)
+    cur;
+  if !fails > 0 then begin
+    Printf.printf "%d virtual-time regression(s) beyond 10%%\n" !fails;
+    exit 1
+  end
+  else print_endline "baseline check passed"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig2|fig3|ablate-lock|ablate-pages|ablate-chain|\n\
-    \                ablate-movecpus|ablate-overlap|ablate-sched|ablate-locality|ablate-manager|\n     ablate-partitioning|ablate-mac|host|all]"
+    \                ablate-movecpus|ablate-overlap|ablate-sched|ablate-locality|ablate-manager|\n\
+    \     ablate-partitioning|ablate-mac|host|all|--json|check-json FILE]"
 
 let () =
   let run_all () =
@@ -719,6 +828,8 @@ let () =
   | [ _; "ablate-partitioning" ] -> ablate_partitioning ()
   | [ _; "ablate-mac" ] -> ablate_mac ()
   | [ _; "host" ] -> host ()
+  | [ _; "--json" ] -> print_json ()
+  | [ _; "check-json"; file ] -> check_json file
   | _ ->
     usage ();
     exit 1

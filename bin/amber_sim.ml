@@ -405,6 +405,93 @@ let tsp_cmd =
     (Cmd.info "tsp" ~doc:"Run parallel branch-and-bound TSP with work stealing.")
     term
 
+(* --- readmostly ----------------------------------------------------------- *)
+
+let readmostly_cmd =
+  let objects =
+    Arg.(
+      value & opt int 4
+      & info [ "objects" ] ~docv:"N" ~doc:"Shared objects (mastered on node 0).")
+  in
+  let readers =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~docv:"R" ~doc:"Reader threads per node.")
+  in
+  let reads =
+    Arg.(
+      value & opt int 40
+      & info [ "reads" ] ~docv:"K" ~doc:"Read invocations per reader.")
+  in
+  let write_every =
+    Arg.(
+      value & opt int 10
+      & info [ "write-every" ] ~docv:"K"
+          ~doc:
+            "One write round (one write per object) after every K reads per \
+             reader; 0 disables writes.")
+  in
+  let replicate =
+    Arg.(
+      value & flag
+      & info [ "replicate" ]
+          ~doc:
+            "Install a read replica of every object on every node (and \
+             refresh after each write round).")
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Print per-node utilization and protocol counters.")
+  in
+  let run nodes cpus faults seed objects readers reads write_every replicate
+      report sanitize =
+    let cfg = mk_config nodes cpus faults seed in
+    let r, status =
+      run_cluster ~sanitize cfg (fun rt ->
+          let r =
+            Workloads.Read_mostly.run rt
+              {
+                Workloads.Read_mostly.objects;
+                readers_per_node = readers;
+                reads_per_reader = reads;
+                write_every;
+                replicate;
+              }
+          in
+          if report then
+            Format.printf "@.%a" Amber.Stats_report.pp
+              (Amber.Stats_report.capture rt);
+          r)
+    in
+    Printf.printf
+      "read-mostly (%s): %d reads, %d writes in %.3f virtual s (checksum %d)\n"
+      (if replicate then "replicated" else "no replication")
+      r.Workloads.Read_mostly.reads r.Workloads.Read_mostly.writes
+      r.Workloads.Read_mostly.elapsed r.Workloads.Read_mostly.checksum;
+    Printf.printf "  replica reads: %d, remote invocations: %d\n"
+      r.Workloads.Read_mostly.replica_reads
+      r.Workloads.Read_mostly.remote_invocations;
+    let lat = r.Workloads.Read_mostly.read_latency in
+    if Sim.Stats.Summary.count lat > 0 then
+      Printf.printf "  remote-node read latency: mean %.1f us, p95 %.1f us\n"
+        (Sim.Stats.Summary.mean lat *. 1e6)
+        (Sim.Stats.Summary.percentile lat 95.0 *. 1e6);
+    status
+  in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ objects
+      $ readers $ reads $ write_every $ replicate $ report_flag
+      $ sanitize_arg)
+  in
+  Cmd.v
+    (Cmd.info "readmostly"
+       ~doc:
+         "Run the read-mostly workload (read replicas vs remote invocations).")
+    term
+
 (* --- trace --------------------------------------------------------------- *)
 
 let trace_cmd =
@@ -540,5 +627,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; trace_cmd;
-            fixture_cmd ]))
+          [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; readmostly_cmd;
+            trace_cmd; fixture_cmd ]))

@@ -28,6 +28,7 @@ module Event = struct
     | Barrier of { tid : int; addr : int; gen : int; phase : barrier_phase }
     | Cond_signal of { tid : int; token : int }
     | Cond_wake of { tid : int; token : int }
+    | Replica_read of { tid : int; addr : int; node : int; epoch : int }
 
   let phase_to_string = function
     | Arrive -> "arrive"
@@ -55,6 +56,8 @@ module Event = struct
         (phase_to_string phase)
     | Cond_signal { tid; token } -> Printf.sprintf "sig t=%d k=%d" tid token
     | Cond_wake { tid; token } -> Printf.sprintf "wake t=%d k=%d" tid token
+    | Replica_read { tid; addr; node; epoch } ->
+      Printf.sprintf "rrd t=%d 0x%x n=%d e=%d" tid addr node epoch
 
   (* "p=3" with the expected key -> 3; raises on mismatch. *)
   let kv key tok =
@@ -105,6 +108,15 @@ module Event = struct
            { tid = kv "t" t; addr = int_of_string addr; gen = kv "g" g; phase })
     | [ "sig"; t; k ] -> Some (Cond_signal { tid = kv "t" t; token = kv "k" k })
     | [ "wake"; t; k ] -> Some (Cond_wake { tid = kv "t" t; token = kv "k" k })
+    | [ "rrd"; t; addr; n; e ] ->
+      Some
+        (Replica_read
+           {
+             tid = kv "t" t;
+             addr = int_of_string addr;
+             node = kv "n" n;
+             epoch = kv "e" e;
+           })
     | _ -> None
 
   let of_string s = try of_string s with _ -> None
@@ -433,6 +445,11 @@ module Core = struct
       match Hashtbl.find_opt t.signals token with
       | Some c -> cr := cjoin !cr c
       | None -> ())
+    | Event.Replica_read _ ->
+      (* The race-relevant Read access arrives as its own [Access] event;
+         staleness is checked online against ground truth, which a replayed
+         trace no longer has. *)
+      ()
 
   let lock_name t addr =
     match Hashtbl.find_opt t.names addr with
@@ -497,6 +514,9 @@ type t = {
   core : Core.t;
   analyze : bool;
   registry : (int, Aobject.any) Hashtbl.t;  (* live objects, by address *)
+  tombstones : (int, string) Hashtbl.t;
+      (* destroyed objects (addr -> name), awaiting the finalize sweep
+         that checks nothing still claims a usable copy of them *)
   mutable inflight_moves : int;
   mutable pending_audit : Aobject.any list;
   mutable violations : Audit.violation list;
@@ -549,6 +569,7 @@ let attach ?(analyze = true) rt =
       core = Core.create ();
       analyze;
       registry = Hashtbl.create 64;
+      tombstones = Hashtbl.create 8;
       inflight_moves = 0;
       pending_audit = [];
       violations = [];
@@ -581,11 +602,19 @@ let attach ?(analyze = true) rt =
       on_object_created =
         (fun (Aobject.Any o as any) ->
           Hashtbl.replace t.registry o.Aobject.addr any;
+          (* Heap addresses can be recycled; a re-created address is no
+             longer a deletion to audit. *)
+          Hashtbl.remove t.tombstones o.Aobject.addr;
           ev
             (Event.Object_created
                { addr = o.Aobject.addr; name = o.Aobject.name }));
       on_object_destroyed =
         (fun ~addr ->
+          (match Hashtbl.find_opt t.registry addr with
+          | Some (Aobject.Any o) ->
+            Hashtbl.replace t.tombstones addr o.Aobject.name
+          | None ->
+            Hashtbl.replace t.tombstones addr (Printf.sprintf "0x%x" addr));
           Hashtbl.remove t.registry addr;
           ev (Event.Object_destroyed { addr }));
       on_sync_created =
@@ -630,6 +659,36 @@ let attach ?(analyze = true) rt =
           t.inflight_moves <- t.inflight_moves - 1;
           t.pending_audit <- any :: t.pending_audit;
           if t.analyze then audit_pending t);
+      on_replica_read =
+        (fun (Aobject.Any o) ~node ~epoch ->
+          ev
+            (Event.Replica_read
+               { tid = tid (); addr = o.Aobject.addr; node; epoch });
+          if t.analyze then begin
+            (* Ground truth: a correct protocol only serves snapshots on
+               currently granted nodes, at the object's current epoch.  A
+               mismatch means an invalidation was lost or unacknowledged
+               and a completed write is invisible here — a stale read. *)
+            let mk problem =
+              {
+                Audit.addr = o.Aobject.addr;
+                name = o.Aobject.name;
+                node;
+                problem;
+              }
+            in
+            if not (List.mem node o.Aobject.replicas) then
+              add_violations t
+                [ mk "read served from a recalled replica" ]
+            else if epoch <> o.Aobject.epoch then
+              add_violations t
+                [
+                  mk
+                    (Printf.sprintf
+                       "stale replica read (snapshot epoch %d, object at %d)"
+                       epoch o.Aobject.epoch);
+                ]
+          end);
     }
   in
   Runtime.set_sanitizer rt hooks;
@@ -642,7 +701,13 @@ let finalize t =
     audit_pending t;
     add_violations t
       (Audit.check_objects t.rt
-         (Hashtbl.fold (fun _ any acc -> any :: acc) t.registry []))
+         (Hashtbl.fold (fun _ any acc -> any :: acc) t.registry []));
+    (* Deleted objects: nothing may still claim a usable copy of them. *)
+    Hashtbl.iter
+      (fun addr name ->
+        if not (Hashtbl.mem t.registry addr) then
+          add_violations t (Audit.check_deleted t.rt ~addr ~name))
+      t.tombstones
   end;
   report t
 

@@ -50,6 +50,9 @@ module Event : sig
     | Barrier of { tid : int; addr : int; gen : int; phase : barrier_phase }
     | Cond_signal of { tid : int; token : int }
     | Cond_wake of { tid : int; token : int }
+    | Replica_read of { tid : int; addr : int; node : int; epoch : int }
+        (** a Read invocation served from the replica snapshot on [node];
+            checked online against the object's replica set and epoch *)
 
   val to_string : t -> string
 

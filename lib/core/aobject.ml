@@ -6,6 +6,8 @@ type 'a t = {
   mutable location : int;
   mutable immutable_ : bool;
   mutable replicas : int list;
+  mutable epoch : int;
+  mutable rcopies : (int * int * 'a) list;
   mutable attached : any list;
   mutable parent : any option;
   mutable state : 'a;
@@ -22,6 +24,8 @@ let make ~addr ~name ~size ~node state =
     location = node;
     immutable_ = false;
     replicas = [];
+    epoch = 0;
+    rcopies = [];
     attached = [];
     parent = None;
     state;
@@ -50,6 +54,17 @@ let closure_size root =
 
 let usable_on o node =
   o.location = node || (o.immutable_ && List.mem node o.replicas)
+
+let snapshot o ~node =
+  List.find_map
+    (fun (n, ep, v) -> if n = node then Some (ep, v) else None)
+    o.rcopies
+
+let set_snapshot o ~node ~epoch v =
+  o.rcopies <- (node, epoch, v) :: List.filter (fun (n, _, _) -> n <> node) o.rcopies
+
+let drop_snapshot o ~node =
+  o.rcopies <- List.filter (fun (n, _, _) -> n <> node) o.rcopies
 
 let pp ppf o =
   Format.fprintf ppf "%s@0x%x[%dB %s@@node%d]" o.name o.addr o.size

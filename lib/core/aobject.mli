@@ -14,7 +14,15 @@ type 'a t = {
   mutable location : int;  (** current node (for immutables: master copy) *)
   mutable immutable_ : bool;
   mutable replicas : int list;
-      (** nodes holding immutable copies (excludes [location]) *)
+      (** nodes holding copies (excludes [location]).  For immutables these
+          are permanent; for mutables they are read replicas that the
+          write-invalidate protocol recalls before any write. *)
+  mutable epoch : int;
+      (** version counter, bumped at the master on every Write/Atomic
+          invocation of a mutable object; replica snapshots record the
+          epoch they were taken at *)
+  mutable rcopies : (int * int * 'a) list;
+      (** mutable-object replica snapshots: (node, install epoch, value) *)
   mutable attached : any list;  (** objects attached to this one (§2.3) *)
   mutable parent : any option;  (** object this one is attached to *)
   mutable state : 'a;
@@ -39,5 +47,11 @@ val closure_size : any -> int
 (** Is a copy of the object usable on [node]?  True for the master copy's
     node and, for immutables, any replica node. *)
 val usable_on : 'a t -> int -> bool
+
+(** The replica snapshot held on [node], as [(install_epoch, value)]. *)
+val snapshot : 'a t -> node:int -> (int * 'a) option
+
+val set_snapshot : 'a t -> node:int -> epoch:int -> 'a -> unit
+val drop_snapshot : 'a t -> node:int -> unit
 
 val pp : Format.formatter -> 'a t -> unit

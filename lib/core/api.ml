@@ -14,6 +14,15 @@ let locate = Mobility.locate
 let attach = Mobility.attach
 let unattach = Mobility.unattach
 let set_immutable = Mobility.set_immutable
+
+let replicate rt ?copy obj ~dest =
+  if obj.Aobject.immutable_ then Mobility.replicate rt obj ~dest
+  else
+    match copy with
+    | Some copy -> Coherence.install rt ~copy obj ~dest
+    | None ->
+      invalid_arg
+        "Api.replicate: a mutable object needs ~copy (the snapshot function)"
 let start rt ?name body = Athread.start rt ?name body
 let start_invoke rt ?name ?payload obj op =
   Athread.start_invoke rt ?name ?payload obj op

@@ -53,6 +53,18 @@ val attach : runtime -> parent:'a obj -> child:'b obj -> unit
 val unattach : runtime -> child:'b obj -> unit
 val set_immutable : runtime -> 'a obj -> unit
 
+(** Install a read-only copy of [obj] on [dest].
+
+    Immutable objects get a permanent copy (exactly [move_to] on an
+    immutable).  Mutable objects get a {e read replica} under the
+    write-invalidate protocol ({!Coherence}): [~copy] must be supplied to
+    snapshot the representation (raises [Invalid_argument] otherwise);
+    subsequent [~mode:Read] invocations on [dest] run against the local
+    snapshot, and any [Write]/[Atomic] invocation recalls every replica
+    before executing at the master. *)
+val replicate :
+  runtime -> ?copy:('a -> 'a) -> 'a obj -> dest:int -> unit
+
 (** {1 Threads} *)
 
 val start : runtime -> ?name:string -> (unit -> 'r) -> 'r thread

@@ -23,7 +23,11 @@ let chain_length rt ~addr ~start ~target =
         (* Resident on a node that is not the target: the caller decides
            whether that is legal (immutable replica) or a violation. *)
         Some hops
-      | `Hop next -> if next = node then None else walk next (hops + 1) (node :: visited)
+      | `Hop next | `Replica next ->
+        (* A replica node is a legal stop only for reads; for chain
+           termination it forwards toward its master hint like any other
+           non-resident descriptor. *)
+        if next = node then None else walk next (hops + 1) (node :: visited)
   in
   walk start 0 []
 
@@ -48,13 +52,43 @@ let check_one rt (Aobject.Any o) =
         if
           not (Descriptor.is_resident (Runtime.descriptors rt n) o.Aobject.addr)
         then add n "replica node not marked resident")
+      o.Aobject.replicas
+  else
+    (* Mutable read replicas: every granted node must carry a [Replica]
+       descriptor and a snapshot at the object's current epoch. *)
+    List.iter
+      (fun n ->
+        if not (Descriptor.is_replica (Runtime.descriptors rt n) o.Aobject.addr)
+        then add n "replica node not marked as replica"
+        else
+          match Aobject.snapshot o ~node:n with
+          | None -> add n "replica descriptor without a snapshot"
+          | Some (ep, _) ->
+            if ep <> o.Aobject.epoch then
+              add n
+                (Printf.sprintf
+                   "replica snapshot is stale (epoch %d, object at %d)" ep
+                   o.Aobject.epoch))
       o.Aobject.replicas;
-  (* 2. No spurious residency. *)
+  (* 2. No spurious residency, and no spurious replicas. *)
   for n = 0 to nodes - 1 do
     if
       Descriptor.is_resident (Runtime.descriptors rt n) o.Aobject.addr
       && not (legal_resident n)
-    then add n "claims residency of an object that lives elsewhere"
+    then add n "claims residency of an object that lives elsewhere";
+    if
+      Descriptor.is_replica (Runtime.descriptors rt n) o.Aobject.addr
+      && not ((not o.Aobject.immutable_) && List.mem n o.Aobject.replicas)
+    then add n "claims a replica that was never granted (or was recalled)"
+  done;
+  (* 2b. Forwarding chains must not point at replica nodes: a writer
+     following such a pointer would try to execute at a read-only copy. *)
+  for n = 0 to nodes - 1 do
+    match Descriptor.get (Runtime.descriptors rt n) o.Aobject.addr with
+    | Some (Descriptor.Forwarded f)
+      when (not o.Aobject.immutable_) && List.mem f o.Aobject.replicas ->
+      add n (Printf.sprintf "forwarded descriptor names replica node %d" f)
+    | _ -> ()
   done;
   (* 3. Every node's chain reaches a legal copy. *)
   for n = 0 to nodes - 1 do
@@ -67,7 +101,8 @@ let check_one rt (Aobject.Any o) =
         else
           match Runtime.probe rt ~node ~addr:o.Aobject.addr with
           | `Resident -> node
-          | `Hop next -> if next = node then node else final next (hops + 1)
+          | `Hop next | `Replica next ->
+            if next = node then node else final next (hops + 1)
       in
       let landed = final n 0 in
       if not (legal_resident landed) then
@@ -78,6 +113,24 @@ let check_one rt (Aobject.Any o) =
   !violations
 
 let check_objects rt objs = List.concat_map (check_one rt) objs
+
+(* After deletion nothing may claim a usable copy: a surviving [Resident]
+   would resurrect the object, a surviving [Replica] would keep serving
+   reads of freed state.  Leftover [Forwarded] entries are tolerated —
+   their chains end in a Miss at the home node, which the chase reports
+   as a dangling reference. *)
+let check_deleted rt ~addr ~name =
+  let violations = ref [] in
+  for n = 0 to Runtime.nodes rt - 1 do
+    let add problem =
+      violations := { addr; name; node = n; problem } :: !violations
+    in
+    if Descriptor.is_resident (Runtime.descriptors rt n) addr then
+      add "resident descriptor survives deletion"
+    else if Descriptor.is_replica (Runtime.descriptors rt n) addr then
+      add "replica survives master deletion"
+  done;
+  !violations
 
 let check_exn rt objs =
   match check_objects rt objs with

@@ -11,6 +11,10 @@
     - the descriptor at the object's current node is [Resident]
       (for immutables: at the master and at every replica);
     - no other node claims residency of a mutable object;
+    - a mutable object's read replicas ({!Coherence}) are marked
+      [Replica] exactly on the granted nodes, each with a snapshot at the
+      object's current epoch; no [Forwarded] descriptor names a replica
+      node;
     - from {e every} node, following forwarding addresses (with the
       home-node fallback for uninitialized descriptors) reaches the
       object's node in a bounded number of hops. *)
@@ -28,6 +32,13 @@ val check_objects : Runtime.t -> Aobject.any list -> violation list
 (** [check_exn rt objs] raises [Failure] with a readable report if any
     invariant is violated. *)
 val check_exn : Runtime.t -> Aobject.any list -> unit
+
+(** Audit the descriptor space after an object was destroyed: any node
+    still claiming a usable copy — [Resident], or a [Replica] that
+    survived the master's deletion — is a violation.  ([Forwarded]
+    leftovers are legal: their chains end in a dangling-reference error
+    at the home node, not in wrong execution.) *)
+val check_deleted : Runtime.t -> addr:int -> name:string -> violation list
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -1,0 +1,149 @@
+(* Write-invalidate read replicas for mutable objects.
+
+   Protocol invariants, relied on by Invoke, Audit and AmberSan:
+
+   - [obj.replicas] lists every node that holds (or has been granted and
+     is about to hold) a read replica; the master's node is never listed.
+   - A node in [obj.replicas] with an installed copy holds a
+     [Descriptor.Replica master] descriptor and a snapshot in
+     [obj.rcopies] tagged with the epoch it was taken at.
+   - [obj.epoch] is bumped at the master by every Write/Atomic invocation
+     {e after} the invalidation round, so a snapshot is fresh iff its
+     epoch equals the object's.
+   - Snapshot capture and replica registration happen on the master's
+     node with no suspension in between; the in-flight copy is
+     re-validated at delivery and discarded if a write intervened. *)
+
+let install rt ~copy (obj : 'a Aobject.t) ~dest =
+  if dest < 0 || dest >= Runtime.nodes rt then
+    invalid_arg "Coherence.install: bad destination node";
+  if obj.Aobject.immutable_ then
+    invalid_arg "Coherence.install: object is immutable (use move_to)";
+  if obj.Aobject.parent <> None || obj.Aobject.attached <> [] then
+    invalid_arg "Coherence.install: attached objects cannot take read replicas";
+  let c = Runtime.cost rt in
+  let ctrs = Runtime.counters rt in
+  let addr = obj.Aobject.addr in
+  let bytes = obj.Aobject.size in
+  if dest = obj.Aobject.location || List.mem dest obj.Aobject.replicas then ()
+  else begin
+    let here = Runtime.current_node rt in
+    let master = Runtime.resolve_location rt ~addr in
+    if dest = master then ()
+    else begin
+      (* Runs on the master's node.  Capture and registration are one
+         atomic (suspension-free) step so the snapshot matches [ep]. *)
+      let capture () =
+        if dest = obj.Aobject.location || List.mem dest obj.Aobject.replicas
+        then None
+        else begin
+          let ep = obj.Aobject.epoch in
+          let snap = copy obj.Aobject.state in
+          obj.Aobject.replicas <- dest :: obj.Aobject.replicas;
+          Some (ep, snap)
+        end
+      in
+      let ship_cpu =
+        c.Cost_model.move_fixed_cpu
+        +. (c.Cost_model.move_per_byte_cpu *. float_of_int bytes)
+      in
+      (* [ship] runs in event context (inside [Sim.Fiber.block]'s register
+         callback), so the packaging CPU is charged by the caller, in
+         fiber context, before blocking. *)
+      let ship ~src (ep, snap) wake =
+        Topaz.Rpc.post (Runtime.rpc rt) ~src ~dst:dest ~kind:"repl-copy"
+          ~size:bytes (fun () ->
+            (* Delivery-time guard: a write (or a recall) may have raced
+               the copy onto the wire; installing it now would hand out
+               stale state, so drop it instead. *)
+            if obj.Aobject.epoch = ep && List.mem dest obj.Aobject.replicas
+            then begin
+              ctrs.Runtime.replica_installs <-
+                ctrs.Runtime.replica_installs + 1;
+              ctrs.Runtime.object_copies <- ctrs.Runtime.object_copies + 1;
+              ctrs.Runtime.move_bytes <- ctrs.Runtime.move_bytes + bytes;
+              Aobject.set_snapshot obj ~node:dest ~epoch:ep snap;
+              Descriptor.set_replica
+                (Runtime.descriptors rt dest)
+                addr obj.Aobject.location;
+              (* A stale §3.3 hint laid down while the master lived at
+                 [dest] still names it; forwarding chains must never
+                 point at a replica, so the grant rewrites such hints
+                 to name the master (piggybacked like the flushes, no
+                 extra packets).  No later write re-creates one: hints
+                 always name a node observed Resident, and a moving
+                 master recalls its replicas first. *)
+              for n = 0 to Runtime.nodes rt - 1 do
+                if n <> dest then
+                  match Descriptor.get (Runtime.descriptors rt n) addr with
+                  | Some (Descriptor.Forwarded f) when f = dest ->
+                    Descriptor.set_forwarded (Runtime.descriptors rt n) addr
+                      obj.Aobject.location
+                  | _ -> ()
+              done
+            end
+            else
+              obj.Aobject.replicas <-
+                List.filter (fun n -> n <> dest) obj.Aobject.replicas;
+            Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:src
+              ~kind:"repl-ack" ~size:c.Cost_model.move_ack_bytes (fun () ->
+                wake ()))
+      in
+      if master = here && obj.Aobject.location = here then begin
+        match capture () with
+        | None -> ()
+        | Some payload ->
+          Sim.Fiber.consume ship_cpu;
+          Sim.Fiber.block (fun wake -> ship ~src:here payload wake)
+      end
+      else
+        Topaz.Rpc.call (Runtime.rpc rt) ~dst:master ~kind:"repl-req"
+          ~req_size:64 ~work:(fun () ->
+            ( c.Cost_model.move_ack_bytes,
+              if obj.Aobject.location <> master then
+                (* The master moved between resolve and arrival; treat the
+                   install as advisory and give up rather than chase. *)
+                ()
+              else
+                match capture () with
+                | None -> ()
+                | Some payload ->
+                  Sim.Fiber.consume ship_cpu;
+                  Sim.Fiber.block (fun wake -> ship ~src:master payload wake)
+            ))
+    end
+  end
+
+let invalidate rt (obj : 'a Aobject.t) =
+  let ctrs = Runtime.counters rt in
+  let addr = obj.Aobject.addr in
+  let rec drain () =
+    match obj.Aobject.replicas with
+    | [] -> ()
+    | targets ->
+      List.iter
+        (fun node ->
+          (* One acknowledged control RPC per replica: under fault
+             injection the reliable transport retransmits until the
+             recall is acknowledged — a lost invalidation is retried,
+             never silently dropped. *)
+          Topaz.Rpc.call (Runtime.rpc rt) ~dst:node ~kind:"inval"
+            ~req_size:32 ~work:(fun () ->
+              Aobject.drop_snapshot obj ~node;
+              if Descriptor.is_replica (Runtime.descriptors rt node) addr
+              then
+                Descriptor.set_forwarded
+                  (Runtime.descriptors rt node)
+                  addr obj.Aobject.location;
+              ctrs.Runtime.replica_invalidations <-
+                ctrs.Runtime.replica_invalidations + 1;
+              (16, ())))
+        targets;
+      obj.Aobject.replicas <-
+        List.filter (fun n -> not (List.mem n targets)) obj.Aobject.replicas;
+      (* A replica granted while the round was in flight is recalled by
+         the next pass; the round is only over when a full pass finds the
+         set empty. *)
+      drain ()
+  in
+  drain ()

@@ -1,0 +1,36 @@
+(** Write-invalidate read replicas for mutable objects.
+
+    Amber itself replicates only immutable objects (§2.3/§3.4); this layer
+    extends object-granularity coherence with program-controlled read-only
+    copies of {e mutable} objects.  [install] ships a snapshot of the
+    object to a chosen node and marks it with a [Descriptor.Replica]
+    descriptor; {!Invoke} serves [Read]-mode invocations from the local
+    snapshot, while [Write]/[Atomic] invocations reach the master and run
+    {!invalidate} first, recalling every replica before the write executes.
+
+    All replica traffic rides {!Topaz.Rpc}, so under fault injection a
+    lost invalidation is retransmitted until acknowledged — it is retried,
+    never silently dropped.  A program that never calls [install] sees
+    zero extra packets, CPU or report lines. *)
+
+(** Install a read-only copy of mutable [obj] on [dest].
+
+    Resolves the master, captures a snapshot there with [copy] (same
+    epoch as the registration, no suspension in between), ships it to
+    [dest] and installs a [Replica] descriptor.  A copy that arrives
+    after an intervening write or invalidation is discarded at delivery
+    rather than installed stale.  No-op if [dest] already holds a replica
+    or the master copy.
+
+    Raises [Invalid_argument] for immutable objects (use
+    {!Mobility.replicate}), attached objects, or a bad node.  Fiber
+    context. *)
+val install : Runtime.t -> copy:('a -> 'a) -> 'a Aobject.t -> dest:int -> unit
+
+(** Recall every read replica of [obj]: one acknowledged [inval] RPC per
+    replica node (dropping its snapshot and re-pointing its descriptor at
+    the master), looping until the replica set is observed empty — a
+    replica installed concurrently with the round is recalled by the next
+    pass.  Does nothing (and simulates nothing) when there are no
+    replicas.  Must run on the master's node.  Fiber context. *)
+val invalidate : Runtime.t -> 'a Aobject.t -> unit

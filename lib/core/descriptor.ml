@@ -1,4 +1,4 @@
-type state = Resident | Forwarded of int
+type state = Resident | Forwarded of int | Replica of int
 
 type table = {
   node_id : int;
@@ -20,12 +20,18 @@ let get t addr =
 
 let set_resident t addr = Hashtbl.replace t.entries addr Resident
 let set_forwarded t addr n = Hashtbl.replace t.entries addr (Forwarded n)
+let set_replica t addr master = Hashtbl.replace t.entries addr (Replica master)
 let clear t addr = Hashtbl.remove t.entries addr
 
 let is_resident t addr =
   match Hashtbl.find_opt t.entries addr with
   | Some Resident -> true
-  | Some (Forwarded _) | None -> false
+  | Some (Forwarded _ | Replica _) | None -> false
+
+let is_replica t addr =
+  match Hashtbl.find_opt t.entries addr with
+  | Some (Replica _) -> true
+  | Some (Resident | Forwarded _) | None -> false
 
 let entries t = Hashtbl.length t.entries
 let uninitialized_reads t = t.uninit_reads

@@ -11,9 +11,13 @@
     - [Resident] — the object (or an immutable replica) is on this node and
       may be invoked locally;
     - [Forwarded n] — the object left this node (or was learned to live
-      elsewhere); [n] is the last known location, possibly stale. *)
+      elsewhere); [n] is the last known location, possibly stale;
+    - [Replica m] — this node holds a read-only copy of a {e mutable}
+      object whose master was last known at [m].  Read invocations may run
+      against the copy; anything else chases toward [m].  (Immutable
+      replicas use [Resident]: they are never invalidated.) *)
 
-type state = Resident | Forwarded of int
+type state = Resident | Forwarded of int | Replica of int
 
 type table
 
@@ -27,10 +31,15 @@ val get : table -> int -> state option
 val set_resident : table -> int -> unit
 val set_forwarded : table -> int -> int -> unit
 
+(** Mark this node as holding a read-only copy of a mutable object whose
+    master is (last known) at the given node. *)
+val set_replica : table -> int -> int -> unit
+
 (** Remove the descriptor entirely (object deletion). *)
 val clear : table -> int -> unit
 
 val is_resident : table -> int -> bool
+val is_replica : table -> int -> bool
 
 (** Number of initialized descriptors on this node. *)
 val entries : table -> int

@@ -2,11 +2,15 @@
    usable, migrating along the forwarding chain ({!Runtime.chase} supplies
    hop budgeting, home-node bootstrap/fallback and dangling detection).
    Every node left behind goes on the thread's chase path, so §3.3
-   compression repairs its descriptor once the object is found.  Returns
-   the number of migrations taken. *)
-let chase_to_object rt ts ~what ~addr ~payload =
+   compression repairs its descriptor once the object is found.  A
+   [Read]-mode chase also settles on a node holding a read replica of a
+   mutable object; any other mode chases a replica's master hint.
+   Returns the number of migrations taken and whether the thread settled
+   on a replica rather than the master. *)
+let chase_to_object rt ts ~what ~mode ~addr ~payload =
   let c = Runtime.cost rt in
   let moved = ref 0 in
+  let via_replica = ref false in
   Runtime.chase rt ~what ~addr ~start:(Runtime.current_node rt)
     ~step:(fun ~node ~hops:_ ->
       let here = Runtime.current_node rt in
@@ -23,12 +27,22 @@ let chase_to_object rt ts ~what ~addr ~payload =
         if ts.Runtime.chase_path <> [] then
           Runtime.flush_chase_compression rt ts ~addr ~found:node;
         Runtime.Found ()
+      | Some (Descriptor.Replica master) ->
+        if mode = San_hooks.Read then begin
+          via_replica := true;
+          (* Visited nodes learn the master hint, never the replica:
+             forwarding chains must not point at read-only copies. *)
+          if ts.Runtime.chase_path <> [] then
+            Runtime.flush_chase_compression rt ts ~addr ~found:master;
+          Runtime.Found ()
+        end
+        else Runtime.Follow master
       | Some (Descriptor.Forwarded next) -> Runtime.Follow next
       | None -> Runtime.Miss);
-  !moved
+  (!moved, !via_replica)
 
-let settle rt ts (obj : 'a Aobject.t) ~payload =
-  chase_to_object rt ts ~what:"Invoke" ~addr:obj.Aobject.addr ~payload
+let settle rt ts (obj : 'a Aobject.t) ~mode ~payload =
+  chase_to_object rt ts ~what:"Invoke" ~mode ~addr:obj.Aobject.addr ~payload
 
 let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
     obj op =
@@ -37,11 +51,25 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
   let ctrs = Runtime.counters rt in
   (* §3.5: the frame is pushed before the check so that a concurrent move
      sees this thread as bound to the object. *)
-  ts.Runtime.frames <- Aobject.Any obj :: ts.Runtime.frames;
+  ts.Runtime.frames <-
+    { Runtime.fobj = Aobject.Any obj; fmode = mode } :: ts.Runtime.frames;
   let entered_at = Runtime.now rt in
   Sim.Fiber.consume c.Cost_model.invoke_entry_cpu;
-  let hops =
-    try settle rt ts obj ~payload
+  (* Write/Atomic on a replicated mutable object: reach the master, then
+     run the invalidation round; the round blocks (one acked RPC per
+     replica), so the master may move meanwhile — re-settle and re-check
+     until the thread sits at the master with an empty replica set. *)
+  let writes = mode <> San_hooks.Read && not obj.Aobject.immutable_ in
+  let rec settle_quiesced acc =
+    let hops, via_replica = settle rt ts obj ~mode ~payload in
+    if (not via_replica) && writes && obj.Aobject.replicas <> [] then begin
+      Coherence.invalidate rt obj;
+      settle_quiesced (acc + hops)
+    end
+    else (acc + hops, via_replica)
+  in
+  let hops, via_replica =
+    try settle_quiesced 0
     with e ->
       (* The invocation never started (e.g. dangling reference): unwind
          the frame we pushed before re-raising. *)
@@ -50,6 +78,7 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
       | [] -> ());
       raise e
   in
+  if writes then obj.Aobject.epoch <- obj.Aobject.epoch + 1;
   if hops = 0 then
     ctrs.Runtime.local_invocations <- ctrs.Runtime.local_invocations + 1
   else begin
@@ -69,17 +98,39 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
     | [] -> ()
     | enclosing :: _ ->
       let encl_addr =
-        match enclosing with Aobject.Any o -> o.Aobject.addr
+        match enclosing.Runtime.fobj with Aobject.Any o -> o.Aobject.addr
       in
       (* Same chase as settling, so the return trip also records its path
-         and compresses the chain it walked. *)
+         and compresses the chain it walked.  The enclosing frame's own
+         access mode applies: a Read frame may return to a replica. *)
       ignore
-        (chase_to_object rt ts ~what:"Invoke.return" ~addr:encl_addr
+        (chase_to_object rt ts ~what:"Invoke.return"
+           ~mode:enclosing.Runtime.fmode ~addr:encl_addr
            ~payload:return_payload
-          : int)
+          : int * bool)
+  in
+  (* A Read settled on a replica runs against the local snapshot — served
+     as installed, without consulting the master, which is exactly what
+     makes a protocol bug (an unacknowledged invalidation) observable as
+     a stale read.  The sanitizer cross-checks via [on_replica_read]. *)
+  let view =
+    if via_replica then begin
+      let node = Runtime.current_node rt in
+      match Aobject.snapshot obj ~node with
+      | Some (ep, v) ->
+        ctrs.Runtime.replica_reads <- ctrs.Runtime.replica_reads + 1;
+        Runtime.with_san rt (fun h ->
+            h.San_hooks.on_replica_read (Aobject.Any obj) ~node ~epoch:ep);
+        v
+      | None ->
+        (* Descriptor said replica but the snapshot is gone (sabotaged
+           state): degrade to the master's representation. *)
+        obj.Aobject.state
+    end
+    else obj.Aobject.state
   in
   Runtime.with_san rt (fun h -> h.San_hooks.on_access (Aobject.Any obj) mode);
-  match op obj.Aobject.state with
+  match op view with
   | result ->
     Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
@@ -94,7 +145,9 @@ let executing_within rt obj =
   | None -> false
   | Some ts ->
     List.exists
-      (fun (Aobject.Any o) -> o.Aobject.addr = obj.Aobject.addr)
+      (fun f ->
+        match f.Runtime.fobj with
+        | Aobject.Any o -> o.Aobject.addr = obj.Aobject.addr)
       ts.Runtime.frames
 
 let invoke_member rt ?(mode = San_hooks.Atomic) obj op =
@@ -110,7 +163,7 @@ let invoke_member rt ?(mode = San_hooks.Atomic) obj op =
       in
       List.exists
         (fun (Aobject.Any o) -> o.Aobject.addr = obj.Aobject.addr)
-        (Aobject.attachment_closure (root top))
+        (Aobject.attachment_closure (root top.Runtime.fobj))
   in
   if not guaranteed then
     invalid_arg

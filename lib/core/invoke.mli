@@ -21,10 +21,15 @@
     — reference parameters are addresses and effectively free.
 
     [mode] is the access declaration the sanitizer checks (see
-    {!San_hooks.mode}); it has no effect on execution.  The default
-    [Atomic] declares a self-contained action serialized at the object;
-    [`Read]/[`Write] declare one step of a multi-invocation protocol that
-    must be ordered by explicit synchronization.
+    {!San_hooks.mode}).  The default [Atomic] declares a self-contained
+    action serialized at the object; [`Read]/[`Write] declare one step of
+    a multi-invocation protocol that must be ordered by explicit
+    synchronization.  When the object has read replicas ({!Coherence}),
+    the mode also selects the coherence path: a [Read] invocation settles
+    on — and runs against the snapshot of — a local replica if one
+    exists, while [Write]/[Atomic] invocations reach the master and recall
+    every replica (an acknowledged invalidation round) before running.
+    For objects with no replicas, execution is unchanged.
 
     Must be called from an Amber thread.  Exceptions raised by [op]
     propagate after the return-path accounting. *)

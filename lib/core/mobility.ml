@@ -9,6 +9,14 @@ let do_move_here rt (root : Aobject.any) ~dest =
   let closure = Aobject.attachment_closure root in
   let bytes = Aobject.closure_size root in
   let ctrs = Runtime.counters rt in
+  (* A moving master drops its replica set first (an acknowledged recall
+     per copy): replicas must never be left pointing at a master that is
+     about to forward, and forwarding chains must never point at them. *)
+  List.iter
+    (fun (Aobject.Any o) ->
+      if (not o.Aobject.immutable_) && o.Aobject.replicas <> [] then
+        Coherence.invalidate rt o)
+    closure;
   (* Mark every moving object forwarded before anything is copied, then
      force all running threads through a residency check (§3.5). *)
   List.iter
@@ -52,6 +60,10 @@ let move_mutable rt (obj_addr : int) (root : Aobject.any) ~dest =
       do_move_here rt root ~dest;
       `Moved
     | Some (Descriptor.Forwarded next) -> `Try next
+    | Some (Descriptor.Replica master) ->
+      (* A replica node cannot execute the move; its hint says where the
+         master was last known to live. *)
+      `Try master
     | None -> `Missing
   in
   Runtime.chase rt ~what:"Mobility" ~addr:obj_addr
@@ -70,14 +82,22 @@ let move_mutable rt (obj_addr : int) (root : Aobject.any) ~dest =
         Runtime.Follow next
       | `Missing -> Runtime.Miss);
   (* §3.3 on the move path: every node whose stale pointer the request
-     chased learns the object's new location, not just the caller's. *)
+     chased learns the object's new location, not just the caller's.
+     Skip replica nodes (their copy stays usable until invalidated) and
+     nodes where the object has meanwhile become resident again (another
+     move can land it on a node this request chased while it was stale;
+     flushing Forwarded over residency would orphan the object). *)
+  let flushable v =
+    (not (Descriptor.is_replica (Runtime.descriptors rt v) obj_addr))
+    && not (Descriptor.is_resident (Runtime.descriptors rt v) obj_addr)
+  in
   List.iter
     (fun v ->
-      if v <> dest then
+      if v <> dest && flushable v then
         Descriptor.set_forwarded (Runtime.descriptors rt v) obj_addr dest)
     !visited;
   let here = Runtime.current_node rt in
-  if here <> dest && not (List.mem here !visited) then
+  if here <> dest && (not (List.mem here !visited)) && flushable here then
     Descriptor.set_forwarded (Runtime.descriptors rt here) obj_addr dest
 
 (* Immutable replication: ship a copy of the closure to [dest] from some
@@ -198,5 +218,9 @@ let set_immutable rt obj =
           "Mobility.set_immutable: attachment closure contains mutable \
            objects")
     closure;
+  (* Recall any read replicas first: after the flip, [replicas] means
+     permanent immutable copies with Resident descriptors, which a
+     write-invalidate replica is not. *)
+  if obj.Aobject.replicas <> [] then Coherence.invalidate rt obj;
   Sim.Fiber.consume (Runtime.cost rt).Cost_model.forward_lookup_cpu;
   obj.Aobject.immutable_ <- true

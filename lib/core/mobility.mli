@@ -25,6 +25,11 @@
     object. *)
 val move_to : Runtime.t -> 'a Aobject.t -> dest:int -> unit
 
+(** Ship a copy of an {e immutable} object's closure to [dest]; existing
+    copies stay valid (§2.3).  [move_to] on an immutable object calls
+    this.  (Read replicas of mutable objects live in {!Coherence}.) *)
+val replicate : Runtime.t -> 'a Aobject.t -> dest:int -> unit
+
 (** Current node of the object, found by the forwarding-chain protocol
     (descriptors along the way are updated to shortcut future lookups). *)
 val locate : Runtime.t -> 'a Aobject.t -> int

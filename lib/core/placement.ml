@@ -49,6 +49,22 @@ let distribute rt t objs =
       if obj.Aobject.location <> dest then Mobility.move_to rt obj ~dest)
     objs
 
+let replicate rt t ~copy objs =
+  let count = Array.length objs in
+  Array.iteri
+    (fun i obj ->
+      let dest = t.pick ~i ~count in
+      if dest < 0 || dest >= Runtime.nodes rt then
+        invalid_arg "Placement.replicate: assignment outside the cluster";
+      if obj.Aobject.location <> dest then
+        Coherence.install rt ~copy obj ~dest)
+    objs
+
+let replicate_everywhere rt ~copy obj =
+  for dest = 0 to Runtime.nodes rt - 1 do
+    if obj.Aobject.location <> dest then Coherence.install rt ~copy obj ~dest
+  done
+
 let histogram rt t ~count =
   let h = Array.make (Runtime.nodes rt) 0 in
   for i = 0 to count - 1 do

@@ -45,6 +45,16 @@ val custom : name:string -> (i:int -> count:int -> int) -> t
     place).  Fiber context. *)
 val distribute : Runtime.t -> t -> 'a Aobject.t array -> unit
 
+(** Install a read replica of each mutable object on its policy-assigned
+    node ({!Coherence.install} with [copy]; nodes already holding the
+    master are skipped).  Fiber context. *)
+val replicate : Runtime.t -> t -> copy:('a -> 'a) -> 'a Aobject.t array -> unit
+
+(** Install a read replica of [obj] on every node except its master's —
+    the read-mostly configuration the paper's §4 Ivy comparison favors.
+    Fiber context. *)
+val replicate_everywhere : Runtime.t -> copy:('a -> 'a) -> 'a Aobject.t -> unit
+
 (** Count of items each node receives under a policy (for reporting and
     tests; uses a fresh draw for random/least-loaded policies). *)
 val histogram : Runtime.t -> t -> count:int -> int array

@@ -2,10 +2,12 @@ let log_src = Logs.Src.create "amber.runtime" ~doc:"Amber runtime kernel"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type frame = { fobj : Aobject.any; fmode : San_hooks.mode }
+
 type tstate = {
   tcb : Hw.Machine.tcb;
   taddr : int;
-  mutable frames : Aobject.any list;
+  mutable frames : frame list;
   mutable carry_bytes : int;
   mutable migrations : int;
   mutable chase_path : int list;
@@ -24,8 +26,12 @@ type counters = {
   mutable locates : int;
   mutable forward_hops : int;
   mutable home_fallbacks : int;
+  mutable broadcast_locates : int;
   mutable objects_created : int;
   mutable threads_started : int;
+  mutable replica_installs : int;
+  mutable replica_reads : int;
+  mutable replica_invalidations : int;
 }
 
 type t = {
@@ -59,8 +65,12 @@ let fresh_counters () =
     locates = 0;
     forward_hops = 0;
     home_fallbacks = 0;
+    broadcast_locates = 0;
     objects_created = 0;
     threads_started = 0;
+    replica_installs = 0;
+    replica_reads = 0;
+    replica_invalidations = 0;
   }
 
 let create cfg =
@@ -232,6 +242,7 @@ let probe t ~node ~addr =
   match Descriptor.get (descriptors t node) addr with
   | Some Descriptor.Resident -> `Resident
   | Some (Descriptor.Forwarded n) -> `Hop n
+  | Some (Descriptor.Replica m) -> `Replica m
   | None -> `Hop (home_node t ~addr)
 
 (* One-way thread-state flight used both by explicit migration and by the
@@ -270,7 +281,17 @@ let send_thread_packet t ts ~dest =
 let flush_chase_compression t ts ~addr ~found =
   List.iter
     (fun v ->
-      if v <> found then Descriptor.set_forwarded (descriptors t v) addr found)
+      (* Never overwrite a replica descriptor (the node still holds a
+         usable read-only copy; only an invalidation may retire it) or a
+         resident one (a concurrent move may have landed the object on a
+         node this chase visited while it was still stale — clobbering
+         residency would orphan the object; only the move protocol
+         retires Resident). *)
+      if
+        v <> found
+        && (not (Descriptor.is_replica (descriptors t v) addr))
+        && not (Descriptor.is_resident (descriptors t v) addr)
+      then Descriptor.set_forwarded (descriptors t v) addr found)
     ts.chase_path;
   ts.chase_path <- []
 
@@ -282,17 +303,8 @@ let install_resume_check t ts =
          | [] -> true
          | top :: _ ->
            let here = Hw.Machine.id (Hw.Machine.home tcb) in
-           let addr = Aobject.addr_of_any top in
-           (match probe t ~node:here ~addr with
-           | `Resident ->
-             if ts.chase_path <> [] then
-               flush_chase_compression t ts ~addr ~found:here;
-             true
-           | `Hop next when next = here ->
-             (* Dangling reference (destroyed object): let the thread run
-                so the protocol path inside the fiber raises properly. *)
-             true
-           | `Hop next ->
+           let addr = Aobject.addr_of_any top.fobj in
+           let follow next =
              if List.length ts.chase_path >= t.cfg.Config.max_forward_hops
              then
                (* The switch-in chase has followed as many hops as the
@@ -308,7 +320,25 @@ let install_resume_check t ts =
                Hw.Machine.park tcb;
                send_thread_packet t ts ~dest:next;
                false
-             end)))
+             end
+           in
+           (match probe t ~node:here ~addr with
+           | `Resident ->
+             if ts.chase_path <> [] then
+               flush_chase_compression t ts ~addr ~found:here;
+             true
+           | `Replica master when top.fmode = San_hooks.Read ->
+             (* A read frame is as happy on a replica as on the master;
+                visited nodes learn the master hint, not the replica. *)
+             if ts.chase_path <> [] then
+               flush_chase_compression t ts ~addr ~found:master;
+             true
+           | `Replica master -> follow master
+           | `Hop next when next = here ->
+             (* Dangling reference (destroyed object): let the thread run
+                so the protocol path inside the fiber raises properly. *)
+             true
+           | `Hop next -> follow next)))
 
 let migrate_self t ?(payload = 0) ~dest () =
   let ts = current t in
@@ -356,47 +386,112 @@ type 'a chase_step = Found of 'a | Follow of int | Miss
    - A chain longer than [max_forward_hops] (stale descriptors can form
      long, even looping, chains under message loss) is {e repaired} by
      restarting from the home node with a fresh hop budget instead of
-     failing; each restart is counted in [home_fallbacks].  Two restarts
-     without an answer mean the descriptors are mutating faster than we
-     chase — give up. *)
+     failing; each restart is counted in [home_fallbacks].
+   - Two home-restart walks that observe the {e identical} trail of
+     descriptors mean the chain is static and cannot reach the object —
+     concurrent moves can strand the home node inside a mutual stale
+     pair (e.g. [0 -> 1 -> 0] with the object at 2) that no flush ever
+     visits.  Emerald, Amber's ancestor, resolves exactly this with a
+     last-resort exhaustive search; we do the same: probe every node in
+     turn for the resident copy ([broadcast_locates] counts these) and
+     resume the walk there, which lets the caller's §3.3 compression
+     rewrite the stale cycle.  A trail that keeps changing instead means
+     moves are in flight repairing it: back off and re-walk.  Only when
+     repeated searches find no resident copy — the descriptors and the
+     object both mutating faster than we chase — does the chase give
+     up. *)
 let chase t ~what ~addr ~start ~step =
   let budget = t.cfg.Config.max_forward_hops in
+  let c = cost t in
   let home = home_node t ~addr in
   let dangling () =
     failwith (Printf.sprintf "%s: dangling reference to 0x%x" what addr)
   in
-  let rec restart fallbacks =
-    if fallbacks > 2 then
-      failwith
-        (Printf.sprintf
-           "%s: reference to 0x%x did not resolve after %d home-node restarts"
-           what addr (fallbacks - 1))
+  (* Trail of the previous budget-exhausted walk that started at the home
+     node, as (node, decision) pairs. *)
+  let prev_trail = ref [] in
+  let give_up fallbacks =
+    failwith
+      (Printf.sprintf
+         "%s: reference to 0x%x did not resolve after %d home-node restarts"
+         what addr (fallbacks - 1))
+  in
+  let probe_for_scan node =
+    if node = current_node t then begin
+      Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+      Descriptor.get (descriptors t node) addr
+    end
+    else
+      Topaz.Rpc.call t.rpc_fabric ~dst:node ~kind:"bcast-locate"
+        ~req_size:c.Cost_model.locate_req_bytes ~work:(fun () ->
+          Sim.Fiber.consume c.Cost_model.forward_lookup_cpu;
+          (16, Descriptor.get (descriptors t node) addr))
+  in
+  let rec restart ~trail fallbacks =
+    if fallbacks > 10 then give_up fallbacks
+    else if fallbacks >= 3 && trail = !prev_trail then
+      (* The walk that just exhausted its budget started at home; so did
+         the one recorded in [prev_trail].  The identical trail twice
+         means nothing is repairing the chain: search exhaustively. *)
+      broadcast fallbacks
     else begin
+      if fallbacks >= 3 then
+        (* Still mutating: give the in-flight installation time to land
+           before walking again. *)
+        Sim.Fiber.consume
+          (Float.min 50e-3 (1e-3 *. Float.of_int (1 lsl (fallbacks - 3))));
+      if fallbacks >= 2 then prev_trail := trail;
       t.ctrs.home_fallbacks <- t.ctrs.home_fallbacks + 1;
       emit t "chase"
         (lazy
           (Printf.sprintf
              "%s: hop budget (%d) exhausted for 0x%x, restarting at home node%d"
              what budget addr home));
-      walk home ~hops:0 ~fallbacks
+      walk home ~hops:0 ~fallbacks ~trail:[]
     end
-  and walk node ~hops ~fallbacks =
-    if hops > budget then restart (fallbacks + 1)
+  and broadcast fallbacks =
+    if fallbacks > 10 then give_up fallbacks
+    else begin
+      t.ctrs.broadcast_locates <- t.ctrs.broadcast_locates + 1;
+      emit t "chase"
+        (lazy
+          (Printf.sprintf
+             "%s: forwarding web for 0x%x is wedged, serial-searching all \
+              nodes"
+             what addr));
+      let rec scan node =
+        if node >= t.cfg.Config.nodes then None
+        else
+          match probe_for_scan node with
+          | Some Descriptor.Resident -> Some node
+          | Some (Descriptor.Forwarded _ | Descriptor.Replica _) | None ->
+            scan (node + 1)
+      in
+      match scan 0 with
+      | Some r -> walk r ~hops:0 ~fallbacks ~trail:[]
+      | None ->
+        (* No node holds the object right now: it is in flight.  Let the
+           move land, then search again. *)
+        Sim.Fiber.consume 2e-3;
+        broadcast (fallbacks + 1)
+    end
+  and walk node ~hops ~fallbacks ~trail =
+    if hops > budget then restart ~trail:(List.rev trail) (fallbacks + 1)
     else
       match step ~node ~hops with
       | Found v -> v
       | Follow next ->
         if next = node then dangling ();
         t.ctrs.forward_hops <- t.ctrs.forward_hops + 1;
-        walk next ~hops:(hops + 1) ~fallbacks
+        walk next ~hops:(hops + 1) ~fallbacks ~trail:((node, next) :: trail)
       | Miss ->
         if node <> home then begin
           t.ctrs.forward_hops <- t.ctrs.forward_hops + 1;
-          walk home ~hops:(hops + 1) ~fallbacks
+          walk home ~hops:(hops + 1) ~fallbacks ~trail:((node, -1) :: trail)
         end
         else dangling ()
   in
-  walk start ~hops:0 ~fallbacks:0
+  walk start ~hops:0 ~fallbacks:0 ~trail:[]
 
 let resolve_location t ~addr =
   let c = cost t in
@@ -423,16 +518,29 @@ let resolve_location t ~addr =
         | Some (Descriptor.Forwarded next) ->
           visited := node :: !visited;
           Follow next
+        | Some (Descriptor.Replica master) ->
+          (* A replica node knows where the master was; locate wants the
+             master copy, so keep chasing. *)
+          visited := node :: !visited;
+          Follow master
         | None ->
           (* The start node's uninitialized descriptor also gets the
              answer cached (the chase bounces via the home node). *)
           visited := node :: !visited;
           Miss)
   in
-  (* §3.3: the answer is cached on the nodes along the chain. *)
+  (* §3.3: the answer is cached on the nodes along the chain — except on
+     replica nodes, whose read-only copy stays usable until invalidated,
+     and nodes that became the object's residence while the chase ran (a
+     concurrent move may land the object on a node already recorded as
+     stale; flushing Forwarded over it would orphan the object). *)
   List.iter
     (fun v ->
-      if v <> found then Descriptor.set_forwarded (descriptors t v) addr found)
+      if
+        v <> found
+        && (not (Descriptor.is_replica (descriptors t v) addr))
+        && not (Descriptor.is_resident (descriptors t v) addr)
+      then Descriptor.set_forwarded (descriptors t v) addr found)
     !visited;
   found
 
@@ -460,6 +568,8 @@ let destroy_object t obj =
     invalid_arg "Runtime.destroy_object: object is not resident here";
   if obj.Aobject.attached <> [] || obj.Aobject.parent <> None then
     invalid_arg "Runtime.destroy_object: object has attachments";
+  if (not obj.Aobject.immutable_) && obj.Aobject.replicas <> [] then
+    invalid_arg "Runtime.destroy_object: object has live read replicas";
   Sim.Fiber.consume (cost t).Cost_model.forward_lookup_cpu;
   Vaspace.Heap.free (heap t node) obj.Aobject.addr;
   Descriptor.clear (descriptors t node) obj.Aobject.addr;

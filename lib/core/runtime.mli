@@ -12,11 +12,17 @@
 
 type t
 
+(** One invocation-stack frame: the object being invoked plus the declared
+    access mode.  The mode decides whether a read replica satisfies the
+    residency check (a [Read] frame may run on a replica node; [Write] and
+    [Atomic] frames must reach the master). *)
+type frame = { fobj : Aobject.any; fmode : San_hooks.mode }
+
 (** Amber-level kernel state of one thread. *)
 type tstate = {
   tcb : Hw.Machine.tcb;
   taddr : int;  (** address of the thread object + stack segment *)
-  mutable frames : Aobject.any list;
+  mutable frames : frame list;
       (** invocation stack, innermost first (§3.5) *)
   mutable carry_bytes : int;
       (** invocation payload riding along with in-flight migrations *)
@@ -86,9 +92,12 @@ val home_node : t -> addr:int -> int
 
 (** One descriptor probe on [node] (no cost charged):
     - [`Resident] — object usable on [node];
+    - [`Replica m] — [node] holds a read-only copy of a mutable object
+      whose master was last known at [m];
     - [`Hop n] — forwarding address, or home-node fallback for an
       uninitialized descriptor. *)
-val probe : t -> node:int -> addr:int -> [ `Resident | `Hop of int ]
+val probe :
+  t -> node:int -> addr:int -> [ `Resident | `Hop of int | `Replica of int ]
 
 (** Move the calling thread to [dest], simulating the thread-state packet
     flight (§3.4).  Charges marshal CPU at the source, wire time, and
@@ -109,8 +118,14 @@ type 'a chase_step = Found of 'a | Follow of int | Miss
     - each [Follow] hop is counted and bounded by
       [Config.max_forward_hops]; exhausting the budget {e repairs} the
       chase by restarting at the object's home node with a fresh budget
-      (counted in the [home_fallbacks] counter, at most twice) rather
-      than failing;
+      (counted in the [home_fallbacks] counter) rather than failing;
+    - two consecutive home restarts that walk the {e identical} trail
+      mean the forwarding web is wedged (concurrent moves can strand the
+      home node inside a mutual stale pair no flush ever visits): the
+      chase falls back to an Emerald-style exhaustive search for the
+      resident copy (counted in [broadcast_locates]) and resumes there,
+      so the caller's success-path compression rewrites the stale cycle.
+      Only repeated searches that find no resident copy fail the chase;
     - a [Miss] away from the home node bounces the chase to the home
       node (that node never heard of the object, or a move is in
       flight); a [Miss] {e at} the home node — the only node where the
@@ -160,8 +175,17 @@ type counters = {
   mutable home_fallbacks : int;
       (** chases restarted at the object's home node after exhausting the
           forwarding-hop budget *)
+  mutable broadcast_locates : int;
+      (** Emerald-style exhaustive node searches after the forwarding web
+          wedged (a static stale cycle through the home node) *)
   mutable objects_created : int;
   mutable threads_started : int;
+  mutable replica_installs : int;
+      (** read-only copies of mutable objects installed *)
+  mutable replica_reads : int;
+      (** Read invocations served from a local replica snapshot *)
+  mutable replica_invalidations : int;
+      (** replica descriptors recalled by write-invalidate rounds *)
 }
 
 val counters : t -> counters

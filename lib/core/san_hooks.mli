@@ -40,6 +40,10 @@ type t = {
   on_cond_wake : token:int -> unit;
   on_move_begin : addr:int -> unit;
   on_move_end : Aobject.any -> unit;
+  on_replica_read : Aobject.any -> node:int -> epoch:int -> unit;
+      (** a Read invocation was served from the replica snapshot on
+          [node], taken at [epoch]; the sanitizer compares against the
+          object's current epoch and replica set to catch stale serves *)
 }
 
 val mode_to_string : mode -> string

@@ -123,6 +123,17 @@ let pp ppf t =
      forwarding hops@."
     c.Runtime.objects_created c.Runtime.object_moves c.Runtime.object_copies
     c.Runtime.move_bytes c.Runtime.locates c.Runtime.forward_hops;
+  (* Only printed when the replica protocol was actually used, keeping
+     replication-off reports byte-identical to builds predating it. *)
+  if
+    c.Runtime.replica_installs + c.Runtime.replica_reads
+    + c.Runtime.replica_invalidations
+    > 0
+  then
+    Format.fprintf ppf
+      "replicas: %d installed, %d reads served, %d invalidations@."
+      c.Runtime.replica_installs c.Runtime.replica_reads
+      c.Runtime.replica_invalidations;
   Format.fprintf ppf
     "network: %d packets, %d bytes, %4.1f%% utilized, %.3f s queueing@."
     t.packets t.net_bytes
@@ -146,7 +157,10 @@ let pp ppf t =
    end;
    if f.home_fallbacks > 0 then
      Format.fprintf ppf "chain repair: %d home-node fallbacks@."
-       f.home_fallbacks);
+       f.home_fallbacks;
+   if c.Runtime.broadcast_locates > 0 then
+     Format.fprintf ppf "chain repair: %d broadcast locates@."
+       c.Runtime.broadcast_locates);
   if Sim.Stats.Summary.count t.remote_invoke_latency > 0 then
     Format.fprintf ppf "remote invoke latency: %a@." Sim.Stats.Summary.pp
       t.remote_invoke_latency;

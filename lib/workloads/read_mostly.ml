@@ -1,0 +1,122 @@
+module A = Amber
+
+type cfg = {
+  objects : int;
+  readers_per_node : int;
+  reads_per_reader : int;
+  write_every : int;
+  replicate : bool;
+}
+
+let default_cfg =
+  {
+    objects = 4;
+    readers_per_node = 2;
+    reads_per_reader = 40;
+    write_every = 10;
+    replicate = true;
+  }
+
+type result = {
+  reads : int;
+  writes : int;
+  elapsed : float;
+  read_latency : Sim.Stats.Summary.t;
+  replica_reads : int;
+  remote_invocations : int;
+  checksum : int;
+}
+
+let refresh_replicas rt objs =
+  Array.iter
+    (fun o -> A.Placement.replicate_everywhere rt ~copy:(fun r -> ref !r) o)
+    objs
+
+let run rt cfg =
+  if cfg.objects <= 0 || cfg.readers_per_node <= 0 || cfg.reads_per_reader <= 0
+  then invalid_arg "Read_mostly.run: bad configuration";
+  let nodes = A.Runtime.nodes rt in
+  let objs =
+    Array.init cfg.objects (fun i ->
+        A.Runtime.create_object rt ~size:512
+          ~name:(Printf.sprintf "rm%d" i)
+          (ref 0))
+  in
+  (* Anchors pin each reader's computation to its node, so every read is
+     issued from there (remotely, unless a replica makes it local). *)
+  let anchors =
+    Array.init nodes (fun node ->
+        let anchor =
+          A.Runtime.create_object rt ~size:64
+            ~name:(Printf.sprintf "rm-anchor%d" node)
+            ()
+        in
+        if node <> 0 then A.Mobility.move_to rt anchor ~dest:node;
+        anchor)
+  in
+  if cfg.replicate then refresh_replicas rt objs;
+  let latency = Sim.Stats.Summary.create () in
+  let reads = ref 0 and writes = ref 0 in
+  (* [Runtime.counters] is the live mutable record: snapshot the fields. *)
+  let c = A.Runtime.counters rt in
+  let rr0 = c.A.Runtime.replica_reads in
+  let ri0 = c.A.Runtime.remote_invocations in
+  let t0 = A.Runtime.now rt in
+  (* Rounds: every reader performs [per_round] reads, all readers join,
+     then the main thread writes once to each object (recalling the
+     replicas) and re-replicates.  The joins give the sanitizer its
+     happens-before edges: reads never race the writes. *)
+  let per_round =
+    if cfg.write_every > 0 then min cfg.write_every cfg.reads_per_reader
+    else cfg.reads_per_reader
+  in
+  let rounds = (cfg.reads_per_reader + per_round - 1) / per_round in
+  let reader node k round () =
+    A.Invoke.invoke rt anchors.(node) (fun () ->
+        let base = (round * per_round) + k in
+        for j = 0 to per_round - 1 do
+          let o = objs.((base + j) mod cfg.objects) in
+          let t = A.Runtime.now rt in
+          let v = A.Invoke.invoke rt ~mode:A.San_hooks.Read o (fun r -> !r) in
+          ignore (v : int);
+          if node <> 0 then
+            Sim.Stats.Summary.add latency (A.Runtime.now rt -. t);
+          incr reads
+        done)
+  in
+  for round = 0 to rounds - 1 do
+    let threads =
+      List.concat_map
+        (fun node ->
+          List.init cfg.readers_per_node (fun k ->
+              A.Athread.start rt
+                ~name:(Printf.sprintf "rm-%d.%d" node k)
+                (reader node k round)))
+        (List.init nodes Fun.id)
+    in
+    List.iter (fun t -> A.Athread.join rt t) threads;
+    if cfg.write_every > 0 && round < rounds - 1 then begin
+      Array.iter
+        (fun o ->
+          A.Invoke.invoke rt ~mode:A.San_hooks.Write o (fun r -> incr r);
+          incr writes)
+        objs;
+      if cfg.replicate then refresh_replicas rt objs
+    end
+  done;
+  let replica_reads = c.A.Runtime.replica_reads - rr0 in
+  let remote_invocations = c.A.Runtime.remote_invocations - ri0 in
+  let checksum =
+    Array.fold_left
+      (fun acc o -> acc + A.Invoke.invoke rt o (fun r -> !r))
+      0 objs
+  in
+  {
+    reads = !reads;
+    writes = !writes;
+    elapsed = A.Runtime.now rt -. t0;
+    read_latency = latency;
+    replica_reads;
+    remote_invocations;
+    checksum;
+  }

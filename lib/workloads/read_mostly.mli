@@ -1,0 +1,45 @@
+(** Read-mostly shared state: the workload the replica protocol exists
+    for.
+
+    A set of mutable counter objects is mastered on node 0; reader
+    threads on every node repeatedly invoke them with [~mode:Read].
+    Without replication each such read from a remote node is a full
+    remote invocation (two thread flights — the paper's Table 1 puts the
+    null remote invocation at 1060 µs of latency).  With [replicate] on,
+    a read-only copy of every object is installed on every node
+    ({!Amber.Coherence}) and the same reads are served locally from the
+    snapshot.
+
+    Writes are interleaved between read rounds from the main thread
+    (happens-before ordered by thread join, so a sanitized run is
+    race-free): each write recalls every replica with an acknowledged
+    invalidation round, and the caches are refreshed before the next
+    round of reads. *)
+
+type cfg = {
+  objects : int;  (** shared objects, all mastered on node 0 *)
+  readers_per_node : int;
+  reads_per_reader : int;  (** total [~mode:Read] invocations per reader *)
+  write_every : int;
+      (** interleave one write round (one write per object) after every
+          this many reads per reader; [0] disables writes *)
+  replicate : bool;  (** install (and refresh) replicas on every node *)
+}
+
+val default_cfg : cfg
+
+type result = {
+  reads : int;  (** read invocations completed *)
+  writes : int;  (** write invocations completed *)
+  elapsed : float;
+  read_latency : Sim.Stats.Summary.t;
+      (** per-read latency, readers on non-master nodes only — the
+          population that remote invocation latency dominates when
+          replication is off *)
+  replica_reads : int;  (** reads served from a replica snapshot *)
+  remote_invocations : int;  (** remote invocations during the run *)
+  checksum : int;  (** sum of final object values; must equal [writes] *)
+}
+
+(** Must be called from the program's main Amber thread. *)
+val run : Amber.Runtime.t -> cfg -> result

@@ -88,6 +88,72 @@ let test_chain_length_diagnostic () =
       Alcotest.(check bool) "chains exist after moves" true (before >= 2);
       Alcotest.(check bool) "locate compressed them" true (after < before))
 
+let test_replica_lifecycle_audited () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"life" (ref 0) in
+      let copy r = ref !r in
+      A.Api.replicate rt ~copy o ~dest:1;
+      A.Api.replicate rt ~copy o ~dest:2;
+      Alcotest.(check int) "two replicas granted" 2
+        (List.length o.A.Aobject.replicas);
+      A.Audit.check_exn rt [ A.Aobject.Any o ];
+      (* A write recalls every replica; the audit stays clean after. *)
+      A.Api.invoke rt ~mode:A.San_hooks.Write o (fun r -> incr r);
+      Alcotest.(check (list int)) "replicas recalled" [] o.A.Aobject.replicas;
+      A.Audit.check_exn rt [ A.Aobject.Any o ])
+
+let test_detects_forwarded_naming_replica () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"repl" (ref 0) in
+      A.Api.replicate rt ~copy:(fun r -> ref !r) o ~dest:2;
+      A.Audit.check_exn rt [ A.Aobject.Any o ];
+      (* Sabotage: point a bystander's chain at the read-only copy — a
+         writer following it would try to execute at the replica. *)
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 1) o.A.Aobject.addr 2;
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      Alcotest.(check bool) "forwarded-to-replica reported" true
+        (List.exists
+           (fun v ->
+             v.A.Audit.node = 1
+             && v.A.Audit.problem = "forwarded descriptor names replica node 2")
+           vs))
+
+let test_detects_stale_replica_snapshot () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"stale" (ref 0) in
+      A.Api.replicate rt ~copy:(fun r -> ref !r) o ~dest:1;
+      (* Sabotage: bump the epoch behind the protocol's back, as if a
+         write forgot its invalidation round. *)
+      o.A.Aobject.epoch <- o.A.Aobject.epoch + 1;
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      Alcotest.(check bool) "stale snapshot reported" true
+        (List.exists
+           (fun v ->
+             v.A.Audit.node = 1
+             && v.A.Audit.problem
+                = "replica snapshot is stale (epoch 0, object at 1)")
+           vs))
+
+let test_detects_replica_surviving_deletion () =
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"del" (ref 0) in
+      A.Api.replicate rt ~copy:(fun r -> ref !r) o ~dest:3;
+      let addr = o.A.Aobject.addr in
+      (* Deleting out from under live replicas is refused outright. *)
+      (match A.Api.destroy rt o with
+      | () -> Alcotest.fail "destroy should refuse with live replicas"
+      | exception Invalid_argument _ -> ());
+      (* Simulate a buggy deletion that freed the master anyway and left
+         the replica descriptor behind, still serving freed state. *)
+      A.Descriptor.clear (A.Runtime.descriptors rt 0) addr;
+      let vs = A.Audit.check_deleted rt ~addr ~name:"del" in
+      Alcotest.(check bool) "surviving replica reported" true
+        (List.exists
+           (fun v ->
+             v.A.Audit.node = 3
+             && v.A.Audit.problem = "replica survives master deletion")
+           vs))
+
 (* Use the audit as the oracle for a randomized mobility storm. *)
 let prop_audit_after_storm =
   QCheck.Test.make ~name:"descriptor space coherent after mobility storms"
@@ -136,5 +202,13 @@ let suite =
       test_immutable_replicas_audited;
     Alcotest.test_case "chain-length diagnostic" `Quick
       test_chain_length_diagnostic;
+    Alcotest.test_case "replica lifecycle audited" `Quick
+      test_replica_lifecycle_audited;
+    Alcotest.test_case "detects forwarded naming a replica" `Quick
+      test_detects_forwarded_naming_replica;
+    Alcotest.test_case "detects stale replica snapshot" `Quick
+      test_detects_stale_replica_snapshot;
+    Alcotest.test_case "detects replica surviving deletion" `Quick
+      test_detects_replica_surviving_deletion;
     QCheck_alcotest.to_alcotest prop_audit_after_storm;
   ]

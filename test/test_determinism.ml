@@ -1,0 +1,70 @@
+(* Seed-sweep determinism: the simulation is a pure function of its
+   configuration.  Run the same scenario twice per seed and require the
+   full stats report — counters, latencies, per-node utilization, fault
+   recovery — to hash identically.  Covers the racy counter fixture
+   (contended invocations, lost-update interleavings) and the
+   read-mostly workload with replication under packet loss (replica
+   installs, invalidation rounds, retransmits). *)
+
+module A = Amber
+
+let faults =
+  {
+    Hw.Ethernet.drop_prob = 0.02;
+    dup_prob = 0.01;
+    delay_prob = 0.0;
+    delay_spike = 0.0;
+    stalls = [];
+  }
+
+let report_digest cfg body =
+  let text = ref "" in
+  A.Cluster.run_value cfg (fun rt ->
+      body rt;
+      text :=
+        Format.asprintf "%a" A.Stats_report.pp (A.Stats_report.capture rt));
+  Digest.string !text
+
+let racy_fixture_digest seed =
+  let cfg = A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed) () in
+  report_digest cfg (fun rt ->
+      ignore
+        (Workloads.Fixtures.racy_counter rt ~threads:4 ~increments:10
+          : Workloads.Fixtures.result))
+
+let read_mostly_digest seed =
+  let cfg =
+    A.Config.make ~nodes:3 ~cpus:2 ~seed:(Int64.of_int seed) ~faults ()
+  in
+  report_digest cfg (fun rt ->
+      ignore
+        (Workloads.Read_mostly.run rt
+           {
+             Workloads.Read_mostly.objects = 3;
+             readers_per_node = 2;
+             reads_per_reader = 12;
+             write_every = 6;
+             replicate = true;
+           }
+          : Workloads.Read_mostly.result))
+
+let sweep name digest_of =
+  List.iter
+    (fun seed ->
+      let a = digest_of seed and b = digest_of seed in
+      Alcotest.(check string)
+        (Printf.sprintf "%s seed %d reproducible" name seed)
+        (Digest.to_hex a) (Digest.to_hex b))
+    [ 1; 7; 13; 42; 99; 123; 2026; 31337; 65537; 999983 ]
+
+let test_racy_fixture_sweep () = sweep "racy fixture" racy_fixture_digest
+let test_read_mostly_sweep () = sweep "read-mostly" read_mostly_digest
+
+let suite =
+  [
+    Alcotest.test_case "racy fixture reports reproducible over 10 seeds"
+      `Quick test_racy_fixture_sweep;
+    Alcotest.test_case
+      "read-mostly + faults reports reproducible over 10 seeds" `Quick
+      test_read_mostly_sweep;
+  ]

@@ -167,9 +167,11 @@ let test_home_fallback_repairs_stale_chain () =
       Alcotest.(check bool) "chain was compacted" true
         ((A.Runtime.counters rt).A.Runtime.forward_hops - hops_before <= 1))
 
-let test_unresolvable_chain_fails_cleanly () =
-  (* Sabotage the home node itself so even the fallback loops: the chase
-     must terminate with a clean diagnostic rather than spin forever. *)
+let test_wedged_chain_repaired_by_broadcast () =
+  (* Sabotage the home node itself so even the home fallback loops — the
+     shape concurrent moves can produce naturally.  The chase must detect
+     the static cycle, fall back to the Emerald-style exhaustive search,
+     find the resident copy and repair the stale descriptors. *)
   let cfg =
     { (A.Config.make ~nodes:4 ~cpus:2 ()) with A.Config.max_forward_hops = 2 }
   in
@@ -184,10 +186,30 @@ let test_unresolvable_chain_fails_cleanly () =
       fwd 0 1;
       fwd 1 2;
       fwd 2 0;
-      match A.Api.locate rt o with
-      | _ -> Alcotest.fail "expected the chase to give up"
+      Alcotest.(check int) "search finds the resident copy" 3
+        (A.Api.locate rt o);
+      Alcotest.(check bool) "went through the broadcast" true
+        ((A.Runtime.counters rt).A.Runtime.broadcast_locates > 0);
+      (* The success-path compression rewrote the cycle: the world is
+         coherent again and a second locate needs no repair. *)
+      A.Audit.check_exn rt [ A.Aobject.Any o ];
+      let b = (A.Runtime.counters rt).A.Runtime.broadcast_locates in
+      Alcotest.(check int) "still resolves" 3 (A.Api.locate rt o);
+      Alcotest.(check int) "no further broadcasts" b
+        (A.Runtime.counters rt).A.Runtime.broadcast_locates)
+
+let test_truly_dangling_reference_fails_cleanly () =
+  (* A self-loop descriptor is unrepairable garbage: the chase must
+     terminate with a clean diagnostic rather than spin forever. *)
+  A.Cluster.run_value (A.Config.make ~nodes:4 ~cpus:2 ()) (fun rt ->
+      let o = A.Api.create rt ~name:"gone" (ref 0) in
+      A.Api.move_to rt o ~dest:2;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 0) o.A.Aobject.addr
+        0;
+      match A.Api.invoke rt o (fun r -> !r) with
+      | _ -> Alcotest.fail "expected the chase to report a dangling reference"
       | exception Failure msg ->
-        Alcotest.(check bool) "diagnostic mentions the restarts" true
+        Alcotest.(check bool) "diagnostic names the reference" true
           (String.length msg > 0))
 
 let test_validation_rejects_bad_faults () =
@@ -219,8 +241,10 @@ let suite =
       test_no_faults_no_overhead;
     Alcotest.test_case "home fallback repairs a stale chain" `Quick
       test_home_fallback_repairs_stale_chain;
-    Alcotest.test_case "unresolvable chain fails cleanly" `Quick
-      test_unresolvable_chain_fails_cleanly;
+    Alcotest.test_case "wedged chain repaired by broadcast" `Quick
+      test_wedged_chain_repaired_by_broadcast;
+    Alcotest.test_case "truly dangling reference fails cleanly" `Quick
+      test_truly_dangling_reference_fails_cleanly;
     Alcotest.test_case "bad fault configs rejected" `Quick
       test_validation_rejects_bad_faults;
   ]

@@ -53,15 +53,17 @@ let test_probe_states () =
       let addr = o.A.Aobject.addr in
       (match A.Runtime.probe rt ~node:0 ~addr with
       | `Resident -> ()
-      | `Hop _ -> Alcotest.fail "should be resident at home");
+      | `Hop _ | `Replica _ -> Alcotest.fail "should be resident at home");
       (* Uninitialized elsewhere: falls back to the home node. *)
       (match A.Runtime.probe rt ~node:3 ~addr with
       | `Hop 0 -> ()
-      | `Hop _ | `Resident -> Alcotest.fail "uninit should point home");
+      | `Hop _ | `Resident | `Replica _ ->
+        Alcotest.fail "uninit should point home");
       A.Api.move_to rt o ~dest:1;
       match A.Runtime.probe rt ~node:0 ~addr with
       | `Hop 1 -> ()
-      | `Hop _ | `Resident -> Alcotest.fail "source should forward")
+      | `Hop _ | `Resident | `Replica _ ->
+        Alcotest.fail "source should forward")
 
 let test_heap_growth_via_server () =
   (* Exhaust node 0's initial pool with large objects; the heap must grow

@@ -7,6 +7,9 @@ type 'a t = {
   mutable immutable_ : bool;
   mutable replicas : int list;
   mutable epoch : int;
+  mutable repl_gen : int;
+  mutable grants : (int * int) list;
+  mutable writers : int;
   mutable rcopies : (int * int * 'a) list;
   mutable attached : any list;
   mutable parent : any option;
@@ -25,6 +28,9 @@ let make ~addr ~name ~size ~node state =
     immutable_ = false;
     replicas = [];
     epoch = 0;
+    repl_gen = 0;
+    grants = [];
+    writers = 0;
     rcopies = [];
     attached = [];
     parent = None;

@@ -18,9 +18,22 @@ type 'a t = {
           are permanent; for mutables they are read replicas that the
           write-invalidate protocol recalls before any write. *)
   mutable epoch : int;
-      (** version counter, bumped at the master on every Write/Atomic
-          invocation of a mutable object; replica snapshots record the
-          epoch they were taken at *)
+      (** version counter, bumped at the master when a Write/Atomic
+          invocation of a mutable object completes; replica snapshots
+          record the epoch they were taken at *)
+  mutable repl_gen : int;
+      (** monotonic counter stamping read-replica grants of a mutable
+          object; each {!Coherence.install} capture takes a fresh value *)
+  mutable grants : (int * int) list;
+      (** [(node, generation)] of the live replica grant per node, kept in
+          sync with [replicas] for mutable objects.  Reliable-mode
+          datagrams are retransmitted independently, so a stale copy from
+          a recalled grant can arrive after a re-grant to the same node;
+          the generation lets delivery tell the two apart. *)
+  mutable writers : int;
+      (** Write/Atomic invocations currently executing at the master.
+          {!Coherence.install} refuses to capture a snapshot while
+          non-zero: a mid-write capture would ship a torn state. *)
   mutable rcopies : (int * int * 'a) list;
       (** mutable-object replica snapshots: (node, install epoch, value) *)
   mutable attached : any list;  (** objects attached to this one (§2.3) *)

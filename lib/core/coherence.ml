@@ -4,15 +4,26 @@
 
    - [obj.replicas] lists every node that holds (or has been granted and
      is about to hold) a read replica; the master's node is never listed.
+     [obj.grants] mirrors it with the generation of each node's live
+     grant (fresh from [obj.repl_gen] at capture time).
    - A node in [obj.replicas] with an installed copy holds a
      [Descriptor.Replica master] descriptor and a snapshot in
      [obj.rcopies] tagged with the epoch it was taken at.
-   - [obj.epoch] is bumped at the master by every Write/Atomic invocation
-     {e after} the invalidation round, so a snapshot is fresh iff its
-     epoch equals the object's.
+   - [obj.epoch] is bumped at the master when a Write/Atomic invocation
+     {e completes} (after the invalidation round and the user operation),
+     so a snapshot is fresh iff its epoch equals the object's.  While the
+     operation itself runs, [obj.writers] is non-zero and capture refuses
+     to snapshot — a mid-write capture would ship a torn state that the
+     epoch check alone cannot reject until the write finishes.
    - Snapshot capture and replica registration happen on the master's
-     node with no suspension in between; the in-flight copy is
-     re-validated at delivery and discarded if a write intervened. *)
+     node with no suspension in between; the in-flight copy carries its
+     grant generation and is re-validated at delivery: it is installed
+     only if it still matches the node's live grant and no write
+     intervened, and a {e stale} delivery deregisters the grant only when
+     the generations match (reliable-mode datagrams are retransmitted
+     independently, so a lost copy from a recalled grant can arrive after
+     a successful re-grant to the same node — it must not tear down the
+     newer grant's registration). *)
 
 let install rt ~copy (obj : 'a Aobject.t) ~dest =
   if dest < 0 || dest >= Runtime.nodes rt then
@@ -34,13 +45,23 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
       (* Runs on the master's node.  Capture and registration are one
          atomic (suspension-free) step so the snapshot matches [ep]. *)
       let capture () =
-        if dest = obj.Aobject.location || List.mem dest obj.Aobject.replicas
+        if
+          dest = obj.Aobject.location
+          || List.mem dest obj.Aobject.replicas
+          (* A Write/Atomic is executing the user operation right now:
+             the state may be torn, and the post-write epoch bump would
+             not reject a snapshot taken here.  Give up (advisory). *)
+          || obj.Aobject.writers > 0
         then None
         else begin
           let ep = obj.Aobject.epoch in
           let snap = copy obj.Aobject.state in
+          obj.Aobject.repl_gen <- obj.Aobject.repl_gen + 1;
+          let gen = obj.Aobject.repl_gen in
           obj.Aobject.replicas <- dest :: obj.Aobject.replicas;
-          Some (ep, snap)
+          obj.Aobject.grants <-
+            (dest, gen) :: List.remove_assoc dest obj.Aobject.grants;
+          Some (gen, ep, snap)
         end
       in
       let ship_cpu =
@@ -50,13 +71,18 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
       (* [ship] runs in event context (inside [Sim.Fiber.block]'s register
          callback), so the packaging CPU is charged by the caller, in
          fiber context, before blocking. *)
-      let ship ~src (ep, snap) wake =
+      let ship ~src (gen, ep, snap) wake =
         Topaz.Rpc.post (Runtime.rpc rt) ~src ~dst:dest ~kind:"repl-copy"
           ~size:bytes (fun () ->
             (* Delivery-time guard: a write (or a recall) may have raced
                the copy onto the wire; installing it now would hand out
-               stale state, so drop it instead. *)
-            if obj.Aobject.epoch = ep && List.mem dest obj.Aobject.replicas
+               stale state, so drop it instead.  The generation check also
+               rejects a retransmitted copy from a grant that was since
+               recalled and re-issued — only the copy carrying the node's
+               live grant may install. *)
+            if
+              obj.Aobject.epoch = ep
+              && List.assoc_opt dest obj.Aobject.grants = Some gen
             then begin
               ctrs.Runtime.replica_installs <-
                 ctrs.Runtime.replica_installs + 1;
@@ -80,11 +106,26 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
                     Descriptor.set_forwarded (Runtime.descriptors rt n) addr
                       obj.Aobject.location
                   | _ -> ()
-              done
+              done;
+              (* Touching every node's table from one server fiber is a
+                 simulator shortcut (a real kernel would piggyback the
+                 rewrites); charge one descriptor lookup per scanned node
+                 so the scrub is not free.  Charged after the
+                 guard+install+scrub step so that step stays
+                 suspension-free. *)
+              Sim.Fiber.consume
+                (c.Cost_model.forward_lookup_cpu
+                *. float_of_int (Runtime.nodes rt - 1))
             end
-            else
+            else if List.assoc_opt dest obj.Aobject.grants = Some gen then begin
+              (* Stale delivery of the node's live grant: the grant failed,
+                 deregister it.  A stale copy from an {e older} grant (the
+                 node was since recalled and re-granted) must leave the
+                 newer grant's registration alone. *)
               obj.Aobject.replicas <-
                 List.filter (fun n -> n <> dest) obj.Aobject.replicas;
+              obj.Aobject.grants <- List.remove_assoc dest obj.Aobject.grants
+            end;
             Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:src
               ~kind:"repl-ack" ~size:c.Cost_model.move_ack_bytes (fun () ->
                 wake ()))
@@ -141,6 +182,8 @@ let invalidate rt (obj : 'a Aobject.t) =
         targets;
       obj.Aobject.replicas <-
         List.filter (fun n -> not (List.mem n targets)) obj.Aobject.replicas;
+      obj.Aobject.grants <-
+        List.filter (fun (n, _) -> not (List.mem n targets)) obj.Aobject.grants;
       (* A replica granted while the round was in flight is recalled by
          the next pass; the round is only over when a full pass finds the
          set empty. *)

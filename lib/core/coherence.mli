@@ -17,10 +17,14 @@
 
     Resolves the master, captures a snapshot there with [copy] (same
     epoch as the registration, no suspension in between), ships it to
-    [dest] and installs a [Replica] descriptor.  A copy that arrives
-    after an intervening write or invalidation is discarded at delivery
-    rather than installed stale.  No-op if [dest] already holds a replica
-    or the master copy.
+    [dest] and installs a [Replica] descriptor.  The grant is advisory:
+    it gives up if a Write/Atomic invocation is executing at the master
+    (a mid-write snapshot would be torn).  Each copy carries its grant
+    generation, so a copy that arrives after an intervening write or
+    invalidation — including a retransmitted copy from a grant that was
+    since recalled and re-issued — is discarded at delivery rather than
+    installed stale, and can never deregister a newer live grant.  No-op
+    if [dest] already holds a replica or the master copy.
 
     Raises [Invalid_argument] for immutable objects (use
     {!Mobility.replicate}), attached objects, or a bad node.  Fiber

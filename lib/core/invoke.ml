@@ -78,7 +78,14 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
       | [] -> ());
       raise e
   in
-  if writes then obj.Aobject.epoch <- obj.Aobject.epoch + 1;
+  (* The thread now sits at the master with an empty replica set.  Mark
+     the write as in progress: [Coherence.install] refuses to capture a
+     snapshot while [writers] is non-zero, because a capture taken while
+     [op] runs (it may suspend mid-mutation) would ship a torn state.
+     The epoch is bumped only once [op] completes, below, so a capture
+     that slips in around the operation still carries the pre-write epoch
+     and is rejected at delivery. *)
+  if writes then obj.Aobject.writers <- obj.Aobject.writers + 1;
   if hops = 0 then
     ctrs.Runtime.local_invocations <- ctrs.Runtime.local_invocations + 1
   else begin
@@ -130,12 +137,24 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
     else obj.Aobject.state
   in
   Runtime.with_san rt (fun h -> h.San_hooks.on_access (Aobject.Any obj) mode);
+  (* The write is complete (or abandoned with whatever mutation it made):
+     bump the epoch {e now}, so any replica snapshot captured before or
+     during [op] is stale by the epoch check — delivery discards in-flight
+     ones, and Audit/AmberSan flag any that already landed. *)
+  let complete_write () =
+    if writes then begin
+      obj.Aobject.writers <- obj.Aobject.writers - 1;
+      obj.Aobject.epoch <- obj.Aobject.epoch + 1
+    end
+  in
   match op view with
   | result ->
+    complete_write ();
     Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
     result
   | exception e ->
+    complete_write ();
     Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
     raise e

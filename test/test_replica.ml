@@ -232,9 +232,97 @@ let rand () =
   in
   Random.State.make [| seed |]
 
+(* Regression: a snapshot capture must refuse while a Write/Atomic is
+   executing at the master, and the epoch may only be bumped once the
+   operation completes.  A capture racing a suspended write used to ship
+   a torn snapshot tagged with the post-write epoch, which every
+   freshness check then accepted. *)
+let test_no_capture_mid_write () =
+  let cfg = A.Config.make ~nodes:2 ~cpus:2 ~seed:7L () in
+  A.Cluster.run_value cfg (fun rt ->
+      let o = A.Api.create rt ~name:"guarded" (ref 0) in
+      let w =
+        A.Api.start rt ~name:"writer" (fun () ->
+            A.Invoke.invoke rt ~mode:A.San_hooks.Write o (fun r ->
+                r := 1;
+                (* Suspend mid-mutation: until we resume, the state is
+                   torn and must not be captured. *)
+                Sim.Fiber.consume 10e-3;
+                r := 2))
+      in
+      (* Let the writer get inside its operation, then try to grant a
+         replica while it is suspended mid-write. *)
+      Sim.Fiber.consume 2e-3;
+      Alcotest.(check int) "writer counted as active" 1 o.A.Aobject.writers;
+      A.Api.replicate rt ~copy o ~dest:1;
+      Alcotest.(check (list int)) "grant refused mid-write" []
+        o.A.Aobject.replicas;
+      Alcotest.(check int) "epoch unchanged while the write runs" 0
+        o.A.Aobject.epoch;
+      A.Api.join rt w;
+      Alcotest.(check int) "epoch bumped once the write completed" 1
+        o.A.Aobject.epoch;
+      Alcotest.(check int) "writer no longer active" 0 o.A.Aobject.writers;
+      (* With the write finished the grant goes through and serves the
+         fully written value. *)
+      A.Api.replicate rt ~copy o ~dest:1;
+      let anchor = A.Api.create rt ~name:"anchor1" () in
+      A.Api.move_to rt anchor ~dest:1;
+      let v =
+        A.Api.join rt
+          (A.Api.start_invoke rt anchor (fun () ->
+               A.Invoke.invoke rt ~mode:A.San_hooks.Read o (fun r -> !r)))
+      in
+      Alcotest.(check int) "replica read sees the completed write" 2 v;
+      A.Audit.check_exn rt [ A.Aobject.Any o ])
+
+(* Regression: every grant is stamped with a fresh generation and a
+   recall clears the grant record.  The delivery guard relies on this to
+   tell a retransmitted copy of a recalled grant from the node's live
+   one — a late stale copy used to unconditionally deregister the node,
+   silently orphaning a re-granted live replica from later invalidation
+   rounds. *)
+let test_grant_generations () =
+  let cfg = A.Config.make ~nodes:2 ~cpus:2 ~seed:11L () in
+  A.Cluster.run_value cfg (fun rt ->
+      let o = A.Api.create rt ~name:"gen" (ref 0) in
+      A.Api.replicate rt ~copy o ~dest:1;
+      let g1 =
+        match o.A.Aobject.grants with
+        | [ (1, g) ] -> g
+        | _ -> Alcotest.fail "expected exactly one grant, for node 1"
+      in
+      (* The write's recall must clear the grant record together with the
+         replica set. *)
+      A.Invoke.invoke rt ~mode:A.San_hooks.Write o (fun r -> incr r);
+      Alcotest.(check (list int)) "replicas recalled" [] o.A.Aobject.replicas;
+      Alcotest.(check bool) "grant record cleared by the recall" true
+        (o.A.Aobject.grants = []);
+      (* A re-grant gets a strictly newer generation, so a late copy of
+         the first grant can neither install nor deregister it. *)
+      A.Api.replicate rt ~copy o ~dest:1;
+      (match o.A.Aobject.grants with
+      | [ (1, g2) ] ->
+        Alcotest.(check bool) "re-grant carries a fresh generation" true
+          (g2 > g1)
+      | _ -> Alcotest.fail "expected exactly one grant, for node 1");
+      Alcotest.(check (list int)) "replica re-granted" [ 1 ]
+        o.A.Aobject.replicas;
+      (match A.Aobject.snapshot o ~node:1 with
+      | Some (ep, v) ->
+        Alcotest.(check int) "snapshot at the current epoch"
+          o.A.Aobject.epoch ep;
+        Alcotest.(check int) "snapshot sees the write" 1 !v
+      | None -> Alcotest.fail "re-granted replica has no snapshot");
+      A.Audit.check_exn rt [ A.Aobject.Any o ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_plain;
     QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_sanitized;
     QCheck_alcotest.to_alcotest ~rand:(rand ()) prop_faulted;
+    Alcotest.test_case "no snapshot capture during a write" `Quick
+      test_no_capture_mid_write;
+    Alcotest.test_case "grant generations are fresh per grant" `Quick
+      test_grant_generations;
   ]

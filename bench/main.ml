@@ -702,6 +702,33 @@ let readmostly_measure ~replicate () =
           replicate;
         })
 
+(* Skewed SOR (every section created on node 0) with and without the
+   Amber-LB hybrid balancer: the paper's Fig-3 grid, so the recovery the
+   balancer delivers is itself a pinned regression metric. *)
+let balance_measure ~balance () =
+  let p = W.Sor_core.with_size W.Sor_core.default ~rows:61 ~cols:421 in
+  A.Cluster.run_value (A.Config.make ~nodes:4 ~cpus:4 ()) (fun rt ->
+      let c =
+        {
+          (W.Sor_amber.default_cfg rt) with
+          W.Sor_amber.placement = Some (fun _ -> 0);
+        }
+      in
+      let lb =
+        if balance then
+          Some
+            (Balance.Driver.start rt
+               {
+                 Balance.Driver.default_cfg with
+                 Balance.Driver.policy = Balance.Rebalancer.Hybrid;
+                 steal = true;
+               })
+        else None
+      in
+      let r = W.Sor_amber.run rt p ~cfg:c ~iters:10 () in
+      (match lb with Some lb -> Balance.Driver.stop lb | None -> ());
+      r.W.Sor_amber.compute_elapsed)
+
 let json_metrics () =
   let create, local, remote, move, start_join = table1_measure () in
   let sor_elapsed ~nodes ~cpus p iters =
@@ -726,6 +753,8 @@ let json_metrics () =
     ( "readmostly_unreplicated_read_mean_ms",
       mean_ms rm_off.W.Read_mostly.read_latency );
     ("readmostly_replicated_elapsed_s", rm_on.W.Read_mostly.elapsed);
+    ("balance_skewed_sor_4n4p_elapsed_s", balance_measure ~balance:false ());
+    ("balance_hybrid_sor_4n4p_elapsed_s", balance_measure ~balance:true ());
   ]
 
 let print_json () =

@@ -108,6 +108,54 @@ let sanitize_arg =
           "Run under AmberSan: report data races, lock-order cycles and \
            coherence drift; exit 3 on any finding.")
 
+(* --- load balancing (shared by sor and tsp) ------------------------------ *)
+
+let balance_term =
+  let policy =
+    let policy_conv =
+      Arg.enum
+        [
+          ("off", Balance.Rebalancer.Off);
+          ("steal_only", Balance.Rebalancer.Steal_only);
+          ("affinity", Balance.Rebalancer.Affinity);
+          ("hybrid", Balance.Rebalancer.Hybrid);
+        ]
+    in
+    Arg.(
+      value
+      & opt policy_conv Balance.Rebalancer.Off
+      & info [ "balance" ] ~docv:"POLICY"
+          ~doc:
+            "Adaptive placement policy: $(b,off), $(b,steal_only), \
+             $(b,affinity) or $(b,hybrid) (affinity + load spreading).")
+  in
+  let steal =
+    Arg.(
+      value & flag
+      & info [ "steal" ]
+          ~doc:
+            "Let idle nodes steal runnable unbound threads from loaded \
+             peers (implied by --balance=steal_only).")
+  in
+  let gossip =
+    Arg.(
+      value & opt float 10e-3
+      & info [ "gossip-interval" ] ~docv:"SECONDS"
+          ~doc:"Load-board gossip / steal tick period (default 10 ms).")
+  in
+  let mk policy steal gossip_interval =
+    { Balance.Driver.default_cfg with policy; steal; gossip_interval }
+  in
+  Term.(const mk $ policy $ steal $ gossip)
+
+(* Bracket a workload body with the load-balancing subsystem.  With the
+   default cfg the handle is inert and the run is untouched. *)
+let with_balance rt bal f =
+  let lb = Balance.Driver.start rt bal in
+  let r = f () in
+  Balance.Driver.stop lb;
+  r
+
 (* Attach AmberSan around a cluster run when requested.  Returns the
    workload result plus the exit status (3 on findings). *)
 let run_cluster ~sanitize cfg f =
@@ -163,8 +211,16 @@ let sor_cmd =
       value & flag
       & info [ "report" ] ~doc:"Print per-node utilization and protocol counters.")
   in
+  let skew =
+    Arg.(
+      value & flag
+      & info [ "skew" ]
+          ~doc:
+            "Pathological placement: create every section on node 0 \
+             (amber only; a load-balancer stress input).")
+  in
   let run nodes cpus faults seed system rows cols iters sections no_overlap
-      report sanitize =
+      report skew bal sanitize =
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
     let cfg = mk_config nodes cpus faults seed in
     let seq_pred = Workloads.Sor_seq.predicted_elapsed p ~iters in
@@ -194,8 +250,16 @@ let sor_cmd =
               | Some s -> { c with Workloads.Sor_amber.sections = s }
               | None -> c
             in
+            let c =
+              if skew then
+                { c with Workloads.Sor_amber.placement = Some (fun _ -> 0) }
+              else c
+            in
             let c = { c with Workloads.Sor_amber.overlap = not no_overlap } in
-            let r = Workloads.Sor_amber.run rt p ~cfg:c ~iters () in
+            let r =
+              with_balance rt bal (fun () ->
+                  Workloads.Sor_amber.run rt p ~cfg:c ~iters ())
+            in
             maybe_report rt;
             r)
       in
@@ -228,8 +292,8 @@ let sor_cmd =
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ system
-      $ rows $ cols $ iters $ sections $ no_overlap $ report_flag
-      $ sanitize_arg)
+      $ rows $ cols $ iters $ sections $ no_overlap $ report_flag $ skew
+      $ balance_term $ sanitize_arg)
   in
   Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
     term
@@ -364,7 +428,16 @@ let tsp_cmd =
       value & flag
       & info [ "check" ] ~doc:"Verify the result against brute force (slow).")
   in
-  let run nodes cpus faults sim_seed cities seed central check sanitize =
+  let skew =
+    Arg.(
+      value & flag
+      & info [ "skew" ]
+          ~doc:
+            "Pathological placement: leave the per-node pools and bound \
+             caches on node 0 (a load-balancer stress input).")
+  in
+  let run nodes cpus faults sim_seed cities seed central check skew bal
+      sanitize =
     let cfg = mk_config nodes cpus faults sim_seed in
     let tcfg =
       {
@@ -373,10 +446,12 @@ let tsp_cmd =
         workers_per_node = cpus;
         expand_cpu = 50e-6;
         centralize = central;
+        skew;
       }
     in
     let r, status =
-      run_cluster ~sanitize cfg (fun rt -> Workloads.Tsp.run rt tcfg)
+      run_cluster ~sanitize cfg (fun rt ->
+          with_balance rt bal (fun () -> Workloads.Tsp.run rt tcfg))
     in
     Printf.printf
       "tsp %d cities (%s): best tour cost %d in %.3f virtual s\n"
@@ -399,7 +474,7 @@ let tsp_cmd =
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ cities
-      $ seed $ central $ check $ sanitize_arg)
+      $ seed $ central $ check $ skew $ balance_term $ sanitize_arg)
   in
   Cmd.v
     (Cmd.info "tsp" ~doc:"Run parallel branch-and-bound TSP with work stealing.")

@@ -29,6 +29,7 @@ module Event = struct
     | Cond_signal of { tid : int; token : int }
     | Cond_wake of { tid : int; token : int }
     | Replica_read of { tid : int; addr : int; node : int; epoch : int }
+    | Steal of { by : int; tid : int; victim : int; thief : int }
 
   let phase_to_string = function
     | Arrive -> "arrive"
@@ -58,6 +59,8 @@ module Event = struct
     | Cond_wake { tid; token } -> Printf.sprintf "wake t=%d k=%d" tid token
     | Replica_read { tid; addr; node; epoch } ->
       Printf.sprintf "rrd t=%d 0x%x n=%d e=%d" tid addr node epoch
+    | Steal { by; tid; victim; thief } ->
+      Printf.sprintf "steal by=%d t=%d v=%d th=%d" by tid victim thief
 
   (* "p=3" with the expected key -> 3; raises on mismatch. *)
   let kv key tok =
@@ -116,6 +119,15 @@ module Event = struct
              addr = int_of_string addr;
              node = kv "n" n;
              epoch = kv "e" e;
+           })
+    | [ "steal"; by; t; v; th ] ->
+      Some
+        (Steal
+           {
+             by = kv "by" by;
+             tid = kv "t" t;
+             victim = kv "v" v;
+             thief = kv "th" th;
            })
     | _ -> None
 
@@ -450,6 +462,20 @@ module Core = struct
          staleness is checked online against ground truth, which a replayed
          trace no longer has. *)
       ()
+    | Event.Steal { by; tid; victim = _; thief = _ } ->
+      (* The dequeue at the victim happens-before the stolen thread runs
+         at the thief: everything ordered before the dequeuing agent [by]
+         (the steal-request server fiber) flows into the stolen thread.
+         Without this edge, state published at the victim under a lock
+         the handler synchronized with would look concurrent with the
+         thread's post-steal accesses.  [by = -1] when the dequeue ran
+         outside any fiber — then there is no agent clock to join. *)
+      if by >= 0 then begin
+        let bc = thread_clock t by in
+        let sc = thread_clock t tid in
+        sc := cjoin !sc !bc;
+        tick bc by
+      end
 
   let lock_name t addr =
     match Hashtbl.find_opt t.names addr with
@@ -689,6 +715,17 @@ let attach ?(analyze = true) rt =
                        epoch o.Aobject.epoch);
                 ]
           end);
+      on_steal =
+        (fun ~tcb ~victim ~thief ->
+          (* Fires from the steal handler: a server fiber when the request
+             arrived by RPC, no fiber at all for directed test calls. *)
+          let by =
+            match Hw.Machine.self () with
+            | Some me -> Hw.Machine.tcb_id me
+            | None -> -1
+          in
+          ev
+            (Event.Steal { by; tid = Hw.Machine.tcb_id tcb; victim; thief }));
     }
   in
   Runtime.set_sanitizer rt hooks;

@@ -53,6 +53,12 @@ module Event : sig
     | Replica_read of { tid : int; addr : int; node : int; epoch : int }
         (** a Read invocation served from the replica snapshot on [node];
             checked online against the object's replica set and epoch *)
+    | Steal of { by : int; tid : int; victim : int; thief : int }
+        (** the balancer's stealer (agent thread [by], [-1] outside a
+            fiber) dequeued runnable thread [tid] from node [victim]'s
+            ready queue and shipped it to node [thief].  Happens-before
+            edge: the dequeue at the victim precedes the stolen thread's
+            next run, so [by]'s clock joins into [tid]'s. *)
 
   val to_string : t -> string
 

@@ -1,0 +1,272 @@
+module A = Amber
+
+type policy = Off | Steal_only | Affinity | Hybrid
+
+let policy_to_string = function
+  | Off -> "off"
+  | Steal_only -> "steal_only"
+  | Affinity -> "affinity"
+  | Hybrid -> "hybrid"
+
+let policy_of_string = function
+  | "off" -> Some Off
+  | "steal_only" | "steal-only" -> Some Steal_only
+  | "affinity" -> Some Affinity
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
+type cfg = {
+  interval : float;
+  hysteresis : float;
+  move_budget : int;
+  min_invocations : int;
+  dominance : float;
+  spread_threshold : int;
+  read_ratio : float;
+}
+
+let default_cfg =
+  {
+    interval = 25e-3;
+    hysteresis = 100e-3;
+    move_budget = 8;
+    min_invocations = 8;
+    dominance = 2.0;
+    spread_threshold = 2;
+    read_ratio = 0.75;
+  }
+
+type move = { at : float; addr : int; src : int; dst : int }
+
+type t = {
+  rt : A.Runtime.t;
+  cfg : cfg;
+  policy : policy;
+  (* addr -> virtual time of the last balancer action on the object;
+     enforces the hysteresis window. *)
+  last_acted : (int, float) Hashtbl.t;
+  (* addr -> replica installer registered by the program (the runtime
+     cannot deep-copy arbitrary representations itself). *)
+  copiers : (int, int -> unit) Hashtbl.t;
+  mutable moves : move list; (* newest first *)
+  mutable stopped : bool;
+  mutable sleeper : (Sim.Engine.event_id * (unit -> unit)) option;
+  mutable handle : unit A.Athread.t option;
+}
+
+let create rt ~policy ~cfg =
+  {
+    rt;
+    cfg;
+    policy;
+    last_acted = Hashtbl.create 16;
+    copiers = Hashtbl.create 16;
+    moves = [];
+    stopped = false;
+    sleeper = None;
+    handle = None;
+  }
+
+let move_log t = List.rev t.moves
+
+let allow_replication t obj ~copy =
+  Hashtbl.replace t.copiers obj.A.Aobject.addr (fun dest ->
+      A.Coherence.install t.rt ~copy obj ~dest)
+
+let cool t addr ~now =
+  match Hashtbl.find_opt t.last_acted addr with
+  | Some tm -> now -. tm >= t.cfg.hysteresis -. 1e-12
+  | None -> true
+
+let do_move t o ~dest =
+  let rt = t.rt in
+  let now = A.Runtime.now rt in
+  Hashtbl.replace t.last_acted o.A.Aobject.addr now;
+  t.moves <-
+    { at = now; addr = o.A.Aobject.addr; src = o.A.Aobject.location; dst = dest }
+    :: t.moves;
+  let ctrs = A.Runtime.counters rt in
+  ctrs.A.Runtime.balance_moves <- ctrs.A.Runtime.balance_moves + 1;
+  A.Mobility.move_to rt o ~dest
+
+(* --- affinity pass ------------------------------------------------------- *)
+
+(* An object whose window shows one remote node invoking it far more than
+   everyone else (callers at the master included) is better off living
+   there; when the traffic is read-dominated and comes from several nodes,
+   a read replica at the dominant caller serves it without disturbing the
+   master.  The dominance ratio keeps bound-local objects (lots of
+   [win_local]) from ping-ponging after a neighbour glances at them. *)
+let affinity_pass t ~budget =
+  let rt = t.rt in
+  let now = A.Runtime.now rt in
+  List.iter
+    (fun (A.Aobject.Any o) ->
+      if
+        !budget > 0
+        && o.A.Aobject.parent = None
+        && (not o.A.Aobject.immutable_)
+        && cool t o.A.Aobject.addr ~now
+      then begin
+        let remote_total =
+          List.fold_left (fun a (_, c) -> a + c) 0 o.A.Aobject.win_remote
+        in
+        if remote_total > 0 then begin
+          let dest, cnt =
+            List.fold_left
+              (fun (bn, bc) (n, c) ->
+                if c > bc || (c = bc && n < bn) then (n, c) else (bn, bc))
+              (max_int, 0) o.A.Aobject.win_remote
+          in
+          let rest = o.A.Aobject.win_local + (remote_total - cnt) in
+          if
+            cnt >= t.cfg.min_invocations
+            && float_of_int cnt >= t.cfg.dominance *. float_of_int (max 1 rest)
+            && dest <> o.A.Aobject.location
+          then begin
+            let total = o.A.Aobject.win_local + remote_total in
+            let read_dominated =
+              float_of_int o.A.Aobject.win_reads
+              >= t.cfg.read_ratio *. float_of_int (max 1 total)
+            in
+            match Hashtbl.find_opt t.copiers o.A.Aobject.addr with
+            | Some install
+              when read_dominated
+                   && List.length o.A.Aobject.win_remote >= 2
+                   && not (List.mem dest o.A.Aobject.replicas) ->
+              Hashtbl.replace t.last_acted o.A.Aobject.addr now;
+              let ctrs = A.Runtime.counters rt in
+              ctrs.A.Runtime.balance_replicas <-
+                ctrs.A.Runtime.balance_replicas + 1;
+              install dest;
+              decr budget
+            | _ ->
+              do_move t o ~dest;
+              decr budget
+          end
+        end
+      end)
+    (A.Runtime.objects rt)
+
+(* --- spread pass --------------------------------------------------------- *)
+
+(* A thread's OUTERMOST frame is the object it works for: SOR workers are
+   rooted in their section even while blocked inside the shared
+   convergence master, so ranking by rooted threads spreads the sections
+   and leaves the master (rooted count ~0) alone.  Moving an object
+   transfers exactly its rooted threads' load — they chase it through the
+   §3.5 residency check when they next unwind to their root frame. *)
+let rooted_counts t =
+  let tbl = Hashtbl.create 32 in
+  A.Runtime.iter_threads t.rt (fun ts ->
+      match List.rev ts.A.Runtime.frames with
+      | [] -> ()
+      | root :: _ ->
+        let a = A.Aobject.addr_of_any root.A.Runtime.fobj in
+        Hashtbl.replace tbl a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)));
+  tbl
+
+let spread_pass t ~budget =
+  let rt = t.rt in
+  let nodes = A.Runtime.nodes rt in
+  let now = A.Runtime.now rt in
+  let rooted = rooted_counts t in
+  let objs = A.Runtime.objects rt in
+  let load = Array.make nodes 0 in
+  List.iter
+    (fun (A.Aobject.Any o) ->
+      match Hashtbl.find_opt rooted o.A.Aobject.addr with
+      | Some b -> load.(o.A.Aobject.location) <- load.(o.A.Aobject.location) + b
+      | None -> ())
+    objs;
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    let imax = ref 0 and imin = ref 0 in
+    for n = 1 to nodes - 1 do
+      if load.(n) > load.(!imax) then imax := n;
+      if load.(n) < load.(!imin) then imin := n
+    done;
+    let gap = load.(!imax) - load.(!imin) in
+    if gap < t.cfg.spread_threshold then continue_ := false
+    else begin
+      (* Best eligible object on the hot node: most rooted threads, but
+         strictly fewer than the gap (otherwise the move just swaps the
+         imbalance to the other side); lowest address on ties. *)
+      let pick = ref None in
+      List.iter
+        (fun any ->
+          match any with
+          | A.Aobject.Any o ->
+            if
+              o.A.Aobject.location = !imax
+              && o.A.Aobject.parent = None
+              && (not o.A.Aobject.immutable_)
+              && cool t o.A.Aobject.addr ~now
+            then
+              (match Hashtbl.find_opt rooted o.A.Aobject.addr with
+              | Some b when b > 0 && b < gap -> (
+                match !pick with
+                | Some (_, bb) when bb >= b -> ()
+                | _ -> pick := Some (any, b))
+              | _ -> ()))
+        objs;
+      match !pick with
+      | None -> continue_ := false
+      | Some (A.Aobject.Any o, b) ->
+        let dest = !imin in
+        do_move t o ~dest;
+        load.(!imax) <- load.(!imax) - b;
+        load.(dest) <- load.(dest) + b;
+        decr budget
+    end
+  done
+
+(* --- daemon -------------------------------------------------------------- *)
+
+let sleep t dt =
+  Sim.Fiber.block (fun wake ->
+      let ev =
+        Sim.Engine.schedule (A.Runtime.engine t.rt) ~delay:dt (fun () ->
+            t.sleeper <- None;
+            wake ())
+      in
+      t.sleeper <- Some (ev, wake))
+
+let cycle t =
+  let budget = ref t.cfg.move_budget in
+  (match t.policy with
+  | Affinity -> affinity_pass t ~budget
+  | Hybrid ->
+    affinity_pass t ~budget;
+    spread_pass t ~budget
+  | Off | Steal_only -> ());
+  (* Fresh observation window each cycle. *)
+  List.iter A.Aobject.reset_window_any (A.Runtime.objects t.rt)
+
+let start t =
+  match t.policy with
+  | Off | Steal_only -> ()
+  | Affinity | Hybrid ->
+    let h =
+      A.Athread.start t.rt ~name:"rebalancer" (fun () ->
+          while not t.stopped do
+            sleep t t.cfg.interval;
+            if not t.stopped then cycle t
+          done)
+    in
+    t.handle <- Some h
+
+let stop t =
+  t.stopped <- true;
+  (match t.sleeper with
+  | Some (ev, wake) ->
+    t.sleeper <- None;
+    Sim.Engine.cancel (A.Runtime.engine t.rt) ev;
+    wake ()
+  | None -> ());
+  match t.handle with
+  | Some h ->
+    t.handle <- None;
+    A.Athread.join t.rt h
+  | None -> ()

@@ -13,6 +13,9 @@ type 'a t = {
   mutable rcopies : (int * int * 'a) list;
   mutable attached : any list;
   mutable parent : any option;
+  mutable win_local : int;
+  mutable win_remote : (int * int) list;
+  mutable win_reads : int;
   mutable state : 'a;
 }
 
@@ -34,8 +37,28 @@ let make ~addr ~name ~size ~node state =
     rcopies = [];
     attached = [];
     parent = None;
+    win_local = 0;
+    win_remote = [];
+    win_reads = 0;
     state;
   }
+
+let record_call o ~origin ~local =
+  if local then o.win_local <- o.win_local + 1
+  else
+    o.win_remote <-
+      (match List.assoc_opt origin o.win_remote with
+      | Some n -> (origin, n + 1) :: List.remove_assoc origin o.win_remote
+      | None -> (origin, 1) :: o.win_remote)
+
+let record_read o = o.win_reads <- o.win_reads + 1
+
+let reset_window o =
+  o.win_local <- 0;
+  o.win_remote <- [];
+  o.win_reads <- 0
+
+let reset_window_any (Any o) = reset_window o
 
 let addr_of_any (Any o) = o.addr
 let name_of_any (Any o) = o.name

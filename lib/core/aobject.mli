@@ -38,6 +38,17 @@ type 'a t = {
       (** mutable-object replica snapshots: (node, install epoch, value) *)
   mutable attached : any list;  (** objects attached to this one (§2.3) *)
   mutable parent : any option;  (** object this one is attached to *)
+  mutable win_local : int;
+      (** invocations executed at the master by threads already resident
+          there, within the current balance observation window *)
+  mutable win_remote : (int * int) list;
+      (** [(origin_node, count)] of invocations that had to travel, within
+          the current window.  The rebalancer reads these to find an
+          object's dominant caller; {!reset_window} clears them each
+          observation cycle.  Zero-cost bookkeeping: no packets, no CPU. *)
+  mutable win_reads : int;
+      (** [Read]-mode invocations within the current window (feeds the
+          rebalancer's replicate-vs-move decision) *)
   mutable state : 'a;
 }
 
@@ -45,6 +56,25 @@ and any = Any : 'a t -> any
 
 val make :
   addr:int -> name:string -> size:int -> node:int -> 'a -> 'a t
+
+(** {2 Balance observation window}
+
+    Per-object invocation counters consumed by the load balancer's
+    rebalancer daemon.  Pure in-memory bookkeeping — recording and
+    resetting charge no simulated cost. *)
+
+(** Count one invocation: [local = true] when the invoking thread was
+    already at the master, else attributed to [origin] (the node the
+    thread called from). *)
+val record_call : 'a t -> origin:int -> local:bool -> unit
+
+(** Count one [Read]-mode invocation. *)
+val record_read : 'a t -> unit
+
+(** Clear the window counters (each rebalancer observation cycle). *)
+val reset_window : 'a t -> unit
+
+val reset_window_any : any -> unit
 
 val addr_of_any : any -> int
 val name_of_any : any -> string

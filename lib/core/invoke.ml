@@ -54,6 +54,10 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
   ts.Runtime.frames <-
     { Runtime.fobj = Aobject.Any obj; fmode = mode } :: ts.Runtime.frames;
   let entered_at = Runtime.now rt in
+  (* Where the call was issued from — captured before settling migrates
+     the thread, so the balancer's window counters attribute the
+     invocation to the caller's node, not the object's. *)
+  let origin = Runtime.current_node rt in
   Sim.Fiber.consume c.Cost_model.invoke_entry_cpu;
   (* Write/Atomic on a replicated mutable object: reach the master, then
      run the invalidation round; the round blocks (one acked RPC per
@@ -94,6 +98,8 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
       (Runtime.remote_invoke_latency rt)
       (Runtime.now rt -. entered_at)
   end;
+  Aobject.record_call obj ~origin ~local:(hops = 0);
+  if mode = San_hooks.Read then Aobject.record_read obj;
   let return_path () =
     Sim.Fiber.consume c.Cost_model.invoke_return_cpu;
     (match ts.Runtime.frames with

@@ -26,9 +26,12 @@ let least_loaded rt =
     pname = "least-loaded";
     pick =
       (fun ~i:_ ~count:_ ->
-        let best = ref 0 and best_load = ref Float.infinity in
+        (* Instantaneous load (queued + running threads), not cumulative
+           busy time: a node that worked hard early but is idle now must
+           be eligible again. *)
+        let best = ref 0 and best_load = ref max_int in
         for n = 0 to Runtime.nodes rt - 1 do
-          let load = Hw.Machine.total_busy_time (Runtime.machine rt n) in
+          let load = Hw.Machine.current_load (Runtime.machine rt n) in
           if load < !best_load then begin
             best := n;
             best_load := load

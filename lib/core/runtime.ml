@@ -32,6 +32,11 @@ type counters = {
   mutable replica_installs : int;
   mutable replica_reads : int;
   mutable replica_invalidations : int;
+  mutable gossip_rounds : int;
+  mutable steal_requests : int;
+  mutable threads_stolen : int;
+  mutable balance_moves : int;
+  mutable balance_replicas : int;
 }
 
 type t = {
@@ -45,6 +50,7 @@ type t = {
   heaps : Vaspace.Heap.t array;
   server : Vaspace.Space_server.t;
   threads : (int, tstate) Hashtbl.t;  (* keyed by tcb id *)
+  objs : (int, Aobject.any) Hashtbl.t;  (* live objects, keyed by addr *)
   trc : Sim.Trace.t;
   ctrs : counters;
   remote_invoke_latency : Sim.Stats.Summary.t;
@@ -71,6 +77,11 @@ let fresh_counters () =
     replica_installs = 0;
     replica_reads = 0;
     replica_invalidations = 0;
+    gossip_rounds = 0;
+    steal_requests = 0;
+    threads_stolen = 0;
+    balance_moves = 0;
+    balance_replicas = 0;
   }
 
 let create cfg =
@@ -127,6 +138,7 @@ let create cfg =
       heaps = [||];
       server;
       threads = Hashtbl.create 64;
+      objs = Hashtbl.create 64;
       trc;
       ctrs = fresh_counters ();
       remote_invoke_latency = Sim.Stats.Summary.create ();
@@ -226,6 +238,10 @@ let current t =
 
 let current_node _t = Hw.Machine.id (Hw.Machine.self_machine ())
 
+let tstate_of_tcb t tcb = Hashtbl.find_opt t.threads (Hw.Machine.tcb_id tcb)
+
+let iter_threads t f = Hashtbl.iter (fun _ ts -> f ts) t.threads
+
 (* --- address space ------------------------------------------------------ *)
 
 let home_node t ~addr =
@@ -274,6 +290,10 @@ let send_thread_packet t ts ~dest =
       Descriptor.set_resident (descriptors t dest) ts.taddr;
       Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
       Hw.Machine.wake ts.tcb)
+
+(* Public face of the flight above: the balancer's thread stealer ships a
+   parked victim thread exactly the way the residency check does. *)
+let migrate_thread = send_thread_packet
 
 (* §3.3: when a chase ends, every node the thread passed through learns
    the object's location (piggybacked on the protocol, no extra packets),
@@ -559,6 +579,7 @@ let create_object t ?(size = 64) ~name state =
   emit t "create"
     (lazy (Printf.sprintf "%s@0x%x (%dB) on node%d" name addr size node));
   let obj = Aobject.make ~addr ~name ~size ~node state in
+  Hashtbl.replace t.objs addr (Aobject.Any obj);
   with_san t (fun h -> h.San_hooks.on_object_created (Aobject.Any obj));
   obj
 
@@ -573,7 +594,15 @@ let destroy_object t obj =
   Sim.Fiber.consume (cost t).Cost_model.forward_lookup_cpu;
   Vaspace.Heap.free (heap t node) obj.Aobject.addr;
   Descriptor.clear (descriptors t node) obj.Aobject.addr;
+  Hashtbl.remove t.objs obj.Aobject.addr;
   with_san t (fun h -> h.San_hooks.on_object_destroyed ~addr:obj.Aobject.addr)
+
+(* Sorted by address so policy layers scanning the population see a
+   deterministic order regardless of hash-table internals. *)
+let objects t =
+  Hashtbl.fold (fun _ o acc -> o :: acc) t.objs []
+  |> List.sort (fun a b ->
+         compare (Aobject.addr_of_any a) (Aobject.addr_of_any b))
 
 let check_failures t =
   Array.iter

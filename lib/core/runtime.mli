@@ -65,6 +65,15 @@ val current : t -> tstate
 
 val current_opt : t -> tstate option
 
+(** Kernel state of an arbitrary thread by its TCB, or [None] when the
+    thread is not (or no longer) a registered Amber thread. *)
+val tstate_of_tcb : t -> Hw.Machine.tcb -> tstate option
+
+(** Apply [f] to every live registered thread, in unspecified order (use
+    only for order-insensitive aggregation, e.g. counting bound
+    threads). *)
+val iter_threads : t -> (tstate -> unit) -> unit
+
 (** Node the calling thread is on.  Fiber context. *)
 val current_node : t -> int
 
@@ -104,6 +113,15 @@ val probe :
     unmarshal CPU at the destination.  [payload] bytes ride along.  Fiber
     context. *)
 val migrate_self : t -> ?payload:int -> dest:int -> unit -> unit
+
+(** Ship a thread that the caller has taken over (dequeued and
+    {!Hw.Machine.park}ed, or otherwise [Blocked]) to [dest] as a
+    thread-state packet: charges marshal/unmarshal CPU to the thread's
+    own pending-work account, leaves a forwarding address for its thread
+    object, and wakes it at [dest] on delivery.  This is the same flight
+    the §3.5 residency check uses; the balancer's stealer rides it too.
+    Safe outside fiber context. *)
+val migrate_thread : t -> tstate -> dest:int -> unit
 
 (** Verdict of one chase step at a node: the chase is over ([Found]), the
     node holds a forwarding address ([Follow next]), or the node's
@@ -160,6 +178,10 @@ val create_object : t -> ?size:int -> name:string -> 'a -> 'a Aobject.t
     attachments.  Fiber context. *)
 val destroy_object : t -> 'a Aobject.t -> unit
 
+(** Every live object, sorted by address (deterministic).  Used by policy
+    layers — the adaptive rebalancer scans this to find hot objects. *)
+val objects : t -> Aobject.any list
+
 (** {1 Counters} *)
 
 type counters = {
@@ -186,6 +208,16 @@ type counters = {
       (** Read invocations served from a local replica snapshot *)
   mutable replica_invalidations : int;
       (** replica descriptors recalled by write-invalidate rounds *)
+  mutable gossip_rounds : int;
+      (** load-board gossip ticks executed by the balancer's telemetry *)
+  mutable steal_requests : int;
+      (** steal probes sent by idle nodes to loaded victims *)
+  mutable threads_stolen : int;
+      (** runnable threads actually migrated by the stealer *)
+  mutable balance_moves : int;
+      (** object migrations initiated by the rebalancer daemon *)
+  mutable balance_replicas : int;
+      (** read replicas installed by the rebalancer daemon *)
 }
 
 val counters : t -> counters

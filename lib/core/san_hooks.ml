@@ -19,6 +19,7 @@ type t = {
   on_move_begin : addr:int -> unit;
   on_move_end : Aobject.any -> unit;
   on_replica_read : Aobject.any -> node:int -> epoch:int -> unit;
+  on_steal : tcb:Hw.Machine.tcb -> victim:int -> thief:int -> unit;
 }
 
 let mode_to_string = function Read -> "r" | Write -> "w" | Atomic -> "a"

@@ -44,6 +44,13 @@ type t = {
       (** a Read invocation was served from the replica snapshot on
           [node], taken at [epoch]; the sanitizer compares against the
           object's current epoch and replica set to catch stale serves *)
+  on_steal : tcb:Hw.Machine.tcb -> victim:int -> thief:int -> unit;
+      (** the balancer's stealer dequeued runnable [tcb] from [victim]'s
+          ready queue and is shipping it to [thief].  The dequeue happens
+          before the thread runs at the thief, so this is a happens-before
+          edge (victim-side state → stolen thread), which the race
+          detector must honor to avoid false positives under [--steal].
+          Fires in event context — there is no current fiber. *)
 }
 
 val mode_to_string : mode -> string

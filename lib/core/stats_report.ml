@@ -134,6 +134,19 @@ let pp ppf t =
       "replicas: %d installed, %d reads served, %d invalidations@."
       c.Runtime.replica_installs c.Runtime.replica_reads
       c.Runtime.replica_invalidations;
+  (* Same gating for the balancer: with --balance off these counters stay
+     zero and the line never prints. *)
+  if
+    c.Runtime.gossip_rounds + c.Runtime.steal_requests
+    + c.Runtime.threads_stolen + c.Runtime.balance_moves
+    + c.Runtime.balance_replicas
+    > 0
+  then
+    Format.fprintf ppf
+      "balance: %d gossip rounds, %d steal requests, %d threads stolen, %d \
+       object moves, %d replicas@."
+      c.Runtime.gossip_rounds c.Runtime.steal_requests c.Runtime.threads_stolen
+      c.Runtime.balance_moves c.Runtime.balance_replicas;
   Format.fprintf ppf
     "network: %d packets, %d bytes, %4.1f%% utilized, %.3f s queueing@."
     t.packets t.net_bytes

@@ -400,6 +400,25 @@ let busy_cpus m =
     (fun acc c -> match c.cstate with Idle -> acc | Busy _ -> acc + 1)
     0 m.cpus
 
+let current_load m = ready_length m + busy_cpus m
+
+let take_ready m pred =
+  let found = ref None in
+  (* [remove] strips every matching entry, so the predicate must stop
+     matching after the first hit. *)
+  let one_shot tcb =
+    match !found with
+    | Some _ -> false
+    | None ->
+      if pred tcb then begin
+        found := Some tcb;
+        true
+      end
+      else false
+  in
+  ignore (m.pol.Sched_policy.remove one_shot : int);
+  !found
+
 let total_busy_time m =
   Array.fold_left (fun acc c -> acc +. c.busy_seconds) 0.0 m.cpus
 

@@ -109,6 +109,12 @@ val park : tcb -> unit
     [Invalid_argument] if the thread is running or ready. *)
 val transfer : tcb -> dest:t -> unit
 
+(** Remove and return the first queued [Ready] thread matching the
+    predicate, or [None].  The thread is left [Ready] and dequeued — the
+    caller must either re-enqueue it or {!park} it (a work stealer parks
+    it, then {!transfer}s and {!wake}s it at the thief). *)
+val take_ready : t -> (tcb -> bool) -> tcb option
+
 (** The thread (if any) whose fiber is executing right now.  Valid only
     while the simulation is inside a fiber step. *)
 val self : unit -> tcb option
@@ -125,6 +131,11 @@ val self_exn : unit -> tcb
 val ready_length : t -> int
 val running_tcbs : t -> tcb list
 val busy_cpus : t -> int
+
+(** Instantaneous load: ready-queue length plus occupied CPUs.  This is
+    the metric load-balancing policies rank nodes by (cumulative busy
+    time says where work {e was}, not where it is). *)
+val current_load : t -> int
 
 (** Sum of busy seconds over all CPUs. *)
 val total_busy_time : t -> float

@@ -6,6 +6,7 @@ type cfg = {
   workers_per_node : int;
   expand_cpu : float;
   centralize : bool;
+  skew : bool;
 }
 
 let default_cfg =
@@ -15,6 +16,7 @@ let default_cfg =
     workers_per_node = 2;
     expand_cpu = 50e-6;
     centralize = false;
+    skew = false;
   }
 
 type result = {
@@ -122,7 +124,9 @@ let run rt cfg =
             ~name:(Printf.sprintf "tsp-pool%d" i)
             { items = [] }
         in
-        if i <> 0 then A.Mobility.move_to rt obj ~dest:i;
+        (* [skew] leaves every pool on node 0 for the load balancer to
+           sort out. *)
+        if i <> 0 && not cfg.skew then A.Mobility.move_to rt obj ~dest:i;
         obj)
   in
   let incumbent_obj =
@@ -138,7 +142,7 @@ let run rt cfg =
             ~name:(Printf.sprintf "tsp-bound%d" node)
             (ref max_int)
         in
-        if node <> 0 then A.Mobility.move_to rt obj ~dest:node;
+        if node <> 0 && not cfg.skew then A.Mobility.move_to rt obj ~dest:node;
         obj)
   in
   let controller_obj =

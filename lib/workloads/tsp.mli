@@ -25,6 +25,10 @@ type cfg = {
   workers_per_node : int;
   expand_cpu : float;  (** CPU per node expansion *)
   centralize : bool;  (** single shared pool instead of per-node pools *)
+  skew : bool;
+      (** pathological placement: leave the per-node pools and bound
+          caches on node 0 (workers still spread) — a load-balancer
+          stress input *)
 }
 
 val default_cfg : cfg

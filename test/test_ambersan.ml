@@ -332,9 +332,40 @@ let test_tsp_sanitized_clean () =
             workers_per_node = 2;
             expand_cpu = 50e-6;
             centralize = false;
+            skew = false;
           })
   in
   check_clean "tsp" report
+
+let test_balanced_sor_sanitized_clean () =
+  (* Skewed SOR with the full balancer on (hybrid + stealing): balancer
+     moves, steals and gossip must introduce no races or coherence
+     drift. *)
+  let _, report =
+    run_san (fun rt ->
+        let p =
+          Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows:16
+            ~cols:32
+        in
+        let c =
+          {
+            (Workloads.Sor_amber.default_cfg rt) with
+            Workloads.Sor_amber.placement = Some (fun _ -> 0);
+          }
+        in
+        let lb =
+          Balance.Driver.start rt
+            {
+              Balance.Driver.default_cfg with
+              Balance.Driver.policy = Balance.Rebalancer.Hybrid;
+              steal = true;
+            }
+        in
+        let r = Workloads.Sor_amber.run rt p ~cfg:c ~iters:4 () in
+        Balance.Driver.stop lb;
+        r)
+  in
+  check_clean "balanced sor" report
 
 let test_work_queue_with_moves_sanitized_clean () =
   (* The queue migrates mid-run: exercises the continuous coherence audit
@@ -410,6 +441,7 @@ let test_event_codec_round_trip () =
       E.Barrier { tid = 3; addr = 0x40; gen = 2; phase = E.Resume };
       E.Cond_signal { tid = 3; token = 7 };
       E.Cond_wake { tid = 4; token = 7 };
+      E.Steal { by = 9; tid = 2; victim = 0; thief = 1 };
     ]
   in
   List.iter
@@ -452,6 +484,38 @@ let test_engine_on_synthetic_events () =
       ]
   in
   Alcotest.(check int) "lock edge orders writes" 0 (San.findings ordered)
+
+let test_steal_edge_orders_accesses () =
+  (* A steal is a synchronization point: the stealing agent dequeues the
+     thread, so everything the agent has seen happens-before the stolen
+     thread's next step.  Here agent 9 observes t1's write (via the lock
+     edge) and then steals t2 — so t2's write is ordered after t1's.
+     Dropping the Steal event severs that path and the writes race. *)
+  let module E = San.Event in
+  let prefix =
+    [
+      E.Object_created { addr = 8; name = "x" };
+      E.Sync_created { addr = 16; kind = "lock" };
+      E.Lock_acquired { tid = 1; addr = 16 };
+      E.Access { tid = 1; addr = 8; mode = A.San_hooks.Write };
+      E.Access_end { tid = 1; addr = 8 };
+      E.Lock_released { tid = 1; addr = 16 };
+      E.Lock_acquired { tid = 9; addr = 16 };
+      E.Lock_released { tid = 9; addr = 16 };
+    ]
+  in
+  let suffix =
+    [
+      E.Access { tid = 2; addr = 8; mode = A.San_hooks.Write };
+      E.Access_end { tid = 2; addr = 8 };
+    ]
+  in
+  let steal = [ E.Steal { by = 9; tid = 2; victim = 0; thief = 1 } ] in
+  let with_edge = San.lint_events (prefix @ steal @ suffix) in
+  Alcotest.(check int) "steal edge orders writes" 0 (San.findings with_edge);
+  let without = San.lint_events (prefix @ suffix) in
+  Alcotest.(check int) "no steal edge: writes race" 1
+    (List.length without.San.races)
 
 (* --- continuous coherence audit ------------------------------------------- *)
 
@@ -506,6 +570,8 @@ let suite =
       test_spinlock_release_by_other_thread_rejected;
     Alcotest.test_case "lock holder visible" `Quick test_lock_holder_visible;
     Alcotest.test_case "sor sanitized clean" `Quick test_sor_sanitized_clean;
+    Alcotest.test_case "balanced sor sanitized clean" `Quick
+      test_balanced_sor_sanitized_clean;
     Alcotest.test_case "tsp sanitized clean" `Quick test_tsp_sanitized_clean;
     Alcotest.test_case "work queue with moves sanitized clean" `Quick
       test_work_queue_with_moves_sanitized_clean;
@@ -517,6 +583,8 @@ let suite =
       test_event_codec_round_trip;
     Alcotest.test_case "engine on synthetic events" `Quick
       test_engine_on_synthetic_events;
+    Alcotest.test_case "steal edge orders accesses" `Quick
+      test_steal_edge_orders_accesses;
     Alcotest.test_case "coherence drift reported" `Quick
       test_sanitizer_reports_coherence_drift;
     Alcotest.test_case "sanitizer section in stats report" `Quick

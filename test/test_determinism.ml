@@ -48,6 +48,32 @@ let read_mostly_digest seed =
            }
           : Workloads.Read_mostly.result))
 
+let balanced_sor_digest seed =
+  let cfg = A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed) () in
+  report_digest cfg (fun rt ->
+      let p =
+        Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows:16
+          ~cols:64
+      in
+      let c =
+        {
+          (Workloads.Sor_amber.default_cfg rt) with
+          Workloads.Sor_amber.placement = Some (fun _ -> 0);
+        }
+      in
+      let lb =
+        Balance.Driver.start rt
+          {
+            Balance.Driver.default_cfg with
+            Balance.Driver.policy = Balance.Rebalancer.Hybrid;
+            steal = true;
+          }
+      in
+      ignore
+        (Workloads.Sor_amber.run rt p ~cfg:c ~iters:4 ()
+          : Workloads.Sor_amber.result);
+      Balance.Driver.stop lb)
+
 let sweep name digest_of =
   List.iter
     (fun seed ->
@@ -60,6 +86,9 @@ let sweep name digest_of =
 let test_racy_fixture_sweep () = sweep "racy fixture" racy_fixture_digest
 let test_read_mostly_sweep () = sweep "read-mostly" read_mostly_digest
 
+let test_balanced_sor_sweep () =
+  sweep "skewed sor + hybrid balancing" balanced_sor_digest
+
 let suite =
   [
     Alcotest.test_case "racy fixture reports reproducible over 10 seeds"
@@ -67,4 +96,7 @@ let suite =
     Alcotest.test_case
       "read-mostly + faults reports reproducible over 10 seeds" `Quick
       test_read_mostly_sweep;
+    Alcotest.test_case
+      "skewed sor under hybrid balancing reproducible over 10 seeds" `Quick
+      test_balanced_sor_sweep;
   ]

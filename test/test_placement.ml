@@ -37,20 +37,38 @@ let test_random_in_range_and_deterministic () =
     (List.for_all (fun n -> n >= 0 && n < 4) draws1);
   Alcotest.(check (list int)) "same seed, same draws" draws1 draws2
 
+let busy_on rt node dt =
+  let a = A.Api.create rt ~name:"a" () in
+  A.Api.move_to rt a ~dest:node;
+  A.Api.start_invoke rt a (fun () -> Sim.Fiber.consume dt)
+
 let test_least_loaded_prefers_idle () =
   Util.run ~nodes:3 (fun rt ->
-      (* Burn CPU on nodes 0 and 1 so node 2 is the least loaded. *)
-      let busy node =
-        let a = A.Api.create rt ~name:"a" () in
-        A.Api.move_to rt a ~dest:node;
-        A.Api.start_invoke rt a (fun () -> Sim.Fiber.consume 50e-3)
-      in
-      let t0 = busy 0 and t1 = busy 1 in
-      A.Api.join rt t0;
-      A.Api.join rt t1;
+      (* Burn CPU on nodes 0 and 1; while the burns run, node 2 is the
+         least loaded. *)
+      let t0 = busy_on rt 0 50e-3 and t1 = busy_on rt 1 50e-3 in
+      Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 5e-3;
       let p = A.Placement.least_loaded rt in
       Alcotest.(check int) "picks node 2" 2
-        (A.Placement.assign p ~i:0 ~count:1))
+        (A.Placement.assign p ~i:0 ~count:1);
+      A.Api.join rt t0;
+      A.Api.join rt t1)
+
+let test_least_loaded_sees_freed_node () =
+  Util.run ~nodes:3 (fun rt ->
+      (* Node 2 does a lot of historical work and then frees up while
+         nodes 0 and 1 are still busy.  Instantaneous load must pick the
+         freed node; the old cumulative-busy-time metric penalized it
+         for its history and sent new work to a busy node instead. *)
+      let t2 = busy_on rt 2 30e-3 in
+      A.Api.join rt t2;
+      let t0 = busy_on rt 0 50e-3 and t1 = busy_on rt 1 50e-3 in
+      Topaz.Kthread.sleep ~engine:(A.Runtime.engine rt) 5e-3;
+      let p = A.Placement.least_loaded rt in
+      Alcotest.(check int) "freed-up node chosen" 2
+        (A.Placement.assign p ~i:0 ~count:1);
+      A.Api.join rt t0;
+      A.Api.join rt t1)
 
 let test_distribute_moves_objects () =
   Util.run ~nodes:3 (fun rt ->
@@ -87,6 +105,8 @@ let suite =
       test_random_in_range_and_deterministic;
     Alcotest.test_case "least-loaded prefers the idle node" `Quick
       test_least_loaded_prefers_idle;
+    Alcotest.test_case "least-loaded sees a freed-up node" `Quick
+      test_least_loaded_sees_freed_node;
     Alcotest.test_case "distribute moves objects" `Quick
       test_distribute_moves_objects;
     Alcotest.test_case "distribute validates assignments" `Quick

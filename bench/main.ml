@@ -729,6 +729,28 @@ let balance_measure ~balance () =
       (match lb with Some lb -> Balance.Driver.stop lb | None -> ());
       r.W.Sor_amber.compute_elapsed)
 
+(* Profiled Fig-3 run: remote-invoke latency percentiles and the share of
+   the main thread's critical path spent on the wire.  Pinning the
+   percentiles catches tail regressions that the elapsed-time metrics
+   average away; pinning the network fraction catches protocols that got
+   chattier without getting slower (yet). *)
+let profiled_sor_measure () =
+  let p = W.Sor_core.with_size W.Sor_core.default ~rows:61 ~cols:421 in
+  let box = ref None in
+  A.Cluster.run_value (A.Config.make ~nodes:4 ~cpus:4 ()) (fun rt ->
+      let prof = Scope.Profile.attach rt in
+      ignore (W.Sor_amber.run rt p ~iters:5 () : W.Sor_amber.result);
+      Scope.Profile.seal prof;
+      let lat = A.Runtime.remote_invoke_latency rt in
+      let pct q = Sim.Stats.Summary.percentile lat q *. 1e6 in
+      box :=
+        Some
+          ( pct 50.0,
+            pct 99.0,
+            Scope.Critical_path.network_frac (Scope.Profile.critical_path prof)
+          ));
+  Option.get !box
+
 let json_metrics () =
   let create, local, remote, move, start_join = table1_measure () in
   let sor_elapsed ~nodes ~cpus p iters =
@@ -755,6 +777,13 @@ let json_metrics () =
     ("readmostly_replicated_elapsed_s", rm_on.W.Read_mostly.elapsed);
     ("balance_skewed_sor_4n4p_elapsed_s", balance_measure ~balance:false ());
     ("balance_hybrid_sor_4n4p_elapsed_s", balance_measure ~balance:true ());
+  ]
+  @
+  let ri_p50, ri_p99, cp_net = profiled_sor_measure () in
+  [
+    ("remote_invoke_p50_us", ri_p50);
+    ("remote_invoke_p99_us", ri_p99);
+    ("critical_path_frac_net", cp_net);
   ]
 
 let print_json () =

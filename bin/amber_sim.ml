@@ -175,6 +175,58 @@ let run_cluster ~sanitize cfg f =
   in
   (r, status)
 
+(* --- profiling (shared by sor and the profile subcommand) ----------------- *)
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable causal span tracing and print the virtual-time profile \
+           and critical-path decomposition after the run.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the span trace as Chrome trace-event JSON (loadable in \
+           Perfetto) to $(docv).  Implies $(b,--profile).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Like [run_cluster], but optionally attach the span profiler to the main
+   thread and seal it when the workload body returns (so the measured
+   region excludes teardown). *)
+let run_profiled ~profile ~sanitize cfg f =
+  let prof_box = ref None in
+  let r, status =
+    run_cluster ~sanitize cfg (fun rt ->
+        let prof = if profile then Some (Scope.Profile.attach rt) else None in
+        prof_box := prof;
+        let r = f rt in
+        Option.iter Scope.Profile.seal prof;
+        r)
+  in
+  (r, status, !prof_box)
+
+(* Print the profile section and critical-path decomposition; export the
+   Chrome trace if [out] was given. *)
+let finish_profile ~out prof =
+  List.iter print_endline (Scope.Profile.report_lines prof);
+  Format.printf "%a" Scope.Critical_path.pp (Scope.Profile.critical_path prof);
+  match out with
+  | None -> ()
+  | Some path ->
+    let spans = Scope.Profile.spans prof in
+    write_file path
+      (Scope.Export.chrome_json ~clip:(Scope.Profile.total prof) spans);
+    Printf.printf "wrote %s (%d spans)\n" path (List.length spans)
+
 (* --- sor ---------------------------------------------------------------- *)
 
 let sor_cmd =
@@ -220,7 +272,8 @@ let sor_cmd =
              (amber only; a load-balancer stress input).")
   in
   let run nodes cpus faults seed system rows cols iters sections no_overlap
-      report skew bal sanitize =
+      report skew bal sanitize profile out =
+    let profile = profile || out <> None in
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
     let cfg = mk_config nodes cpus faults seed in
     let seq_pred = Workloads.Sor_seq.predicted_elapsed p ~iters in
@@ -229,10 +282,13 @@ let sor_cmd =
         Format.printf "@.%a" Amber.Stats_report.pp
           (Amber.Stats_report.capture rt)
     in
+    let maybe_profile prof =
+      match prof with None -> () | Some prof -> finish_profile ~out prof
+    in
     match system with
     | `Seq ->
-      let r, status =
-        run_cluster ~sanitize cfg (fun rt ->
+      let r, status, prof =
+        run_profiled ~profile ~sanitize cfg (fun rt ->
             let r = Workloads.Sor_seq.run rt p ~iters in
             maybe_report rt;
             r)
@@ -240,10 +296,11 @@ let sor_cmd =
       Printf.printf "sequential: %d iterations in %.3f virtual s (checksum %.6g)\n"
         r.Workloads.Sor_seq.iterations r.Workloads.Sor_seq.compute_elapsed
         r.Workloads.Sor_seq.checksum;
+      maybe_profile prof;
       status
     | `Amber ->
-      let r, status =
-        run_cluster ~sanitize cfg (fun rt ->
+      let r, status, prof =
+        run_profiled ~profile ~sanitize cfg (fun rt ->
             let c = Workloads.Sor_amber.default_cfg rt in
             let c =
               match sections with
@@ -271,10 +328,11 @@ let sor_cmd =
       Printf.printf "  remote invocations: %d, thread migrations: %d\n"
         r.Workloads.Sor_amber.remote_invocations
         r.Workloads.Sor_amber.thread_migrations;
+      maybe_profile prof;
       status
     | `Ivy ->
-      let r, status =
-        run_cluster ~sanitize cfg (fun rt ->
+      let r, status, prof =
+        run_profiled ~profile ~sanitize cfg (fun rt ->
             let r = Workloads.Sor_ivy.run rt p ~iters () in
             maybe_report rt;
             r)
@@ -287,13 +345,14 @@ let sor_cmd =
       Printf.printf "  faults: %d read, %d write; invalidations: %d; %d bytes\n"
         r.Workloads.Sor_ivy.read_faults r.Workloads.Sor_ivy.write_faults
         r.Workloads.Sor_ivy.invalidations r.Workloads.Sor_ivy.transfer_bytes;
+      maybe_profile prof;
       status
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ system
       $ rows $ cols $ iters $ sections $ no_overlap $ report_flag $ skew
-      $ balance_term $ sanitize_arg)
+      $ balance_term $ sanitize_arg $ profile_flag $ out_arg)
   in
   Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
     term
@@ -592,13 +651,32 @@ let trace_cmd =
             "Record sanitizer events during the run and lint the trace \
              offline with AmberSan afterwards.")
   in
-  let run nodes cpus faults seed limit category lint =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the selected records as JSON Lines on stdout (one object \
+             per record) instead of the human-readable listing.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Also collect causal spans during the run and write them to \
+             $(docv) as Chrome trace-event JSON (loadable in Perfetto).")
+  in
+  let run nodes cpus faults seed limit category lint json out =
     let cfg = mk_config nodes cpus faults seed in
     let rt_box = ref None in
     let () =
       Amber.Cluster.run_value cfg (fun rt ->
           rt_box := Some rt;
           Sim.Trace.set_enabled (Amber.Runtime.trace rt) true;
+          if out <> None then
+            Sim.Span.set_enabled (Amber.Runtime.spans rt) true;
           if lint then
             (* Record the "san" event stream without online analysis. *)
             ignore (Analysis.Ambersan.attach ~analyze:false rt : Analysis.Ambersan.t);
@@ -625,13 +703,28 @@ let trace_cmd =
         | Some c -> Sim.Trace.by_category trace c
       in
       let total = List.length records in
-      Printf.printf "protocol trace (%d records, showing up to %d):\n" total
-        limit;
-      List.iteri
-        (fun i r ->
-          if i < limit then
-            Format.printf "%a@." Sim.Trace.pp_record r)
-        records;
+      if json then
+        List.iteri
+          (fun i r ->
+            if i < limit then
+              print_endline (Scope.Export.trace_record_json r))
+          records
+      else begin
+        Printf.printf "protocol trace (%d records, showing up to %d):\n" total
+          limit;
+        List.iteri
+          (fun i r ->
+            if i < limit then
+              Format.printf "%a@." Sim.Trace.pp_record r)
+          records
+      end;
+      (match out with
+      | None -> ()
+      | Some path ->
+        let spans = Sim.Span.spans (Amber.Runtime.spans rt) in
+        write_file path (Scope.Export.chrome_json spans);
+        if not json then
+          Printf.printf "wrote %s (%d spans)\n" path (List.length spans));
       if lint then begin
         let rep = Analysis.Ambersan.lint_trace (Sim.Trace.records trace) in
         Format.printf "offline lint: %a" Analysis.Ambersan.pp_report rep;
@@ -642,11 +735,70 @@ let trace_cmd =
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ limit
-      $ category $ lint_flag)
+      $ category $ lint_flag $ json_flag $ trace_out)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a small scenario with protocol tracing enabled and dump it.")
+    term
+
+(* --- profile -------------------------------------------------------------- *)
+
+let profile_cmd =
+  let workload =
+    Arg.(
+      value
+      & pos 0 (enum [ ("sor", `Sor) ]) `Sor
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to profile (currently $(b,sor)).")
+  in
+  let rows =
+    Arg.(value & opt int 122 & info [ "rows" ] ~docv:"R" ~doc:"Grid rows.")
+  in
+  let cols =
+    Arg.(value & opt int 842 & info [ "cols" ] ~docv:"C" ~doc:"Grid columns.")
+  in
+  let iters =
+    Arg.(value & opt int 10 & info [ "iters"; "i" ] ~docv:"I" ~doc:"Iterations.")
+  in
+  let jsonl_flag =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:"Also dump every span as one JSON object per line on stdout.")
+  in
+  let run nodes cpus faults seed workload rows cols iters out jsonl =
+    let cfg = mk_config nodes cpus faults seed in
+    match workload with
+    | `Sor ->
+      let p =
+        Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols
+      in
+      let r, status, prof =
+        run_profiled ~profile:true ~sanitize:false cfg (fun rt ->
+            Workloads.Sor_amber.run rt p ~iters ())
+      in
+      let prof = Option.get prof in
+      Printf.printf "amber %dNx%dP: compute %.3f virtual s, checksum %.6g\n"
+        nodes cpus r.Workloads.Sor_amber.compute_elapsed
+        r.Workloads.Sor_amber.checksum;
+      finish_profile ~out prof;
+      if jsonl then
+        List.iter print_endline
+          (Scope.Export.spans_jsonl ~clip:(Scope.Profile.total prof)
+             (Scope.Profile.spans prof));
+      status
+  in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ workload
+      $ rows $ cols $ iters $ out_arg $ jsonl_flag)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload under the span profiler: per-operation latency \
+          summaries, per-node busy/blocked attribution and a critical-path \
+          decomposition of the main thread's elapsed time.")
     term
 
 (* --- fixture ------------------------------------------------------------- *)
@@ -703,4 +855,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; readmostly_cmd;
-            trace_cmd; fixture_cmd ]))
+            trace_cmd; profile_cmd; fixture_cmd ]))

@@ -604,7 +604,7 @@ let attach ?(analyze = true) rt =
   in
   let ev e =
     Sim.Trace.emit (Runtime.trace rt) ~time:(Runtime.now rt) ~category:"san"
-      ~detail:(lazy (Event.to_string e));
+      ~detail:(lazy (Event.to_string e)) ();
     if t.analyze then Core.feed t.core e
   in
   let tid () = Hw.Machine.tcb_id (Hw.Machine.self_exn ()) in

@@ -87,7 +87,9 @@ let do_move t o ~dest =
     :: t.moves;
   let ctrs = A.Runtime.counters rt in
   ctrs.A.Runtime.balance_moves <- ctrs.A.Runtime.balance_moves + 1;
-  A.Mobility.move_to rt o ~dest
+  Sim.Span.with_span (A.Runtime.spans rt) Sim.Span.Rebalance
+    ~label:o.A.Aobject.name ~obj:o.A.Aobject.addr ~arg:dest (fun () ->
+      A.Mobility.move_to rt o ~dest)
 
 (* --- affinity pass ------------------------------------------------------- *)
 

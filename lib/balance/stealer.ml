@@ -41,7 +41,9 @@ let grab t ~victim ~thief =
           h.A.San_hooks.on_steal ~tcb ~victim ~thief);
       let ctrs = A.Runtime.counters rt in
       ctrs.A.Runtime.threads_stolen <- ctrs.A.Runtime.threads_stolen + 1;
-      A.Runtime.migrate_thread rt ts ~dest:thief;
+      Sim.Span.with_span (A.Runtime.spans rt) Sim.Span.Steal
+        ~label:(Hw.Machine.tcb_name tcb) ~arg:thief (fun () ->
+          A.Runtime.migrate_thread rt ts ~dest:thief);
       true
 
 let tick t =

@@ -50,6 +50,13 @@ let start_invoke rt ?(name = "thread") ?(payload = 0) obj op =
 
 let join rt t =
   let c = Runtime.cost rt in
+  (* The span's [arg] names the joined thread, which lets the critical-path
+     analyzer descend into the joined timeline instead of booking the whole
+     wait as queueing. *)
+  Sim.Span.with_span (Runtime.spans rt) Sim.Span.Join_wait
+    ~label:(Hw.Machine.tcb_name t.ts.Runtime.tcb)
+    ~arg:(Hw.Machine.tcb_id t.ts.Runtime.tcb)
+  @@ fun () ->
   Sim.Fiber.consume c.Cost_model.thread_join_cpu;
   (* Join is an operation on the thread object (§3.4): locate it first —
      a thread that migrated leaves a forwarding chain, making Join on a

@@ -37,7 +37,11 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
   let addr = obj.Aobject.addr in
   let bytes = obj.Aobject.size in
   if dest = obj.Aobject.location || List.mem dest obj.Aobject.replicas then ()
-  else begin
+  else
+    Sim.Span.with_span (Runtime.spans rt) Sim.Span.Replica_install
+      ~label:obj.Aobject.name ~obj:addr ~arg:dest
+    @@ fun () ->
+    begin
     let here = Runtime.current_node rt in
     let master = Runtime.resolve_location rt ~addr in
     if dest = master then ()
@@ -158,6 +162,12 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
 let invalidate rt (obj : 'a Aobject.t) =
   let ctrs = Runtime.counters rt in
   let addr = obj.Aobject.addr in
+  let span_if_live f =
+    if obj.Aobject.replicas = [] then f ()
+    else
+      Sim.Span.with_span (Runtime.spans rt) Sim.Span.Invalidate
+        ~label:obj.Aobject.name ~obj:addr f
+  in
   let rec drain () =
     match obj.Aobject.replicas with
     | [] -> ()
@@ -189,4 +199,4 @@ let invalidate rt (obj : 'a Aobject.t) =
          set empty. *)
       drain ()
   in
-  drain ()
+  span_if_live drain

@@ -53,6 +53,13 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
      sees this thread as bound to the object. *)
   ts.Runtime.frames <-
     { Runtime.fobj = Aobject.Any obj; fmode = mode } :: ts.Runtime.frames;
+  (* Span opens optimistically as local; once settling resolves where the
+     call actually ran it is reclassified (remote / replica-served). *)
+  let spans = Runtime.spans rt in
+  let sp =
+    Sim.Span.start spans Sim.Span.Invoke_local ~label:obj.Aobject.name
+      ~obj:obj.Aobject.addr ()
+  in
   let entered_at = Runtime.now rt in
   (* Where the call was issued from — captured before settling migrates
      the thread, so the balancer's window counters attribute the
@@ -80,8 +87,12 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
       (match ts.Runtime.frames with
       | _ :: rest -> ts.Runtime.frames <- rest
       | [] -> ());
+      Sim.Span.finish spans sp;
       raise e
   in
+  if via_replica then Sim.Span.set_kind spans sp Sim.Span.Replica_read
+  else if hops > 0 then Sim.Span.set_kind spans sp Sim.Span.Invoke_remote;
+  Sim.Span.set_arg spans sp hops;
   (* The thread now sits at the master with an empty replica set.  Mark
      the write as in progress: [Coherence.install] refuses to capture a
      snapshot while [writers] is non-zero, because a capture taken while
@@ -158,11 +169,13 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
     complete_write ();
     Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
+    Sim.Span.finish spans sp;
     result
   | exception e ->
     complete_write ();
     Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
     return_path ();
+    Sim.Span.finish spans sp;
     raise e
 
 let executing_within rt obj =

@@ -153,8 +153,10 @@ let move_to rt obj ~dest =
     invalid_arg "Mobility.move_to: object is attached; move its root";
   let t0 = Runtime.now rt in
   Runtime.with_san rt (fun h -> h.San_hooks.on_move_begin ~addr:obj.Aobject.addr);
-  if obj.Aobject.immutable_ then replicate rt obj ~dest
-  else move_mutable rt obj.Aobject.addr (Aobject.Any obj) ~dest;
+  Sim.Span.with_span (Runtime.spans rt) Sim.Span.Object_move
+    ~label:obj.Aobject.name ~obj:obj.Aobject.addr ~arg:dest (fun () ->
+      if obj.Aobject.immutable_ then replicate rt obj ~dest
+      else move_mutable rt obj.Aobject.addr (Aobject.Any obj) ~dest);
   Runtime.with_san rt (fun h -> h.San_hooks.on_move_end (Aobject.Any obj));
   Sim.Stats.Summary.add (Runtime.move_latency rt) (Runtime.now rt -. t0);
   (* If the caller was bound to the moved object, force it through the

@@ -52,6 +52,7 @@ type t = {
   threads : (int, tstate) Hashtbl.t;  (* keyed by tcb id *)
   objs : (int, Aobject.any) Hashtbl.t;  (* live objects, keyed by addr *)
   trc : Sim.Trace.t;
+  spans : Sim.Span.t;
   ctrs : counters;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
@@ -86,8 +87,22 @@ let fresh_counters () =
 
 let create cfg =
   Config.validate cfg;
+  Hw.Machine.reset_tids ();
   let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
   let trc = Sim.Trace.create ~capacity:cfg.Config.trace_capacity () in
+  let spans =
+    Sim.Span.create
+      ~clock:(fun () -> Sim.Engine.now eng)
+      ~current_tid:(fun () ->
+        match Hw.Machine.self () with
+        | Some tcb -> Hw.Machine.tcb_id tcb
+        | None -> -1)
+      ~current_node:(fun () ->
+        match Hw.Machine.self () with
+        | Some tcb -> Hw.Machine.id (Hw.Machine.home tcb)
+        | None -> -1)
+      ()
+  in
   let machines =
     Array.init cfg.Config.nodes (fun id ->
         Hw.Machine.create ~engine:eng ~id ~cpus:cfg.Config.cpus_per_node
@@ -117,7 +132,7 @@ let create cfg =
     Topaz.Rpc.create ~ether:net ~tasks ~costs:cfg.Config.rpc_costs
       ~servers_per_node:cfg.Config.rpc_servers_per_node
       ~reliable:(Hw.Ethernet.faults_enabled cfg.Config.faults)
-      ~rto:cfg.Config.rpc_rto ()
+      ~rto:cfg.Config.rpc_rto ~spans ()
   in
   let server =
     Vaspace.Space_server.create ~nodes:cfg.Config.nodes
@@ -140,6 +155,7 @@ let create cfg =
       threads = Hashtbl.create 64;
       objs = Hashtbl.create 64;
       trc;
+      spans;
       ctrs = fresh_counters ();
       remote_invoke_latency = Sim.Stats.Summary.create ();
       move_latency = Sim.Stats.Summary.create ();
@@ -173,6 +189,7 @@ let engine t = t.eng
 let ether t = t.net
 let rpc t = t.rpc_fabric
 let trace t = t.trc
+let spans t = t.spans
 let nodes t = Array.length t.machines
 
 let machine t i =
@@ -201,8 +218,29 @@ let counters t = t.ctrs
 let remote_invoke_latency t = t.remote_invoke_latency
 let move_latency t = t.move_latency
 
+(* Runtime-level trace records carry the structured context (who emitted,
+   from where, under which span); raw Hw-layer emitters leave the fields
+   at -1.  All field computation is behind the enabled check. *)
 let emit t category detail =
-  Sim.Trace.emit t.trc ~time:(now t) ~category ~detail
+  if Sim.Trace.enabled t.trc then begin
+    let node, cpu, tid =
+      match Hw.Machine.self () with
+      | Some tcb ->
+        let cpu =
+          match Hw.Machine.state tcb with
+          | Hw.Machine.Running c -> c
+          | _ -> -1
+        in
+        (Hw.Machine.id (Hw.Machine.home tcb), cpu, Hw.Machine.tcb_id tcb)
+      | None -> (-1, -1, -1)
+    in
+    let span, parent =
+      let sp = Sim.Span.current t.spans in
+      if sp = 0 then (-1, -1) else (sp, Sim.Span.parent_of t.spans sp)
+    in
+    Sim.Trace.emit t.trc ~time:(now t) ~node ~cpu ~tid ~span ~parent ~category
+      ~detail ()
+  end
 
 (* --- sanitizer hooks ----------------------------------------------------- *)
 
@@ -282,11 +320,17 @@ let send_thread_packet t ts ~dest =
       (Printf.sprintf "%s: node%d -> node%d (%dB)"
          (Hw.Machine.tcb_name ts.tcb) src dest size));
   with_san t (fun h -> h.San_hooks.on_migrate ~tcb:ts.tcb ~src ~dst:dest);
+  let sp =
+    Sim.Span.start_flow t.spans Sim.Span.Thread_flight
+      ~label:(Hw.Machine.tcb_name ts.tcb)
+      ~tid:(Hw.Machine.tcb_id ts.tcb) ~arg:dest ()
+  in
   (* Thread state must survive packet loss — a dropped flight would
      strand the thread forever — so it rides the reliable datagram
      service (a plain send when faults are off). *)
   Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size ~kind:"thread"
     (fun () ->
+      Sim.Span.finish t.spans sp;
       Descriptor.set_resident (descriptors t dest) ts.taddr;
       Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
       Hw.Machine.wake ts.tcb)
@@ -376,9 +420,15 @@ let migrate_self t ?(payload = 0) ~dest () =
         (Printf.sprintf "%s: node%d -> node%d (%dB, explicit)"
            (Hw.Machine.tcb_name ts.tcb) src dest size));
     with_san t (fun h -> h.San_hooks.on_migrate ~tcb:ts.tcb ~src ~dst:dest);
+    let sp =
+      Sim.Span.start_flow t.spans Sim.Span.Thread_flight
+        ~label:(Hw.Machine.tcb_name ts.tcb)
+        ~arg:dest ()
+    in
     Sim.Fiber.block (fun wake ->
         Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size
           ~kind:"thread" (fun () ->
+            Sim.Span.finish t.spans sp;
             Descriptor.set_resident (descriptors t dest) ts.taddr;
             Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
             wake ()));
@@ -498,7 +548,23 @@ let chase t ~what ~addr ~start ~step =
   and walk node ~hops ~fallbacks ~trail =
     if hops > budget then restart ~trail:(List.rev trail) (fallbacks + 1)
     else
-      match step ~node ~hops with
+      (* The first probe at the starting node is the local fast path; every
+         later probe is one causally-nested hop of the chase. *)
+      let sp =
+        if hops > 0 || node <> start then
+          Sim.Span.start t.spans Sim.Span.Chase_hop ~label:what ~obj:addr
+            ~arg:node ()
+        else 0
+      in
+      match
+        match step ~node ~hops with
+        | v ->
+          Sim.Span.finish t.spans sp;
+          v
+        | exception e ->
+          Sim.Span.finish t.spans sp;
+          raise e
+      with
       | Found v -> v
       | Follow next ->
         if next = node then dangling ();

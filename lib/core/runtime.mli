@@ -44,6 +44,11 @@ val engine : t -> Sim.Engine.t
 val ether : t -> Hw.Ethernet.t
 val rpc : t -> Topaz.Rpc.t
 val trace : t -> Sim.Trace.t
+
+(** The causal span collector (see {!Sim.Span}); disabled by default.
+    Created before the RPC fabric so wire flights span-attribute too. *)
+val spans : t -> Sim.Span.t
+
 val nodes : t -> int
 val machine : t -> int -> Hw.Machine.t
 val task : t -> int -> Topaz.Task.t

@@ -31,7 +31,9 @@ module Lock = struct
         | Some _ ->
           (* Ownership is handed over directly by [release], so when the
              waker fires the lock is already ours. *)
-          Sim.Fiber.block (fun wake -> Queue.add (me, wake) s.waiters));
+          Sim.Span.with_span (Runtime.spans rt) Sim.Span.Lock_wait
+            ~label:t.obj.Aobject.name ~obj:t.obj.Aobject.addr (fun () ->
+              Sim.Fiber.block (fun wake -> Queue.add (me, wake) s.waiters)));
     Runtime.with_san rt (fun h ->
         h.San_hooks.on_lock_acquired ~addr:t.obj.Aobject.addr
           ~name:t.obj.Aobject.name)
@@ -196,7 +198,9 @@ module Barrier = struct
         end
         else begin
           s.arrived <- s.arrived + 1;
-          Sim.Fiber.block (fun wake -> s.wakers <- wake :: s.wakers);
+          Sim.Span.with_span (Runtime.spans rt) Sim.Span.Barrier_wait
+            ~label:t.obj.Aobject.name ~obj:addr ~arg:gen (fun () ->
+              Sim.Fiber.block (fun wake -> s.wakers <- wake :: s.wakers));
           Runtime.with_san rt (fun h ->
               h.San_hooks.on_barrier_resume ~addr ~gen)
         end)
@@ -242,8 +246,10 @@ module Condition = struct
         Sim.Fiber.consume c.Cost_model.lock_fast_cpu;
         s.queue <- s.queue @ [ cell ]);
     Lock.release rt lock;
-    Sim.Fiber.block (fun wake ->
-        if cell.signaled then wake () else cell.wake <- Some wake);
+    Sim.Span.with_span (Runtime.spans rt) Sim.Span.Cond_wait
+      ~label:t.obj.Aobject.name ~obj:t.obj.Aobject.addr (fun () ->
+        Sim.Fiber.block (fun wake ->
+            if cell.signaled then wake () else cell.wake <- Some wake));
     Runtime.with_san rt (fun h -> h.San_hooks.on_cond_wake ~token:cell.token);
     Lock.acquire rt lock
 

@@ -154,6 +154,7 @@ let inject t (p : Packet.t) ~delivery =
     let emit_fault what =
       Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~category:"fault"
         ~detail:(lazy (Format.asprintf "%s %a" what Packet.pp p))
+        ()
     in
     let delivery =
       List.fold_left
@@ -205,7 +206,8 @@ let transmit t (p : Packet.t) ~submitted ~start =
       (lazy
         (Format.asprintf "%a queued=%.0fus tx=%.0fus" Packet.pp p
            ((start -. submitted) *. 1e6)
-           (tx *. 1e6)));
+           (tx *. 1e6)))
+    ();
   inject t p ~delivery;
   delivery
 

@@ -61,6 +61,11 @@ and t = {
 
 let tid_counter = ref 0
 
+(* Restart thread-id assignment for a fresh cluster.  Tids are embedded in
+   span traces and exports; without the reset they would depend on how
+   many clusters the hosting process ran before this one. *)
+let reset_tids () = tid_counter := 0
+
 (* The thread whose fiber is executing right now.  The simulator is
    single-threaded and fibers run to their next pause within one event, so
    a single slot suffices. *)
@@ -135,7 +140,7 @@ let self_exn () =
 let self_machine () = (self_exn ()).machine
 
 let trace m category detail =
-  Sim.Trace.emit m.trace ~time:(Sim.Engine.now m.eng) ~category ~detail
+  Sim.Trace.emit m.trace ~time:(Sim.Engine.now m.eng) ~category ~detail ()
 
 (* --- dispatching ------------------------------------------------------- *)
 

@@ -60,6 +60,13 @@ val policy_name : t -> string
 val spawn : t -> name:string -> ?priority:int -> (unit -> unit) -> tcb
 
 val tcb_id : tcb -> int
+
+val reset_tids : unit -> unit
+(** Restart thread-id assignment at 1.  Call when bringing up a fresh
+    cluster so tids — which appear in span traces and exports — are a
+    deterministic function of the run, not of how many clusters the
+    hosting process created before it. *)
+
 val tcb_name : tcb -> string
 val state : tcb -> thread_state
 val home : tcb -> t

@@ -1,0 +1,165 @@
+type component = Compute | Network | Queueing | Coherence
+
+let component_of_kind = function
+  | Sim.Span.Thread_flight | Sim.Span.Net_flight | Sim.Span.Rpc_call ->
+      Network
+  | Sim.Span.Lock_wait | Sim.Span.Cond_wait | Sim.Span.Barrier_wait
+  | Sim.Span.Join_wait ->
+      Queueing
+  | Sim.Span.Chase_hop | Sim.Span.Object_move | Sim.Span.Replica_install
+  | Sim.Span.Invalidate ->
+      Coherence
+  | Sim.Span.Invoke_local | Sim.Span.Invoke_remote | Sim.Span.Replica_read
+  | Sim.Span.Rpc_server | Sim.Span.Steal | Sim.Span.Rebalance ->
+      Compute
+
+type report = {
+  total : float;
+  compute : float;
+  network : float;
+  queueing : float;
+  coherence : float;
+  contributors : (string * float) list;
+}
+
+let network_frac r = if r.total > 0.0 then r.network /. r.total else 0.0
+
+(* Shared indexing: children per parent id and top-level spans per tid,
+   both in start order. *)
+let index spans =
+  let children = Hashtbl.create 256 in
+  let tops = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Sim.Span.span) ->
+      let tbl, key =
+        if s.parent = 0 then (tops, s.tid) else (children, s.parent)
+      in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key (s :: prev))
+    spans;
+  let rev tbl =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+    List.iter (fun k -> Hashtbl.replace tbl k (List.rev (Hashtbl.find tbl k))) keys
+  in
+  rev children;
+  rev tops;
+  let children_of id = try Hashtbl.find children id with Not_found -> [] in
+  let tops_of tid = try Hashtbl.find tops tid with Not_found -> [] in
+  (children_of, tops_of)
+
+let span_key (s : Sim.Span.span) =
+  if s.label = "" then Sim.Span.kind_name s.kind
+  else Sim.Span.kind_name s.kind ^ ":" ^ s.label
+
+let max_descent = 64
+
+let analyze ~spans ~main_tid ~total =
+  let children_of, tops_of = index spans in
+  let clip_end (s : Sim.Span.span) =
+    if s.t1 < 0.0 then total else Float.min s.t1 total
+  in
+  let compute = ref 0.0
+  and network = ref 0.0
+  and queueing = ref 0.0
+  and coherence = ref 0.0 in
+  let contrib : (string, float ref) Hashtbl.t = Hashtbl.create 64 in
+  let book key comp d =
+    (match comp with
+    | Compute -> compute := !compute +. d
+    | Network -> network := !network +. d
+    | Queueing -> queueing := !queueing +. d
+    | Coherence -> coherence := !coherence +. d);
+    match Hashtbl.find_opt contrib key with
+    | Some r -> r := !r +. d
+    | None -> Hashtbl.replace contrib key (ref d)
+  in
+  (* Sweep a window [a, b) over an ordered span list: account each span
+     over its clipped sub-window (overlaps collapse onto the earlier
+     sibling) and hand the uncovered gaps to [gap]. *)
+  let rec sweep ~depth ~visiting ~gap items a b =
+    let cursor = ref a in
+    List.iter
+      (fun (s : Sim.Span.span) ->
+        let s1 = Float.min (clip_end s) b in
+        if s1 > !cursor && s.t0 < b then begin
+          let s0 = Float.max s.t0 !cursor in
+          if s0 > !cursor then gap !cursor s0;
+          account ~depth ~visiting s s0 s1;
+          cursor := s1
+        end)
+      items;
+    if b > !cursor then gap !cursor b
+  and account ~depth ~visiting (s : Sim.Span.span) a b =
+    (* Book [a, b) to span [s]: children recurse, self time goes to the
+       span's component — except a Join_wait, whose self time descends
+       into the joined thread's concurrent timeline. *)
+    let self x y =
+      if x < y then
+        match s.kind with
+        | Sim.Span.Join_wait
+          when s.arg >= 0 && depth < max_descent
+               && not (List.mem s.arg visiting) ->
+            timeline ~depth:(depth + 1) ~visiting:(s.arg :: visiting) s.arg x y
+        | k -> book (span_key s) (component_of_kind k) (y -. x)
+    in
+    sweep ~depth ~visiting ~gap:self (children_of s.id) a b
+  and timeline ~depth ~visiting tid a b =
+    (* Uncovered time on a thread's own timeline is compute: the thread
+       was running (or runnable) outside any instrumented operation. *)
+    let gap x y = book "compute" Compute (y -. x) in
+    sweep ~depth ~visiting ~gap (tops_of tid) a b
+  in
+  timeline ~depth:0 ~visiting:[ main_tid ] main_tid 0.0 total;
+  let contributors =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) contrib []
+    |> List.sort (fun (ka, a) (kb, b) ->
+           match compare b a with 0 -> compare ka kb | c -> c)
+  in
+  {
+    total;
+    compute = !compute;
+    network = !network;
+    queueing = !queueing;
+    coherence = !coherence;
+    contributors;
+  }
+
+let exclusive_times ~spans ~total =
+  let children_of, _ = index spans in
+  let clip_end (s : Sim.Span.span) =
+    if s.t1 < 0.0 then total else Float.min s.t1 total
+  in
+  List.map
+    (fun (s : Sim.Span.span) ->
+      let a = s.t0 and b = clip_end s in
+      let covered = ref 0.0 in
+      let cursor = ref a in
+      List.iter
+        (fun (k : Sim.Span.span) ->
+          let k1 = Float.min (clip_end k) b in
+          if k1 > !cursor && k.t0 < b then begin
+            let k0 = Float.max k.t0 !cursor in
+            covered := !covered +. (k1 -. k0);
+            cursor := k1
+          end)
+        (children_of s.id);
+      (s, Float.max 0.0 (b -. a -. !covered)))
+    spans
+
+let pp ppf r =
+  let pct v = if r.total > 0.0 then 100.0 *. v /. r.total else 0.0 in
+  Format.fprintf ppf "critical path over %.6fs of the main timeline:@." r.total;
+  let line name v =
+    Format.fprintf ppf "  %-10s %10.6fs  %5.1f%%@." name v (pct v)
+  in
+  line "compute" r.compute;
+  line "network" r.network;
+  line "queueing" r.queueing;
+  line "coherence" r.coherence;
+  let top = List.filteri (fun i _ -> i < 8) r.contributors in
+  if top <> [] then begin
+    Format.fprintf ppf "  top contributors:@.";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "    %-28s %10.6fs@." k v)
+      top
+  end

@@ -1,0 +1,20 @@
+(** Exporters for span traces and structured trace records.
+
+    [chrome_json] emits Chrome trace-event format (the JSON object form
+    with a ["traceEvents"] array), loadable in Perfetto / chrome://tracing:
+    one complete ("X") event per span with [pid] = node and [tid] = TCB id,
+    microsecond timestamps, and a flow arrow ("s"/"f" pair) for every
+    cross-node flight so remote operations draw as arcs between node
+    tracks.  [args] carries the span id, parent id, object address and the
+    kind-specific argument, which is what the CI nesting validator checks.
+
+    [spans_jsonl] / [trace_record_json] are the line-oriented dumps for ad
+    hoc tooling: one self-contained JSON object per line. *)
+
+val chrome_json : ?clip:float -> Sim.Span.span list -> string
+(** [clip] closes still-open spans at that time (defaults to the latest
+    timestamp seen in the list). *)
+
+val spans_jsonl : ?clip:float -> Sim.Span.span list -> string list
+
+val trace_record_json : Sim.Trace.record -> string

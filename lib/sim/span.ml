@@ -1,0 +1,237 @@
+type kind =
+  | Invoke_local
+  | Invoke_remote
+  | Replica_read
+  | Chase_hop
+  | Thread_flight
+  | Net_flight
+  | Rpc_call
+  | Rpc_server
+  | Object_move
+  | Replica_install
+  | Invalidate
+  | Lock_wait
+  | Cond_wait
+  | Barrier_wait
+  | Join_wait
+  | Steal
+  | Rebalance
+
+let kind_name = function
+  | Invoke_local -> "invoke.local"
+  | Invoke_remote -> "invoke.remote"
+  | Replica_read -> "invoke.replica"
+  | Chase_hop -> "chase.hop"
+  | Thread_flight -> "net.thread_flight"
+  | Net_flight -> "net.flight"
+  | Rpc_call -> "rpc.call"
+  | Rpc_server -> "rpc.server"
+  | Object_move -> "move.object"
+  | Replica_install -> "coherence.install"
+  | Invalidate -> "coherence.invalidate"
+  | Lock_wait -> "wait.lock"
+  | Cond_wait -> "wait.cond"
+  | Barrier_wait -> "wait.barrier"
+  | Join_wait -> "wait.join"
+  | Steal -> "balance.steal"
+  | Rebalance -> "balance.move"
+
+type span = {
+  id : int;
+  parent : int;
+  async : bool;
+      (* detached from the parent's interval: a wire flight or a one-way
+         message handler, causally linked but not temporally contained *)
+  mutable kind : kind;
+  label : string;
+  node : int;
+  tid : int;
+  obj : int;
+  mutable arg : int;
+  t0 : float;
+  mutable t1 : float;
+}
+
+type t = {
+  clock : unit -> float;
+  current_tid : unit -> int;
+  current_node : unit -> int;
+  mutable enabled : bool;
+  mutable buf : span array;  (* spans in start order; ids are 1-based *)
+  mutable n : int;
+  stacks : (int, int list ref) Hashtbl.t;  (* tid -> open span ids *)
+}
+
+let dummy =
+  {
+    id = 0;
+    parent = 0;
+    async = false;
+    kind = Invoke_local;
+    label = "";
+    node = -1;
+    tid = -1;
+    obj = -1;
+    arg = -1;
+    t0 = 0.0;
+    t1 = 0.0;
+  }
+
+let create ~clock ~current_tid ~current_node () =
+  {
+    clock;
+    current_tid;
+    current_node;
+    enabled = false;
+    buf = [||];
+    n = 0;
+    stacks = Hashtbl.create 64;
+  }
+
+let disabled_instance =
+  lazy
+    (create
+       ~clock:(fun () -> 0.0)
+       ~current_tid:(fun () -> -1)
+       ~current_node:(fun () -> -1)
+       ())
+
+let disabled () = Lazy.force disabled_instance
+let set_enabled t flag = t.enabled <- flag
+let enabled t = t.enabled
+
+let stack t tid =
+  match Hashtbl.find_opt t.stacks tid with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace t.stacks tid s;
+      s
+
+let find t id = if id >= 1 && id <= t.n then Some t.buf.(id - 1) else None
+
+let append t s =
+  if t.n >= Array.length t.buf then begin
+    let cap = Stdlib.max 256 (2 * Array.length t.buf) in
+    let bigger = Array.make cap dummy in
+    Array.blit t.buf 0 bigger 0 t.n;
+    t.buf <- bigger
+  end;
+  t.buf.(t.n) <- s;
+  t.n <- t.n + 1
+
+let start t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?(async = false) ?parent
+    () =
+  if not t.enabled then 0
+  else begin
+    let tid = t.current_tid () in
+    let st = stack t tid in
+    let parent =
+      match parent with
+      | Some p -> p
+      | None -> ( match !st with [] -> 0 | p :: _ -> p)
+    in
+    let id = t.n + 1 in
+    append t
+      {
+        id;
+        parent;
+        async;
+        kind;
+        label;
+        node = t.current_node ();
+        tid;
+        obj;
+        arg;
+        t0 = t.clock ();
+        t1 = -1.0;
+      };
+    st := id :: !st;
+    id
+  end
+
+let start_flow t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?tid ?parent () =
+  if not t.enabled then 0
+  else begin
+    let tid = match tid with Some v -> v | None -> t.current_tid () in
+    let parent =
+      match parent with
+      | Some p -> p
+      | None -> ( match !(stack t tid) with [] -> 0 | p :: _ -> p)
+    in
+    let id = t.n + 1 in
+    append t
+      {
+        id;
+        parent;
+        async = true;
+        kind;
+        label;
+        node = t.current_node ();
+        tid;
+        obj;
+        arg;
+        t0 = t.clock ();
+        t1 = -1.0;
+      };
+    id
+  end
+
+let finish t id =
+  if id > 0 then
+    match find t id with
+    | None -> ()
+    | Some s ->
+        if s.t1 < 0.0 then begin
+          s.t1 <- t.clock ();
+          (* Pop it (and anything opened above it that an exception
+             unwound past) off its thread's stack; flow spans are never
+             on a stack, so this is a no-op for them. *)
+          let st = stack t s.tid in
+          if List.mem id !st then begin
+            let rec pop = function
+              | [] -> []
+              | x :: rest -> if x = id then rest else pop rest
+            in
+            st := pop !st
+          end
+        end
+
+let set_kind t id kind =
+  if id > 0 then match find t id with Some s -> s.kind <- kind | None -> ()
+
+let set_arg t id arg =
+  if id > 0 then match find t id with Some s -> s.arg <- arg | None -> ()
+
+let with_span t kind ?label ?obj ?arg f =
+  let id = start t kind ?label ?obj ?arg () in
+  match f () with
+  | v ->
+      finish t id;
+      v
+  | exception e ->
+      finish t id;
+      raise e
+
+let current t =
+  if not t.enabled then 0
+  else
+    match Hashtbl.find_opt t.stacks (t.current_tid ()) with
+    | Some { contents = p :: _ } -> p
+    | _ -> 0
+
+let parent_of t id = match find t id with Some s -> s.parent | None -> 0
+
+let spans t =
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    out := t.buf.(i) :: !out
+  done;
+  !out
+
+let count t = t.n
+
+let clear t =
+  t.buf <- [||];
+  t.n <- 0;
+  Hashtbl.reset t.stacks

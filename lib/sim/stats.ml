@@ -28,9 +28,14 @@ module Summary = struct
     mutable samples : float array;
     mutable sample_count : int;
     mutable sorted : bool;
+    reservoir : int;
+    mutable rstate : int64;
   }
 
-  let create () =
+  let default_reservoir = 2048
+
+  let create ?(reservoir = default_reservoir) () =
+    if reservoir <= 0 then invalid_arg "Summary.create: reservoir";
     {
       n = 0;
       mean = 0.0;
@@ -41,7 +46,26 @@ module Summary = struct
       samples = [||];
       sample_count = 0;
       sorted = true;
+      reservoir;
+      rstate = 0x1234_5678_9ABC_DEF0L;
     }
+
+  (* Private splitmix64 stream, seeded from a constant and advanced once
+     per overflowing [add]: a pure function of the add sequence, so
+     percentiles stay seed-reproducible and no engine RNG is drawn. *)
+  let rand_below t bound =
+    t.rstate <- Int64.add t.rstate 0x9E3779B97F4A7C15L;
+    let z = t.rstate in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
 
   let add t x =
     t.n <- t.n + 1;
@@ -51,15 +75,26 @@ module Summary = struct
     if x < t.min then t.min <- x;
     if x > t.max then t.max <- x;
     t.total <- t.total +. x;
-    if t.sample_count >= Array.length t.samples then begin
-      let cap = max 64 (2 * Array.length t.samples) in
-      let bigger = Array.make cap 0.0 in
-      Array.blit t.samples 0 bigger 0 t.sample_count;
-      t.samples <- bigger
-    end;
-    t.samples.(t.sample_count) <- x;
-    t.sample_count <- t.sample_count + 1;
-    t.sorted <- false
+    if t.sample_count < t.reservoir then begin
+      if t.sample_count >= Array.length t.samples then begin
+        let cap = min t.reservoir (max 64 (2 * Array.length t.samples)) in
+        let bigger = Array.make cap 0.0 in
+        Array.blit t.samples 0 bigger 0 t.sample_count;
+        t.samples <- bigger
+      end;
+      t.samples.(t.sample_count) <- x;
+      t.sample_count <- t.sample_count + 1;
+      t.sorted <- false
+    end
+    else begin
+      (* Algorithm R: the reservoir is full; keep the new sample with
+         probability reservoir/n, evicting a uniformly-chosen slot. *)
+      let j = rand_below t t.n in
+      if j < t.reservoir then begin
+        t.samples.(j) <- x;
+        t.sorted <- false
+      end
+    end
 
   let count t = t.n
   let mean t = t.mean
@@ -68,6 +103,8 @@ module Summary = struct
   let min t = t.min
   let max t = t.max
   let total t = t.total
+  let retained t = t.sample_count
+  let capacity t = t.reservoir
 
   let percentile t p =
     if t.n = 0 then invalid_arg "Summary.percentile: empty";

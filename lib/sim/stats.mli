@@ -19,12 +19,22 @@ module Counter : sig
   val pp : Format.formatter -> t -> unit
 end
 
-(** Welford-style mean/variance accumulator that also retains samples for
-    percentile queries. *)
+(** Welford-style mean/variance accumulator that also retains a bounded
+    sample reservoir for percentile queries.
+
+    Count, mean, variance, min, max and total are always exact.
+    Percentiles are exact while at most [reservoir] samples have been
+    added (the default keeps 2048); past that, the retained set is a
+    uniform reservoir (Vitter's Algorithm R) driven by a private
+    splitmix64 stream seeded from a constant — a deterministic function
+    of the add sequence, drawing nothing from [Random] or the simulation
+    RNG — so memory stays bounded and runs stay seed-reproducible. *)
 module Summary : sig
   type t
 
-  val create : unit -> t
+  val create : ?reservoir:int -> unit -> t
+  (** Raises [Invalid_argument] when [reservoir <= 0]. *)
+
   val add : t -> float -> unit
   val count : t -> int
   val mean : t -> float
@@ -37,9 +47,17 @@ module Summary : sig
   val max : t -> float
   val total : t -> float
 
+  (** Number of samples currently retained for percentile queries
+      (= [count] until the reservoir fills). *)
+  val retained : t -> int
+
+  (** Reservoir capacity this summary was created with. *)
+  val capacity : t -> int
+
   (** [percentile t p] with [p] in [\[0, 100\]], by nearest-rank on the
-      sorted retained samples.  Raises [Invalid_argument] on an empty
-      summary or out-of-range [p]. *)
+      sorted retained samples (exact until the reservoir overflows, an
+      estimate after).  Raises [Invalid_argument] on an empty summary or
+      out-of-range [p]. *)
   val percentile : t -> float -> float
 
   val pp : Format.formatter -> t -> unit

@@ -1,4 +1,14 @@
-type record = { time : float; category : string; detail : string }
+type record = {
+  time : float;
+  category : string;
+  detail : string;
+  node : int;
+  cpu : int;
+  tid : int;
+  obj : int;
+  span : int;
+  parent : int;
+}
 
 type t = {
   mutable enabled : bool;
@@ -16,9 +26,22 @@ let create ?(capacity = 4096) () =
 let set_enabled t flag = t.enabled <- flag
 let enabled t = t.enabled
 
-let emit t ~time ~category ~detail =
+let emit t ~time ?(node = -1) ?(cpu = -1) ?(tid = -1) ?(obj = -1) ?(span = -1)
+    ?(parent = -1) ~category ~detail () =
   if t.enabled then begin
-    t.buf.(t.next) <- Some { time; category; detail = Lazy.force detail };
+    t.buf.(t.next) <-
+      Some
+        {
+          time;
+          category;
+          detail = Lazy.force detail;
+          node;
+          cpu;
+          tid;
+          obj;
+          span;
+          parent;
+        };
     t.next <- (t.next + 1) mod t.capacity;
     t.count <- t.count + 1
   end
@@ -45,6 +68,24 @@ let clear t =
   t.count <- 0
 
 let length t = min t.count t.capacity
+let dropped t = max 0 (t.count - t.capacity)
 
 let pp_record ppf r =
-  Format.fprintf ppf "[%.6f] %-8s %s" r.time r.category r.detail
+  Format.fprintf ppf "[%.6f] %-8s %s" r.time r.category r.detail;
+  if r.node >= 0 || r.tid >= 0 || r.span >= 0 then begin
+    Format.fprintf ppf "  (";
+    let sep = ref "" in
+    let field name v =
+      if v >= 0 then begin
+        Format.fprintf ppf "%s%s%d" !sep name v;
+        sep := " "
+      end
+    in
+    field "n" r.node;
+    field "c" r.cpu;
+    field "t" r.tid;
+    field "o" r.obj;
+    field "s" r.span;
+    field "p" r.parent;
+    Format.fprintf ppf ")"
+  end

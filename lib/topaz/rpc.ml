@@ -63,6 +63,7 @@ type t = {
   mutable seq : int;
   call_state : (int, call_progress) Hashtbl.t;
   delivered : (int, unit) Hashtbl.t;  (* one-way datagrams already executed *)
+  spans : Sim.Span.t;
   mutable calls : int;
   mutable posts : int;
 }
@@ -83,7 +84,7 @@ let enqueue_work ep work =
     wake ()
 
 let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
-    ?(reliable = false) ?(rto = 25e-3) () =
+    ?(reliable = false) ?(rto = 25e-3) ?(spans = Sim.Span.disabled ()) () =
   if rto <= 0.0 then invalid_arg "Rpc.create: rto must be positive";
   let endpoints =
     Array.map
@@ -110,6 +111,7 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
     seq = 0;
     call_state = Hashtbl.create 256;
     delivered = Hashtbl.create 256;
+    spans;
     calls = 0;
     posts = 0;
   }
@@ -215,16 +217,32 @@ let call t ~dst ~kind ~req_size ~work =
     result
   end
   else if not t.reliable then begin
+    let csp = Sim.Span.start t.spans Sim.Span.Rpc_call ~label:kind ~arg:dst () in
     Sim.Fiber.consume (send_side_cpu t req_size);
     let result = ref None in
+    let fsp =
+      Sim.Span.start_flow t.spans Sim.Span.Net_flight ~label:kind ~parent:csp
+        ~arg:dst ()
+    in
     Sim.Fiber.block (fun wake ->
         let deliver_request () =
+          Sim.Span.finish t.spans fsp;
           enqueue_work (endpoint t dst) (fun () ->
               (* Runs in a server fiber on [dst]. *)
               Sim.Fiber.consume (recv_side_cpu t req_size +. t.c.dispatch_cpu);
+              let ssp =
+                Sim.Span.start t.spans Sim.Span.Rpc_server ~label:kind
+                  ~parent:csp ()
+              in
               let reply_size, value = work () in
               Sim.Fiber.consume (send_side_cpu t reply_size);
+              Sim.Span.finish t.spans ssp;
+              let rsp =
+                Sim.Span.start_flow t.spans Sim.Span.Net_flight
+                  ~label:(kind ^ "-reply") ~parent:csp ~arg:src ()
+              in
               let deliver_reply () =
+                Sim.Span.finish t.spans rsp;
                 result := Some value;
                 wake ()
               in
@@ -240,6 +258,7 @@ let call t ~dst ~kind ~req_size ~work =
             : float));
     (* Back on the caller: unmarshal the reply. *)
     Sim.Fiber.consume (recv_side_cpu t 0);
+    Sim.Span.finish t.spans csp;
     match !result with
     | Some v -> v
     | None -> assert false
@@ -252,10 +271,18 @@ let call t ~dst ~kind ~req_size ~work =
        the work executes is suppressed, and one arriving after the reply
        went out retransmits the recorded reply.  The client suppresses
        duplicate replies, so side effects happen exactly once. *)
+    let csp = Sim.Span.start t.spans Sim.Span.Rpc_call ~label:kind ~arg:dst () in
     Sim.Fiber.consume (send_side_cpu t req_size);
     let eng = Hw.Ethernet.engine t.ether in
     let seq = next_seq t in
     let result = ref None in
+    (* One flight span per wire leg, first send to first delivery; finish
+       is idempotent, so retransmits and duplicates leave it alone. *)
+    let fsp =
+      Sim.Span.start_flow t.spans Sim.Span.Net_flight ~label:kind ~parent:csp
+        ~arg:dst ()
+    in
+    let rsp = ref 0 in
     Sim.Fiber.block (fun wake ->
         let completed = ref false in
         let timer = ref None in
@@ -268,6 +295,7 @@ let call t ~dst ~kind ~req_size ~work =
           | None -> ()
         in
         let deliver_reply value () =
+          Sim.Span.finish t.spans !rsp;
           if !completed then Sim.Stats.Counter.incr t.rel.dup_replies
           else begin
             completed := true;
@@ -277,6 +305,7 @@ let call t ~dst ~kind ~req_size ~work =
           end
         in
         let deliver_request () =
+          Sim.Span.finish t.spans fsp;
           match Hashtbl.find_opt t.call_state seq with
           | Some Started -> Sim.Stats.Counter.incr t.rel.dup_requests
           | Some (Answered resend) ->
@@ -289,8 +318,16 @@ let call t ~dst ~kind ~req_size ~work =
                 (* Runs in a server fiber on [dst]. *)
                 Sim.Fiber.consume
                   (recv_side_cpu t req_size +. t.c.dispatch_cpu);
+                let ssp =
+                  Sim.Span.start t.spans Sim.Span.Rpc_server ~label:kind
+                    ~parent:csp ()
+                in
                 let reply_size, value = work () in
                 Sim.Fiber.consume (send_side_cpu t reply_size);
+                Sim.Span.finish t.spans ssp;
+                rsp :=
+                  Sim.Span.start_flow t.spans Sim.Span.Net_flight
+                    ~label:(kind ^ "-reply") ~parent:csp ~arg:src ();
                 let send_reply () =
                   ignore
                     (Hw.Ethernet.send t.ether
@@ -324,6 +361,7 @@ let call t ~dst ~kind ~req_size ~work =
         send_request ());
     (* Back on the caller: unmarshal the reply. *)
     Sim.Fiber.consume (recv_side_cpu t 0);
+    Sim.Span.finish t.spans csp;
     match !result with
     | Some v -> v
     | None -> assert false
@@ -335,11 +373,30 @@ let post t ~src ~dst ~kind ~size handler =
     enqueue_work (endpoint t dst) (fun () ->
         Sim.Fiber.consume t.c.dispatch_cpu;
         handler ())
-  else
+  else begin
+    (* Both the wire leg and the remote handler parent to whatever span
+       the poster had open (0 when posted from a timer event), keeping the
+       handler's nested spans causally attached to the decision that
+       posted it. *)
+    let parent = Sim.Span.current t.spans in
+    let fsp =
+      Sim.Span.start_flow t.spans Sim.Span.Net_flight ~label:kind ~parent
+        ~arg:dst ()
+    in
     send_reliable t ~src ~dst ~size ~kind (fun () ->
+        Sim.Span.finish t.spans fsp;
         enqueue_work (endpoint t dst) (fun () ->
             Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
-            handler ()))
+            let ssp =
+              Sim.Span.start t.spans Sim.Span.Rpc_server ~label:kind
+                ~async:true ~parent ()
+            in
+            match handler () with
+            | () -> Sim.Span.finish t.spans ssp
+            | exception e ->
+              Sim.Span.finish t.spans ssp;
+              raise e))
+  end
 
 let calls_made t = t.calls
 let posts_made t = t.posts

@@ -73,6 +73,9 @@ val create :
   (* default false *)
   ?rto:float ->
   (* initial retransmission timeout, default 25 ms *)
+  ?spans:Sim.Span.t ->
+  (* span collector for causal tracing of calls, server work and wire
+     flights; defaults to a disabled collector (zero cost) *)
   unit ->
   t
 

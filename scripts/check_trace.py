@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace-event JSON span trace.
+
+Checks:
+  1. the file parses as JSON and has a non-empty traceEvents array;
+  2. every synchronous span's interval nests within its parent's interval
+     (spans exported with args.async are causally linked wire flights and
+     one-way-post handlers that legitimately outlive their origin);
+  3. every remote-invoke span has a net-flight descendant (the wire leg
+     that carried the invocation).
+
+Exit 0 on success, 1 on any violation.
+"""
+
+import json
+import sys
+
+# ts/dur are printed with microsecond %.3f precision, so a child's rounded
+# endpoint can exceed its parent's by a few nanoseconds.
+EPS_US = 0.01
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    spans = {}
+    for e in events:
+        if e.get("ph") == "X":
+            sid = e["args"]["span"]
+            spans[sid] = {
+                "id": sid,
+                "parent": e["args"]["parent"],
+                "async": e["args"].get("async", False),
+                "t0": e["ts"],
+                "t1": e["ts"] + e["dur"],
+                "name": e["name"],
+                "cat": e.get("cat", ""),
+            }
+    if not spans:
+        print("no spans in trace", file=sys.stderr)
+        return 1
+
+    bad = 0
+    children = {}
+    for s in spans.values():
+        children.setdefault(s["parent"], []).append(s["id"])
+        p = spans.get(s["parent"])
+        if p is None or s["async"]:
+            continue
+        if s["t0"] < p["t0"] - EPS_US or s["t1"] > p["t1"] + EPS_US:
+            print(
+                f"span {s['id']} ({s['name']}) [{s['t0']:.3f},{s['t1']:.3f}] "
+                f"escapes parent {p['id']} ({p['name']}) "
+                f"[{p['t0']:.3f},{p['t1']:.3f}]",
+                file=sys.stderr,
+            )
+            bad += 1
+
+    def has_net_descendant(sid):
+        stack = list(children.get(sid, []))
+        while stack:
+            c = stack.pop()
+            if spans[c]["cat"] == "net":
+                return True
+            stack.extend(children.get(c, []))
+        return False
+
+    remotes = [s for s in spans.values() if s["name"].startswith("invoke.remote")]
+    for s in remotes:
+        if not has_net_descendant(s["id"]):
+            print(
+                f"remote invoke span {s['id']} has no net-flight descendant",
+                file=sys.stderr,
+            )
+            bad += 1
+
+    print(
+        f"checked {len(spans)} spans ({len(remotes)} remote invokes): "
+        + ("OK" if bad == 0 else f"{bad} violations")
+    )
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "trace.json"))

@@ -89,6 +89,62 @@ let test_read_mostly_sweep () = sweep "read-mostly" read_mostly_digest
 let test_balanced_sor_sweep () =
   sweep "skewed sor + hybrid balancing" balanced_sor_digest
 
+(* With profiling on, the span forest itself is part of the deterministic
+   surface: ids, parents, kinds, attribution and timestamps must all
+   reproduce run-to-run. *)
+let span_digest seed =
+  let cfg = A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed) () in
+  let buf = Buffer.create 4096 in
+  A.Cluster.run_value cfg (fun rt ->
+      Sim.Span.set_enabled (A.Runtime.spans rt) true;
+      ignore
+        (Workloads.Fixtures.racy_counter rt ~threads:4 ~increments:10
+          : Workloads.Fixtures.result);
+      List.iter
+        (fun (s : Sim.Span.span) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d %d %b %s %s %d %d %d %d %.9f %.9f\n" s.id
+               s.parent s.async (Sim.Span.kind_name s.kind) s.label s.node
+               s.tid s.obj s.arg s.t0 s.t1))
+        (Sim.Span.spans (A.Runtime.spans rt)));
+  Digest.string (Buffer.contents buf)
+
+let test_span_sweep () = sweep "span trace" span_digest
+
+(* Profiling must not perturb the simulation: the base report of a
+   profiled run is byte-identical to an unprofiled one (the profiler only
+   adds its own "profile" section to [extra], stripped here). *)
+let base_report ~profile seed =
+  let cfg =
+    A.Config.make ~nodes:3 ~cpus:2 ~seed:(Int64.of_int seed) ~faults ()
+  in
+  let text = ref "" in
+  A.Cluster.run_value cfg (fun rt ->
+      if profile then ignore (Scope.Profile.attach rt : Scope.Profile.t);
+      ignore
+        (Workloads.Read_mostly.run rt
+           {
+             Workloads.Read_mostly.objects = 3;
+             readers_per_node = 2;
+             reads_per_reader = 12;
+             write_every = 6;
+             replicate = true;
+           }
+          : Workloads.Read_mostly.result);
+      let r = A.Stats_report.capture rt in
+      let r = { r with A.Stats_report.extra = [] } in
+      text := Format.asprintf "%a" A.Stats_report.pp r);
+  !text
+
+let test_profiling_transparent () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d base report unchanged by profiling" seed)
+        (base_report ~profile:false seed)
+        (base_report ~profile:true seed))
+    [ 7; 42; 31337 ]
+
 let suite =
   [
     Alcotest.test_case "racy fixture reports reproducible over 10 seeds"
@@ -99,4 +155,8 @@ let suite =
     Alcotest.test_case
       "skewed sor under hybrid balancing reproducible over 10 seeds" `Quick
       test_balanced_sor_sweep;
+    Alcotest.test_case "span traces reproducible over 10 seeds" `Quick
+      test_span_sweep;
+    Alcotest.test_case "profiling leaves the base report byte-identical"
+      `Quick test_profiling_transparent;
   ]

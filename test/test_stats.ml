@@ -49,6 +49,57 @@ let prop_mean_matches_naive =
       Float.abs (Sim.Stats.Summary.mean s -. naive)
       <= 1e-6 *. (1.0 +. Float.abs naive))
 
+(* Reservoir regression: the percentile sample set must stay bounded no
+   matter how many values stream in, while count/mean/min/max remain
+   exact. *)
+let test_reservoir_bounded () =
+  let cap = 128 in
+  let s = Sim.Stats.Summary.create ~reservoir:cap () in
+  for i = 1 to 100_000 do
+    Sim.Stats.Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "capacity" cap (Sim.Stats.Summary.capacity s);
+  Alcotest.(check bool) "retained bounded" true
+    (Sim.Stats.Summary.retained s <= cap);
+  Alcotest.(check int) "exact count" 100_000 (Sim.Stats.Summary.count s);
+  feq "exact mean" 50000.5 (Sim.Stats.Summary.mean s);
+  feq "exact min" 1.0 (Sim.Stats.Summary.min s);
+  feq "exact max" 100000.0 (Sim.Stats.Summary.max s);
+  (* Sampled percentiles stay plausible: the p50 of 1..100k drawn from a
+     uniform reservoir of 128 lies well inside the central half. *)
+  let p50 = Sim.Stats.Summary.percentile s 50.0 in
+  Alcotest.(check bool) "sampled p50 sane" true (p50 > 25_000.0 && p50 < 75_000.0)
+
+let test_reservoir_exact_until_full () =
+  let s = Sim.Stats.Summary.create ~reservoir:64 () in
+  for i = 64 downto 1 do
+    Sim.Stats.Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "all retained" 64 (Sim.Stats.Summary.retained s);
+  feq "exact p50 while not overflowing" 32.0
+    (Sim.Stats.Summary.percentile s 50.0);
+  feq "exact p100" 64.0 (Sim.Stats.Summary.percentile s 100.0)
+
+(* The eviction stream is a private splitmix64 sequence: identical add
+   sequences give identical reservoirs (and draw nothing from any global
+   RNG). *)
+let test_reservoir_deterministic () =
+  let run () =
+    let s = Sim.Stats.Summary.create ~reservoir:32 () in
+    for i = 1 to 10_000 do
+      Sim.Stats.Summary.add s (float_of_int ((i * 7919) mod 10_007))
+    done;
+    List.map
+      (fun q -> Sim.Stats.Summary.percentile s q)
+      [ 1.0; 25.0; 50.0; 75.0; 99.0 ]
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list (float 0.0))) "identical percentiles" a b
+
+let test_reservoir_bad_arg () =
+  Alcotest.check_raises "reservoir" (Invalid_argument "Summary.create: reservoir")
+    (fun () -> ignore (Sim.Stats.Summary.create ~reservoir:0 ()))
+
 let test_histogram_buckets () =
   let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
   List.iter (Sim.Stats.Histogram.add h) [ 0.5; 1.0; 3.0; 9.9; -1.0; 10.0 ];
@@ -79,6 +130,12 @@ let suite =
     Alcotest.test_case "empty percentile raises" `Quick
       test_percentile_empty_raises;
     QCheck_alcotest.to_alcotest prop_mean_matches_naive;
+    Alcotest.test_case "reservoir stays bounded" `Quick test_reservoir_bounded;
+    Alcotest.test_case "reservoir exact until full" `Quick
+      test_reservoir_exact_until_full;
+    Alcotest.test_case "reservoir deterministic" `Quick
+      test_reservoir_deterministic;
+    Alcotest.test_case "reservoir bad arg" `Quick test_reservoir_bad_arg;
     Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
     Alcotest.test_case "histogram bucket bounds" `Quick test_histogram_bounds;
     Alcotest.test_case "histogram bad args" `Quick test_histogram_bad_args;

@@ -751,6 +751,23 @@ let profiled_sor_measure () =
           ));
   Option.get !box
 
+(* Pipelined (async) Fig-3 SOR with wire-level coalescing on: the elapsed
+   time pins the overlap win delivered by Amber-Async, and the coalesced
+   fraction pins how much of the small-datagram traffic the batching
+   layer actually captures. *)
+let async_sor_measure () =
+  let p = W.Sor_core.with_size W.Sor_core.default ~rows:61 ~cols:421 in
+  A.Cluster.run_value
+    (A.Config.make ~nodes:4 ~cpus:4 ~coalesce:Topaz.Rpc.default_coalesce ())
+    (fun rt ->
+      let r = W.Sor_pipe.run rt p ~iters:5 () in
+      let z = Topaz.Rpc.coalescing (A.Runtime.rpc rt) in
+      let frac =
+        float_of_int z.Topaz.Rpc.coal_batched
+        /. float_of_int (max 1 z.Topaz.Rpc.coal_eligible)
+      in
+      (r.W.Sor_pipe.compute_elapsed, frac))
+
 let json_metrics () =
   let create, local, remote, move, start_join = table1_measure () in
   let sor_elapsed ~nodes ~cpus p iters =
@@ -780,10 +797,13 @@ let json_metrics () =
   ]
   @
   let ri_p50, ri_p99, cp_net = profiled_sor_measure () in
+  let async_elapsed, coal_frac = async_sor_measure () in
   [
     ("remote_invoke_p50_us", ri_p50);
     ("remote_invoke_p99_us", ri_p99);
     ("critical_path_frac_net", cp_net);
+    ("async_sor_4n4p_elapsed_s", async_elapsed);
+    ("rpc_coalesced_frac", coal_frac);
   ]
 
 let print_json () =

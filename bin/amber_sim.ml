@@ -271,11 +271,39 @@ let sor_cmd =
             "Pathological placement: create every section on node 0 \
              (amber only; a load-balancer stress input).")
   in
+  let async_flag =
+    Arg.(
+      value & flag
+      & info [ "async" ]
+          ~doc:
+            "Run the pipelined variant (amber only): futures-based edge \
+             exchange and convergence barrier overlapping the interior \
+             computation.")
+  in
+  let coalesce_window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "coalesce-window" ] ~docv:"SECONDS"
+          ~doc:
+            "Enable wire-level datagram coalescing with the given flush \
+             window (e.g. 200e-6).")
+  in
   let run nodes cpus faults seed system rows cols iters sections no_overlap
-      report skew bal sanitize profile out =
+      report skew async coalesce bal sanitize profile out =
     let profile = profile || out <> None in
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
     let cfg = mk_config nodes cpus faults seed in
+    let cfg =
+      match coalesce with
+      | Some w when w > 0.0 ->
+        {
+          cfg with
+          Amber.Config.rpc_coalesce =
+            Some { Topaz.Rpc.default_coalesce with Topaz.Rpc.flush_window = w };
+        }
+      | Some _ | None -> cfg
+    in
     let seq_pred = Workloads.Sor_seq.predicted_elapsed p ~iters in
     let maybe_report rt =
       if report then
@@ -299,37 +327,68 @@ let sor_cmd =
       maybe_profile prof;
       status
     | `Amber ->
-      let r, status, prof =
-        run_profiled ~profile ~sanitize cfg (fun rt ->
-            let c = Workloads.Sor_amber.default_cfg rt in
-            let c =
-              match sections with
-              | Some s -> { c with Workloads.Sor_amber.sections = s }
-              | None -> c
-            in
-            let c =
-              if skew then
-                { c with Workloads.Sor_amber.placement = Some (fun _ -> 0) }
-              else c
-            in
-            let c = { c with Workloads.Sor_amber.overlap = not no_overlap } in
-            let r =
-              with_balance rt bal (fun () ->
-                  Workloads.Sor_amber.run rt p ~cfg:c ~iters ())
-            in
-            maybe_report rt;
-            r)
+      let mk_sor_cfg rt =
+        let c = Workloads.Sor_amber.default_cfg rt in
+        let c =
+          match sections with
+          | Some s -> { c with Workloads.Sor_amber.sections = s }
+          | None -> c
+        in
+        let c =
+          if skew then
+            { c with Workloads.Sor_amber.placement = Some (fun _ -> 0) }
+          else c
+        in
+        { c with Workloads.Sor_amber.overlap = not no_overlap }
       in
-      Printf.printf
-        "amber %dNx%dP: compute %.3f virtual s, speedup %.2f, checksum %.6g\n"
-        nodes cpus r.Workloads.Sor_amber.compute_elapsed
-        (seq_pred /. r.Workloads.Sor_amber.compute_elapsed)
-        r.Workloads.Sor_amber.checksum;
-      Printf.printf "  remote invocations: %d, thread migrations: %d\n"
-        r.Workloads.Sor_amber.remote_invocations
-        r.Workloads.Sor_amber.thread_migrations;
-      maybe_profile prof;
-      status
+      if async then begin
+        let r, status, prof =
+          run_profiled ~profile ~sanitize cfg (fun rt ->
+              let c = mk_sor_cfg rt in
+              let r =
+                with_balance rt bal (fun () ->
+                    Workloads.Sor_pipe.run rt p ~cfg:c ~iters ())
+              in
+              maybe_report rt;
+              r)
+        in
+        Printf.printf
+          "amber-async %dNx%dP: compute %.3f virtual s, speedup %.2f, \
+           checksum %.6g\n"
+          nodes cpus r.Workloads.Sor_pipe.compute_elapsed
+          (seq_pred /. r.Workloads.Sor_pipe.compute_elapsed)
+          r.Workloads.Sor_pipe.checksum;
+        Printf.printf
+          "  remote invocations: %d, thread migrations: %d, async \
+           invocations: %d\n"
+          r.Workloads.Sor_pipe.remote_invocations
+          r.Workloads.Sor_pipe.thread_migrations
+          r.Workloads.Sor_pipe.async_invocations;
+        maybe_profile prof;
+        status
+      end
+      else begin
+        let r, status, prof =
+          run_profiled ~profile ~sanitize cfg (fun rt ->
+              let c = mk_sor_cfg rt in
+              let r =
+                with_balance rt bal (fun () ->
+                    Workloads.Sor_amber.run rt p ~cfg:c ~iters ())
+              in
+              maybe_report rt;
+              r)
+        in
+        Printf.printf
+          "amber %dNx%dP: compute %.3f virtual s, speedup %.2f, checksum %.6g\n"
+          nodes cpus r.Workloads.Sor_amber.compute_elapsed
+          (seq_pred /. r.Workloads.Sor_amber.compute_elapsed)
+          r.Workloads.Sor_amber.checksum;
+        Printf.printf "  remote invocations: %d, thread migrations: %d\n"
+          r.Workloads.Sor_amber.remote_invocations
+          r.Workloads.Sor_amber.thread_migrations;
+        maybe_profile prof;
+        status
+      end
     | `Ivy ->
       let r, status, prof =
         run_profiled ~profile ~sanitize cfg (fun rt ->
@@ -352,7 +411,8 @@ let sor_cmd =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ system
       $ rows $ cols $ iters $ sections $ no_overlap $ report_flag $ skew
-      $ balance_term $ sanitize_arg $ profile_flag $ out_arg)
+      $ async_flag $ coalesce_window $ balance_term $ sanitize_arg
+      $ profile_flag $ out_arg)
   in
   Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
     term

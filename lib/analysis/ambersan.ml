@@ -30,6 +30,8 @@ module Event = struct
     | Cond_wake of { tid : int; token : int }
     | Replica_read of { tid : int; addr : int; node : int; epoch : int }
     | Steal of { by : int; tid : int; victim : int; thief : int }
+    | Future_resolve of { tid : int; id : int }
+    | Future_await of { tid : int; id : int }
 
   let phase_to_string = function
     | Arrive -> "arrive"
@@ -61,6 +63,8 @@ module Event = struct
       Printf.sprintf "rrd t=%d 0x%x n=%d e=%d" tid addr node epoch
     | Steal { by; tid; victim; thief } ->
       Printf.sprintf "steal by=%d t=%d v=%d th=%d" by tid victim thief
+    | Future_resolve { tid; id } -> Printf.sprintf "fres t=%d f=%d" tid id
+    | Future_await { tid; id } -> Printf.sprintf "fawa t=%d f=%d" tid id
 
   (* "p=3" with the expected key -> 3; raises on mismatch. *)
   let kv key tok =
@@ -129,6 +133,10 @@ module Event = struct
              victim = kv "v" v;
              thief = kv "th" th;
            })
+    | [ "fres"; t; f ] ->
+      Some (Future_resolve { tid = kv "t" t; id = kv "f" f })
+    | [ "fawa"; t; f ] ->
+      Some (Future_await { tid = kv "t" t; id = kv "f" f })
     | _ -> None
 
   let of_string s = try of_string s with _ -> None
@@ -217,6 +225,7 @@ module Core = struct
     locks : (int, clock) Hashtbl.t;  (* lock addr -> last-release clock *)
     barriers : (int, barrier_info) Hashtbl.t;
     signals : (int, clock) Hashtbl.t;  (* condition token -> signal clock *)
+    futures : (int, clock) Hashtbl.t;  (* future id -> resolve clock *)
     open_accesses : (int * int, San_hooks.mode list ref) Hashtbl.t;
     held : (int, int list ref) Hashtbl.t;  (* tid -> held locks, LIFO *)
     lock_edges : (int * int, unit) Hashtbl.t;  (* held -> acquired *)
@@ -234,6 +243,7 @@ module Core = struct
       locks = Hashtbl.create 16;
       barriers = Hashtbl.create 8;
       signals = Hashtbl.create 16;
+      futures = Hashtbl.create 16;
       open_accesses = Hashtbl.create 16;
       held = Hashtbl.create 16;
       lock_edges = Hashtbl.create 16;
@@ -476,6 +486,18 @@ module Core = struct
         sc := cjoin !sc !bc;
         tick bc by
       end
+    | Event.Future_resolve { tid; id } ->
+      (* Same shape as a condition signal: publish the resolver's clock
+         under the future id; the awaiter joins it when it observes the
+         resolution. *)
+      let cr = thread_clock t tid in
+      Hashtbl.replace t.futures id !cr;
+      tick cr tid
+    | Event.Future_await { tid; id } -> (
+      let cr = thread_clock t tid in
+      match Hashtbl.find_opt t.futures id with
+      | Some c -> cr := cjoin !cr c
+      | None -> ())
 
   let lock_name t addr =
     match Hashtbl.find_opt t.names addr with
@@ -726,6 +748,10 @@ let attach ?(analyze = true) rt =
           in
           ev
             (Event.Steal { by; tid = Hw.Machine.tcb_id tcb; victim; thief }));
+      on_future_resolve =
+        (fun ~id -> ev (Event.Future_resolve { tid = tid (); id }));
+      on_future_await =
+        (fun ~id -> ev (Event.Future_await { tid = tid (); id }));
     }
   in
   Runtime.set_sanitizer rt hooks;

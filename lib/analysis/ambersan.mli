@@ -59,6 +59,14 @@ module Event : sig
             ready queue and shipped it to node [thief].  Happens-before
             edge: the dequeue at the victim precedes the stolen thread's
             next run, so [by]'s clock joins into [tid]'s. *)
+    | Future_resolve of { tid : int; id : int }
+        (** the helper thread [tid] carrying async invocation [id]
+            resolved its future; like a condition signal, the resolver's
+            clock is published under the future id *)
+    | Future_await of { tid : int; id : int }
+        (** thread [tid] observed future [id] resolved in [Future.await]
+            and joins the stored resolve clock — the happens-before edge
+            resolve → await *)
 
   val to_string : t -> string
 

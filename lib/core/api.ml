@@ -1,6 +1,7 @@
 type runtime = Runtime.t
 type 'a obj = 'a Aobject.t
 type 'r thread = 'r Athread.t
+type 'r future = 'r Future.t
 
 let config ~nodes ~cpus ?cost ?seed () = Config.make ~nodes ~cpus ?cost ?seed ()
 let run = Cluster.run
@@ -9,6 +10,12 @@ let create rt ?size ~name state = Runtime.create_object rt ?size ~name state
 let destroy = Runtime.destroy_object
 let invoke = Invoke.invoke
 let invoke_member = Invoke.invoke_member
+
+let invoke_async rt ?payload ?return_payload ?mode obj op =
+  Future.invoke_async rt ?payload ?return_payload ?mode obj op
+
+let await = Future.await
+let await_all = Future.await_all
 let move_to = Mobility.move_to
 let locate = Mobility.locate
 let attach = Mobility.attach
@@ -27,6 +34,7 @@ let start rt ?name body = Athread.start rt ?name body
 let start_invoke rt ?name ?payload obj op =
   Athread.start_invoke rt ?name ?payload obj op
 let join = Athread.join
+let join_all = Athread.join_all
 let parallel rt ?name bodies = Athread.parallel rt ?name bodies
 let my_node = Runtime.current_node
 let node_count = Runtime.nodes

@@ -22,6 +22,7 @@
 type runtime = Runtime.t
 type 'a obj = 'a Aobject.t
 type 'r thread = 'r Athread.t
+type 'r future = 'r Future.t
 
 (** {1 Cluster} *)
 
@@ -44,6 +45,15 @@ val invoke :
 (** §3.6 inline member invocation; see {!Invoke.invoke_member}. *)
 val invoke_member :
   runtime -> ?mode:San_hooks.mode -> 'a obj -> ('a -> 'b) -> 'b
+
+(** Asynchronous invocation returning a first-class future; see
+    {!Future.invoke_async}. *)
+val invoke_async :
+  runtime -> ?payload:int -> ?return_payload:int -> ?mode:San_hooks.mode ->
+  'a obj -> ('a -> 'b) -> 'b future
+
+val await : runtime -> 'r future -> 'r
+val await_all : runtime -> 'r future list -> 'r list
 
 (** {1 Mobility} *)
 
@@ -74,6 +84,10 @@ val start_invoke :
   'r thread
 
 val join : runtime -> 'r thread -> 'r
+
+(** Join every thread, failure or not; see {!Athread.join_all}. *)
+val join_all : runtime -> 'r thread list -> 'r list
+
 val parallel : runtime -> ?name:string -> (unit -> 'r) list -> 'r list
 
 (** {1 Misc} *)

@@ -4,6 +4,23 @@ type 'r t = {
   rt : Runtime.t;
 }
 
+exception Join_error of { thread : string; tid : int; reason : string }
+
+exception
+  Join_failed of { thread : string; tid : int; index : int; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Join_error { thread; tid; reason } ->
+      Some
+        (Printf.sprintf "Athread.Join_error(thread %s#%d: %s)" thread tid
+           reason)
+    | Join_failed { thread; tid; index; error } ->
+      Some
+        (Printf.sprintf "Athread.Join_failed(thread %s#%d at index %d: %s)"
+           thread tid index (Printexc.to_string error))
+    | _ -> None)
+
 (* Size of a thread object plus its runtime stack in the global address
    space (the paper reserves a distinct segment per thread, §3.1). *)
 let thread_segment_bytes = 8192
@@ -78,7 +95,18 @@ let join rt t =
   | Sim.Fiber.Completed -> (
     match !(t.result) with
     | Some r -> r
-    | None -> failwith "Athread.join: thread finished without a result")
+    | None ->
+      (* A completed fiber whose result slot is empty means the body was
+         unwound without either producing a value or recording a failure
+         (e.g. an exception swallowed by lower-level machinery).  Surface
+         a typed error naming the thread instead of a bare [Failure]. *)
+      raise
+        (Join_error
+           {
+             thread = Hw.Machine.tcb_name t.ts.Runtime.tcb;
+             tid = Hw.Machine.tcb_id t.ts.Runtime.tcb;
+             reason = "thread finished without a result";
+           }))
   | Sim.Fiber.Failed e ->
     (* The failure is handled here; it must not re-surface when the
        cluster checks for unhandled thread failures. *)
@@ -93,10 +121,42 @@ let parallel rt ?(name = "par") bodies =
   in
   List.map (fun t -> join rt t) threads
 
+(* Unlike a naive [List.map (join rt)], a failed thread must not abort
+   the sweep mid-list: every sibling is still joined (so none is left
+   running and unobserved), and the error that surfaces names exactly
+   which thread failed and where it sat in the list. *)
+let join_all rt threads =
+  let outcomes =
+    List.mapi
+      (fun index t ->
+        match join rt t with
+        | r -> Ok r
+        | exception e ->
+          Error
+            (Join_failed
+               {
+                 thread = Hw.Machine.tcb_name t.ts.Runtime.tcb;
+                 tid = Hw.Machine.tcb_id t.ts.Runtime.tcb;
+                 index;
+                 error = e;
+               }))
+      threads
+  in
+  List.map
+    (fun o -> match o with Ok r -> r | Error e -> raise e)
+    outcomes
+
 let result_exn t =
   match !(t.result) with
   | Some r -> r
-  | None -> failwith "Athread.result_exn: thread has no result"
+  | None ->
+    raise
+      (Join_error
+         {
+           thread = Hw.Machine.tcb_name t.ts.Runtime.tcb;
+           tid = Hw.Machine.tcb_id t.ts.Runtime.tcb;
+           reason = "thread has no result";
+         })
 
 let tcb t = t.ts.Runtime.tcb
 let tstate t = t.ts

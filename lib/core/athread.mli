@@ -10,6 +10,15 @@
 
 type 'r t
 
+(** A thread terminated in a state [join] cannot produce a value from:
+    its fiber completed but the result slot was never filled. *)
+exception Join_error of { thread : string; tid : int; reason : string }
+
+(** Raised by {!join_all}: wraps the failing thread's own exception
+    ([error]) with its name, tcb id and position in the joined list. *)
+exception
+  Join_failed of { thread : string; tid : int; index : int; error : exn }
+
 (** [start rt body] creates and starts a thread on the calling thread's
     node.  The paper's [Start(thread, obj, op)] form is {!start_invoke}.
     [priority] takes effect from the very first dispatch (relevant under a
@@ -43,6 +52,12 @@ val join : Runtime.t -> 'r t -> 'r
 (** Convenience: [start] then [join] each of [bodies] (all running
     concurrently); results in order. *)
 val parallel : Runtime.t -> ?name:string -> (unit -> 'r) list -> 'r list
+
+(** Join every thread in the list — a failure does not abort the sweep
+    mid-list, so no sibling is left running and unobserved — then return
+    the results in order.  If any thread failed, raises {!Join_failed}
+    for the first failure (by list position), naming the thread. *)
+val join_all : Runtime.t -> 'r t list -> 'r list
 
 (** Result of a finished thread, without blocking (raises [Failure] if the
     thread has not completed).  Used by [Cluster] after the simulation

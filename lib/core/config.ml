@@ -14,6 +14,7 @@ type t = {
   vm_page_size : int;
   faults : Hw.Ethernet.faults;
   rpc_rto : float;
+  rpc_coalesce : Topaz.Rpc.coalesce option;
   max_forward_hops : int;
   seed : int64;
   trace_capacity : int;
@@ -36,14 +37,23 @@ let default =
     vm_page_size = 1024;
     faults = Hw.Ethernet.no_faults;
     rpc_rto = 25e-3;
+    rpc_coalesce = None;
     max_forward_hops = 64;
     seed = 0xA3BE5L;
     trace_capacity = 8192;
   }
 
 let make ~nodes ~cpus ?(cost = Cost_model.default) ?(seed = default.seed)
-    ?(faults = Hw.Ethernet.no_faults) () =
-  { default with nodes; cpus_per_node = cpus; cost; seed; faults }
+    ?(faults = Hw.Ethernet.no_faults) ?coalesce () =
+  {
+    default with
+    nodes;
+    cpus_per_node = cpus;
+    cost;
+    seed;
+    faults;
+    rpc_coalesce = coalesce;
+  }
 
 let validate t =
   if t.nodes <= 0 then invalid_arg "Config: nodes must be positive";

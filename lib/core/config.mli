@@ -19,6 +19,10 @@ type t = {
           runtime switches its RPC fabric into reliable (retransmitting)
           mode *)
   rpc_rto : float;  (** initial RPC retransmission timeout, seconds *)
+  rpc_coalesce : Topaz.Rpc.coalesce option;
+      (** wire-level batching of small same-destination datagrams; [None]
+          (the default) keeps the transport byte-identical to the
+          uncoalesced one *)
   max_forward_hops : int;
       (** forwarding-chain hop budget before falling back to the object's
           home node *)
@@ -37,6 +41,7 @@ val make :
   ?cost:Cost_model.t ->
   ?seed:int64 ->
   ?faults:Hw.Ethernet.faults ->
+  ?coalesce:Topaz.Rpc.coalesce ->
   unit ->
   t
 

@@ -17,6 +17,7 @@ type t = {
   thread_join_cpu : float;
   lock_fast_cpu : float;
   spin_probe_cpu : float;
+  future_notify_bytes : int;
 }
 
 (* Calibration notes.  Targets are Table 1 of the paper, measured on CVAX
@@ -50,6 +51,7 @@ let default =
     thread_join_cpu = 0.26e-3;
     lock_fast_cpu = 4.0e-6;
     spin_probe_cpu = 2.0e-6;
+    future_notify_bytes = 64;
   }
 
 let scale_cpu c factor =

@@ -40,6 +40,11 @@ type t = {
   (* --- synchronization (§2.2) --- *)
   lock_fast_cpu : float;  (** inline acquire/release of an uncontended lock *)
   spin_probe_cpu : float;  (** one spin iteration on a spinlock *)
+  (* --- asynchronous invocation (Amber-Async) --- *)
+  future_notify_bytes : int;
+      (** resolution notice shipped from the node where an async
+          invocation completed back to the future's home node: outcome
+          tag plus a marshalled scalar result or exception id *)
 }
 
 val default : t

@@ -1,0 +1,71 @@
+(** Futures over the invocation fabric (Amber-Async).
+
+    Amber's [invoke] is synchronous: the calling thread migrates to the
+    object, runs the operation and migrates back, booking both wire
+    flights on its own timeline.  [invoke_async] issues the same
+    invocation on a helper thread and returns a first-class future, so
+    the issuer overlaps the remote operation against its own compute and
+    pays only the un-overlapped remainder at {!await}.
+
+    {2 Lifecycle}
+
+    - {b issue}: [invoke_async rt obj op] spawns a helper thread on the
+      issuer's node (paying the normal thread-creation CPU) and returns
+      a pending future.  The helper runs a full [Invoke.invoke] —
+      chase, coherence, sanitizer hooks, frame discipline all apply.
+    - {b resolve}: when the invocation finishes, its outcome (value or
+      exception) is recorded.  If the helper ended on the future's home
+      node, the future resolves in place; otherwise a small
+      "future-notify" datagram ([Cost_model.future_notify_bytes], sent
+      reliably under fault injection) carries the outcome home, and the
+      future resolves only when it lands — results do not teleport.
+    - {b await}: parks the calling fiber until the future is resolved,
+      then returns the value or re-raises the captured exception.
+      Awaiting an already-resolved future just pays the probe cost.
+      Futures are multi-shot: awaiting twice returns (or re-raises) the
+      memoized outcome again.
+
+    {2 Causality}
+
+    The helper's execution is an [Async_invoke] span, [async]-marked and
+    parented to the span the issuer had open at issue time; [await]
+    opens a [Future_wait] span pointing at it.  The critical-path
+    analyzer descends through that link, so a fully-overlapped async
+    invocation contributes nothing to the awaiting path.  AmberSan gets
+    a happens-before edge resolve → await (like a condition signal), so
+    protocols that hand state through a future are race-free by
+    construction. *)
+
+type 'a outcome = ('a, exn) result
+
+type 'a t
+
+(** Issue [op] on [obj] asynchronously and return the pending future.
+    Arguments mirror {!Invoke.invoke}.  Fiber context. *)
+val invoke_async :
+  Runtime.t ->
+  ?payload:int ->
+  ?return_payload:int ->
+  ?mode:San_hooks.mode ->
+  'a Aobject.t ->
+  ('a -> 'r) ->
+  'r t
+
+(** Block until the future resolves; return its value or re-raise the
+    invocation's exception.  Multi-shot.  Fiber context. *)
+val await : Runtime.t -> 'r t -> 'r
+
+(** Await every future in the list (a failure does not abort the sweep,
+    so every async invocation is observed), then return the results in
+    order — or re-raise the first failure by list position. *)
+val await_all : Runtime.t -> 'r t list -> 'r list
+
+(** Cluster-unique future id (also the [arg] of the helper's
+    [Async_invoke] span and the token in AmberSan's resolve/await
+    events). *)
+val id : 'r t -> int
+
+(** Has the outcome landed on the home node?  Non-blocking. *)
+val is_resolved : 'r t -> bool
+
+val peek : 'r t -> 'r outcome option

@@ -164,19 +164,28 @@ let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
       obj.Aobject.epoch <- obj.Aobject.epoch + 1
     end
   in
-  match op view with
-  | result ->
-    complete_write ();
-    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
-    return_path ();
-    Sim.Span.finish spans sp;
-    result
-  | exception e ->
-    complete_write ();
-    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
-    return_path ();
-    Sim.Span.finish spans sp;
-    raise e
+  (* The span is finished in a [finally]: if the return trip itself
+     raises (the enclosing frame's object became dangling while [op]
+     ran), the exception must not leave an open span on the profiler's
+     stack.  [complete_write]/[on_access_end] run before the return
+     chase in both outcomes, exactly as before, so the write guard is
+     balanced even when the thread cannot make it home. *)
+  Fun.protect
+    ~finally:(fun () -> Sim.Span.finish spans sp)
+    (fun () ->
+      match op view with
+      | result ->
+        complete_write ();
+        Runtime.with_san rt (fun h ->
+            h.San_hooks.on_access_end (Aobject.Any obj));
+        return_path ();
+        result
+      | exception e ->
+        complete_write ();
+        Runtime.with_san rt (fun h ->
+            h.San_hooks.on_access_end (Aobject.Any obj));
+        return_path ();
+        raise e)
 
 let executing_within rt obj =
   match Runtime.current_opt rt with
@@ -209,10 +218,8 @@ let invoke_member rt ?(mode = San_hooks.Atomic) obj op =
        not attached to the executing frame's closure)";
   Sim.Fiber.consume (Runtime.cost rt).Cost_model.lock_fast_cpu;
   Runtime.with_san rt (fun h -> h.San_hooks.on_access (Aobject.Any obj) mode);
-  match op obj.Aobject.state with
-  | result ->
-    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
-    result
-  | exception e ->
-    Runtime.with_san rt (fun h -> h.San_hooks.on_access_end (Aobject.Any obj));
-    raise e
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.with_san rt (fun h ->
+          h.San_hooks.on_access_end (Aobject.Any obj)))
+    (fun () -> op obj.Aobject.state)

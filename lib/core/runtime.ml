@@ -37,6 +37,8 @@ type counters = {
   mutable threads_stolen : int;
   mutable balance_moves : int;
   mutable balance_replicas : int;
+  mutable async_invocations : int;
+  mutable future_notifies : int;
 }
 
 type t = {
@@ -83,6 +85,8 @@ let fresh_counters () =
     threads_stolen = 0;
     balance_moves = 0;
     balance_replicas = 0;
+    async_invocations = 0;
+    future_notifies = 0;
   }
 
 let create cfg =
@@ -132,7 +136,7 @@ let create cfg =
     Topaz.Rpc.create ~ether:net ~tasks ~costs:cfg.Config.rpc_costs
       ~servers_per_node:cfg.Config.rpc_servers_per_node
       ~reliable:(Hw.Ethernet.faults_enabled cfg.Config.faults)
-      ~rto:cfg.Config.rpc_rto ~spans ()
+      ~rto:cfg.Config.rpc_rto ?coalesce:cfg.Config.rpc_coalesce ~spans ()
   in
   let server =
     Vaspace.Space_server.create ~nodes:cfg.Config.nodes
@@ -658,8 +662,18 @@ let destroy_object t obj =
   if (not obj.Aobject.immutable_) && obj.Aobject.replicas <> [] then
     invalid_arg "Runtime.destroy_object: object has live read replicas";
   Sim.Fiber.consume (cost t).Cost_model.forward_lookup_cpu;
-  Vaspace.Heap.free (heap t node) obj.Aobject.addr;
+  (* The block belongs to the heap that allocated it — the address's home
+     node — which is not the current node once the object has migrated.
+     Freeing locally here crashed (and leaked the home block) for any
+     travelled object. *)
+  let home = home_node t ~addr:obj.Aobject.addr in
+  Vaspace.Heap.free (heap t home) obj.Aobject.addr;
   Descriptor.clear (descriptors t node) obj.Aobject.addr;
+  (* The home node is every chase's fallback authority: clearing its
+     entry too turns a later touch of the dead address into a crisp
+     dangling failure.  Leaving the stale forwarding entry made the
+     chase loop home → ghost until its restart budget ran out. *)
+  if home <> node then Descriptor.clear (descriptors t home) obj.Aobject.addr;
   Hashtbl.remove t.objs obj.Aobject.addr;
   with_san t (fun h -> h.San_hooks.on_object_destroyed ~addr:obj.Aobject.addr)
 

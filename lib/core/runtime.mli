@@ -223,6 +223,12 @@ type counters = {
       (** object migrations initiated by the rebalancer daemon *)
   mutable balance_replicas : int;
       (** read replicas installed by the rebalancer daemon *)
+  mutable async_invocations : int;
+      (** futures created by [Future.invoke_async] *)
+  mutable future_notifies : int;
+      (** cross-node resolution notices shipped back to futures' home
+          nodes (an async invocation that completes on its home node
+          resolves in place and sends nothing) *)
 }
 
 val counters : t -> counters

@@ -20,6 +20,8 @@ type t = {
   on_move_end : Aobject.any -> unit;
   on_replica_read : Aobject.any -> node:int -> epoch:int -> unit;
   on_steal : tcb:Hw.Machine.tcb -> victim:int -> thief:int -> unit;
+  on_future_resolve : id:int -> unit;
+  on_future_await : id:int -> unit;
 }
 
 let mode_to_string = function Read -> "r" | Write -> "w" | Atomic -> "a"

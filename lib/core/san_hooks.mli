@@ -51,6 +51,14 @@ type t = {
           edge (victim-side state → stolen thread), which the race
           detector must honor to avoid false positives under [--steal].
           Fires in event context — there is no current fiber. *)
+  on_future_resolve : id:int -> unit;
+      (** the helper thread carrying async invocation [id] finished and
+          resolved the future (fires in the helper's fiber, after the
+          invocation's effects are visible at the future's home node) *)
+  on_future_await : id:int -> unit;
+      (** a thread observed future [id] resolved in [Future.await]; the
+          resolver's clock joins into the awaiter's — the happens-before
+          edge resolve → await *)
 }
 
 val mode_to_string : mode -> string

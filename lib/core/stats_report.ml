@@ -38,6 +38,7 @@ type t = {
   faults : fault_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
+  coalescing : Topaz.Rpc.coalescing_counters;
   extra : (string * string list) list;
 }
 
@@ -94,6 +95,7 @@ let capture rt =
        });
     remote_invoke_latency = Runtime.remote_invoke_latency rt;
     move_latency = Runtime.move_latency rt;
+    coalescing = Topaz.Rpc.coalescing (Runtime.rpc rt);
     extra =
       List.map
         (fun (name, f) -> (name, f ()))
@@ -147,11 +149,23 @@ let pp ppf t =
        object moves, %d replicas@."
       c.Runtime.gossip_rounds c.Runtime.steal_requests c.Runtime.threads_stolen
       c.Runtime.balance_moves c.Runtime.balance_replicas;
+  (* Gated like replicas/balance: an async-free run prints nothing new. *)
+  if c.Runtime.async_invocations > 0 then
+    Format.fprintf ppf "async: %d invocations issued, %d result notifies@."
+      c.Runtime.async_invocations c.Runtime.future_notifies;
   Format.fprintf ppf
     "network: %d packets, %d bytes, %4.1f%% utilized, %.3f s queueing@."
     t.packets t.net_bytes
     (t.net_utilization *. 100.0)
     t.net_queueing;
+  (* Coalescing is opt-in; the line appears only when a frame was
+     actually batched, so coalesce-off reports stay byte-identical. *)
+  (let z = t.coalescing in
+   if z.Topaz.Rpc.coal_frames > 0 then
+     Format.fprintf ppf
+       "coalescing: %d small datagrams batched into %d frames (%d eligible)@."
+       z.Topaz.Rpc.coal_batched z.Topaz.Rpc.coal_frames
+       z.Topaz.Rpc.coal_eligible);
   List.iter
     (fun (kind, n, b) ->
       Format.fprintf ppf "  %-14s %6d packets %10d bytes@." kind n b)

@@ -45,6 +45,10 @@ type t = {
   faults : fault_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
+  coalescing : Topaz.Rpc.coalescing_counters;
+      (** wire-level datagram batching activity (all zero with
+          coalescing off; the report line prints only when a frame was
+          actually batched) *)
   extra : (string * string list) list;
       (** plug-in sections (see {!Runtime.add_report_section}), evaluated
           at capture time *)

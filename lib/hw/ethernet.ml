@@ -121,6 +121,7 @@ let create ~engine ?(bandwidth_bps = 10e6) ?(propagation = 20e-6)
   }
 
 let engine t = t.eng
+let propagation t = t.propagation
 
 let tx_time t ~size =
   t.wire_overhead

@@ -92,6 +92,10 @@ val send : t -> Packet.t -> float
     excluding propagation. *)
 val tx_time : t -> size:int -> float
 
+(** One-way propagation delay (also the extra lag of a fault-injected
+    duplicate delivery). *)
+val propagation : t -> float
+
 (** Instant at which the medium next becomes free. *)
 val busy_until : t -> float
 

@@ -4,13 +4,14 @@ let component_of_kind = function
   | Sim.Span.Thread_flight | Sim.Span.Net_flight | Sim.Span.Rpc_call ->
       Network
   | Sim.Span.Lock_wait | Sim.Span.Cond_wait | Sim.Span.Barrier_wait
-  | Sim.Span.Join_wait ->
+  | Sim.Span.Join_wait | Sim.Span.Future_wait ->
       Queueing
   | Sim.Span.Chase_hop | Sim.Span.Object_move | Sim.Span.Replica_install
   | Sim.Span.Invalidate ->
       Coherence
   | Sim.Span.Invoke_local | Sim.Span.Invoke_remote | Sim.Span.Replica_read
-  | Sim.Span.Rpc_server | Sim.Span.Steal | Sim.Span.Rebalance ->
+  | Sim.Span.Rpc_server | Sim.Span.Async_invoke | Sim.Span.Steal
+  | Sim.Span.Rebalance ->
       Compute
 
 type report = {
@@ -55,6 +56,10 @@ let max_descent = 64
 
 let analyze ~spans ~main_tid ~total =
   let children_of, tops_of = index spans in
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Sim.Span.span) -> Hashtbl.replace by_id s.id s)
+    spans;
   let clip_end (s : Sim.Span.span) =
     if s.t1 < 0.0 then total else Float.min s.t1 total
   in
@@ -76,7 +81,7 @@ let analyze ~spans ~main_tid ~total =
   (* Sweep a window [a, b) over an ordered span list: account each span
      over its clipped sub-window (overlaps collapse onto the earlier
      sibling) and hand the uncovered gaps to [gap]. *)
-  let rec sweep ~depth ~visiting ~gap items a b =
+  let rec sweep ~depth ~visiting ~fvisiting ~gap items a b =
     let cursor = ref a in
     List.iter
       (fun (s : Sim.Span.span) ->
@@ -84,32 +89,58 @@ let analyze ~spans ~main_tid ~total =
         if s1 > !cursor && s.t0 < b then begin
           let s0 = Float.max s.t0 !cursor in
           if s0 > !cursor then gap !cursor s0;
-          account ~depth ~visiting s s0 s1;
+          account ~depth ~visiting ~fvisiting s s0 s1;
           cursor := s1
         end)
       items;
     if b > !cursor then gap !cursor b
-  and account ~depth ~visiting (s : Sim.Span.span) a b =
+  and account ~depth ~visiting ~fvisiting (s : Sim.Span.span) a b =
     (* Book [a, b) to span [s]: children recurse, self time goes to the
        span's component — except a Join_wait, whose self time descends
-       into the joined thread's concurrent timeline. *)
+       into the joined thread's concurrent timeline, and a Future_wait,
+       whose self time descends into the awaited async invocation's span
+       (only the un-overlapped remainder of the async work reaches the
+       awaiting path). *)
     let self x y =
       if x < y then
         match s.kind with
         | Sim.Span.Join_wait
           when s.arg >= 0 && depth < max_descent
                && not (List.mem s.arg visiting) ->
-            timeline ~depth:(depth + 1) ~visiting:(s.arg :: visiting) s.arg x y
+            timeline ~depth:(depth + 1) ~visiting:(s.arg :: visiting)
+              ~fvisiting s.arg x y
+        | Sim.Span.Future_wait
+          when s.arg > 0 && depth < max_descent
+               && not (List.mem s.arg fvisiting) -> (
+            match Hashtbl.find_opt by_id s.arg with
+            | Some tgt when clip_end tgt > x && tgt.t0 < y ->
+                (* Wait time outside the async span's interval (e.g. the
+                   resolution notify still in flight) stays queueing. *)
+                let x0 = Float.max x tgt.t0
+                and y0 = Float.min y (clip_end tgt) in
+                if x0 > x then book (span_key s) Queueing (x0 -. x);
+                account ~depth:(depth + 1) ~visiting
+                  ~fvisiting:(s.arg :: fvisiting) tgt x0 y0;
+                if y > y0 then book (span_key s) Queueing (y -. y0)
+            | _ -> book (span_key s) Queueing (y -. x))
         | k -> book (span_key s) (component_of_kind k) (y -. x)
     in
-    sweep ~depth ~visiting ~gap:self (children_of s.id) a b
-  and timeline ~depth ~visiting tid a b =
+    (* Detached async-invocation subtrees overlap the issuer's continued
+       execution: they reach the path only through the Future_wait that
+       awaits them, never inline. *)
+    let inline_children =
+      List.filter
+        (fun (c : Sim.Span.span) -> c.kind <> Sim.Span.Async_invoke)
+        (children_of s.id)
+    in
+    sweep ~depth ~visiting ~fvisiting ~gap:self inline_children a b
+  and timeline ~depth ~visiting ~fvisiting tid a b =
     (* Uncovered time on a thread's own timeline is compute: the thread
        was running (or runnable) outside any instrumented operation. *)
     let gap x y = book "compute" Compute (y -. x) in
-    sweep ~depth ~visiting ~gap (tops_of tid) a b
+    sweep ~depth ~visiting ~fvisiting ~gap (tops_of tid) a b
   in
-  timeline ~depth:0 ~visiting:[ main_tid ] main_tid 0.0 total;
+  timeline ~depth:0 ~visiting:[ main_tid ] ~fvisiting:[] main_tid 0.0 total;
   let contributors =
     Hashtbl.fold (fun k r acc -> (k, !r) :: acc) contrib []
     |> List.sort (fun (ka, a) (kb, b) ->

@@ -9,6 +9,7 @@ let all_kinds =
     Sim.Span.Invoke_local;
     Sim.Span.Invoke_remote;
     Sim.Span.Replica_read;
+    Sim.Span.Async_invoke;
     Sim.Span.Chase_hop;
     Sim.Span.Thread_flight;
     Sim.Span.Net_flight;
@@ -21,6 +22,7 @@ let all_kinds =
     Sim.Span.Cond_wait;
     Sim.Span.Barrier_wait;
     Sim.Span.Join_wait;
+    Sim.Span.Future_wait;
     Sim.Span.Steal;
     Sim.Span.Rebalance;
   ]
@@ -39,12 +41,13 @@ let critical_path t =
    a reply or a wakeup) rather than executing. *)
 let blocked_kind = function
   | Sim.Span.Lock_wait | Sim.Span.Cond_wait | Sim.Span.Barrier_wait
-  | Sim.Span.Join_wait | Sim.Span.Thread_flight | Sim.Span.Net_flight
-  | Sim.Span.Rpc_call | Sim.Span.Object_move ->
+  | Sim.Span.Join_wait | Sim.Span.Future_wait | Sim.Span.Thread_flight
+  | Sim.Span.Net_flight | Sim.Span.Rpc_call | Sim.Span.Object_move ->
       true
   | Sim.Span.Invoke_local | Sim.Span.Invoke_remote | Sim.Span.Replica_read
-  | Sim.Span.Chase_hop | Sim.Span.Rpc_server | Sim.Span.Replica_install
-  | Sim.Span.Invalidate | Sim.Span.Steal | Sim.Span.Rebalance ->
+  | Sim.Span.Async_invoke | Sim.Span.Chase_hop | Sim.Span.Rpc_server
+  | Sim.Span.Replica_install | Sim.Span.Invalidate | Sim.Span.Steal
+  | Sim.Span.Rebalance ->
       false
 
 let report_lines t =

@@ -14,6 +14,8 @@ type kind =
   | Cond_wait
   | Barrier_wait
   | Join_wait
+  | Future_wait
+  | Async_invoke
   | Steal
   | Rebalance
 
@@ -33,6 +35,8 @@ let kind_name = function
   | Cond_wait -> "wait.cond"
   | Barrier_wait -> "wait.barrier"
   | Join_wait -> "wait.join"
+  | Future_wait -> "wait.future"
+  | Async_invoke -> "invoke.async"
   | Steal -> "balance.steal"
   | Rebalance -> "balance.move"
 

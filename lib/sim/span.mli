@@ -29,6 +29,11 @@ type kind =
   | Cond_wait  (** blocked in [Sync.Condition.wait] *)
   | Barrier_wait  (** blocked in [Sync.Barrier.pass] *)
   | Join_wait  (** [Athread.join], entry to result *)
+  | Future_wait  (** blocked in [Future.await] on an unresolved future *)
+  | Async_invoke
+      (** the detached execution of an [invoke_async]: carried by a helper
+          thread, causally parented to the issuer's span but overlapping
+          the issuer's continued compute ([arg] = the future id) *)
   | Steal  (** a successful cross-node thread steal *)
   | Rebalance  (** one object move/replicate decided by the rebalancer *)
 

@@ -50,6 +50,39 @@ let fresh_reliability_counters () =
    probably lost, so it is retransmitted). *)
 type call_progress = Started | Answered of (unit -> unit)
 
+(* --- wire-level datagram coalescing --------------------------------- *)
+
+type coalesce = {
+  flush_window : float;
+  max_msg_bytes : int;
+  max_frame_bytes : int;
+}
+
+let default_coalesce =
+  { flush_window = 200e-6; max_msg_bytes = 128; max_frame_bytes = 1472 }
+
+type coalescing_counters = {
+  coal_eligible : int;
+  coal_batched : int;
+  coal_frames : int;
+}
+
+(* An open per-(src,dst) accumulation of small datagrams awaiting the
+   flush timer.  [items] newest-first; [bytes] is the frame payload
+   accumulated so far (headers included). *)
+type pending_batch = {
+  mutable items :
+    (int * int * string * (unit -> unit) * (float -> unit) option) list;
+      (* seq, size, kind, deliver *)
+  mutable pbytes : int;
+  mutable ptimer : Sim.Engine.event_id option;
+}
+
+(* Framed packet: an 8-byte frame header plus a 4-byte per-message
+   header (length + kind tag) in front of each payload. *)
+let frame_header_bytes = 8
+let msg_header_bytes = 4
+
 type t = {
   ether : Hw.Ethernet.t;
   endpoints : endpoint array;
@@ -63,6 +96,23 @@ type t = {
   mutable seq : int;
   call_state : (int, call_progress) Hashtbl.t;
   delivered : (int, unit) Hashtbl.t;  (* one-way datagrams already executed *)
+  (* Ack-acknowledged retirement of [delivered] entries: once the sender
+     has seen the ack it stops retransmitting, so the entry is dead as
+     soon as every copy it ever put on the wire has arrived or been
+     dropped.  A count window alone is NOT enough: on a saturated medium
+     a retransmit can sit queued longer than [retire_window] younger
+     acks take to accumulate, so each queue entry also carries the
+     arrival horizon — the latest predicted delivery of any copy of that
+     seq (plus fault slack) — and is only evicted once the horizon has
+     passed. *)
+  retire_q : (int * float) Queue.t;  (* (seq, arrival horizon) *)
+  retire_window : int;
+  mutable retire_armed : bool;  (* horizon timer for the queue head *)
+  coalesce : coalesce option;
+  pending : (int * int, pending_batch) Hashtbl.t;  (* (src,dst) -> batch *)
+  mutable coal_eligible : int;
+  mutable coal_batched : int;
+  mutable coal_frames : int;
   spans : Sim.Span.t;
   mutable calls : int;
   mutable posts : int;
@@ -84,8 +134,16 @@ let enqueue_work ep work =
     wake ()
 
 let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
-    ?(reliable = false) ?(rto = 25e-3) ?(spans = Sim.Span.disabled ()) () =
+    ?(reliable = false) ?(rto = 25e-3) ?coalesce
+    ?(spans = Sim.Span.disabled ()) () =
   if rto <= 0.0 then invalid_arg "Rpc.create: rto must be positive";
+  (match coalesce with
+  | Some c ->
+    if c.flush_window <= 0.0 then
+      invalid_arg "Rpc.create: coalesce.flush_window must be positive";
+    if c.max_msg_bytes <= 0 || c.max_frame_bytes <= c.max_msg_bytes then
+      invalid_arg "Rpc.create: coalesce byte limits";
+  | None -> ());
   let endpoints =
     Array.map
       (fun task -> { task; queue = Queue.create (); idle = [] })
@@ -111,6 +169,14 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
     seq = 0;
     call_state = Hashtbl.create 256;
     delivered = Hashtbl.create 256;
+    retire_q = Queue.create ();
+    retire_window = 1024;
+    retire_armed = false;
+    coalesce;
+    pending = Hashtbl.create 16;
+    coal_eligible = 0;
+    coal_batched = 0;
+    coal_frames = 0;
     spans;
     calls = 0;
     posts = 0;
@@ -140,7 +206,130 @@ let backoff_delay t attempts =
 
 let ack_bytes = 16
 
+(* --- the wire ------------------------------------------------------------- *)
+
+let raw_send t ?seq ~src ~dst ~size ~kind deliver =
+  Hw.Ethernet.send t.ether (Hw.Packet.make ?seq ~src ~dst ~size ~kind deliver)
+
+(* Latest instant any copy of a packet predicted to land at [d] can still
+   arrive: a stall window can hold it until the window ends, a delay
+   spike adds its lag, and a fault-injected duplicate trails the original
+   by one propagation.  (Under [Fifo] — the default — [d] from
+   {!Hw.Ethernet.send} is exact; under [Csma_cd] it is a lower bound, and
+   the count window below remains the backstop.) *)
+let arrival_horizon t d =
+  let f = Hw.Ethernet.faults_in_effect t.ether in
+  let d =
+    List.fold_left (fun acc s -> Float.max acc s.Hw.Ethernet.until_t) d
+      f.Hw.Ethernet.stalls
+  in
+  d +. f.Hw.Ethernet.delay_spike +. Hw.Ethernet.propagation t.ether
+
+(* Flush the open batch for one (src,dst) pair.  A singleton goes out as
+   the original packet (coalescing that message bought nothing but the
+   window's latency); two or more messages ship as one framed packet
+   whose delivery runs the queued callbacks in send order. *)
+let flush_pair t key =
+  match Hashtbl.find_opt t.pending key with
+  | None -> ()
+  | Some b -> (
+    (match b.ptimer with
+    | Some id -> Sim.Engine.cancel (Hw.Ethernet.engine t.ether) id
+    | None -> ());
+    b.ptimer <- None;
+    Hashtbl.remove t.pending key;
+    let src, dst = key in
+    match List.rev b.items with
+    | [] -> ()
+    | [ (seq, size, kind, deliver, on_wire) ] ->
+      let d = raw_send t ~seq ~src ~dst ~size ~kind deliver in
+      Option.iter (fun f -> f d) on_wire
+    | items ->
+      t.coal_frames <- t.coal_frames + 1;
+      t.coal_batched <- t.coal_batched + List.length items;
+      let size =
+        List.fold_left
+          (fun acc (_, sz, _, _, _) -> acc + msg_header_bytes + sz)
+          frame_header_bytes items
+      in
+      let d =
+        raw_send t ~src ~dst ~size ~kind:"coal" (fun () ->
+            List.iter (fun (_, _, _, deliver, _) -> deliver ()) items)
+      in
+      List.iter (fun (_, _, _, _, on_wire) -> Option.iter (fun f -> f d) on_wire) items)
+
+(* Every one-way datagram leaves through here.  With coalescing off (or
+   for a same-node / oversized message) this is exactly one Ethernet
+   send, byte-identical to the original transport.  With it on, a small
+   message parks in the per-(src,dst) batch; the first parked message
+   arms the flush timer, and a message that would overflow the frame
+   flushes the batch ahead of itself.  Per-pair FIFO order is preserved:
+   an ineligible message first flushes whatever is parked ahead of it. *)
+let wire_send t ?seq ?on_wire ~src ~dst ~size ~kind deliver =
+  let raw_now ?seq () =
+    let d = raw_send t ?seq ~src ~dst ~size ~kind deliver in
+    Option.iter (fun f -> f d) on_wire
+  in
+  match t.coalesce with
+  | None -> raw_now ?seq ()
+  | Some c ->
+    let key = (src, dst) in
+    if src = dst || size > c.max_msg_bytes then begin
+      flush_pair t key;
+      raw_now ?seq ()
+    end
+    else begin
+      t.coal_eligible <- t.coal_eligible + 1;
+      (match Hashtbl.find_opt t.pending key with
+      | Some b when b.pbytes + msg_header_bytes + size > c.max_frame_bytes ->
+        flush_pair t key
+      | _ -> ());
+      let b =
+        match Hashtbl.find_opt t.pending key with
+        | Some b -> b
+        | None ->
+          let b = { items = []; pbytes = frame_header_bytes; ptimer = None } in
+          Hashtbl.replace t.pending key b;
+          b.ptimer <-
+            Some
+              (Sim.Engine.schedule
+                 (Hw.Ethernet.engine t.ether)
+                 ~delay:c.flush_window
+                 (fun () ->
+                   b.ptimer <- None;
+                   flush_pair t key));
+          b
+      in
+      let seq = match seq with Some s -> s | None -> -1 in
+      b.items <- (seq, size, kind, deliver, on_wire) :: b.items;
+      b.pbytes <- b.pbytes + msg_header_bytes + size
+    end
+
 (* --- reliable one-way datagram ------------------------------------------- *)
+
+(* Evict dedup entries that have both fallen out of the count window and
+   passed their arrival horizon.  If the head is beyond the window but a
+   copy of it could still be in flight, arm a timer for the horizon
+   instead of evicting — that in-flight copy is exactly the duplicate the
+   table exists to suppress. *)
+let rec drain_retire t =
+  if Queue.length t.retire_q > t.retire_window then begin
+    let seq, safe_after = Queue.peek t.retire_q in
+    let eng = Hw.Ethernet.engine t.ether in
+    if safe_after <= Sim.Engine.now eng then begin
+      ignore (Queue.pop t.retire_q : int * float);
+      Hashtbl.remove t.delivered seq;
+      drain_retire t
+    end
+    else if not t.retire_armed then begin
+      t.retire_armed <- true;
+      ignore
+        (Sim.Engine.schedule_at eng ~time:safe_after (fun () ->
+             t.retire_armed <- false;
+             drain_retire t)
+          : Sim.Engine.event_id)
+    end
+  end
 
 (* At-least-once wire delivery with receiver-side dedup, i.e. exactly-once
    execution of [deliver] (which runs in event context at [dst], like a
@@ -148,23 +337,29 @@ let ack_bytes = 16
    the sender retransmits with exponential backoff until acked.  With the
    fabric in unreliable mode this is a plain Ethernet send. *)
 let send_reliable t ~src ~dst ~size ~kind deliver =
-  if not t.reliable then
-    ignore
-      (Hw.Ethernet.send t.ether (Hw.Packet.make ~src ~dst ~size ~kind deliver)
-        : float)
+  if not t.reliable then wire_send t ~src ~dst ~size ~kind deliver
   else begin
     let eng = Hw.Ethernet.engine t.ether in
     let seq = next_seq t in
     let acked = ref false in
     let timer = ref None in
     let attempts = ref 0 in
+    (* Latest predicted arrival over every copy of this datagram put on
+       the wire, including retransmissions still queued when the ack
+       lands. *)
+    let horizon = ref 0.0 in
     let deliver_ack () =
       if not !acked then begin
         acked := true;
         (match !timer with
         | Some id -> Sim.Engine.cancel eng id
         | None -> ());
-        timer := None
+        timer := None;
+        (* The sender has the ack, so it will never retransmit this seq
+           again: queue its dedup entry for retirement once the count
+           window has passed AND no copy can still be in flight. *)
+        Queue.add (seq, !horizon) t.retire_q;
+        drain_retire t
       end
     in
     let deliver_datagram () =
@@ -177,17 +372,13 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
       (* Ack every arrival: if the previous ack was lost, the
          retransmitted datagram re-triggers it. *)
       Sim.Stats.Counter.incr t.rel.acks_sent;
-      ignore
-        (Hw.Ethernet.send t.ether
-           (Hw.Packet.make ~seq ~src:dst ~dst:src ~size:ack_bytes
-              ~kind:(kind ^ "-ack") deliver_ack)
-          : float)
+      wire_send t ~seq ~src:dst ~dst:src ~size:ack_bytes ~kind:(kind ^ "-ack")
+        deliver_ack
     in
     let rec send_datagram () =
-      ignore
-        (Hw.Ethernet.send t.ether
-           (Hw.Packet.make ~seq ~src ~dst ~size ~kind deliver_datagram)
-          : float);
+      wire_send t ~seq
+        ~on_wire:(fun d -> horizon := Float.max !horizon (arrival_horizon t d))
+        ~src ~dst ~size ~kind deliver_datagram;
       arm ()
     and arm () =
       timer :=
@@ -401,3 +592,11 @@ let post t ~src ~dst ~kind ~size handler =
 let calls_made t = t.calls
 let posts_made t = t.posts
 let backlog t node = Queue.length (endpoint t node).queue
+let delivered_size t = Hashtbl.length t.delivered
+
+let coalescing t =
+  {
+    coal_eligible = t.coal_eligible;
+    coal_batched = t.coal_batched;
+    coal_frames = t.coal_frames;
+  }

@@ -34,7 +34,34 @@
 
     With [reliable = false] (the default) none of this machinery exists:
     no sequence numbers, no timers, no extra packets — behavior is
-    byte-identical to the original at-most-once transport. *)
+    byte-identical to the original at-most-once transport.
+
+    The receiver-side dedup table is kept bounded by ack-acknowledged
+    retirement: once the sender has seen a datagram's ack it never
+    retransmits that seq again, so its dedup entry becomes retirable.
+    An entry is actually removed only when it is {e both} older than a
+    fixed window of younger acked seqs {e and} the virtual clock has
+    passed the latest predicted arrival of any copy the sender ever put
+    on the wire (stall clamps, delay spikes, and the duplicate lag
+    included) — a count window alone can evict an entry while a
+    retransmitted copy is still queued on a saturated medium, letting
+    the duplicate deliver twice.
+
+    {2 Coalescing}
+
+    When created with [~coalesce], small one-way datagrams (at most
+    [max_msg_bytes]) headed for the same (src, dst) pair are parked for
+    up to [flush_window] seconds of virtual time and shipped as one
+    framed packet ([frame_header_bytes] plus a small per-message
+    header), amortizing per-packet wire overhead and medium-acquisition
+    under bursts of small messages (acks, notifies).  Flushing is driven
+    by the deterministic event clock, so coalesced runs reproduce per
+    seed; with [coalesce] absent (the default) the transport is
+    byte-identical to the uncoalesced one.  Request/reply {!call}
+    traffic is never coalesced — only one-way datagrams.  Per-pair FIFO
+    order is preserved (an oversized message flushes the batch queued
+    ahead of it), but a parked datagram may be overtaken by {!call}
+    traffic to the same destination issued inside its flush window. *)
 
 type t
 
@@ -64,6 +91,30 @@ type reliability_counters = {
   acks_sent : Sim.Stats.Counter.t;
 }
 
+(** Wire-level batching of small same-destination datagrams (see
+    {e Coalescing} above).  All times in virtual seconds, sizes in
+    bytes. *)
+type coalesce = {
+  flush_window : float;  (** how long a parked datagram may wait *)
+  max_msg_bytes : int;  (** only messages at most this size are parked *)
+  max_frame_bytes : int;
+      (** a message that would grow the frame past this flushes the
+          batch ahead of itself *)
+}
+
+(** 200 µs window, 128-byte messages, 1472-byte frames. *)
+val default_coalesce : coalesce
+
+(** [coal_eligible] one-way datagrams were small enough to park;
+    [coal_batched] of them actually traveled inside one of the
+    [coal_frames] multi-message frames (a batch of one goes out as the
+    original packet and counts as uncoalesced). *)
+type coalescing_counters = {
+  coal_eligible : int;
+  coal_batched : int;
+  coal_frames : int;
+}
+
 val create :
   ether:Hw.Ethernet.t ->
   tasks:Task.t array ->
@@ -73,6 +124,9 @@ val create :
   (* default false *)
   ?rto:float ->
   (* initial retransmission timeout, default 25 ms *)
+  ?coalesce:coalesce ->
+  (* park small one-way datagrams and ship them in framed batches;
+     absent by default (wire behavior byte-identical without it) *)
   ?spans:Sim.Span.t ->
   (* span collector for causal tracing of calls, server work and wire
      flights; defaults to a disabled collector (zero cost) *)
@@ -120,3 +174,10 @@ val posts_made : t -> int
 
 (** Currently queued work items on a node (servers all busy). *)
 val backlog : t -> int -> int
+
+(** Current size of the receiver-side dedup table — bounded by the
+    retirement window plus datagrams whose acks are still outstanding.
+    Exposed for the boundedness regression test. *)
+val delivered_size : t -> int
+
+val coalescing : t -> coalescing_counters

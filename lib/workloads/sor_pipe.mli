@@ -1,0 +1,48 @@
+(** Pipelined Red/Black SOR — {!Sor_amber} restructured around
+    asynchronous invocation (Amber-Async, §11 of the reproduction's
+    INTERNALS).
+
+    Same grid partitioning, same per-phase gating, same numerics —
+    [result.checksum] is bit-identical to [Sor_amber]'s — but the
+    per-neighbor edge-push threads are replaced by the coordinator
+    issuing the boundary exchange with [Future.invoke_async]:
+
+    - the finished edge is captured {e co-residently} into the closure
+      the moment the border columns complete, then shipped on a helper
+      thread while the interior computes;
+    - each side runs a depth-1 pipeline (await the previous phase's
+      push before issuing the next) so same-destination ghost installs
+      stay ordered;
+    - the end-of-iteration convergence barrier is likewise issued
+      asynchronously and only awaited one iteration later, hiding the
+      master round-trip behind compute.
+
+    Only fixed-iteration mode is offered: the convergence decision
+    needs the combined delta synchronously, which is exactly the
+    round-trip this variant exists to hide.
+
+    Reuses {!Sor_amber.cfg} / {!Sor_amber.default_cfg}; with
+    [cfg.overlap = false] the pushes are drained before the interior
+    runs (a diagnostic mode — it demotes the futures to synchronous
+    RPC and should perform like non-overlapped [Sor_amber]). *)
+
+type result = {
+  iterations : int;
+  checksum : float;  (** bit-identical to [Sor_amber]'s for same params *)
+  compute_elapsed : float;
+      (** from the post-setup ready barrier to the final barrier *)
+  total_elapsed : float;
+  remote_invocations : int;
+  thread_migrations : int;
+  async_invocations : int;  (** futures issued (edge pushes + reports) *)
+}
+
+(** Run exactly [iters] iterations.  Must be called from the program's
+    main Amber thread. *)
+val run :
+  Amber.Runtime.t ->
+  Sor_core.params ->
+  ?cfg:Sor_amber.cfg ->
+  iters:int ->
+  unit ->
+  result

@@ -74,6 +74,22 @@ let balanced_sor_digest seed =
           : Workloads.Sor_amber.result);
       Balance.Driver.stop lb)
 
+(* Pipelined SOR exercises the whole async stack — helper threads,
+   future-notify datagrams, pipelined barriers — under packet loss with
+   coalescing framing on top.  Both layers are driven purely by the
+   seeded event clock, so the digest must reproduce per seed. *)
+let async_sor_digest seed =
+  let cfg =
+    A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed) ~faults
+      ~coalesce:Topaz.Rpc.default_coalesce ()
+  in
+  report_digest cfg (fun rt ->
+      let p =
+        Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows:16
+          ~cols:64
+      in
+      ignore (Workloads.Sor_pipe.run rt p ~iters:4 () : Workloads.Sor_pipe.result))
+
 let sweep name digest_of =
   List.iter
     (fun seed ->
@@ -88,6 +104,9 @@ let test_read_mostly_sweep () = sweep "read-mostly" read_mostly_digest
 
 let test_balanced_sor_sweep () =
   sweep "skewed sor + hybrid balancing" balanced_sor_digest
+
+let test_async_sor_sweep () =
+  sweep "pipelined sor + faults + coalescing" async_sor_digest
 
 (* With profiling on, the span forest itself is part of the deterministic
    surface: ids, parents, kinds, attribution and timestamps must all
@@ -155,6 +174,9 @@ let suite =
     Alcotest.test_case
       "skewed sor under hybrid balancing reproducible over 10 seeds" `Quick
       test_balanced_sor_sweep;
+    Alcotest.test_case
+      "pipelined sor + faults + coalescing reproducible over 10 seeds" `Quick
+      test_async_sor_sweep;
     Alcotest.test_case "span traces reproducible over 10 seeds" `Quick
       test_span_sweep;
     Alcotest.test_case "profiling leaves the base report byte-identical"

@@ -709,7 +709,20 @@ let trace_cmd =
       & info [ "lint" ]
           ~doc:
             "Record sanitizer events during the run and lint the trace \
-             offline with AmberSan afterwards.")
+             offline with AmberSan afterwards.  Findings are reported on \
+             stdout and the exit status is 3, exactly like an online \
+             $(b,--sanitize) run; a clean trace exits 0.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("racy", `Racy); ("clean", `Clean) ]) `Clean
+      & info [ "variant" ] ~docv:"V"
+          ~doc:
+            "Which scenario to trace: $(b,clean) (lock-ordered increments, \
+             lints clean) or $(b,racy) (the same increments with the lock \
+             removed, so $(b,--lint) must flag the Read/Write races and \
+             exit 3).")
   in
   let json_flag =
     Arg.(
@@ -728,14 +741,14 @@ let trace_cmd =
             "Also collect causal spans during the run and write them to \
              $(docv) as Chrome trace-event JSON (loadable in Perfetto).")
   in
-  let run nodes cpus faults seed limit category lint json out =
+  let run nodes cpus faults seed limit category lint json out variant =
     let cfg = mk_config nodes cpus faults seed in
     let rt_box = ref None in
     let () =
       Amber.Cluster.run_value cfg (fun rt ->
           rt_box := Some rt;
           Sim.Trace.set_enabled (Amber.Runtime.trace rt) true;
-          if out <> None then
+          if out <> None || lint then
             Sim.Span.set_enabled (Amber.Runtime.spans rt) true;
           if lint then
             (* Record the "san" event stream without online analysis. *)
@@ -743,12 +756,30 @@ let trace_cmd =
           let counter = Amber.Api.create rt ~name:"counter" (ref 0) in
           Amber.Api.move_to rt counter ~dest:(min 1 (nodes - 1));
           let lock = Amber.Sync.Lock.create rt () in
+          (* The racy variant runs the same two-step increment without the
+             lock: the Read and Write steps of different workers carry no
+             happens-before edge, which offline lint must flag. *)
+          let increment =
+            match variant with
+            | `Clean ->
+              fun () ->
+                Amber.Sync.Lock.with_lock rt lock (fun () ->
+                    Amber.Api.invoke rt counter (fun c -> incr c))
+            | `Racy ->
+              fun () ->
+                let v =
+                  Amber.Invoke.invoke rt ~mode:Amber.San_hooks.Read counter
+                    (fun c -> !c)
+                in
+                Sim.Fiber.consume 200e-6;
+                Amber.Invoke.invoke rt ~mode:Amber.San_hooks.Write counter
+                  (fun c -> c := v + 1)
+          in
           let ts =
             List.init 3 (fun i ->
                 Amber.Api.start rt ~name:(Printf.sprintf "w%d" i) (fun () ->
                     for _ = 1 to 3 do
-                      Amber.Sync.Lock.with_lock rt lock (fun () ->
-                          Amber.Api.invoke rt counter (fun c -> incr c))
+                      increment ()
                     done))
           in
           List.iter (fun t -> Amber.Api.join rt t) ts)
@@ -788,14 +819,22 @@ let trace_cmd =
       if lint then begin
         let rep = Analysis.Ambersan.lint_trace (Sim.Trace.records trace) in
         Format.printf "offline lint: %a" Analysis.Ambersan.pp_report rep;
-        if Analysis.Ambersan.failed rep then 3 else 0
+        let span_findings =
+          Analysis.Spanlint.lint (Sim.Span.spans (Amber.Runtime.spans rt))
+        in
+        (match span_findings with
+        | [] -> print_endline "span balance: OK"
+        | fs ->
+          Printf.printf "span balance: %d findings\n" (List.length fs);
+          List.iter (fun f -> print_endline ("  " ^ f)) fs);
+        if Analysis.Ambersan.failed rep || span_findings <> [] then 3 else 0
       end
       else 0
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ limit
-      $ category $ lint_flag $ json_flag $ trace_out)
+      $ category $ lint_flag $ json_flag $ trace_out $ variant)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -908,6 +947,196 @@ let fixture_cmd =
        ~doc:"Run a seeded sanitizer fixture (racy or clean shared counter).")
     term
 
+(* --- check (schedule-space model checking) -------------------------------- *)
+
+let check_cmd =
+  let fixture_arg =
+    let names =
+      "all" :: List.map Analysis.Modelcheck.fixture_name Analysis.Modelcheck.fixtures
+    in
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"FIXTURE"
+          ~doc:
+            (Printf.sprintf
+               "Protocol fixture to check: %s.  $(b,all) runs every fixture."
+               (String.concat ", " names)))
+  in
+  let max_schedules =
+    Arg.(
+      value & opt int 4000
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Stop after exploring N schedules (complete plus truncated).")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int 3000
+      & info [ "max-depth" ] ~docv:"D"
+          ~doc:
+            "Abandon any single execution after D decision points (bounds \
+             retransmission-timer storms).")
+  in
+  let fault_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"K"
+          ~doc:
+            "Per-execution budget of non-deliver fault choices (drop or \
+             duplicate); default is the fixture's own.")
+  in
+  let schedule_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule-out" ] ~docv:"FILE"
+          ~doc:"Write the counterexample schedule (if any) to $(docv).")
+  in
+  let schedule_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule-in" ] ~docv:"FILE"
+          ~doc:
+            "Skip exploration: replay the schedule in $(docv) against the \
+             (single) fixture and report that one execution's verdict.")
+  in
+  let mutate =
+    (* deliberately undocumented: re-introduces known-fixed bugs so CI can
+       assert the checker still finds them *)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"BUG" ~docs:"HIDDEN OPTIONS")
+  in
+  let random =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "random" ] ~docv:"SEED"
+          ~doc:
+            "Random-walk mode: instead of systematic DFS with partial-order \
+             reduction, draw every decision uniformly at random \
+             (deterministically, from $(docv)).  Samples deep reorderings \
+             that DFS only reaches one race reversal at a time; \
+             counterexamples stay replayable.")
+  in
+  let run fixture max_schedules max_depth fault_budget schedule_out
+      schedule_in mutate random =
+    let mutation =
+      match mutate with
+      | None -> None
+      | Some m -> (
+        match Analysis.Modelcheck.mutation_of_string m with
+        | Some m -> Some m
+        | None ->
+          failwith
+            (Printf.sprintf "unknown mutation %S (known: %s)" m
+               (String.concat ", " Analysis.Modelcheck.mutation_names)))
+    in
+    let resolve name =
+      match Analysis.Modelcheck.find_fixture name with
+      | Some f -> f
+      | None ->
+        failwith
+          (Printf.sprintf "unknown fixture %S (known: %s)" name
+             (String.concat ", "
+                (List.map Analysis.Modelcheck.fixture_name
+                   Analysis.Modelcheck.fixtures)))
+    in
+    let fixtures =
+      match fixture with
+      | "all" -> Analysis.Modelcheck.fixtures
+      | name -> [ resolve name ]
+    in
+    let fixtures =
+      match mutation with
+      | None -> fixtures
+      | Some m -> List.map (Analysis.Modelcheck.apply_mutation m) fixtures
+    in
+    match schedule_in with
+    | Some path -> (
+      let fx =
+        match fixtures with
+        | [ f ] -> f
+        | _ -> failwith "--schedule-in needs a single named fixture"
+      in
+      match Analysis.Schedule.load path with
+      | Error e -> failwith e
+      | Ok sched -> (
+        Printf.printf "replaying %d recorded decisions against %s:\n"
+          (List.length sched)
+          (Analysis.Modelcheck.fixture_name fx);
+        match Analysis.Modelcheck.replay ~max_depth fx sched with
+        | [] ->
+          print_endline "replay: no violation";
+          0
+        | violations ->
+          List.iter (fun v -> Printf.printf "  VIOLATION: %s\n" v) violations;
+          3))
+    | None ->
+      let status = ref 0 in
+      List.iter
+        (fun fx ->
+          let name = Analysis.Modelcheck.fixture_name fx in
+          Printf.printf "checking %s (%s)...\n%!" name
+            (Analysis.Modelcheck.fixture_descr fx);
+          let o =
+            match random with
+            | Some seed ->
+              Analysis.Modelcheck.fuzz ~max_schedules ~max_depth ?fault_budget
+                ~seed fx
+            | None ->
+              Analysis.Modelcheck.explore ~max_schedules ~max_depth
+                ?fault_budget fx
+          in
+          List.iter
+            (fun l -> print_endline ("  " ^ l))
+            (Analysis.Modelcheck.stats_lines o.Analysis.Modelcheck.stats);
+          match o.Analysis.Modelcheck.counterexample with
+          | None -> Printf.printf "  %s: no violation found\n" name
+          | Some (sched, violations) ->
+            status := 3;
+            List.iter
+              (fun v -> Printf.printf "  VIOLATION: %s\n" v)
+              violations;
+            Printf.printf "  counterexample (%d decisions):\n"
+              (List.length sched);
+            Format.printf "%a" Analysis.Schedule.pp sched;
+            (match schedule_out with
+            | None -> ()
+            | Some path ->
+              Analysis.Schedule.save
+                ~comments:
+                  [
+                    Printf.sprintf "fixture: %s" name;
+                    Printf.sprintf "violations: %s"
+                      (String.concat " | " violations);
+                  ]
+                path sched;
+              Printf.printf
+                "  schedule written to %s (replay with: amber_sim check %s \
+                 --schedule-in %s)\n"
+                path name path))
+        fixtures;
+      !status
+  in
+  let term =
+    Term.(
+      const run $ fixture_arg $ max_schedules $ max_depth $ fault_budget
+      $ schedule_out $ schedule_in $ mutate $ random)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check a protocol fixture: systematically explore the \
+          schedule space (event, fiber and fault choices) with \
+          partial-order reduction, auditing every execution with AmberSan \
+          plus terminal invariants.  Exit 3 with a replayable \
+          counterexample schedule on any violation.")
+    term
+
 let () =
   let doc = "Amber: parallel programming on a network of multiprocessors" in
   let info = Cmd.info "amber_sim" ~version:"1.0" ~doc in
@@ -915,4 +1144,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; readmostly_cmd;
-            trace_cmd; profile_cmd; fixture_cmd ]))
+            trace_cmd; profile_cmd; fixture_cmd; check_cmd ]))

@@ -75,9 +75,9 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
       (* [ship] runs in event context (inside [Sim.Fiber.block]'s register
          callback), so the packaging CPU is charged by the caller, in
          fiber context, before blocking. *)
-      let ship ~src (gen, ep, snap) wake =
-        Topaz.Rpc.post (Runtime.rpc rt) ~src ~dst:dest ~kind:"repl-copy"
-          ~size:bytes (fun () ->
+      let ship ~src ~parent (gen, ep, snap) wake =
+        Topaz.Rpc.post ~parent (Runtime.rpc rt) ~src ~dst:dest
+          ~kind:"repl-copy" ~size:bytes (fun () ->
             (* Delivery-time guard: a write (or a recall) may have raced
                the copy onto the wire; installing it now would hand out
                stale state, so drop it instead.  The generation check also
@@ -139,7 +139,10 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
         | None -> ()
         | Some payload ->
           Sim.Fiber.consume ship_cpu;
-          Sim.Fiber.block (fun wake -> ship ~src:here payload wake)
+          (* [ship] posts from event context where no span is current:
+             capture the install span while still on the fiber. *)
+          let psp = Sim.Span.current (Runtime.spans rt) in
+          Sim.Fiber.block (fun wake -> ship ~src:here ~parent:psp payload wake)
       end
       else
         Topaz.Rpc.call (Runtime.rpc rt) ~dst:master ~kind:"repl-req"
@@ -154,7 +157,9 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
                 | None -> ()
                 | Some payload ->
                   Sim.Fiber.consume ship_cpu;
-                  Sim.Fiber.block (fun wake -> ship ~src:master payload wake)
+                  let psp = Sim.Span.current (Runtime.spans rt) in
+                  Sim.Fiber.block (fun wake ->
+                      ship ~src:master ~parent:psp payload wake)
             ))
     end
   end
@@ -172,8 +177,15 @@ let invalidate rt (obj : 'a Aobject.t) =
     match obj.Aobject.replicas with
     | [] -> ()
     | targets ->
+      (* Capture each target's grant generation before the round: the
+         round may only deregister the grants it actually recalled. *)
+      let recalled =
+        List.map
+          (fun node -> (node, List.assoc_opt node obj.Aobject.grants))
+          targets
+      in
       List.iter
-        (fun node ->
+        (fun (node, _) ->
           (* One acknowledged control RPC per replica: under fault
              injection the reliable transport retransmits until the
              recall is acknowledged — a lost invalidation is retried,
@@ -189,11 +201,26 @@ let invalidate rt (obj : 'a Aobject.t) =
               ctrs.Runtime.replica_invalidations <-
                 ctrs.Runtime.replica_invalidations + 1;
               (16, ())))
-        targets;
+        recalled;
+      (* Deregister only grants still at the generation this round
+         recalled.  A racing install can re-grant a target under a fresh
+         generation — and land its new snapshot — between our inval
+         reaching that node and this bookkeeping; removing the node by
+         name would then tear down the {e new} grant's registration
+         while its snapshot stays installed, leaving a copy that is
+         registered nowhere yet still served to readers (found by the
+         model checker: grant/recall vs. re-grant on the replica
+         fixture).  Leave the newer grant alone; the next pass recalls
+         it at its own generation. *)
+      let still_recalled node =
+        match List.assoc_opt node recalled with
+        | Some gen0 -> List.assoc_opt node obj.Aobject.grants = gen0
+        | None -> false
+      in
       obj.Aobject.replicas <-
-        List.filter (fun n -> not (List.mem n targets)) obj.Aobject.replicas;
+        List.filter (fun n -> not (still_recalled n)) obj.Aobject.replicas;
       obj.Aobject.grants <-
-        List.filter (fun (n, _) -> not (List.mem n targets)) obj.Aobject.grants;
+        List.filter (fun (n, _) -> not (still_recalled n)) obj.Aobject.grants;
       (* A replica granted while the round was in flight is recalled by
          the next pass; the round is only over when a full pass finds the
          set empty. *)

@@ -15,6 +15,16 @@ type t = {
   faults : Hw.Ethernet.faults;
   rpc_rto : float;
   rpc_coalesce : Topaz.Rpc.coalesce option;
+  rpc_reliable : bool;
+      (* force the reliable (sequence-numbered, retransmitting,
+         deduplicating) transport even with fault injection off.  The
+         runtime always turns it on when faults are enabled; the model
+         checker turns it on explicitly because its fault decisions come
+         from the schedule explorer, not the fault dice. *)
+  rpc_retire_window : int;
+  rpc_unsafe_dedup : bool;
+      (* the pre-fix count-window-only dedup eviction, behind a flag so
+         the checker's mutation smoke can demonstrate it finds the bug *)
   max_forward_hops : int;
   seed : int64;
   trace_capacity : int;
@@ -38,6 +48,9 @@ let default =
     faults = Hw.Ethernet.no_faults;
     rpc_rto = 25e-3;
     rpc_coalesce = None;
+    rpc_reliable = false;
+    rpc_retire_window = 1024;
+    rpc_unsafe_dedup = false;
     max_forward_hops = 64;
     seed = 0xA3BE5L;
     trace_capacity = 8192;
@@ -66,5 +79,7 @@ let validate t =
     invalid_arg "Config: vm_page_size";
   Hw.Ethernet.validate_faults t.faults;
   if t.rpc_rto <= 0.0 then invalid_arg "Config: rpc_rto must be positive";
+  if t.rpc_retire_window < 0 then
+    invalid_arg "Config: rpc_retire_window must be non-negative";
   if t.max_forward_hops <= 0 then
     invalid_arg "Config: max_forward_hops must be positive"

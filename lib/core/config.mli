@@ -23,6 +23,18 @@ type t = {
       (** wire-level batching of small same-destination datagrams; [None]
           (the default) keeps the transport byte-identical to the
           uncoalesced one *)
+  rpc_reliable : bool;
+      (** force the reliable (retransmitting, deduplicating) transport
+          even with fault injection off.  Default [false]; the runtime
+          also enables reliability whenever faults are on.  The model
+          checker sets this because its fault decisions come from the
+          schedule explorer rather than the fault dice *)
+  rpc_retire_window : int;
+      (** dedup-entry retirement count window (see {!Topaz.Rpc.create});
+          default 1024 *)
+  rpc_unsafe_dedup : bool;
+      (** re-introduce the pre-fix count-window-only dedup eviction (the
+          PR-6 bug) for the checker's mutation smoke; default [false] *)
   max_forward_hops : int;
       (** forwarding-chain hop budget before falling back to the object's
           home node *)

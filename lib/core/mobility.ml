@@ -31,9 +31,13 @@ let do_move_here rt (root : Aobject.any) ~dest =
     +. (c.Cost_model.move_per_byte_cpu *. float_of_int bytes));
   ctrs.Runtime.object_moves <- ctrs.Runtime.object_moves + 1;
   ctrs.Runtime.move_bytes <- ctrs.Runtime.move_bytes + bytes;
+  (* The post below runs in event context (inside [block]'s register
+     callback), where no fiber — and so no span — is current: capture the
+     move span here so the wire leg stays causally attached to it. *)
+  let psp = Sim.Span.current (Runtime.spans rt) in
   Sim.Fiber.block (fun wake ->
-      Topaz.Rpc.post (Runtime.rpc rt) ~src:here ~dst:dest ~kind:"obj-contents"
-        ~size:bytes (fun () ->
+      Topaz.Rpc.post ~parent:psp (Runtime.rpc rt) ~src:here ~dst:dest
+        ~kind:"obj-contents" ~size:bytes (fun () ->
           (* Server fiber on [dest]: install the contents. *)
           List.iter
             (fun (Aobject.Any o) ->
@@ -110,9 +114,9 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
     let root = Aobject.Any obj in
     let bytes = Aobject.closure_size root in
     let source = Runtime.resolve_location rt ~addr:obj.Aobject.addr in
-    let install_and_ack ~ack_to wake =
-      Topaz.Rpc.post (Runtime.rpc rt) ~src:source ~dst:dest ~kind:"obj-copy"
-        ~size:bytes (fun () ->
+    let install_and_ack ~ack_to ~parent wake =
+      Topaz.Rpc.post ~parent (Runtime.rpc rt) ~src:source ~dst:dest
+        ~kind:"obj-copy" ~size:bytes (fun () ->
           (* Count the copy only once it is installed at the destination:
              a copy request that dies on the wire is not a copy. *)
           ctrs.Runtime.object_copies <- ctrs.Runtime.object_copies + 1;
@@ -136,13 +140,16 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
     in
     if source = here then begin
       copy_out ();
-      Sim.Fiber.block (fun wake -> install_and_ack ~ack_to:here wake)
+      let psp = Sim.Span.current (Runtime.spans rt) in
+      Sim.Fiber.block (fun wake -> install_and_ack ~ack_to:here ~parent:psp wake)
     end
     else
       Topaz.Rpc.call (Runtime.rpc rt) ~dst:source ~kind:"copy-req"
         ~req_size:64 ~work:(fun () ->
           copy_out ();
-          Sim.Fiber.block (fun wake -> install_and_ack ~ack_to:source wake);
+          let psp = Sim.Span.current (Runtime.spans rt) in
+          Sim.Fiber.block (fun wake ->
+              install_and_ack ~ack_to:source ~parent:psp wake);
           (c.Cost_model.move_ack_bytes, ()))
   end
 

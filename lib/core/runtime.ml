@@ -135,8 +135,12 @@ let create cfg =
        original at-most-once packet pattern bit for bit. *)
     Topaz.Rpc.create ~ether:net ~tasks ~costs:cfg.Config.rpc_costs
       ~servers_per_node:cfg.Config.rpc_servers_per_node
-      ~reliable:(Hw.Ethernet.faults_enabled cfg.Config.faults)
-      ~rto:cfg.Config.rpc_rto ?coalesce:cfg.Config.rpc_coalesce ~spans ()
+      ~reliable:
+        (cfg.Config.rpc_reliable
+        || Hw.Ethernet.faults_enabled cfg.Config.faults)
+      ~rto:cfg.Config.rpc_rto ~retire_window:cfg.Config.rpc_retire_window
+      ~unsafe_count_window_dedup:cfg.Config.rpc_unsafe_dedup
+      ?coalesce:cfg.Config.rpc_coalesce ~spans ()
   in
   let server =
     Vaspace.Space_server.create ~nodes:cfg.Config.nodes

@@ -139,18 +139,67 @@ let account t (p : Packet.t) ~waited ~tx =
   t.queueing <- t.queueing +. waited;
   t.busy <- t.busy +. tx
 
+(* Schedule the receiver-side delivery event.  Under a chooser the event
+   carries a conflict key (all deliveries into one node touch that node's
+   protocol state) and a readable label; in normal operation neither
+   string is built. *)
+let schedule_delivery t (p : Packet.t) ~time =
+  if Sim.Engine.chooser_active t.eng then
+    ignore
+      (Sim.Engine.schedule_at t.eng
+         ~key:(Printf.sprintf "net:n%d" p.Packet.dst)
+         ~label:
+           (Printf.sprintf "deliver %s %d>%d seq%d" p.Packet.kind p.Packet.src
+              p.Packet.dst p.Packet.seq)
+         ~time p.Packet.deliver
+        : Sim.Engine.event_id)
+  else
+    ignore
+      (Sim.Engine.schedule_at t.eng ~time p.Packet.deliver
+        : Sim.Engine.event_id)
+
 (* Fault injection happens between the wire and the receiver: the packet
    always pays its transmission time (it really crossed the medium), and
    then may be lost, duplicated, or delayed before its [deliver] callback
    is scheduled.  All decisions come from the dedicated seeded stream, so
-   a run's fault pattern is a pure function of the configuration seed. *)
+   a run's fault pattern is a pure function of the configuration seed.
+
+   Under a fault-enabled chooser, the dice are replaced by an explicit
+   three-way choice point (deliver / drop / duplicate) on every packet
+   that the sender can retransmit (seq >= 0): the checker explores fault
+   placements instead of sampling them.  Unnumbered packets are always
+   delivered — dropping one loses the message for good, which is the
+   transport's documented contract, not a schedule. *)
 let inject t (p : Packet.t) ~delivery =
-  match t.frng with
-  | None ->
-    ignore
-      (Sim.Engine.schedule_at t.eng ~time:delivery p.Packet.deliver
-        : Sim.Engine.event_id)
-  | Some rng ->
+  match Sim.Engine.chooser t.eng with
+  | Some c when c.Sim.Choice.faults && p.Packet.seq >= 0 ->
+    let key = Printf.sprintf "net:n%d" p.Packet.dst in
+    let tag verb =
+      Sim.Choice.candidate ~key
+        ~label:
+          (Printf.sprintf "%s %s %d>%d seq%d" verb p.Packet.kind p.Packet.src
+             p.Packet.dst p.Packet.seq)
+        ~dom:Sim.Choice.Fault
+          (* the ident names this packet's fate, not just the verb:
+             sleep sets track transition identity across states, and
+             "dup" of one packet is unrelated to "dup" of another *)
+        ~ident:
+          (Printf.sprintf "%s:%s:%d>%d:%d" verb p.Packet.kind p.Packet.src
+             p.Packet.dst p.Packet.seq)
+        ()
+    in
+    let cands = [| tag "deliver"; tag "drop"; tag "dup" |] in
+    (match c.Sim.Choice.pick Sim.Choice.Fault cands with
+    | 1 -> t.dropped <- t.dropped + 1
+    | 2 ->
+      t.duplicated <- t.duplicated + 1;
+      schedule_delivery t p ~time:delivery;
+      schedule_delivery t p ~time:(delivery +. t.propagation)
+    | _ -> schedule_delivery t p ~time:delivery)
+  | Some _ | None -> (
+    match t.frng with
+    | None -> schedule_delivery t p ~time:delivery
+    | Some rng ->
     let f = t.faults in
     let emit_fault what =
       Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~category:"fault"
@@ -182,18 +231,13 @@ let inject t (p : Packet.t) ~delivery =
         end
         else delivery
       in
-      ignore
-        (Sim.Engine.schedule_at t.eng ~time:delivery p.Packet.deliver
-          : Sim.Engine.event_id);
+      schedule_delivery t p ~time:delivery;
       if f.dup_prob > 0.0 && Sim.Rng.float rng < f.dup_prob then begin
         t.duplicated <- t.duplicated + 1;
         emit_fault "duplicate";
-        ignore
-          (Sim.Engine.schedule_at t.eng ~time:(delivery +. t.propagation)
-             p.Packet.deliver
-            : Sim.Engine.event_id)
+        schedule_delivery t p ~time:(delivery +. t.propagation)
       end
-    end
+    end)
 
 (* Begin transmitting [p] at [start] (medium known free then). *)
 let transmit t (p : Packet.t) ~submitted ~start =

@@ -147,10 +147,17 @@ let trace m category detail =
 let rec schedule_dispatch m =
   if not m.dispatch_pending then begin
     m.dispatch_pending <- true;
+    let thunk () =
+      m.dispatch_pending <- false;
+      dispatch m
+    in
     ignore
-      (Sim.Engine.schedule m.eng ~delay:0.0 (fun () ->
-           m.dispatch_pending <- false;
-           dispatch m)
+      ((if Sim.Engine.chooser_active m.eng then
+          Sim.Engine.schedule m.eng
+            ~key:(Printf.sprintf "node:%d" m.mid)
+            ~label:(Printf.sprintf "dispatch node%d" m.mid)
+            ~delay:0.0 thunk
+        else Sim.Engine.schedule m.eng ~delay:0.0 thunk)
         : Sim.Engine.event_id)
   end
 
@@ -172,10 +179,40 @@ and dispatch m =
   in
   fill idle
 
+(* Under a chooser, which ready thread runs next is a decision point:
+   drain the policy, put the question to the chooser, and re-enqueue with
+   the chosen thread at the front (relative order of the rest is
+   preserved, so declining to reorder reproduces the policy's own
+   answer). *)
+and choose_ready (c : Sim.Choice.t) m =
+  let rec drain acc =
+    match m.pol.Sched_policy.dequeue () with
+    | None -> List.rev acc
+    | Some tcb -> drain (tcb :: acc)
+  in
+  let ready = Array.of_list (drain []) in
+  let cands =
+    Array.map
+      (fun tcb ->
+        Sim.Choice.candidate
+          ~key:(Printf.sprintf "node:%d" m.mid)
+          ~label:(Printf.sprintf "run %s t%d node%d" tcb.name tcb.tid m.mid)
+          ~dom:Sim.Choice.Fiber
+          ~ident:(Printf.sprintf "t%d" tcb.tid)
+          ())
+      ready
+  in
+  let idx = c.Sim.Choice.pick Sim.Choice.Fiber cands in
+  m.pol.Sched_policy.enqueue ready.(idx);
+  Array.iteri (fun i tcb -> if i <> idx then m.pol.Sched_policy.enqueue tcb) ready
+
 (* Pop ready threads, running each one's on_resume hook; a hook that
    returns false has taken the thread over (e.g. to migrate it), so keep
    looking. *)
 and next_runnable m =
+  (match Sim.Engine.chooser m.eng with
+  | Some c when m.pol.Sched_policy.length () > 1 -> choose_ready c m
+  | Some _ | None -> ());
   match m.pol.Sched_policy.dequeue () with
   | None -> None
   | Some tcb -> (
@@ -254,8 +291,14 @@ and start_chunk m cpu tcb ~remaining =
   in
   (* Replace the placeholder event with one that can see [busy]. *)
   Sim.Engine.cancel m.eng busy.chunk_event;
+  let thunk () = chunk_done m cpu busy in
   busy.chunk_event <-
-    Sim.Engine.schedule m.eng ~delay:chunk (fun () -> chunk_done m cpu busy);
+    (if Sim.Engine.chooser_active m.eng then
+       Sim.Engine.schedule m.eng
+         ~key:(Printf.sprintf "node:%d" m.mid)
+         ~label:(Printf.sprintf "chunk %s t%d node%d" tcb.name tcb.tid m.mid)
+         ~delay:chunk thunk
+     else Sim.Engine.schedule m.eng ~delay:chunk thunk);
   cpu.cstate <- Busy busy
 
 and chunk_done m cpu busy =

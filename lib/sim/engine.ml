@@ -1,5 +1,11 @@
 type event = {
   id : int;
+  time : float;
+      (* nominal timestamp.  Under a chooser an event may fire "late"
+         (after the clock has been advanced past it by another branch of
+         the exploration); the clock never moves backwards. *)
+  key : string;
+  label : string;
   mutable live : bool;
   thunk : unit -> unit;
 }
@@ -15,6 +21,10 @@ type t = {
      removed when an event fires or is cancelled. *)
   live_ids : (int, event) Hashtbl.t;
   root_rng : Rng.t;
+  (* Controlled nondeterminism (see {!Choice}): [None] in normal
+     operation — every decision point takes its single normal answer and
+     this field costs one dead branch per step. *)
+  mutable chooser : Choice.t option;
 }
 
 let create ?(seed = 0x5EEDL) () =
@@ -25,28 +35,42 @@ let create ?(seed = 0x5EEDL) () =
     executed = 0;
     live_ids = Hashtbl.create 256;
     root_rng = Rng.make seed;
+    chooser = None;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+let set_chooser t c = t.chooser <- c
+let chooser t = t.chooser
+let chooser_active t = t.chooser <> None
 
-let schedule_at t ~time thunk =
+let note_access t k =
+  match t.chooser with None -> () | Some c -> c.Choice.note_access k
+
+let schedule_at t ?(key = "") ?(label = "") ~time thunk =
   if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
-  if time < t.clock then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
-         t.clock);
+  let time =
+    if time >= t.clock then time
+    else if t.chooser <> None then
+      (* A replayed schedule may have run the scheduling event later than
+         its nominal timestamp; absolute-time follow-ups land "now". *)
+      t.clock
+    else
+      invalid_arg
+        (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+           t.clock)
+  in
   let id = t.next_id in
   t.next_id <- id + 1;
-  let ev = { id; live = true; thunk } in
+  let ev = { id; time; key; label; live = true; thunk } in
   Hashtbl.replace t.live_ids id ev;
   Event_queue.add t.queue ~time ev;
   id
 
-let schedule t ~delay thunk =
+let schedule t ?key ?label ~delay thunk =
   if Float.is_nan delay || delay < 0.0 then
     invalid_arg "Engine.schedule: negative or NaN delay";
-  schedule_at t ~time:(t.clock +. delay) thunk
+  schedule_at t ?key ?label ~time:(t.clock +. delay) thunk
 
 let cancel t id =
   match Hashtbl.find_opt t.live_ids id with
@@ -58,37 +82,85 @@ let cancel t id =
 let is_pending t id = Hashtbl.mem t.live_ids id
 
 let fire t time ev =
-  t.clock <- time;
+  if time > t.clock then t.clock <- time;
+  ev.live <- false;
   Hashtbl.remove t.live_ids ev.id;
   t.executed <- t.executed + 1;
   ev.thunk ()
 
-let step t =
-  let rec loop () =
-    match Event_queue.pop t.queue with
-    | None -> false
-    | Some (_, ev) when not ev.live -> loop ()
-    | Some (time, ev) ->
-      fire t time ev;
-      true
+(* Chooser-driven step: any pending event may fire next, not just the
+   earliest — the chooser explores relative orderings of deliveries and
+   timers that the timestamps of one particular run would fix.  Fired
+   events are marked dead in place; their heap entries are skipped
+   lazily, exactly like cancelled ones. *)
+let checked_step (c : Choice.t) t =
+  let evs =
+    Hashtbl.fold (fun _ ev acc -> ev :: acc) t.live_ids []
+    |> List.sort (fun a b ->
+           match Float.compare a.time b.time with
+           | 0 -> Int.compare a.id b.id
+           | n -> n)
   in
-  loop ()
+  match evs with
+  | [] -> false
+  | [ ev ] ->
+    fire t ev.time ev;
+    true
+  | evs ->
+    let arr = Array.of_list evs in
+    let cands =
+      Array.map
+        (fun ev ->
+          Choice.candidate ~key:ev.key
+            ~label:
+              (if ev.label = "" then Printf.sprintf "ev%d" ev.id else ev.label)
+            ~dom:Choice.Event
+            ~ident:(Printf.sprintf "e%d" ev.id)
+            ())
+        arr
+    in
+    let idx = c.Choice.pick Choice.Event cands in
+    let ev = arr.(idx) in
+    fire t ev.time ev;
+    true
+
+let step t =
+  match t.chooser with
+  | Some c -> checked_step c t
+  | None ->
+    let rec loop () =
+      match Event_queue.pop t.queue with
+      | None -> false
+      | Some (_, ev) when not ev.live -> loop ()
+      | Some (time, ev) ->
+        fire t time ev;
+        true
+    in
+    loop ()
 
 let run ?until t =
   let start = t.executed in
-  let horizon = match until with None -> Float.infinity | Some u -> u in
-  let rec loop () =
-    match Event_queue.peek t.queue with
-    | None -> ()
-    | Some (time, _) when time > horizon -> ()
-    | Some _ ->
-      ignore (step t : bool);
-      loop ()
-  in
-  loop ();
-  (match until with
-  | Some u when u > t.clock && Float.is_finite u -> t.clock <- u
-  | Some _ | None -> ());
+  (match t.chooser with
+  | Some _ ->
+    (* Under a chooser virtual timestamps no longer bound execution
+       order, so a time horizon is meaningless: run to quiescence. *)
+    while step t do
+      ()
+    done
+  | None ->
+    let horizon = match until with None -> Float.infinity | Some u -> u in
+    let rec loop () =
+      match Event_queue.peek t.queue with
+      | None -> ()
+      | Some (time, _) when time > horizon -> ()
+      | Some _ ->
+        ignore (step t : bool);
+        loop ()
+    in
+    loop ();
+    (match until with
+    | Some u when u > t.clock && Float.is_finite u -> t.clock <- u
+    | Some _ | None -> ()));
   t.executed - start
 
 let events_executed t = t.executed

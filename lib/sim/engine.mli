@@ -7,7 +7,13 @@
     runs reproducible.
 
     All simulated state lives in a single OS thread; event thunks must not
-    block the host. *)
+    block the host.
+
+    When a {!Choice.t} chooser is installed (see {!set_chooser}), "the
+    earliest event" becomes a decision point instead: any pending event
+    may be selected to fire next, the clock only ever moves forward, and
+    [run]'s [until] horizon is ignored.  With no chooser the behaviour is
+    bit-identical to an engine without the seam. *)
 
 type t
 
@@ -22,13 +28,32 @@ val now : t -> float
 (** Root random state for this simulation (see {!Rng}). *)
 val rng : t -> Rng.t
 
+(** Install (or remove) a controlled-nondeterminism chooser.  Normal
+    operation never installs one. *)
+val set_chooser : t -> Choice.t option -> unit
+
+val chooser : t -> Choice.t option
+val chooser_active : t -> bool
+
+(** Report a dynamic conflict key (object address, lock, descriptor,
+    future id) touched by the currently-executing decision.  A no-op
+    unless a chooser is installed. *)
+val note_access : t -> string -> unit
+
 (** [schedule t ~delay f] runs [f ()] at [now t +. delay].
-    Raises [Invalid_argument] if [delay] is negative or NaN. *)
-val schedule : t -> delay:float -> (unit -> unit) -> event_id
+    Raises [Invalid_argument] if [delay] is negative or NaN.
+    [key] is the static conflict key and [label] the human-readable
+    description used when a chooser is exploring schedules; both default
+    to [""] and are dead weight otherwise. *)
+val schedule :
+  t -> ?key:string -> ?label:string -> delay:float -> (unit -> unit) -> event_id
 
 (** [schedule_at t ~time f] runs [f ()] at absolute virtual time [time],
-    which must not be in the past. *)
-val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+    which must not be in the past.  (Under a chooser, a past [time] is
+    clamped to the current clock instead: replayed schedules may run the
+    scheduling event later than its nominal timestamp.) *)
+val schedule_at :
+  t -> ?key:string -> ?label:string -> time:float -> (unit -> unit) -> event_id
 
 (** Cancel a pending event.  Cancelling an already-fired or already-cancelled
     event is a no-op. *)
@@ -39,7 +64,8 @@ val is_pending : t -> event_id -> bool
 
 (** Run events until the queue is empty, or until [until] (if given) —
     events strictly after [until] remain queued and the clock is left at
-    [until].  Returns the number of events executed.
+    [until].  Returns the number of events executed.  Under a chooser,
+    [until] is ignored and the engine runs to quiescence.
 
     An exception raised by an event thunk aborts the run and propagates;
     the clock stays at the failing event's timestamp. *)

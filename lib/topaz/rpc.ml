@@ -108,6 +108,12 @@ type t = {
   retire_q : (int * float) Queue.t;  (* (seq, arrival horizon) *)
   retire_window : int;
   mutable retire_armed : bool;  (* horizon timer for the queue head *)
+  (* The pre-fix PR-6 eviction policy: retire dedup entries on the count
+     window alone, ignoring the arrival horizon.  Unsound — a straggler
+     copy arriving after eviction executes twice — and kept only behind
+     this flag so the model checker can demonstrate that it finds the
+     bug ([amber_sim check --mutate dedup-count-window]). *)
+  unsafe_dedup : bool;
   coalesce : coalesce option;
   pending : (int * int, pending_batch) Hashtbl.t;  (* (src,dst) -> batch *)
   mutable coal_eligible : int;
@@ -134,9 +140,12 @@ let enqueue_work ep work =
     wake ()
 
 let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
-    ?(reliable = false) ?(rto = 25e-3) ?coalesce
+    ?(reliable = false) ?(rto = 25e-3) ?(retire_window = 1024)
+    ?(unsafe_count_window_dedup = false) ?coalesce
     ?(spans = Sim.Span.disabled ()) () =
   if rto <= 0.0 then invalid_arg "Rpc.create: rto must be positive";
+  if retire_window < 0 then
+    invalid_arg "Rpc.create: retire_window must be non-negative";
   (match coalesce with
   | Some c ->
     if c.flush_window <= 0.0 then
@@ -170,8 +179,9 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
     call_state = Hashtbl.create 256;
     delivered = Hashtbl.create 256;
     retire_q = Queue.create ();
-    retire_window = 1024;
+    retire_window;
     retire_armed = false;
+    unsafe_dedup = unsafe_count_window_dedup;
     coalesce;
     pending = Hashtbl.create 16;
     coal_eligible = 0;
@@ -218,12 +228,18 @@ let raw_send t ?seq ~src ~dst ~size ~kind deliver =
    {!Hw.Ethernet.send} is exact; under [Csma_cd] it is a lower bound, and
    the count window below remains the backstop.) *)
 let arrival_horizon t d =
-  let f = Hw.Ethernet.faults_in_effect t.ether in
-  let d =
-    List.fold_left (fun acc s -> Float.max acc s.Hw.Ethernet.until_t) d
-      f.Hw.Ethernet.stalls
-  in
-  d +. f.Hw.Ethernet.delay_spike +. Hw.Ethernet.propagation t.ether
+  if Sim.Engine.chooser_active (Hw.Ethernet.engine t.ether) then
+    (* Under a schedule chooser the medium may hold any copy arbitrarily
+       long — there is no sound finite horizon, so dedup entries are
+       simply never retired during checking. *)
+    Float.infinity
+  else
+    let f = Hw.Ethernet.faults_in_effect t.ether in
+    let d =
+      List.fold_left (fun acc s -> Float.max acc s.Hw.Ethernet.until_t) d
+        f.Hw.Ethernet.stalls
+    in
+    d +. f.Hw.Ethernet.delay_spike +. Hw.Ethernet.propagation t.ether
 
 (* Flush the open batch for one (src,dst) pair.  A singleton goes out as
    the original packet (coalescing that message bought nothing but the
@@ -316,12 +332,17 @@ let rec drain_retire t =
   if Queue.length t.retire_q > t.retire_window then begin
     let seq, safe_after = Queue.peek t.retire_q in
     let eng = Hw.Ethernet.engine t.ether in
-    if safe_after <= Sim.Engine.now eng then begin
+    (* Retirement mutates the receiver-side dedup table that
+       [deliver_datagram] reads, so under a model checker the two do not
+       commute even though they run on different nodes — tag the shared
+       state so schedule exploration knows to reorder them. *)
+    Sim.Engine.note_access eng "rpc:dedup";
+    if t.unsafe_dedup || safe_after <= Sim.Engine.now eng then begin
       ignore (Queue.pop t.retire_q : int * float);
       Hashtbl.remove t.delivered seq;
       drain_retire t
     end
-    else if not t.retire_armed then begin
+    else if (not t.retire_armed) && Float.is_finite safe_after then begin
       t.retire_armed <- true;
       ignore
         (Sim.Engine.schedule_at eng ~time:safe_after (fun () ->
@@ -349,6 +370,7 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
        lands. *)
     let horizon = ref 0.0 in
     let deliver_ack () =
+      Sim.Engine.note_access eng "rpc:dedup";
       if not !acked then begin
         acked := true;
         (match !timer with
@@ -363,6 +385,7 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
       end
     in
     let deliver_datagram () =
+      Sim.Engine.note_access eng "rpc:dedup";
       if Hashtbl.mem t.delivered seq then
         Sim.Stats.Counter.incr t.rel.dup_datagrams
       else begin
@@ -381,17 +404,24 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
         ~src ~dst ~size ~kind deliver_datagram;
       arm ()
     and arm () =
+      let thunk () =
+        timer := None;
+        if not !acked then begin
+          Sim.Stats.Counter.incr t.rel.timeouts;
+          Sim.Stats.Counter.incr t.rel.retransmits;
+          incr attempts;
+          send_datagram ()
+        end
+      in
+      let delay = backoff_delay t !attempts in
       timer :=
         Some
-          (Sim.Engine.schedule eng ~delay:(backoff_delay t !attempts)
-             (fun () ->
-               timer := None;
-               if not !acked then begin
-                 Sim.Stats.Counter.incr t.rel.timeouts;
-                 Sim.Stats.Counter.incr t.rel.retransmits;
-                 incr attempts;
-                 send_datagram ()
-               end))
+          (if Sim.Engine.chooser_active eng then
+             Sim.Engine.schedule eng
+               ~key:(Printf.sprintf "net:n%d" src)
+               ~label:(Printf.sprintf "rto %s %d>%d seq%d" kind src dst seq)
+               ~delay thunk
+           else Sim.Engine.schedule eng ~delay thunk)
     in
     send_datagram ()
   end
@@ -486,6 +516,7 @@ let call t ~dst ~kind ~req_size ~work =
           | None -> ()
         in
         let deliver_reply value () =
+          Sim.Engine.note_access eng "rpc:calls";
           Sim.Span.finish t.spans !rsp;
           if !completed then Sim.Stats.Counter.incr t.rel.dup_replies
           else begin
@@ -496,6 +527,7 @@ let call t ~dst ~kind ~req_size ~work =
           end
         in
         let deliver_request () =
+          Sim.Engine.note_access eng "rpc:calls";
           Sim.Span.finish t.spans fsp;
           match Hashtbl.find_opt t.call_state seq with
           | Some Started -> Sim.Stats.Counter.incr t.rel.dup_requests
@@ -537,17 +569,24 @@ let call t ~dst ~kind ~req_size ~work =
               : float);
           arm ()
         and arm () =
+          let thunk () =
+            timer := None;
+            if not !completed then begin
+              Sim.Stats.Counter.incr t.rel.timeouts;
+              Sim.Stats.Counter.incr t.rel.retransmits;
+              incr attempts;
+              send_request ()
+            end
+          in
+          let delay = backoff_delay t !attempts in
           timer :=
             Some
-              (Sim.Engine.schedule eng ~delay:(backoff_delay t !attempts)
-                 (fun () ->
-                   timer := None;
-                   if not !completed then begin
-                     Sim.Stats.Counter.incr t.rel.timeouts;
-                     Sim.Stats.Counter.incr t.rel.retransmits;
-                     incr attempts;
-                     send_request ()
-                   end))
+              (if Sim.Engine.chooser_active eng then
+                 Sim.Engine.schedule eng
+                   ~key:(Printf.sprintf "net:n%d" src)
+                   ~label:(Printf.sprintf "rto %s %d>%d seq%d" kind src dst seq)
+                   ~delay thunk
+               else Sim.Engine.schedule eng ~delay thunk)
         in
         send_request ());
     (* Back on the caller: unmarshal the reply. *)
@@ -558,7 +597,7 @@ let call t ~dst ~kind ~req_size ~work =
     | None -> assert false
   end
 
-let post t ~src ~dst ~kind ~size handler =
+let post ?parent t ~src ~dst ~kind ~size handler =
   t.posts <- t.posts + 1;
   if src = dst then
     enqueue_work (endpoint t dst) (fun () ->
@@ -568,8 +607,12 @@ let post t ~src ~dst ~kind ~size handler =
     (* Both the wire leg and the remote handler parent to whatever span
        the poster had open (0 when posted from a timer event), keeping the
        handler's nested spans causally attached to the decision that
-       posted it. *)
-    let parent = Sim.Span.current t.spans in
+       posted it.  A caller that posts from event context — inside a
+       [Sim.Fiber.block] register callback, where no fiber is current —
+       passes [?parent] explicitly, captured while still on the fiber. *)
+    let parent =
+      match parent with Some p -> p | None -> Sim.Span.current t.spans
+    in
     let fsp =
       Sim.Span.start_flow t.spans Sim.Span.Net_flight ~label:kind ~parent
         ~arg:dst ()

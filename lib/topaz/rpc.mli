@@ -124,6 +124,14 @@ val create :
   (* default false *)
   ?rto:float ->
   (* initial retransmission timeout, default 25 ms *)
+  ?retire_window:int ->
+  (* count window of younger acked seqs a dedup entry must fall out of
+     before it may retire, default 1024 *)
+  ?unsafe_count_window_dedup:bool ->
+  (* re-introduce the pre-fix eviction policy that retires dedup entries
+     on the count window alone, ignoring the arrival horizon.  Unsound;
+     exists only so the model checker can demonstrate it finds the bug.
+     Default false *)
   ?coalesce:coalesce ->
   (* park small one-way datagrams and ship them in framed batches;
      absent by default (wire behavior byte-identical without it) *)
@@ -163,8 +171,12 @@ val send_reliable :
 (** One-way message: [handler] runs in a server fiber on [dst].  Usable
     from outside a fiber (e.g. an [on_resume] hook), so no send-side CPU is
     charged here — callers in fiber context account for it themselves.
-    Built on {!send_reliable}, so exactly-once under faults. *)
+    Built on {!send_reliable}, so exactly-once under faults.  The wire
+    leg's flight span and the handler's span parent to the poster's
+    current span; pass [?parent] when posting from event context (no
+    fiber current), with the span captured back when one was. *)
 val post :
+  ?parent:int ->
   t -> src:int -> dst:int -> kind:string -> size:int -> (unit -> unit) -> unit
 
 (** {1 Statistics} *)

@@ -7,7 +7,14 @@ Checks:
      (spans exported with args.async are causally linked wire flights and
      one-way-post handlers that legitimately outlive their origin);
   3. every remote-invoke span has a net-flight descendant (the wire leg
-     that carried the invocation).
+     that carried the invocation);
+  4. span balance: no span is exported still open (args.open means a
+     finish is missing on some code path);
+  5. async parentage: an async span naming a parent must name one that
+     exists and opened first (it may close first — that is what async
+     means; parent 0 is a genuinely top-level operation);
+  6. flow arrows pair up: every "s" (flow start) event has exactly one
+     matching "f" (flow finish) with the same id, and vice versa.
 
 Exit 0 on success, 1 on any violation.
 """
@@ -25,6 +32,8 @@ def main(path):
         doc = json.load(f)
     events = doc["traceEvents"]
     spans = {}
+    flow_starts = {}
+    flow_finishes = {}
     for e in events:
         if e.get("ph") == "X":
             sid = e["args"]["span"]
@@ -32,11 +41,16 @@ def main(path):
                 "id": sid,
                 "parent": e["args"]["parent"],
                 "async": e["args"].get("async", False),
+                "open": e["args"].get("open", False),
                 "t0": e["ts"],
                 "t1": e["ts"] + e["dur"],
                 "name": e["name"],
                 "cat": e.get("cat", ""),
             }
+        elif e.get("ph") == "s":
+            flow_starts[e["id"]] = flow_starts.get(e["id"], 0) + 1
+        elif e.get("ph") == "f":
+            flow_finishes[e["id"]] = flow_finishes.get(e["id"], 0) + 1
     if not spans:
         print("no spans in trace", file=sys.stderr)
         return 1
@@ -45,8 +59,34 @@ def main(path):
     children = {}
     for s in spans.values():
         children.setdefault(s["parent"], []).append(s["id"])
+        if s["open"]:
+            print(
+                f"span {s['id']} ({s['name']}) opened at {s['t0']:.3f} "
+                "and never closed",
+                file=sys.stderr,
+            )
+            bad += 1
+        if s["async"]:
+            if s["parent"] != 0:
+                p = spans.get(s["parent"])
+                if p is None:
+                    print(
+                        f"async span {s['id']} ({s['name']}) names missing "
+                        f"parent {s['parent']}",
+                        file=sys.stderr,
+                    )
+                    bad += 1
+                elif p["t0"] > s["t0"] + EPS_US:
+                    print(
+                        f"async span {s['id']} ({s['name']}) opened at "
+                        f"{s['t0']:.3f} before its parent {p['id']} "
+                        f"({p['name']}) opened at {p['t0']:.3f}",
+                        file=sys.stderr,
+                    )
+                    bad += 1
+            continue
         p = spans.get(s["parent"])
-        if p is None or s["async"]:
+        if p is None:
             continue
         if s["t0"] < p["t0"] - EPS_US or s["t1"] > p["t1"] + EPS_US:
             print(
@@ -54,6 +94,22 @@ def main(path):
                 f"escapes parent {p['id']} ({p['name']}) "
                 f"[{p['t0']:.3f},{p['t1']:.3f}]",
                 file=sys.stderr,
+            )
+            bad += 1
+
+    for fid, n in sorted(flow_starts.items()):
+        m = flow_finishes.get(fid, 0)
+        if n != 1 or m != 1:
+            print(
+                f"flow arrow {fid}: {n} start(s), {m} finish(es) "
+                "(want exactly one of each)",
+                file=sys.stderr,
+            )
+            bad += 1
+    for fid, m in sorted(flow_finishes.items()):
+        if fid not in flow_starts:
+            print(
+                f"flow arrow {fid}: finish without a start", file=sys.stderr
             )
             bad += 1
 
@@ -76,7 +132,8 @@ def main(path):
             bad += 1
 
     print(
-        f"checked {len(spans)} spans ({len(remotes)} remote invokes): "
+        f"checked {len(spans)} spans ({len(remotes)} remote invokes, "
+        f"{len(flow_starts)} flow arrows): "
         + ("OK" if bad == 0 else f"{bad} violations")
     )
     return 1 if bad else 0

@@ -88,6 +88,81 @@ let test_chain_length_diagnostic () =
       Alcotest.(check bool) "chains exist after moves" true (before >= 2);
       Alcotest.(check bool) "locate compressed them" true (after < before))
 
+let test_chain_length_hop_boundary () =
+  (* [chain_length] measures chains of up to exactly 64 hops and drops
+     longer ones as non-terminating.  Lay out a linear chain
+     1→2→…→66 toward the master at 66: node 2's walk takes exactly 64
+     hops and must be measured; node 1's takes 65 and must be reported
+     as a chain that does not terminate — and the 65-hop walk must not
+     inflate [max_chain_length] past the boundary. *)
+  Util.run ~nodes:67 ~cpus:1 (fun rt ->
+      let o = A.Api.create rt ~name:"long" () in
+      A.Api.move_to rt o ~dest:66;
+      for i = 1 to 65 do
+        A.Descriptor.set_forwarded
+          (A.Runtime.descriptors rt i)
+          o.A.Aobject.addr (i + 1)
+      done;
+      Alcotest.(check int) "64-hop chain measured, 65-hop chain dropped" 64
+        (A.Audit.max_chain_length rt o);
+      let vs = A.Audit.check_objects rt [ A.Aobject.Any o ] in
+      let non_terminating n =
+        List.exists
+          (fun v ->
+            v.A.Audit.node = n
+            && v.A.Audit.problem = "forwarding chain does not terminate")
+          vs
+      in
+      Alcotest.(check bool) "65-hop walk reported" true (non_terminating 1);
+      Alcotest.(check bool) "64-hop walk is legal" false (non_terminating 2))
+
+let test_chain_length_visited_before_budget () =
+  (* A chain that re-enters a visited node is dropped the moment the
+     repeat is seen — three hops into a 1→2→3→1 loop — not after
+     exhausting the 64-hop budget, so a short cycle among bystanders
+     cannot masquerade as a long-but-legal chain. *)
+  Util.run (fun rt ->
+      let o = A.Api.create rt ~name:"loopy" () in
+      A.Api.move_to rt o ~dest:2;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 1) o.A.Aobject.addr 3;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 3) o.A.Aobject.addr 1;
+      (* The cycle walks are dropped from the max, leaving the home
+         node's direct hop as the longest measured chain. *)
+      Alcotest.(check int) "cycle walks dropped from max" 1
+        (A.Audit.max_chain_length rt o))
+
+(* A running chase (not an offline audit) that walks into a forwarding
+   cycle: the hop budget trips, the chase restarts at the home node and
+   completes.  The recovery must be observable (a home fallback is
+   counted) and the invocation's result must be unaffected. *)
+let run_cycle_mid_chase ~sanitize =
+  Util.run (fun rt ->
+      let san = if sanitize then Some (Analysis.Ambersan.attach rt) else None in
+      let o = A.Api.create rt ~name:"prey" (ref 7) in
+      A.Api.move_to rt o ~dest:2;
+      (* Two bystanders forward to each other; a chase starting inside
+         the loop ping-pongs until its hop budget trips. *)
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 1) o.A.Aobject.addr 3;
+      A.Descriptor.set_forwarded (A.Runtime.descriptors rt 3) o.A.Aobject.addr 1;
+      let got = ref 0 in
+      let t =
+        A.Athread.start_on rt ~node:1 ~name:"chaser" (fun () ->
+            got := A.Api.invoke rt o (fun r -> !r))
+      in
+      A.Athread.join rt t;
+      Alcotest.(check int) "invocation unaffected by the cycle" 7 !got;
+      Alcotest.(check bool) "recovered via a home-node restart" true
+        ((A.Runtime.counters rt).A.Runtime.home_fallbacks >= 1);
+      match san with
+      | None -> ()
+      | Some san ->
+        let rep = Analysis.Ambersan.finalize san in
+        Alcotest.(check bool) "sanitizer stays clean through recovery" false
+          (Analysis.Ambersan.failed rep))
+
+let test_cycle_mid_chase_plain () = run_cycle_mid_chase ~sanitize:false
+let test_cycle_mid_chase_sanitized () = run_cycle_mid_chase ~sanitize:true
+
 let test_replica_lifecycle_audited () =
   Util.run (fun rt ->
       let o = A.Api.create rt ~name:"life" (ref 0) in
@@ -202,6 +277,14 @@ let suite =
       test_immutable_replicas_audited;
     Alcotest.test_case "chain-length diagnostic" `Quick
       test_chain_length_diagnostic;
+    Alcotest.test_case "chain-length 64-hop boundary" `Quick
+      test_chain_length_hop_boundary;
+    Alcotest.test_case "chain-length visited set beats budget" `Quick
+      test_chain_length_visited_before_budget;
+    Alcotest.test_case "forwarding cycle discovered mid-chase" `Quick
+      test_cycle_mid_chase_plain;
+    Alcotest.test_case "forwarding cycle mid-chase, sanitized" `Quick
+      test_cycle_mid_chase_sanitized;
     Alcotest.test_case "replica lifecycle audited" `Quick
       test_replica_lifecycle_audited;
     Alcotest.test_case "detects forwarded naming a replica" `Quick

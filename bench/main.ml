@@ -768,6 +768,49 @@ let async_sor_measure () =
       in
       (r.W.Sor_pipe.compute_elapsed, frac))
 
+(* Fig-3 SOR riding out a transient node-3 outage (down at 0.2 s, back
+   at 0.6 s): the elapsed time pins what the freeze plus the catch-up
+   after restart costs.  The companion fail-stop metric below counts
+   replicas promoted to master while recovering a small replicated
+   object farm — a protocol-shape number, so the regression gate
+   catches recovery getting lazier (fewer promotions than objects) as
+   well as slower. *)
+let crash_sor_measure () =
+  let p = W.Sor_core.with_size W.Sor_core.default ~rows:61 ~cols:421 in
+  A.Cluster.run_value
+    (A.Config.make ~nodes:4 ~cpus:4
+       ~crashes:[ { A.Config.cnode = 3; at = 0.2; restart = Some 0.6 } ]
+       ())
+    (fun rt ->
+      let r = W.Sor_amber.run rt p ~iters:10 () in
+      r.W.Sor_amber.compute_elapsed)
+
+let promotion_measure () =
+  let cfg =
+    { (A.Config.make ~nodes:4 ~cpus:2 ()) with A.Config.rpc_reliable = true }
+  in
+  A.Cluster.run_value cfg (fun rt ->
+      let copy r = ref !r in
+      let objs =
+        List.init 8 (fun i ->
+            A.Api.create rt ~name:(Printf.sprintf "farm%d" i) (ref i))
+      in
+      List.iter
+        (fun o ->
+          A.Api.move_to rt o ~dest:3;
+          A.Api.replicate rt ~copy o ~dest:1;
+          A.Api.replicate rt ~copy o ~dest:2)
+        objs;
+      A.Runtime.fail_stop rt ~node:3;
+      (* Recovery must leave every object readable; a silent loss here
+         would make the promotion count meaningless. *)
+      List.iteri
+        (fun i o ->
+          if A.Api.invoke rt o (fun r -> !r) <> i then
+            failwith "crash recovery bench: promoted object lost its value")
+        objs;
+      float_of_int (A.Runtime.counters rt).A.Runtime.recovery_promotions)
+
 let json_metrics () =
   let create, local, remote, move, start_join = table1_measure () in
   let sor_elapsed ~nodes ~cpus p iters =
@@ -804,6 +847,8 @@ let json_metrics () =
     ("critical_path_frac_net", cp_net);
     ("async_sor_4n4p_elapsed_s", async_elapsed);
     ("rpc_coalesced_frac", coal_frac);
+    ("crash_recovery_sor_4n4p_elapsed_s", crash_sor_measure ());
+    ("recovery_promotions", promotion_measure ());
   ]
 
 let print_json () =

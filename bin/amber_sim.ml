@@ -89,14 +89,75 @@ let seed_arg =
           "Simulation seed (also seeds the fault pattern; same seed, same \
            faults).")
 
-let mk_config nodes cpus faults seed =
+(* --- crash injection (shared by every subcommand) ------------------------ *)
+
+let crash_conv =
+  (* NODE@T[:RESTART]; times are virtual seconds and accept a trailing
+     "s" (e.g. 3@0.2s:0.6s). *)
+  let seconds s =
+    let s = String.trim s in
+    let n = String.length s in
+    let s = if n > 0 && s.[n - 1] = 's' then String.sub s 0 (n - 1) else s in
+    float_of_string s
+  in
+  let parse s =
+    match String.index_opt s '@' with
+    | None -> Error (`Msg "crash: expected NODE@T[:RESTART]")
+    | Some i -> (
+      try
+        let cnode = int_of_string (String.trim (String.sub s 0 i)) in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.split_on_char ':' rest with
+        | [ t ] -> Ok { Amber.Config.cnode; at = seconds t; restart = None }
+        | [ t; r ] ->
+          Ok { Amber.Config.cnode; at = seconds t; restart = Some (seconds r) }
+        | _ -> Error (`Msg "crash: expected NODE@T[:RESTART]")
+      with _ -> Error (`Msg "crash: expected NODE@T[:RESTART]"))
+  in
+  let print ppf (c : Amber.Config.crash) =
+    match c.Amber.Config.restart with
+    | None ->
+      Format.fprintf ppf "%d@@%g" c.Amber.Config.cnode c.Amber.Config.at
+    | Some r ->
+      Format.fprintf ppf "%d@@%g:%g" c.Amber.Config.cnode c.Amber.Config.at r
+  in
+  Arg.conv (parse, print)
+
+let crashes_term =
+  let crashes =
+    Arg.(
+      value
+      & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"NODE@T[:RESTART]"
+          ~doc:
+            "Crash NODE at virtual time T (seconds; values may carry a \
+             trailing \"s\").  With :RESTART the outage is transient — the \
+             node freezes, drops its packets, and resumes at RESTART.  \
+             Without it the crash is fail-stop: the node's threads and \
+             unreplicated objects are lost and replicated objects are \
+             re-mastered on a surviving replica.  Repeatable; at most one \
+             crash per node, and node 0 is not crashable.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-rate" ] ~docv:"P"
+          ~doc:
+            "Probabilistic crash mode: each node > 0 independently suffers \
+             one transient crash with probability P, at a seed-derived \
+             virtual time (same seed, same crashes).")
+  in
+  let mk crashes rate = (crashes, rate) in
+  Term.(const mk $ crashes $ rate)
+
+let mk_config nodes cpus faults seed (crashes, crash_rate) =
   if nodes <= 0 || cpus <= 0 then failwith "nodes and cpus must be positive";
   let seed =
     match seed with
     | Some s -> Int64.of_int s
     | None -> Amber.Config.default.Amber.Config.seed
   in
-  Amber.Config.make ~nodes ~cpus ~seed ~faults ()
+  Amber.Config.make ~nodes ~cpus ~seed ~faults ~crashes ~crash_rate ()
 
 (* --- sanitizer (shared by every subcommand) ------------------------------ *)
 
@@ -289,11 +350,11 @@ let sor_cmd =
             "Enable wire-level datagram coalescing with the given flush \
              window (e.g. 200e-6).")
   in
-  let run nodes cpus faults seed system rows cols iters sections no_overlap
+  let run nodes cpus faults seed crash system rows cols iters sections no_overlap
       report skew async coalesce bal sanitize profile out =
     let profile = profile || out <> None in
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
-    let cfg = mk_config nodes cpus faults seed in
+    let cfg = mk_config nodes cpus faults seed crash in
     let cfg =
       match coalesce with
       | Some w when w > 0.0 ->
@@ -409,7 +470,7 @@ let sor_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ system
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ system
       $ rows $ cols $ iters $ sections $ no_overlap $ report_flag $ skew
       $ async_flag $ coalesce_window $ balance_term $ sanitize_arg
       $ profile_flag $ out_arg)
@@ -438,8 +499,8 @@ let workqueue_cmd =
       & info [ "move-at" ] ~docv:"K"
           ~doc:"Migrate the queue after K items are taken.")
   in
-  let run nodes cpus faults seed items batch workers move_at report sanitize =
-    let cfg = mk_config nodes cpus faults seed in
+  let run nodes cpus faults seed crash items batch workers move_at report sanitize =
+    let cfg = mk_config nodes cpus faults seed crash in
     let r, status =
       run_cluster ~sanitize cfg (fun rt ->
           let r =
@@ -474,7 +535,7 @@ let workqueue_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ items
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ items
       $ batch $ workers $ move_at $ report_flag $ sanitize_arg)
   in
   Cmd.v
@@ -496,8 +557,8 @@ let matmul_cmd =
       & info [ "no-replicate" ]
           ~doc:"Keep A and B on node 0 instead of replicating.")
   in
-  let run nodes cpus faults seed n block no_replicate sanitize =
-    let cfg = mk_config nodes cpus faults seed in
+  let run nodes cpus faults seed crash n block no_replicate sanitize =
+    let cfg = mk_config nodes cpus faults seed crash in
     let mcfg =
       {
         Workloads.Matmul.n;
@@ -523,7 +584,7 @@ let matmul_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ n $ block
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ n $ block
       $ no_replicate $ sanitize_arg)
   in
   Cmd.v (Cmd.info "matmul" ~doc:"Run the replicated matrix multiply.") term
@@ -555,9 +616,9 @@ let tsp_cmd =
             "Pathological placement: leave the per-node pools and bound \
              caches on node 0 (a load-balancer stress input).")
   in
-  let run nodes cpus faults sim_seed cities seed central check skew bal
+  let run nodes cpus faults sim_seed crash cities seed central check skew bal
       sanitize =
-    let cfg = mk_config nodes cpus faults sim_seed in
+    let cfg = mk_config nodes cpus faults sim_seed crash in
     let tcfg =
       {
         Workloads.Tsp.cities;
@@ -592,7 +653,7 @@ let tsp_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ cities
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ cities
       $ seed $ central $ check $ skew $ balance_term $ sanitize_arg)
   in
   Cmd.v
@@ -639,9 +700,9 @@ let readmostly_cmd =
       & info [ "report" ]
           ~doc:"Print per-node utilization and protocol counters.")
   in
-  let run nodes cpus faults seed objects readers reads write_every replicate
+  let run nodes cpus faults seed crash objects readers reads write_every replicate
       report sanitize =
-    let cfg = mk_config nodes cpus faults seed in
+    let cfg = mk_config nodes cpus faults seed crash in
     let r, status =
       run_cluster ~sanitize cfg (fun rt ->
           let r =
@@ -676,7 +737,7 @@ let readmostly_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ objects
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ objects
       $ readers $ reads $ write_every $ replicate $ report_flag
       $ sanitize_arg)
   in
@@ -741,8 +802,8 @@ let trace_cmd =
             "Also collect causal spans during the run and write them to \
              $(docv) as Chrome trace-event JSON (loadable in Perfetto).")
   in
-  let run nodes cpus faults seed limit category lint json out variant =
-    let cfg = mk_config nodes cpus faults seed in
+  let run nodes cpus faults seed crash limit category lint json out variant =
+    let cfg = mk_config nodes cpus faults seed crash in
     let rt_box = ref None in
     let () =
       Amber.Cluster.run_value cfg (fun rt ->
@@ -833,7 +894,7 @@ let trace_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ limit
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ limit
       $ category $ lint_flag $ json_flag $ trace_out $ variant)
   in
   Cmd.v
@@ -865,8 +926,8 @@ let profile_cmd =
       & info [ "jsonl" ]
           ~doc:"Also dump every span as one JSON object per line on stdout.")
   in
-  let run nodes cpus faults seed workload rows cols iters out jsonl =
-    let cfg = mk_config nodes cpus faults seed in
+  let run nodes cpus faults seed crash workload rows cols iters out jsonl =
+    let cfg = mk_config nodes cpus faults seed crash in
     match workload with
     | `Sor ->
       let p =
@@ -889,7 +950,7 @@ let profile_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ workload
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ workload
       $ rows $ cols $ iters $ out_arg $ jsonl_flag)
   in
   Cmd.v
@@ -923,8 +984,8 @@ let fixture_cmd =
       value & opt int 25
       & info [ "increments" ] ~docv:"K" ~doc:"Increments per thread.")
   in
-  let run nodes cpus faults seed variant threads increments sanitize =
-    let cfg = mk_config nodes cpus faults seed in
+  let run nodes cpus faults seed crash variant threads increments sanitize =
+    let cfg = mk_config nodes cpus faults seed crash in
     let (r : Workloads.Fixtures.result), status =
       run_cluster ~sanitize cfg (fun rt ->
           match variant with
@@ -939,7 +1000,7 @@ let fixture_cmd =
   in
   let term =
     Term.(
-      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ variant
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ variant
       $ threads $ increments $ sanitize_arg)
   in
   Cmd.v

@@ -244,7 +244,190 @@ let steal_fixture =
           else []);
   }
 
-let fixtures = [ replica_fixture; future_fixture; rpc_fixture; steal_fixture ]
+(* Crash fixtures run the reliable transport with a tight retransmit
+   budget: a transaction against the corpse must fail after a handful of
+   timer events, keeping the schedule space tractable.  The scheduled
+   crash is itself an engine event (static key [node:<n>]), so the
+   checker reorders the moment of death against every delivery and
+   dispatch it races with. *)
+let crash_cfg ~nodes crashes =
+  let cfg = Config.make ~nodes ~cpus:1 ~crashes () in
+  {
+    cfg with
+    Config.rpc_servers_per_node = 2;
+    (* Crash fixtures need the failure detector even when the crash is
+       injected from the fixture body rather than [cfg.crashes] (which
+       is what normally switches the transport to reliable mode). *)
+    rpc_reliable = true;
+    rpc_rto = 2e-3;
+    rpc_max_retransmits = 4;
+  }
+
+(* The bodies below never let the main thread touch an object that can
+   be mastered on the crashing node: a remote invoke migrates the
+   calling thread to the master, and a main thread that dies with the
+   corpse would read as a deadlock under every such schedule.  All
+   crash-prone work runs in joined worker threads; a worker killed by
+   the crash surfaces as [Node_dead] from its join. *)
+let crash_promo_fixture =
+  {
+    fname = "crash-promo";
+    descr = "fail-stop crash vs. replica recall and promotion";
+    faults = false;
+    budget = 0;
+    cfg =
+      crash_cfg ~nodes:2
+        [ { Config.cnode = 1; at = 0.8e-3; restart = None } ];
+    body =
+      (fun rt ->
+        let obj = Runtime.create_object rt ~size:64 ~name:"cell" (ref 0) in
+        let guard f =
+          try f ()
+          with Topaz.Rpc.Node_dead _ | Aobject.Object_lost _ -> ()
+        in
+        guard (fun () -> Mobility.move_to rt obj ~dest:1);
+        guard (fun () ->
+            Coherence.install rt ~copy:(fun r -> ref !r) obj ~dest:0);
+        (* The write's invalidation recalls node 0's replica at the
+           master — racing the master's death and the promotion that
+           follows.  An acked write implies the recall completed, so a
+           surviving copy must show it. *)
+        let writer =
+          Athread.start rt ~name:"writer" (fun () ->
+              match Invoke.invoke rt obj (fun c -> incr c) with
+              | () -> `Wrote
+              | exception Topaz.Rpc.Node_dead _ -> `Dead
+              | exception Aobject.Object_lost _ -> `Lost)
+        in
+        let wrote =
+          match Athread.join rt writer with
+          | `Wrote -> true
+          | `Dead | `Lost -> false
+          | exception Topaz.Rpc.Node_dead _ -> false
+          | exception Aobject.Object_lost _ -> false
+        in
+        let reader =
+          Athread.start rt ~name:"reader" (fun () ->
+              match Invoke.invoke rt ~mode:San_hooks.Read obj (fun c -> !c) with
+              | v -> `Read v
+              | exception Topaz.Rpc.Node_dead _ -> `Dead
+              | exception Aobject.Object_lost _ -> `Lost)
+        in
+        let final =
+          match Athread.join rt reader with
+          | r -> r
+          | exception Topaz.Rpc.Node_dead _ -> `Dead
+          | exception Aobject.Object_lost _ -> `Lost
+        in
+        fun () ->
+          match final with
+          | `Read v when v < 0 || v > 1 ->
+            [ Printf.sprintf "read %d, a state the object never held" v ]
+          | `Read 0 when wrote ->
+            [ "acked write vanished from a surviving copy (lost update)" ]
+          | _ -> []);
+  }
+
+let crash_move_fixture =
+  {
+    fname = "crash-move";
+    descr = "fail-stop crash vs. object move and home-chain repair";
+    faults = false;
+    budget = 0;
+    cfg = crash_cfg ~nodes:3 [];
+    body =
+      (fun rt ->
+        let obj = Runtime.create_object rt ~size:64 ~name:"wanderer" (ref 7) in
+        (* The crash is ordered {e causally}, not by timestamp: under
+           the chooser any pending event may fire next regardless of its
+           virtual time, so a cfg-scheduled crash almost always preempts
+           the move and the "crash after the move completed" state this
+           fixture is about would be unreachable.  Calling
+           {!Runtime.fail_stop} from the body pins the setup — move
+           done, replica granted — while the chooser still explores
+           every interleaving of recovery against the in-flight
+           reader. *)
+        let guard f =
+          try f ()
+          with Topaz.Rpc.Node_dead _ | Aobject.Object_lost _ -> ()
+        in
+        (* The transport's failure detector can trip spuriously when the
+           chooser starves an ack past the retransmit budget — then the
+           move rolls back and the object simply stays home, which the
+           readers below tolerate (they only require {e some} live
+           route). *)
+        guard (fun () -> Mobility.move_to rt obj ~dest:1);
+        guard (fun () -> Coherence.install rt ~copy:(fun r -> ref !r) obj ~dest:2);
+        (* [install] is advisory: it can return without granting (racing
+           writer, spurious failure-detector trip, ...).  Only an
+           actually-installed snapshot obliges recovery to promote, so
+           probe the real grant state rather than trusting the call. *)
+        let installed =
+          List.mem 2 obj.Aobject.replicas
+          && Aobject.snapshot obj ~node:2 <> None
+        in
+        let read_once name =
+          Athread.start rt ~name (fun () ->
+              match Invoke.invoke rt ~mode:San_hooks.Read obj (fun c -> !c) with
+              | v -> `Read v
+              | exception Topaz.Rpc.Node_dead _ -> `Dead
+              | exception Aobject.Object_lost _ -> `Lost)
+        in
+        (* One reader in flight at the instant of death: it may settle
+           before the crash, die with the corpse, or chase through
+           recovery — all fine as long as a read that does complete
+           returns 7. *)
+        let early = read_once "early-reader" in
+        Runtime.fail_stop rt ~node:1;
+        (* Node 0's home entry forwarded through node 1 while the master
+           lived there.  Recovery must promote node 2's replica and
+           re-point the entry at it, so a post-funeral retry always gets
+           through — while the [skip-home-repair] mutation sends every
+           retry down the stale entry into the corpse. *)
+        let rec go k =
+          if k = 0 then `Gave_up
+          else
+            match Athread.join rt (read_once "reader") with
+            | (`Read _ | `Lost) as r -> r
+            | `Dead -> go (k - 1)
+            | exception Topaz.Rpc.Node_dead _ -> go (k - 1)
+            | exception Aobject.Object_lost _ -> `Lost
+        in
+        let got = go 3 in
+        let early_got =
+          match Athread.join rt early with
+          | r -> r
+          | exception Topaz.Rpc.Node_dead _ -> `Dead
+          | exception Aobject.Object_lost _ -> `Lost
+        in
+        fun () ->
+          let bad_read tag r =
+            match r with
+            | `Read v when v <> 7 ->
+              [ Printf.sprintf "%s read %d from a master that always held 7"
+                  tag v ]
+            | `Lost when installed ->
+              [ Printf.sprintf
+                  "%s: object lost though a replica survived on node 2" tag ]
+            | _ -> []
+          in
+          bad_read "early reader" early_got
+          @ bad_read "retry reader" got
+          @ (match got with
+            | `Gave_up ->
+              [ "no surviving route to a live object (reader gave up)" ]
+            | _ -> []));
+  }
+
+let fixtures =
+  [
+    replica_fixture;
+    future_fixture;
+    rpc_fixture;
+    steal_fixture;
+    crash_promo_fixture;
+    crash_move_fixture;
+  ]
 
 let find_fixture name =
   List.find_opt (fun f -> f.fname = name) fixtures
@@ -253,18 +436,24 @@ let find_fixture name =
 (* Mutations (known-bug re-introductions for checker smoke tests)      *)
 (* ------------------------------------------------------------------ *)
 
-type mutation = Dedup_count_window
+type mutation = Dedup_count_window | Skip_home_repair
 
-let mutation_names = [ "dedup-count-window" ]
+let mutation_names = [ "dedup-count-window"; "skip-home-repair" ]
 
 let mutation_of_string = function
   | "dedup-count-window" -> Some Dedup_count_window
+  | "skip-home-repair" -> Some Skip_home_repair
   | _ -> None
 
 let apply_mutation m f =
   match m with
   | Dedup_count_window ->
     { f with cfg = { f.cfg with Config.rpc_unsafe_dedup = true } }
+  | Skip_home_repair ->
+    (* Fail-stop recovery without the chain-repair sweep: descriptors
+       still routing through the corpse are left stale, and a chase down
+       one dies of [Node_dead] though the object has a live master. *)
+    { f with cfg = { f.cfg with Config.crash_skip_repair = true } }
 
 (* ------------------------------------------------------------------ *)
 (* Conflict keys                                                       *)
@@ -800,6 +989,19 @@ let replay ?(max_depth = 3000) fx (sched : Schedule.t) =
       ~fault_budget:max_int (* the prefix already encodes the faults *)
       ~section:(fun () -> !st)
   with
+  | exception Divergence { depth; want; have } ->
+    (* The schedule indexes into decision points that this build of the
+       fixture no longer presents — it was recorded against a different
+       mutation (or code).  Surface it as a result, not a crash: a
+       counterexample that stops reproducing after a fix is the
+       expected green side of a red/green replay pair. *)
+    [
+      Printf.sprintf
+        "replay diverged at decision %d (recorded candidate %d, %d \
+         available): schedule recorded against a different build or \
+         mutation"
+        depth want have;
+    ]
   | Blocked _ -> assert false (* no sleep set installed *)
   | Run { violations; truncated; _ } ->
     if truncated then

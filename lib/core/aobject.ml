@@ -16,10 +16,28 @@ type 'a t = {
   mutable win_local : int;
   mutable win_remote : (int * int) list;
   mutable win_reads : int;
+  mutable lost : bool;
+      (* the only copy lived on a node that crashed without restarting:
+         every further access fails crisply with {!Object_lost} *)
   mutable state : 'a;
 }
 
 and any = Any : 'a t -> any
+
+exception Object_lost of { addr : int; name : string }
+
+let () =
+  Printexc.register_printer (function
+    | Object_lost { addr; name } ->
+      Some
+        (Printf.sprintf
+           "Aobject.Object_lost { addr = 0x%x; name = %S } (the object's \
+            only copy was on a crashed node)"
+           addr name)
+    | _ -> None)
+
+let check_lost o =
+  if o.lost then raise (Object_lost { addr = o.addr; name = o.name })
 
 let make ~addr ~name ~size ~node state =
   {
@@ -40,6 +58,7 @@ let make ~addr ~name ~size ~node state =
     win_local = 0;
     win_remote = [];
     win_reads = 0;
+    lost = false;
     state;
   }
 

@@ -49,10 +49,20 @@ type 'a t = {
   mutable win_reads : int;
       (** [Read]-mode invocations within the current window (feeds the
           rebalancer's replicate-vs-move decision) *)
+  mutable lost : bool;
+      (** the only copy lived on a node that crashed without restarting;
+          every further access fails crisply with {!Object_lost} *)
   mutable state : 'a;
 }
 
 and any = Any : 'a t -> any
+
+(** Raised on any access to an object whose sole copy died with a crashed
+    node (no live replica existed to promote). *)
+exception Object_lost of { addr : int; name : string }
+
+(** Raise {!Object_lost} if the object has been marked lost. *)
+val check_lost : 'a t -> unit
 
 val make :
   addr:int -> name:string -> size:int -> node:int -> 'a -> 'a t

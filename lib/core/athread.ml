@@ -77,14 +77,24 @@ let join rt t =
   Sim.Fiber.consume c.Cost_model.thread_join_cpu;
   (* Join is an operation on the thread object (§3.4): locate it first —
      a thread that migrated leaves a forwarding chain, making Join on a
-     travelled thread more expensive (the trade-off the paper states). *)
-  ignore (Runtime.resolve_location rt ~addr:t.ts.Runtime.taddr : int);
+     travelled thread more expensive (the trade-off the paper states).  A
+     thread killed by a fail-stop crash has no thread object left to
+     locate (its address is registered lost); the outcome lives on the
+     surviving tcb, so the locate is skipped — and one that dies while
+     the locate is already chasing surfaces the same way. *)
+  (try
+     if not (Hw.Machine.was_killed t.ts.Runtime.tcb) then
+       ignore (Runtime.resolve_location rt ~addr:t.ts.Runtime.taddr : int)
+   with Aobject.Object_lost _ when Hw.Machine.was_killed t.ts.Runtime.tcb ->
+     ());
   let outcome = Topaz.Kthread.join t.ts.Runtime.tcb in
   (* If the thread finished on another node, the completion notification
-     crosses the network. *)
+     crosses the network — unless it was killed there: a corpse sends
+     nothing, and the joiner already holds the outcome via the crash
+     detector. *)
   let finished_on = Hw.Machine.id (Hw.Machine.home t.ts.Runtime.tcb) in
   let here = Runtime.current_node rt in
-  if finished_on <> here then
+  if finished_on <> here && not (Hw.Machine.was_killed t.ts.Runtime.tcb) then
     Sim.Fiber.block (fun wake ->
         (* Reliable: a lost completion notification must not hang Join. *)
         Topaz.Rpc.send_reliable (Runtime.rpc rt) ~src:finished_on ~dst:here

@@ -26,6 +26,7 @@
      newer grant's registration). *)
 
 let install rt ~copy (obj : 'a Aobject.t) ~dest =
+  Aobject.check_lost obj;
   if dest < 0 || dest >= Runtime.nodes rt then
     invalid_arg "Coherence.install: bad destination node";
   if obj.Aobject.immutable_ then
@@ -36,7 +37,13 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
   let ctrs = Runtime.counters rt in
   let addr = obj.Aobject.addr in
   let bytes = obj.Aobject.size in
-  if dest = obj.Aobject.location || List.mem dest obj.Aobject.replicas then ()
+  if
+    dest = obj.Aobject.location
+    || List.mem dest obj.Aobject.replicas
+    (* Installing onto a down node would park the copy on a wire that
+       drops it; give up (advisory, like the torn-write refusal below). *)
+    || not (Runtime.node_is_up rt dest)
+  then ()
   else
     Sim.Span.with_span (Runtime.spans rt) Sim.Span.Replica_install
       ~label:obj.Aobject.name ~obj:addr ~arg:dest
@@ -76,7 +83,46 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
          callback), so the packaging CPU is charged by the caller, in
          fiber context, before blocking. *)
       let ship ~src ~parent (gen, ep, snap) wake =
-        Topaz.Rpc.post ~parent (Runtime.rpc rt) ~src ~dst:dest
+        let rpc = Runtime.rpc rt in
+        let woken = ref false in
+        let watch = ref 0 in
+        let finish () =
+          Topaz.Rpc.unwatch rpc ~node:dest !watch;
+          if not !woken then begin
+            woken := true;
+            wake ()
+          end
+        in
+        let dead _ =
+          Topaz.Rpc.unwatch rpc ~node:dest !watch;
+          if not !woken then begin
+            woken := true;
+            (* The transport gave up on the copy: deregister the grant
+               registered at capture time — unless fail-stop recovery (or
+               a racing recall/re-grant) already did, or the copy in fact
+               installed and only the ack is outstanding.  The budget is a
+               failure {e detector}: it can trip on a live destination
+               whose acks are merely starved, and tearing down the
+               registration then would leave an installed copy served to
+               readers but registered nowhere. *)
+            if
+              List.assoc_opt dest obj.Aobject.grants = Some gen
+              && Aobject.snapshot obj ~node:dest = None
+            then begin
+              obj.Aobject.replicas <-
+                List.filter (fun n -> n <> dest) obj.Aobject.replicas;
+              obj.Aobject.grants <- List.remove_assoc dest obj.Aobject.grants
+            end;
+            wake ()
+          end
+        in
+        (* The per-leg [on_dead] hooks only see in-flight datagrams; a
+           [dest] that dies after transport-acking the copy but with the
+           install handler still queued leaves nothing outstanding to
+           abort.  The watcher covers that window with the same
+           snapshot-guarded deregistration. *)
+        watch := Topaz.Rpc.watch_peer rpc ~node:dest dead;
+        Topaz.Rpc.post ~parent ~on_dead:dead rpc ~src ~dst:dest
           ~kind:"repl-copy" ~size:bytes (fun () ->
             (* Delivery-time guard: a write (or a recall) may have raced
                the copy onto the wire; installing it now would hand out
@@ -130,9 +176,9 @@ let install rt ~copy (obj : 'a Aobject.t) ~dest =
                 List.filter (fun n -> n <> dest) obj.Aobject.replicas;
               obj.Aobject.grants <- List.remove_assoc dest obj.Aobject.grants
             end;
-            Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:src
+            Topaz.Rpc.post ~on_dead:dead rpc ~src:dest ~dst:src
               ~kind:"repl-ack" ~size:c.Cost_model.move_ack_bytes (fun () ->
-                wake ()))
+                finish ()))
       in
       if master = here && obj.Aobject.location = here then begin
         match capture () with
@@ -190,17 +236,24 @@ let invalidate rt (obj : 'a Aobject.t) =
              injection the reliable transport retransmits until the
              recall is acknowledged — a lost invalidation is retried,
              never silently dropped. *)
-          Topaz.Rpc.call (Runtime.rpc rt) ~dst:node ~kind:"inval"
-            ~req_size:32 ~work:(fun () ->
-              Aobject.drop_snapshot obj ~node;
-              if Descriptor.is_replica (Runtime.descriptors rt node) addr
-              then
-                Descriptor.set_forwarded
-                  (Runtime.descriptors rt node)
-                  addr obj.Aobject.location;
-              ctrs.Runtime.replica_invalidations <-
-                ctrs.Runtime.replica_invalidations + 1;
-              (16, ())))
+          try
+            Topaz.Rpc.call (Runtime.rpc rt) ~dst:node ~kind:"inval"
+              ~req_size:32 ~work:(fun () ->
+                Aobject.drop_snapshot obj ~node;
+                if Descriptor.is_replica (Runtime.descriptors rt node) addr
+                then
+                  Descriptor.set_forwarded
+                    (Runtime.descriptors rt node)
+                    addr obj.Aobject.location;
+                ctrs.Runtime.replica_invalidations <-
+                  ctrs.Runtime.replica_invalidations + 1;
+                (16, ()))
+          with Topaz.Rpc.Node_dead _ ->
+            (* A replica node that fail-stopped mid-recall holds no
+               usable copy (its snapshot dies with it); treat the recall
+               as achieved and let the bookkeeping below deregister the
+               grant this round captured. *)
+            Aobject.drop_snapshot obj ~node)
         recalled;
       (* Deregister only grants still at the generation this round
          recalled.  A racing install can re-grant a target under a fresh

@@ -1,3 +1,10 @@
+(* One scheduled node crash.  [restart = Some t'] is a transient outage:
+   the machine freezes and its packets are dropped until [t'], but no
+   state is lost.  [restart = None] is fail-stop: the node's threads die,
+   its un-acked RPC state is discarded, and the object space recovers by
+   replica promotion / home reconstruction. *)
+type crash = { cnode : int; at : float; restart : float option }
+
 type t = {
   nodes : int;
   cpus_per_node : int;
@@ -26,6 +33,17 @@ type t = {
       (* the pre-fix count-window-only dedup eviction, behind a flag so
          the checker's mutation smoke can demonstrate it finds the bug *)
   max_forward_hops : int;
+  crashes : crash list;
+  crash_rate : float;
+      (* per-node probability of drawing one scheduled transient crash
+         (crash at a uniform time in (0, 1s], restart one RTO bundle
+         later); 0.0 (the default) draws nothing and splits no RNG *)
+  rpc_max_retransmits : int;
+  crash_skip_repair : bool;
+      (* mutation: skip the home-node forwarding-entry reconstruction
+         step of fail-stop recovery, so a chain routed through the corpse
+         dangles.  Exists only so the model checker can demonstrate the
+         repair step is load-bearing *)
   seed : int64;
   trace_capacity : int;
 }
@@ -52,12 +70,17 @@ let default =
     rpc_retire_window = 1024;
     rpc_unsafe_dedup = false;
     max_forward_hops = 64;
+    crashes = [];
+    crash_rate = 0.0;
+    rpc_max_retransmits = 30;
+    crash_skip_repair = false;
     seed = 0xA3BE5L;
     trace_capacity = 8192;
   }
 
 let make ~nodes ~cpus ?(cost = Cost_model.default) ?(seed = default.seed)
-    ?(faults = Hw.Ethernet.no_faults) ?coalesce () =
+    ?(faults = Hw.Ethernet.no_faults) ?coalesce ?(crashes = [])
+    ?(crash_rate = 0.0) () =
   {
     default with
     nodes;
@@ -66,7 +89,11 @@ let make ~nodes ~cpus ?(cost = Cost_model.default) ?(seed = default.seed)
     seed;
     faults;
     rpc_coalesce = coalesce;
+    crashes;
+    crash_rate;
   }
+
+let crashes_enabled t = t.crashes <> [] || t.crash_rate > 0.0
 
 let validate t =
   if t.nodes <= 0 then invalid_arg "Config: nodes must be positive";
@@ -82,4 +109,27 @@ let validate t =
   if t.rpc_retire_window < 0 then
     invalid_arg "Config: rpc_retire_window must be non-negative";
   if t.max_forward_hops <= 0 then
-    invalid_arg "Config: max_forward_hops must be positive"
+    invalid_arg "Config: max_forward_hops must be positive";
+  List.iter
+    (fun c ->
+      if c.cnode <= 0 || c.cnode >= t.nodes then
+        invalid_arg
+          "Config: crash node must be in [1, nodes) (node 0 hosts the root \
+           environment and cannot crash)";
+      if c.at < 0.0 || Float.is_nan c.at then
+        invalid_arg "Config: crash time must be non-negative";
+      match c.restart with
+      | Some r when not (r > c.at) ->
+        invalid_arg "Config: crash restart must come after the crash"
+      | _ -> ())
+    t.crashes;
+  (match
+     List.sort_uniq compare (List.map (fun c -> c.cnode) t.crashes)
+   with
+  | uniq when List.length uniq <> List.length t.crashes ->
+    invalid_arg "Config: at most one scheduled crash per node"
+  | _ -> ());
+  if t.crash_rate < 0.0 || t.crash_rate >= 1.0 || Float.is_nan t.crash_rate
+  then invalid_arg "Config: crash_rate must be in [0, 1)";
+  if t.rpc_max_retransmits <= 0 then
+    invalid_arg "Config: rpc_max_retransmits must be positive"

@@ -1,5 +1,15 @@
 (** Cluster configuration for an Amber run. *)
 
+(** One scheduled node crash.  With [restart = Some t'] the outage is
+    transient: the machine freezes (fibers keep their state) and packets
+    addressed to it are dropped until [t'], when it resumes exactly where
+    it stopped.  With [restart = None] the crash is fail-stop: every
+    thread on the node dies with [Node_dead], its un-acked RPC state is
+    discarded, and the object space recovers — masters that lived there
+    are re-mastered by promoting the highest-epoch live replica, and
+    unreplicated objects become permanently [Object_lost]. *)
+type crash = { cnode : int; at : float; restart : float option }
+
 type t = {
   nodes : int;  (** number of machines (Fireflies) *)
   cpus_per_node : int;  (** processors available for user threads *)
@@ -38,6 +48,23 @@ type t = {
   max_forward_hops : int;
       (** forwarding-chain hop budget before falling back to the object's
           home node *)
+  crashes : crash list;
+      (** scheduled node crashes (at most one per node; node 0 is never
+          crashable).  Non-empty implies the reliable RPC transport. *)
+  crash_rate : float;
+      (** probabilistic crash mode: each node [> 0] independently suffers
+          one transient crash with this probability, at a uniform random
+          time drawn from a dedicated RNG stream.  [0.0] (the default)
+          draws nothing — runs are byte-identical to a build without
+          crash injection *)
+  rpc_max_retransmits : int;
+      (** retransmission attempts after which a reliable transaction
+          declares its peer dead ({!Topaz.Rpc.Node_dead}) instead of
+          backing off forever; default 30 *)
+  crash_skip_repair : bool;
+      (** mutation flag: skip the home-node forwarding-entry repair step
+          of fail-stop recovery.  Exists only so the model checker can
+          demonstrate the step is load-bearing; default [false] *)
   seed : int64;
   trace_capacity : int;
 }
@@ -54,8 +81,15 @@ val make :
   ?seed:int64 ->
   ?faults:Hw.Ethernet.faults ->
   ?coalesce:Topaz.Rpc.coalesce ->
+  ?crashes:crash list ->
+  ?crash_rate:float ->
   unit ->
   t
+
+(** True when any crash injection is configured (scheduled or
+    probabilistic) — the condition under which the runtime splits a crash
+    RNG and arms the recovery machinery. *)
+val crashes_enabled : t -> bool
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical configurations. *)

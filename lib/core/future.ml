@@ -78,15 +78,29 @@ let invoke_async rt ?(payload = 0) ?(return_payload = 0)
     if here = fut.home then publish outcome ()
     else begin
       ctrs.Runtime.future_notifies <- ctrs.Runtime.future_notifies + 1;
-      Topaz.Rpc.send_reliable (Runtime.rpc rt) ~src:here ~dst:fut.home
+      (* If the notify's sender node fail-stops with the datagram un-acked
+         (or the home dies — in which case nobody is left to observe), the
+         awaiter still learns the helper's fate: crash detection resolves
+         the future with the death instead of leaving it parked forever. *)
+      Topaz.Rpc.send_reliable (Runtime.rpc rt)
+        ~on_dead:(fun e -> if fut.state = None then publish (Error e) ())
+        ~src:here ~dst:fut.home
         ~size:(Runtime.cost rt).Cost_model.future_notify_bytes
         ~kind:"future-notify" (publish outcome)
     end;
     Sim.Span.finish spans sp
   in
-  ignore
-    (Athread.start rt ~name:(Printf.sprintf "async-%d" id) helper
-      : unit Athread.t);
+  let th = Athread.start rt ~name:(Printf.sprintf "async-%d" id) helper in
+  (* A helper killed by a fail-stop crash never reaches its publish;
+     resolve the future with the failure so [await] raises [Node_dead]
+     rather than hanging.  Organic failures are caught inside [helper]
+     and publish normally, so this hook only ever fires for kills. *)
+  Hw.Machine.on_finish (Athread.tcb th) (fun outcome ->
+      match outcome with
+      | Sim.Fiber.Failed e
+        when fut.state = None && Hw.Machine.was_killed (Athread.tcb th) ->
+        publish (Error e) ()
+      | _ -> ());
   fut
 
 let await rt fut =

@@ -46,6 +46,9 @@ let settle rt ts (obj : 'a Aobject.t) ~mode ~payload =
 
 let invoke rt ?(payload = 0) ?(return_payload = 0) ?(mode = San_hooks.Atomic)
     obj op =
+  (* An object whose only copy died with a fail-stop node fails crisply
+     before any frame is pushed or packet sent. *)
+  Aobject.check_lost obj;
   let ts = Runtime.current rt in
   let c = Runtime.cost rt in
   let ctrs = Runtime.counters rt in
@@ -198,6 +201,7 @@ let executing_within rt obj =
       ts.Runtime.frames
 
 let invoke_member rt ?(mode = San_hooks.Atomic) obj op =
+  Aobject.check_lost obj;
   let ts = Runtime.current rt in
   let guaranteed =
     match ts.Runtime.frames with

@@ -35,18 +35,73 @@ let do_move_here rt (root : Aobject.any) ~dest =
      callback), where no fiber — and so no span — is current: capture the
      move span here so the wire leg stays causally attached to it. *)
   let psp = Sim.Span.current (Runtime.spans rt) in
+  (* A destination that fail-stops while the contents (or the ack) are in
+     flight must not park the mover forever: surface [Node_dead] here.
+     The object state itself is covered either way — contents never
+     installed leave the master where it was; contents installed on the
+     corpse are re-mastered by fail-stop recovery. *)
+  let failed = ref None in
   Sim.Fiber.block (fun wake ->
-      Topaz.Rpc.post ~parent:psp (Runtime.rpc rt) ~src:here ~dst:dest
-        ~kind:"obj-contents" ~size:bytes (fun () ->
-          (* Server fiber on [dest]: install the contents. *)
+      let rpc = Runtime.rpc rt in
+      let woken = ref false in
+      let watch = ref 0 in
+      let finish () =
+        Topaz.Rpc.unwatch rpc ~node:dest !watch;
+        if not !woken then begin
+          woken := true;
+          wake ()
+        end
+      in
+      let aborted = ref false in
+      let dead e =
+        Topaz.Rpc.unwatch rpc ~node:dest !watch;
+        if not !woken then begin
+          woken := true;
+          failed := Some e;
+          (* If the contents never installed, the master stays where it
+             was: un-forward the descriptors flipped before the ship —
+             leaving them would strand the survivors' chains pointing at
+             a corpse that never held the object.  (If they did install,
+             [location] is [dest] and fail-stop recovery owns the
+             cleanup.)  [aborted] also revokes a delivered-but-unrun
+             install: the failure detector can trip spuriously with the
+             contents sitting in a {e live} destination's server queue —
+             the budget exhausts on a starved ack — and installing after
+             this rollback would leave two nodes claiming residency. *)
+          aborted := true;
           List.iter
             (fun (Aobject.Any o) ->
-              o.Aobject.location <- dest;
-              Descriptor.set_resident (Runtime.descriptors rt dest)
-                o.Aobject.addr)
+              if o.Aobject.location = here then
+                Descriptor.set_resident
+                  (Runtime.descriptors rt here)
+                  o.Aobject.addr)
             closure;
-          Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:here ~kind:"move-ack"
-            ~size:c.Cost_model.move_ack_bytes (fun () -> wake ())))
+          wake ()
+        end
+      in
+      (* The per-leg [on_dead] hooks only cover an in-flight datagram;
+         a reliable datagram transport-acks at delivery, so a [dest]
+         that dies with the install handler still queued leaves no
+         outstanding transaction to abort — the watcher covers that
+         window. *)
+      watch := Topaz.Rpc.watch_peer rpc ~node:dest dead;
+      Topaz.Rpc.post ~parent:psp ~on_dead:dead rpc ~src:here ~dst:dest
+        ~kind:"obj-contents" ~size:bytes (fun () ->
+          (* Server fiber on [dest]: install the contents — unless the
+             mover already gave up and rolled the master back, in which
+             case the shipped copy is dead on arrival. *)
+          if not !aborted then begin
+            List.iter
+              (fun (Aobject.Any o) ->
+                o.Aobject.location <- dest;
+                Descriptor.set_resident (Runtime.descriptors rt dest)
+                  o.Aobject.addr)
+              closure;
+            Topaz.Rpc.post ~on_dead:dead rpc ~src:dest ~dst:here
+              ~kind:"move-ack" ~size:c.Cost_model.move_ack_bytes (fun () ->
+                finish ())
+          end));
+  match !failed with Some e -> raise e | None -> ()
   end
 
 (* Chase the forwarding chain with the move request itself: each hop is
@@ -114,9 +169,34 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
     let root = Aobject.Any obj in
     let bytes = Aobject.closure_size root in
     let source = Runtime.resolve_location rt ~addr:obj.Aobject.addr in
+    (* A copy whose endpoint fail-stops mid-flight surfaces [Node_dead]
+       at the caller instead of parking a fiber forever. *)
+    let failed = ref None in
     let install_and_ack ~ack_to ~parent wake =
-      Topaz.Rpc.post ~parent (Runtime.rpc rt) ~src:source ~dst:dest
-        ~kind:"obj-copy" ~size:bytes (fun () ->
+      let rpc = Runtime.rpc rt in
+      let woken = ref false in
+      let watch = ref 0 in
+      let finish () =
+        Topaz.Rpc.unwatch rpc ~node:dest !watch;
+        if not !woken then begin
+          woken := true;
+          wake ()
+        end
+      in
+      let dead e =
+        Topaz.Rpc.unwatch rpc ~node:dest !watch;
+        if not !woken then begin
+          woken := true;
+          failed := Some e;
+          wake ()
+        end
+      in
+      (* Watch [dest] for the handshake window the per-leg [on_dead]
+         hooks miss: copy transport-acked, install handler queued on the
+         corpse, ack never posted. *)
+      watch := Topaz.Rpc.watch_peer rpc ~node:dest dead;
+      Topaz.Rpc.post ~parent ~on_dead:dead rpc ~src:source
+        ~dst:dest ~kind:"obj-copy" ~size:bytes (fun () ->
           (* Count the copy only once it is installed at the destination:
              a copy request that dies on the wire is not a copy. *)
           ctrs.Runtime.object_copies <- ctrs.Runtime.object_copies + 1;
@@ -128,9 +208,9 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
               Descriptor.set_resident (Runtime.descriptors rt dest)
                 o.Aobject.addr)
             (Aobject.attachment_closure root);
-          Topaz.Rpc.post (Runtime.rpc rt) ~src:dest ~dst:ack_to
+          Topaz.Rpc.post ~on_dead:dead rpc ~src:dest ~dst:ack_to
             ~kind:"copy-ack" ~size:c.Cost_model.move_ack_bytes (fun () ->
-              wake ()))
+              finish ()))
     in
     let here = Runtime.current_node rt in
     let copy_out () =
@@ -138,22 +218,25 @@ let replicate rt (obj : 'a Aobject.t) ~dest =
         (c.Cost_model.move_fixed_cpu
         +. (c.Cost_model.move_per_byte_cpu *. float_of_int bytes))
     in
-    if source = here then begin
-      copy_out ();
-      let psp = Sim.Span.current (Runtime.spans rt) in
-      Sim.Fiber.block (fun wake -> install_and_ack ~ack_to:here ~parent:psp wake)
-    end
-    else
-      Topaz.Rpc.call (Runtime.rpc rt) ~dst:source ~kind:"copy-req"
-        ~req_size:64 ~work:(fun () ->
-          copy_out ();
-          let psp = Sim.Span.current (Runtime.spans rt) in
-          Sim.Fiber.block (fun wake ->
-              install_and_ack ~ack_to:source ~parent:psp wake);
-          (c.Cost_model.move_ack_bytes, ()))
+    (if source = here then begin
+       copy_out ();
+       let psp = Sim.Span.current (Runtime.spans rt) in
+       Sim.Fiber.block (fun wake ->
+           install_and_ack ~ack_to:here ~parent:psp wake)
+     end
+     else
+       Topaz.Rpc.call (Runtime.rpc rt) ~dst:source ~kind:"copy-req"
+         ~req_size:64 ~work:(fun () ->
+           copy_out ();
+           let psp = Sim.Span.current (Runtime.spans rt) in
+           Sim.Fiber.block (fun wake ->
+               install_and_ack ~ack_to:source ~parent:psp wake);
+           (c.Cost_model.move_ack_bytes, ())));
+    match !failed with Some e -> raise e | None -> ()
   end
 
 let move_to rt obj ~dest =
+  Aobject.check_lost obj;
   if dest < 0 || dest >= Runtime.nodes rt then
     invalid_arg "Mobility.move_to: bad destination node";
   if obj.Aobject.parent <> None then

@@ -39,6 +39,11 @@ type counters = {
   mutable balance_replicas : int;
   mutable async_invocations : int;
   mutable future_notifies : int;
+  mutable node_crashes : int;
+  mutable node_restarts : int;
+  mutable recovery_promotions : int;
+  mutable objects_lost : int;
+  mutable crash_chain_repairs : int;
 }
 
 type t = {
@@ -53,6 +58,11 @@ type t = {
   server : Vaspace.Space_server.t;
   threads : (int, tstate) Hashtbl.t;  (* keyed by tcb id *)
   objs : (int, Aobject.any) Hashtbl.t;  (* live objects, keyed by addr *)
+  lost_addrs : (int, string) Hashtbl.t;
+      (* addr -> name of addresses whose only copy died with a fail-stop
+         node (objects and thread objects alike); a chase that dangles on
+         one of these raises [Aobject.Object_lost] instead of the generic
+         dangling failure.  Empty unless a crash happened. *)
   trc : Sim.Trace.t;
   spans : Sim.Span.t;
   ctrs : counters;
@@ -87,9 +97,17 @@ let fresh_counters () =
     balance_replicas = 0;
     async_invocations = 0;
     future_notifies = 0;
+    node_crashes = 0;
+    node_restarts = 0;
+    recovery_promotions = 0;
+    objects_lost = 0;
+    crash_chain_repairs = 0;
   }
 
-let create cfg =
+(* Everything except arming the crash injector, which needs the crash and
+   recovery machinery defined at the bottom of this file.  [create] (the
+   public constructor) is [create_raw] plus [schedule_crashes]. *)
+let create_raw cfg =
   Config.validate cfg;
   Hw.Machine.reset_tids ();
   let eng = Sim.Engine.create ~seed:cfg.Config.seed () in
@@ -132,12 +150,16 @@ let create cfg =
   let rpc_fabric =
     (* A lossy wire needs an end-to-end transport: retransmission kicks in
        exactly when fault injection is on, so fault-free runs keep the
-       original at-most-once packet pattern bit for bit. *)
+       original at-most-once packet pattern bit for bit.  Crash injection
+       implies reliability too — peer-death detection lives in the
+       retransmit protocol. *)
     Topaz.Rpc.create ~ether:net ~tasks ~costs:cfg.Config.rpc_costs
       ~servers_per_node:cfg.Config.rpc_servers_per_node
       ~reliable:
         (cfg.Config.rpc_reliable
-        || Hw.Ethernet.faults_enabled cfg.Config.faults)
+        || Hw.Ethernet.faults_enabled cfg.Config.faults
+        || Config.crashes_enabled cfg)
+      ~max_retransmits:cfg.Config.rpc_max_retransmits
       ~rto:cfg.Config.rpc_rto ~retire_window:cfg.Config.rpc_retire_window
       ~unsafe_count_window_dedup:cfg.Config.rpc_unsafe_dedup
       ?coalesce:cfg.Config.rpc_coalesce ~spans ()
@@ -162,6 +184,7 @@ let create cfg =
       server;
       threads = Hashtbl.create 64;
       objs = Hashtbl.create 64;
+      lost_addrs = Hashtbl.create 8;
       trc;
       spans;
       ctrs = fresh_counters ();
@@ -307,6 +330,24 @@ let probe t ~node ~addr =
   | Some (Descriptor.Replica m) -> `Replica m
   | None -> `Hop (home_node t ~addr)
 
+(* Fail-stop death of one Amber thread: close its open spans, drop its
+   invocation frames (the work died with the node), and turn its thread
+   object into a permanently lost address so a later Join's chase fails
+   crisply with [Object_lost] instead of wandering the descriptor web —
+   the outcome itself is read off the tcb, which survives.  Idempotent;
+   used both by the crash handler's sweep and by a thread-state flight
+   whose endpoint died mid-air. *)
+let crash_kill_thread t ts e =
+  if not (Hw.Machine.was_killed ts.tcb) then begin
+    let tid = Hw.Machine.tcb_id ts.tcb in
+    Sim.Span.finish_all_for t.spans ~tid;
+    ts.frames <- [];
+    ts.chase_path <- [];
+    Hashtbl.replace t.lost_addrs ts.taddr (Hw.Machine.tcb_name ts.tcb);
+    Array.iter (fun tbl -> Descriptor.clear tbl ts.taddr) t.tables;
+    Hw.Machine.kill ts.tcb e
+  end
+
 (* One-way thread-state flight used both by explicit migration and by the
    context-switch-in residency check.  Safe outside fiber context: CPU
    costs are charged to the thread's own pending-work account. *)
@@ -335,13 +376,20 @@ let send_thread_packet t ts ~dest =
   in
   (* Thread state must survive packet loss — a dropped flight would
      strand the thread forever — so it rides the reliable datagram
-     service (a plain send when faults are off). *)
-  Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size ~kind:"thread"
-    (fun () ->
+     service (a plain send when faults are off).  A flight whose endpoint
+     fail-stops mid-air kills the thread: its state died with the wire. *)
+  Topaz.Rpc.send_reliable t.rpc_fabric
+    ~on_dead:(fun e ->
       Sim.Span.finish t.spans sp;
-      Descriptor.set_resident (descriptors t dest) ts.taddr;
-      Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
-      Hw.Machine.wake ts.tcb)
+      crash_kill_thread t ts e)
+    ~src ~dst:dest ~size ~kind:"thread"
+    (fun () ->
+      if not (Hw.Machine.was_killed ts.tcb) then begin
+        Sim.Span.finish t.spans sp;
+        Descriptor.set_resident (descriptors t dest) ts.taddr;
+        Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
+        Hw.Machine.wake ts.tcb
+      end)
 
 (* Public face of the flight above: the balancer's thread stealer ships a
    parked victim thread exactly the way the residency check does. *)
@@ -434,12 +482,17 @@ let migrate_self t ?(payload = 0) ~dest () =
         ~arg:dest ()
     in
     Sim.Fiber.block (fun wake ->
-        Topaz.Rpc.send_reliable t.rpc_fabric ~src ~dst:dest ~size
-          ~kind:"thread" (fun () ->
+        Topaz.Rpc.send_reliable t.rpc_fabric
+          ~on_dead:(fun e ->
             Sim.Span.finish t.spans sp;
-            Descriptor.set_resident (descriptors t dest) ts.taddr;
-            Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
-            wake ()));
+            crash_kill_thread t ts e)
+          ~src ~dst:dest ~size ~kind:"thread" (fun () ->
+            if not (Hw.Machine.was_killed ts.tcb) then begin
+              Sim.Span.finish t.spans sp;
+              Descriptor.set_resident (descriptors t dest) ts.taddr;
+              Hw.Machine.transfer ts.tcb ~dest:(machine t dest);
+              wake ()
+            end));
     Sim.Fiber.consume c.Cost_model.thread_recv_cpu
   end
 
@@ -483,6 +536,11 @@ let chase t ~what ~addr ~start ~step =
   let c = cost t in
   let home = home_node t ~addr in
   let dangling () =
+    (* A dangling reference to an address the crash injector registered as
+       lost is not a protocol bug: the only copy died with its node. *)
+    (match Hashtbl.find_opt t.lost_addrs addr with
+    | Some name -> raise (Aobject.Object_lost { addr; name })
+    | None -> ());
     failwith (Printf.sprintf "%s: dangling reference to 0x%x" what addr)
   in
   (* Trail of the previous budget-exhausted walk that started at the home
@@ -697,3 +755,259 @@ let check_failures t =
         Log.err (fun f -> f "thread %s failed" (Hw.Machine.tcb_name tcb));
         raise e)
     t.machines
+
+(* --- crash injection and recovery (Amber-Phoenix) ------------------------- *)
+
+(* Transient outage: the machine freezes (threads keep their state) and
+   the wire drops packets addressed to it.  Nothing is recovered because
+   nothing is lost — the restart resumes exactly where the crash cut. *)
+let node_down t ~node =
+  t.ctrs.node_crashes <- t.ctrs.node_crashes + 1;
+  emit t "crash" (lazy (Printf.sprintf "node%d down (transient)" node));
+  Sim.Engine.note_access t.eng (Printf.sprintf "net:n%d" node);
+  Hw.Ethernet.set_node_down t.net node;
+  Hw.Machine.set_down t.machines.(node)
+
+let node_restart t ~node =
+  t.ctrs.node_restarts <- t.ctrs.node_restarts + 1;
+  emit t "crash" (lazy (Printf.sprintf "node%d restarting" node));
+  Sim.Engine.note_access t.eng (Printf.sprintf "net:n%d" node);
+  Hw.Ethernet.set_node_up t.net node;
+  Hw.Machine.set_up t.machines.(node)
+
+(* Fail-stop recovery of one object whose state touched the dead node.
+
+   - Master alive: drop the dead node from the replica set (its copy is
+     gone; no recall needed — there is nobody to recall from).
+   - Master dead, live copy exists: promote.  For a mutable object the
+     best copy is the highest-epoch snapshot on a live node (ties to the
+     lowest node id for determinism); writes after that snapshot are
+     lost, so the epoch rolls back with the state.  Surviving replicas at
+     the same epoch stay replicas of the new master; stale ones are
+     recalled in place (their copy is dropped and their descriptor
+     forwards to the new master).  For an immutable object every replica
+     is a full copy: the lowest live replica node becomes the new master.
+   - Master dead, no live copy: the object is lost.  Every further access
+     raises [Object_lost]. *)
+let recover_object t ~dead (Aobject.Any o) =
+  if not o.Aobject.lost then begin
+    let addr = o.Aobject.addr in
+    let touched = o.Aobject.location = dead || List.mem dead o.Aobject.replicas in
+    if touched then Sim.Engine.note_access t.eng (Printf.sprintf "obj:%d" addr);
+    if o.Aobject.location <> dead then begin
+      (* Master survived: forget the dead replica, if any. *)
+      if List.mem dead o.Aobject.replicas then begin
+        o.Aobject.replicas <- List.filter (fun n -> n <> dead) o.Aobject.replicas;
+        o.Aobject.grants <- List.filter (fun (n, _) -> n <> dead) o.Aobject.grants;
+        Aobject.drop_snapshot o ~node:dead
+      end
+    end
+    else if o.Aobject.immutable_ then begin
+      match List.sort compare (List.filter (fun n -> n <> dead) o.Aobject.replicas) with
+      | n :: rest ->
+        t.ctrs.recovery_promotions <- t.ctrs.recovery_promotions + 1;
+        emit t "crash"
+          (lazy (Printf.sprintf "%s@0x%x: immutable master node%d -> node%d"
+                   o.Aobject.name addr dead n));
+        o.Aobject.location <- n;
+        o.Aobject.replicas <- rest
+      | [] ->
+        t.ctrs.objects_lost <- t.ctrs.objects_lost + 1;
+        emit t "crash"
+          (lazy (Printf.sprintf "%s@0x%x lost with node%d" o.Aobject.name addr dead));
+        o.Aobject.lost <- true;
+        Hashtbl.replace t.lost_addrs addr o.Aobject.name;
+        Array.iter (fun tbl -> Descriptor.clear tbl addr) t.tables
+    end
+    else begin
+      let survivors =
+        List.filter (fun (n, _, _) -> n <> dead) o.Aobject.rcopies
+      in
+      let best =
+        List.fold_left
+          (fun acc (n, ep, v) ->
+            match acc with
+            | Some (bn, bep, _) when bep > ep || (bep = ep && bn < n) -> acc
+            | _ -> Some (n, ep, v))
+          None survivors
+      in
+      match best with
+      | Some (n, ep, v) ->
+        t.ctrs.recovery_promotions <- t.ctrs.recovery_promotions + 1;
+        emit t "crash"
+          (lazy (Printf.sprintf "%s@0x%x: promoting replica on node%d (epoch %d)"
+                   o.Aobject.name addr n ep));
+        o.Aobject.state <- v;
+        o.Aobject.location <- n;
+        o.Aobject.epoch <- ep;
+        o.Aobject.writers <- 0;
+        Aobject.drop_snapshot o ~node:n;
+        Descriptor.set_resident t.tables.(n) addr;
+        (* Surviving snapshots at the promoted epoch stay consistent read
+           replicas; anything else rolls back with the master and is
+           recalled in place. *)
+        let keep, stale =
+          List.partition (fun (_, sep, _) -> sep = ep)
+            (List.filter (fun (sn, _, _) -> sn <> n) survivors)
+        in
+        o.Aobject.rcopies <- keep;
+        o.Aobject.replicas <- List.map (fun (sn, _, _) -> sn) keep;
+        o.Aobject.grants <-
+          List.filter
+            (fun (gn, _) -> List.exists (fun (sn, _, _) -> sn = gn) keep)
+            o.Aobject.grants;
+        List.iter
+          (fun (sn, _, _) -> Descriptor.set_replica t.tables.(sn) addr n)
+          keep;
+        List.iter
+          (fun (sn, _, _) -> Descriptor.set_forwarded t.tables.(sn) addr n)
+          stale
+      | None ->
+        t.ctrs.objects_lost <- t.ctrs.objects_lost + 1;
+        emit t "crash"
+          (lazy (Printf.sprintf "%s@0x%x lost with node%d" o.Aobject.name addr dead));
+        o.Aobject.lost <- true;
+        o.Aobject.writers <- 0;
+        o.Aobject.replicas <- [];
+        o.Aobject.grants <- [];
+        o.Aobject.rcopies <- [];
+        Hashtbl.replace t.lost_addrs addr o.Aobject.name;
+        Array.iter (fun tbl -> Descriptor.clear tbl addr) t.tables
+    end
+  end
+
+(* §3.3 after a funeral: every live descriptor still routing through the
+   corpse — the home node's fallback entry above all — is rewritten to
+   point at the post-recovery location, so chains that passed through the
+   dead node resolve again without touching it.  Thread objects of
+   surviving threads get the same treatment.  Skippable by the model
+   checker's [crash_skip_repair] mutation, which demonstrates the step is
+   load-bearing: an unrepaired chain walks into the corpse and dies of
+   [Node_dead]. *)
+let repair_chains t ~dead =
+  let repair addr loc =
+    Array.iteri
+      (fun n tbl ->
+        if n <> dead then
+          match Descriptor.get tbl addr with
+          | Some (Descriptor.Forwarded d) when d = dead ->
+            t.ctrs.crash_chain_repairs <- t.ctrs.crash_chain_repairs + 1;
+            Descriptor.set_forwarded tbl addr loc
+          | _ -> ())
+      t.tables
+  in
+  List.iter
+    (fun (Aobject.Any o) ->
+      if not o.Aobject.lost then repair o.Aobject.addr o.Aobject.location)
+    (objects t);
+  Hashtbl.fold (fun _ ts acc -> ts :: acc) t.threads []
+  |> List.sort (fun a b ->
+         compare (Hw.Machine.tcb_id a.tcb) (Hw.Machine.tcb_id b.tcb))
+  |> List.iter (fun ts ->
+         if not (Hw.Machine.was_killed ts.tcb) then
+           repair ts.taddr (Hw.Machine.id (Hw.Machine.home ts.tcb)))
+
+let fail_stop t ~node:dead =
+  t.ctrs.node_crashes <- t.ctrs.node_crashes + 1;
+  emit t "crash" (lazy (Printf.sprintf "node%d fail-stop" dead));
+  Sim.Engine.note_access t.eng (Printf.sprintf "net:n%d" dead);
+  (* The wire stops delivering to the corpse, and the transport aborts
+     every outstanding transaction touching it.  Victims are collected
+     first: the transport's [on_dead] callbacks (e.g. a thread flight)
+     may kill — and thereby unregister — some of them. *)
+  Hw.Ethernet.set_node_down t.net dead;
+  let victims =
+    Hashtbl.fold
+      (fun _ ts acc ->
+        if Hw.Machine.id (Hw.Machine.home ts.tcb) = dead then ts :: acc
+        else acc)
+      t.threads []
+    |> List.sort (fun a b ->
+           compare (Hw.Machine.tcb_id a.tcb) (Hw.Machine.tcb_id b.tcb))
+  in
+  Topaz.Rpc.mark_node_dead t.rpc_fabric ~node:dead;
+  (* The machine freezes and every Amber thread that lived there dies. *)
+  Hw.Machine.set_down t.machines.(dead);
+  List.iter
+    (fun ts ->
+      Sim.Engine.note_access t.eng
+        (Printf.sprintf "tcb:%d" (Hw.Machine.tcb_id ts.tcb));
+      crash_kill_thread t ts (Topaz.Rpc.Node_dead { node = dead }))
+    victims;
+  (* The corpse's server fibers are frozen mid-handler and will never
+     unwind: retire whatever spans they hold open so traces stay
+     balanced (Amber threads get the same treatment via
+     [crash_kill_thread] above). *)
+  List.iter
+    (fun tid -> Sim.Span.finish_all_for t.spans ~tid)
+    (Topaz.Rpc.server_tids t.rpc_fabric ~node:dead);
+  (* The corpse's memory is gone, descriptor table included. *)
+  t.tables.(dead) <- Descriptor.create_table ~node:dead;
+  List.iter (fun any -> recover_object t ~dead any) (objects t);
+  if not t.cfg.Config.crash_skip_repair then repair_chains t ~dead
+
+(* Arm the crash injector.  With no crash configured this does nothing at
+   all — no RNG split, no events — so crash-free runs stay byte-identical
+   to a build without the injector. *)
+let schedule_crashes t =
+  let cfg = t.cfg in
+  if Config.crashes_enabled cfg then begin
+    let drawn =
+      if cfg.Config.crash_rate > 0.0 then begin
+        (* A dedicated stream, split once; each node consumes a fixed
+           number of draws so one node's outcome never shifts another's. *)
+        let rng = Sim.Rng.split (Sim.Engine.rng t.eng) in
+        let acc = ref [] in
+        for node = 1 to cfg.Config.nodes - 1 do
+          let p = Sim.Rng.float rng in
+          let at = Sim.Rng.uniform rng ~lo:0.05 ~hi:1.0 in
+          if
+            p < cfg.Config.crash_rate
+            && not
+                 (List.exists
+                    (fun c -> c.Config.cnode = node)
+                    cfg.Config.crashes)
+          then
+            acc :=
+              {
+                Config.cnode = node;
+                at;
+                restart = Some (at +. (16.0 *. cfg.Config.rpc_rto));
+              }
+              :: !acc
+        done;
+        List.rev !acc
+      end
+      else []
+    in
+    List.iter
+      (fun c ->
+        let key = Printf.sprintf "node:%d" c.Config.cnode in
+        ignore
+          (Sim.Engine.schedule_at t.eng ~key
+             ~label:(Printf.sprintf "crash node%d" c.Config.cnode)
+             ~time:c.Config.at
+             (fun () ->
+               match c.Config.restart with
+               | Some _ -> node_down t ~node:c.Config.cnode
+               | None -> fail_stop t ~node:c.Config.cnode)
+            : Sim.Engine.event_id);
+        match c.Config.restart with
+        | None -> ()
+        | Some r ->
+          ignore
+            (Sim.Engine.schedule_at t.eng ~key
+               ~label:(Printf.sprintf "restart node%d" c.Config.cnode)
+               ~time:r
+               (fun () -> node_restart t ~node:c.Config.cnode)
+              : Sim.Engine.event_id))
+      (cfg.Config.crashes @ drawn)
+  end
+
+let create cfg =
+  let t = create_raw cfg in
+  schedule_crashes t;
+  t
+
+let node_is_up t i = Hw.Machine.is_up (machine t i)
+let lost_object_count t = Hashtbl.length t.lost_addrs

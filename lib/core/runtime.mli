@@ -229,6 +229,16 @@ type counters = {
       (** cross-node resolution notices shipped back to futures' home
           nodes (an async invocation that completes on its home node
           resolves in place and sends nothing) *)
+  mutable node_crashes : int;
+      (** injected node crashes, transient and fail-stop alike *)
+  mutable node_restarts : int;  (** transient crashes that restarted *)
+  mutable recovery_promotions : int;
+      (** replicas promoted to master during fail-stop recovery *)
+  mutable objects_lost : int;
+      (** objects whose only copy died with a fail-stop node *)
+  mutable crash_chain_repairs : int;
+      (** live descriptor entries rewritten because they routed through a
+          fail-stop corpse *)
 }
 
 val counters : t -> counters
@@ -241,6 +251,32 @@ val move_latency : t -> Sim.Stats.Summary.t
 
 (** Raise the first recorded thread failure, if any. *)
 val check_failures : t -> unit
+
+(** {1 Crash injection}
+
+    Armed by {!create} from {!Config.crashes} / {!Config.crash_rate}; with
+    neither configured the injector contributes nothing to a run — no RNG
+    split, no events, byte-identical reports. *)
+
+(** False while a node is down (transiently or for good). *)
+val node_is_up : t -> int -> bool
+
+(** Fail-stop [node] right now: drop its wire, abort transactions and
+    fire peer-death watchers, kill its threads, discard its descriptor
+    table, then re-master or lose every object it held (and repair
+    forwarding chains unless {!Config.crash_skip_repair}).  This is the
+    injector's own fail-stop entry, exported so tests and model-checking
+    fixtures can order a crash {e causally} after the protocol state
+    they mean to kill — under the checker's chooser a time-scheduled
+    crash may fire at any point, which makes "crash after the move
+    completed" unreachable by timestamp alone.  Must not be called from
+    a thread living on [node]. *)
+val fail_stop : t -> node:int -> unit
+
+(** Addresses registered as permanently lost by fail-stop recovery
+    (objects without a live replica, plus thread objects of killed
+    threads). *)
+val lost_object_count : t -> int
 
 (** {1 Sanitizer} *)
 

@@ -25,6 +25,11 @@ type fault_stats = {
   home_fallbacks : int;
 }
 
+type crash_stats = {
+  packets_dropped_dead : int;
+  rpc_peer_deaths : int;
+}
+
 type t = {
   elapsed : float;
   nodes : node_stats array;
@@ -36,6 +41,7 @@ type t = {
   net_queueing : float;
   traffic_by_kind : (string * int * int) list;
   faults : fault_stats;
+  crash : crash_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
   coalescing : Topaz.Rpc.coalescing_counters;
@@ -93,6 +99,11 @@ let capture rt =
          acks_sent = v rel.Topaz.Rpc.acks_sent;
          home_fallbacks = (Runtime.counters rt).Runtime.home_fallbacks;
        });
+    crash =
+      {
+        packets_dropped_dead = Hw.Ethernet.packets_dropped_dead ether;
+        rpc_peer_deaths = Topaz.Rpc.peer_deaths (Runtime.rpc rt);
+      };
     remote_invoke_latency = Runtime.remote_invoke_latency rt;
     move_latency = Runtime.move_latency rt;
     coalescing = Topaz.Rpc.coalescing (Runtime.rpc rt);
@@ -188,6 +199,20 @@ let pp ppf t =
    if c.Runtime.broadcast_locates > 0 then
      Format.fprintf ppf "chain repair: %d broadcast locates@."
        c.Runtime.broadcast_locates);
+  (* Crash injection: gated on a crash having actually happened, so
+     crash-free runs keep byte-identical reports. *)
+  if c.Runtime.node_crashes > 0 then begin
+    Format.fprintf ppf
+      "crashes: %d injected (%d restarted); %d packets dead-dropped, %d \
+       transactions gave up on a peer@."
+      c.Runtime.node_crashes c.Runtime.node_restarts
+      t.crash.packets_dropped_dead t.crash.rpc_peer_deaths;
+    Format.fprintf ppf
+      "recovery: %d replicas promoted to master, %d objects lost, %d chain \
+       entries repaired@."
+      c.Runtime.recovery_promotions c.Runtime.objects_lost
+      c.Runtime.crash_chain_repairs
+  end;
   if Sim.Stats.Summary.count t.remote_invoke_latency > 0 then
     Format.fprintf ppf "remote invoke latency: %a@." Sim.Stats.Summary.pp
       t.remote_invoke_latency;

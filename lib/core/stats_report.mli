@@ -31,6 +31,15 @@ type fault_stats = {
   home_fallbacks : int;
 }
 
+(** Crash-injection summary.  All zero on a crash-free run; the crash
+    report lines print only when a node actually crashed. *)
+type crash_stats = {
+  packets_dropped_dead : int;
+      (** packets the wire dropped because their destination was down *)
+  rpc_peer_deaths : int;
+      (** reliable transactions that gave up on a dead peer *)
+}
+
 type t = {
   elapsed : float;
   nodes : node_stats array;
@@ -43,6 +52,7 @@ type t = {
   traffic_by_kind : (string * int * int) list;
       (** [(packet kind, packets, bytes)] *)
   faults : fault_stats;
+  crash : crash_stats;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
   coalescing : Topaz.Rpc.coalescing_counters;

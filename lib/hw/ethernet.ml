@@ -81,6 +81,12 @@ type t = {
   mutable duplicated : int;
   mutable delayed : int;
   mutable stalled : int;
+  mutable dropped_dead : int;
+  (* Nodes currently crashed: a packet whose delivery instant finds its
+     destination in this set vanishes (the NIC is powered off), covering
+     both packets sent to a dead node and packets already in flight when
+     the node died.  Empty in every run without crash injection. *)
+  downs : (int, unit) Hashtbl.t;
   by_kind : (string, int * int) Hashtbl.t;
 }
 
@@ -117,6 +123,8 @@ let create ~engine ?(bandwidth_bps = 10e6) ?(propagation = 20e-6)
     duplicated = 0;
     delayed = 0;
     stalled = 0;
+    dropped_dead = 0;
+    downs = Hashtbl.create 4;
     by_kind = Hashtbl.create 16;
   }
 
@@ -143,7 +151,24 @@ let account t (p : Packet.t) ~waited ~tx =
    carries a conflict key (all deliveries into one node touch that node's
    protocol state) and a readable label; in normal operation neither
    string is built. *)
+let set_node_down t node = Hashtbl.replace t.downs node ()
+let set_node_up t node = Hashtbl.remove t.downs node
+let node_is_down t node = Hashtbl.mem t.downs node
+
 let schedule_delivery t (p : Packet.t) ~time =
+  (* The down check runs at the delivery instant, not at send time: a
+     packet in flight when its destination dies is lost too. *)
+  let deliver () =
+    if Hashtbl.mem t.downs p.Packet.dst then begin
+      t.dropped_dead <- t.dropped_dead + 1;
+      Sim.Trace.emit t.trace ~time:(Sim.Engine.now t.eng) ~category:"crash"
+        ~detail:
+          (lazy (Format.asprintf "dead-drop %a (node%d down)" Packet.pp p
+                   p.Packet.dst))
+        ()
+    end
+    else p.Packet.deliver ()
+  in
   if Sim.Engine.chooser_active t.eng then
     ignore
       (Sim.Engine.schedule_at t.eng
@@ -151,12 +176,10 @@ let schedule_delivery t (p : Packet.t) ~time =
          ~label:
            (Printf.sprintf "deliver %s %d>%d seq%d" p.Packet.kind p.Packet.src
               p.Packet.dst p.Packet.seq)
-         ~time p.Packet.deliver
+         ~time deliver
         : Sim.Engine.event_id)
   else
-    ignore
-      (Sim.Engine.schedule_at t.eng ~time p.Packet.deliver
-        : Sim.Engine.event_id)
+    ignore (Sim.Engine.schedule_at t.eng ~time deliver : Sim.Engine.event_id)
 
 (* Fault injection happens between the wire and the receiver: the packet
    always pays its transmission time (it really crossed the medium), and
@@ -341,6 +364,7 @@ let packets_dropped t = t.dropped
 let packets_duplicated t = t.duplicated
 let packets_delayed t = t.delayed
 let packets_stalled t = t.stalled
+let packets_dropped_dead t = t.dropped_dead
 
 let traffic_by_kind t =
   Hashtbl.fold (fun kind (n, b) acc -> (kind, n, b) :: acc) t.by_kind []

@@ -99,6 +99,18 @@ val propagation : t -> float
 (** Instant at which the medium next becomes free. *)
 val busy_until : t -> float
 
+(** {1 Crash injection}
+
+    A crashed node's interface is powered off: any packet whose delivery
+    instant finds the destination down is silently discarded — including
+    packets already in flight when the node died.  With no crashes
+    configured the set stays empty and the check is one hashtable probe
+    per delivery. *)
+
+val set_node_down : t -> int -> unit
+val set_node_up : t -> int -> unit
+val node_is_down : t -> int -> bool
+
 (** {1 Statistics} *)
 
 val packets_sent : t -> int
@@ -126,5 +138,9 @@ val packets_delayed : t -> int
 
 (** Packets held by a stall window. *)
 val packets_stalled : t -> int
+
+(** Packets discarded because their destination node was down at the
+    delivery instant. *)
+val packets_dropped_dead : t -> int
 
 val reset_stats : t -> unit

@@ -24,6 +24,12 @@ type tcb = {
   mutable finish_callbacks : (Sim.Fiber.outcome -> unit) list;
   mutable cpu_seconds : float;
   mutable dispatches : int;
+  (* Terminated by crash injection ({!kill}) rather than by its own
+     fiber.  A stale waker aimed at a killed thread — a lock release, a
+     late reply, an in-flight thread-state packet — becomes a no-op
+     instead of an [Invalid_argument]: the rest of the cluster cannot
+     know the thread died before poking it. *)
+  mutable killed : bool;
 }
 
 and cpu = {
@@ -57,6 +63,10 @@ and t = {
   mutable dispatches_total : int;
   mutable preemptions : int;
   mutable failed : (tcb * exn) list;
+  (* [false] while the node is crashed: no CPU dispatches happen, so every
+     fiber homed here is frozen in place until {!set_up} (restart) or
+     {!kill} (fail-stop). *)
+  mutable up : bool;
 }
 
 let tid_counter = ref 0
@@ -93,6 +103,7 @@ let create ~engine ~id ~cpus ?(ctx_switch = 0.0) ?(quantum = 0.1)
     dispatches_total = 0;
     preemptions = 0;
     failed = [];
+    up = true;
   }
 
 let id m = m.mid
@@ -145,7 +156,7 @@ let trace m category detail =
 (* --- dispatching ------------------------------------------------------- *)
 
 let rec schedule_dispatch m =
-  if not m.dispatch_pending then begin
+  if m.up && not m.dispatch_pending then begin
     m.dispatch_pending <- true;
     let thunk () =
       m.dispatch_pending <- false;
@@ -162,6 +173,8 @@ let rec schedule_dispatch m =
   end
 
 and dispatch m =
+  if not m.up then ()
+  else begin
   let idle = Array.to_list m.cpus |> List.filter (fun c -> c.cstate = Idle) in
   let rec fill = function
     | [] -> ()
@@ -178,6 +191,7 @@ and dispatch m =
       else fill rest
   in
   fill idle
+  end
 
 (* Under a chooser, which ready thread runs next is a decision point:
    drain the policy, put the question to the chooser, and re-enqueue with
@@ -380,6 +394,7 @@ let spawn m ~name ?(priority = 0) body =
       finish_callbacks = [];
       cpu_seconds = 0.0;
       dispatches = 0;
+      killed = false;
     }
   in
   m.pol.Sched_policy.enqueue tcb;
@@ -392,6 +407,10 @@ let wake tcb =
     tcb.tstate <- Ready;
     tcb.machine.pol.Sched_policy.enqueue tcb;
     schedule_dispatch tcb.machine
+  | Finished _ when tcb.killed ->
+    (* A waker aimed at a crash-killed thread (lock release, late reply,
+       join notify) fires into the void. *)
+    ()
   | Ready | Running _ | Finished _ ->
     invalid_arg "Machine.wake: thread is not blocked"
 
@@ -422,6 +441,28 @@ let preempt_all ?except m =
     m.cpus;
   if !count > 0 then schedule_dispatch m;
   !count
+
+(* --- node crash / restart ----------------------------------------------- *)
+
+(* Crash: deschedule everything (chunk events cancelled, victims queued
+   Ready with the work they still owe) and stop dispatching.  Fibers are
+   frozen in place, not destroyed: {!set_up} resumes them where they
+   stopped, {!kill} fails them for good. *)
+let set_down m =
+  if m.up then begin
+    m.up <- false;
+    ignore (preempt_all m : int);
+    trace m "crash" (lazy (Printf.sprintf "node%d down" m.mid))
+  end
+
+let set_up m =
+  if not m.up then begin
+    m.up <- true;
+    trace m "crash" (lazy (Printf.sprintf "node%d up" m.mid));
+    schedule_dispatch m
+  end
+
+let is_up m = m.up
 
 let park tcb =
   match tcb.tstate with
@@ -466,6 +507,40 @@ let take_ready m pred =
   in
   ignore (m.pol.Sched_policy.remove one_shot : int);
   !found
+
+(* Fail-stop termination: finish [tcb] with [Failed e] {e without}
+   recording a machine failure — the failure is injected by the crash
+   plan, not a bug in the thread's code, so it must not poison
+   [failures]/[check_failures].  The pending chunk is cancelled, the
+   ready-queue entry removed, and finish callbacks (joiners, future
+   publishers) run immediately with the failed outcome. *)
+let kill tcb e =
+  match tcb.tstate with
+  | Finished _ -> ()
+  | st ->
+    let m = tcb.machine in
+    (match st with
+    | Running _ ->
+      Array.iter
+        (fun cpu ->
+          match cpu.cstate with
+          | Busy busy when busy.btcb == tcb ->
+            Sim.Engine.cancel m.eng busy.chunk_event;
+            cpu.cstate <- Idle
+          | Busy _ | Idle -> ())
+        m.cpus
+    | Ready -> ignore (take_ready m (fun t -> t == tcb) : tcb option)
+    | Blocked -> ()
+    | Finished _ -> assert false);
+    tcb.killed <- true;
+    tcb.tstate <- Finished (Sim.Fiber.Failed e);
+    tcb.step <- None;
+    tcb.pending_consume <- 0.0;
+    let callbacks = List.rev tcb.finish_callbacks in
+    tcb.finish_callbacks <- [];
+    List.iter (fun cb -> cb (Sim.Fiber.Failed e)) callbacks
+
+let was_killed tcb = tcb.killed
 
 let total_busy_time m =
   Array.fold_left (fun acc c -> acc +. c.busy_seconds) 0.0 m.cpus

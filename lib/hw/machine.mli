@@ -144,6 +144,36 @@ val busy_cpus : t -> int
     time says where work {e was}, not where it is). *)
 val current_load : t -> int
 
+(** {1 Crash injection}
+
+    A crashed ("down") machine freezes: no dispatches happen, running
+    fibers are descheduled, and queued threads stay queued until the
+    machine is brought back {!set_up} — a transient outage loses no
+    thread state.  Fail-stop crashes additionally {!kill} each thread. *)
+
+(** Take the machine down: deschedule every running thread and stop all
+    dispatching.  Idempotent. *)
+val set_down : t -> unit
+
+(** Bring a downed machine back: dispatching resumes with the thread
+    population exactly as it was at {!set_down}.  Idempotent. *)
+val set_up : t -> unit
+
+val is_up : t -> bool
+
+(** Forcibly terminate a thread with [Failed e], from any state: a running
+    thread's CPU chunk is cancelled, a ready thread is dequeued, a blocked
+    thread is simply marked finished (its waker becomes a no-op).  The
+    thread's [on_finish] callbacks run.  Unlike an organic failure the
+    kill is {e not} recorded in {!failures} — an injected crash must not
+    trip the cluster-wide failure check.  No-op on finished threads. *)
+val kill : tcb -> exn -> unit
+
+(** True if the thread was terminated by {!kill}.  For such threads
+    {!wake} is a harmless no-op — the rest of the cluster cannot know the
+    thread died before poking it. *)
+val was_killed : tcb -> bool
+
 (** Sum of busy seconds over all CPUs. *)
 val total_busy_time : t -> float
 

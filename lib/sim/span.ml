@@ -217,6 +217,21 @@ let with_span t kind ?label ?obj ?arg f =
       finish t id;
       raise e
 
+(* Close every span still open on [tid]'s stack: a crash-killed thread
+   never unwinds its own spans, so the recovery path retires them at the
+   kill instant to keep traces balanced. *)
+let finish_all_for t ~tid =
+  match Hashtbl.find_opt t.stacks tid with
+  | None -> ()
+  | Some st ->
+      List.iter
+        (fun id ->
+          match find t id with
+          | Some s when s.t1 < 0.0 -> s.t1 <- t.clock ()
+          | Some _ | None -> ())
+        !st;
+      st := []
+
 let current t =
   if not t.enabled then 0
   else

@@ -126,6 +126,11 @@ val with_span :
   t -> kind -> ?label:string -> ?obj:int -> ?arg:int -> (unit -> 'a) -> 'a
 (** [start]/[finish] around a thunk, exception-safe. *)
 
+(** Close every span still open on [tid]'s stack at the current virtual
+    time.  A crash-killed thread never unwinds its own spans; the recovery
+    path retires them at the kill instant to keep traces balanced. *)
+val finish_all_for : t -> tid:int -> unit
+
 val current : t -> int
 (** Innermost open span of the current thread, 0 if none. *)
 

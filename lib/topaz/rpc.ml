@@ -50,6 +50,29 @@ let fresh_reliability_counters () =
    probably lost, so it is retransmitted). *)
 type call_progress = Started | Answered of (unit -> unit)
 
+exception Node_dead of { node : int }
+
+let () =
+  Printexc.register_printer (function
+    | Node_dead { node } ->
+      Some
+        (Printf.sprintf
+           "Rpc.Node_dead { node = %d } (peer exhausted its retransmit \
+            budget or was reported crashed)"
+           node)
+    | _ -> None)
+
+(* One in-flight reliable transaction.  [oabort] is invoked by
+   {!mark_node_dead}: [`Dst_dead] fails the sender with {!Node_dead} now
+   rather than after the full retransmit budget; [`Src_dead] just
+   silences the retransmit timer (a dead node stops transmitting — its
+   caller thread dies with it, separately). *)
+type outstanding = {
+  osrc : int;
+  odst : int;
+  oabort : [ `Src_dead | `Dst_dead ] -> unit;
+}
+
 (* --- wire-level datagram coalescing --------------------------------- *)
 
 type coalesce = {
@@ -114,6 +137,30 @@ type t = {
      this flag so the model checker can demonstrate that it finds the
      bug ([amber_sim check --mutate dedup-count-window]). *)
   unsafe_dedup : bool;
+  (* Retransmission attempts after which a silent peer is declared dead
+     (the transaction fails with [Node_dead] instead of backing off
+     forever).  Only consulted in reliable mode. *)
+  max_retransmits : int;
+  (* Outstanding reliable transactions by sequence number; walked by
+     [mark_node_dead].  Empty unless reliable mode is on. *)
+  outstanding : (int, outstanding) Hashtbl.t;
+  mutable peer_deaths : int;
+  (* Peer-death watchers, fired by [mark_node_dead] after the
+     outstanding-transaction aborts.  They close the window the aborts
+     cannot see: a reliable datagram transport-acks at delivery, so once
+     the ack lands the transaction is retired — but the application
+     handler is still only {e queued} on the destination's server queue.
+     If the peer dies in that window, the handshake's reply datagram is
+     never posted and no outstanding transaction mentions the corpse;
+     a watcher registered by the waiting side is the only way to learn
+     of the death.  Keyed by watched node; each entry keeps its
+     registration id so firing order is deterministic. *)
+  watchers : (int, (int * (exn -> unit)) list) Hashtbl.t;
+  mutable next_watch : int;
+  (* The server-pool fibers, per node, for the crash injector: a
+     fail-stopped node freezes them mid-handler and they never unwind,
+     so recovery has to retire whatever spans they hold open. *)
+  server_tcbs : Hw.Machine.tcb list array;
   coalesce : coalesce option;
   pending : (int * int, pending_batch) Hashtbl.t;  (* (src,dst) -> batch *)
   mutable coal_eligible : int;
@@ -141,9 +188,11 @@ let enqueue_work ep work =
 
 let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
     ?(reliable = false) ?(rto = 25e-3) ?(retire_window = 1024)
-    ?(unsafe_count_window_dedup = false) ?coalesce
+    ?(max_retransmits = 30) ?(unsafe_count_window_dedup = false) ?coalesce
     ?(spans = Sim.Span.disabled ()) () =
   if rto <= 0.0 then invalid_arg "Rpc.create: rto must be positive";
+  if max_retransmits <= 0 then
+    invalid_arg "Rpc.create: max_retransmits must be positive";
   if retire_window < 0 then
     invalid_arg "Rpc.create: retire_window must be non-negative";
   (match coalesce with
@@ -158,16 +207,15 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
       (fun task -> { task; queue = Queue.create (); idle = [] })
       tasks
   in
-  Array.iteri
-    (fun node ep ->
-      for i = 0 to servers_per_node - 1 do
-        ignore
-          (Task.spawn ep.task
-             ~name:(Printf.sprintf "rpc-server-%d.%d" node i)
-             (fun () -> server_loop ep)
-            : Hw.Machine.tcb)
-      done)
-    endpoints;
+  let server_tcbs =
+    Array.mapi
+      (fun node ep ->
+        List.init servers_per_node (fun i ->
+            Task.spawn ep.task
+              ~name:(Printf.sprintf "rpc-server-%d.%d" node i)
+              (fun () -> server_loop ep)))
+      endpoints
+  in
   {
     ether;
     endpoints;
@@ -182,6 +230,12 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
     retire_window;
     retire_armed = false;
     unsafe_dedup = unsafe_count_window_dedup;
+    max_retransmits;
+    outstanding = Hashtbl.create 16;
+    peer_deaths = 0;
+    watchers = Hashtbl.create 8;
+    next_watch = 0;
+    server_tcbs;
     coalesce;
     pending = Hashtbl.create 16;
     coal_eligible = 0;
@@ -357,7 +411,7 @@ let rec drain_retire t =
    bare [Hw.Ethernet.send] callback).  The receiver acks every arrival;
    the sender retransmits with exponential backoff until acked.  With the
    fabric in unreliable mode this is a plain Ethernet send. *)
-let send_reliable t ~src ~dst ~size ~kind deliver =
+let send_reliable t ?on_dead ~src ~dst ~size ~kind deliver =
   if not t.reliable then wire_send t ~src ~dst ~size ~kind deliver
   else begin
     let eng = Hw.Ethernet.engine t.ether in
@@ -369,14 +423,34 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
        the wire, including retransmissions still queued when the ack
        lands. *)
     let horizon = ref 0.0 in
+    let cancel_timer () =
+      (match !timer with
+      | Some id -> Sim.Engine.cancel eng id
+      | None -> ());
+      timer := None
+    in
+    (* Give up: stop retransmitting and surface [Node_dead] carrying the
+       dead party's identity through [on_dead] — the callback may live on
+       either side of the wire (a future-notify's observer is at [dst]
+       even when [src] is the corpse).  The [acked] guard makes this and
+       the real ack mutually exclusive. *)
+    let fail_dead ~dead_node =
+      if not !acked then begin
+        acked := true;
+        cancel_timer ();
+        Hashtbl.remove t.outstanding seq;
+        if dead_node = dst then t.peer_deaths <- t.peer_deaths + 1;
+        match on_dead with
+        | Some f -> f (Node_dead { node = dead_node })
+        | None -> ()
+      end
+    in
     let deliver_ack () =
       Sim.Engine.note_access eng "rpc:dedup";
       if not !acked then begin
         acked := true;
-        (match !timer with
-        | Some id -> Sim.Engine.cancel eng id
-        | None -> ());
-        timer := None;
+        cancel_timer ();
+        Hashtbl.remove t.outstanding seq;
         (* The sender has the ack, so it will never retransmit this seq
            again: queue its dedup entry for retirement once the count
            window has passed AND no copy can still be in flight. *)
@@ -407,10 +481,13 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
       let thunk () =
         timer := None;
         if not !acked then begin
-          Sim.Stats.Counter.incr t.rel.timeouts;
-          Sim.Stats.Counter.incr t.rel.retransmits;
-          incr attempts;
-          send_datagram ()
+          if !attempts >= t.max_retransmits then fail_dead ~dead_node:dst
+          else begin
+            Sim.Stats.Counter.incr t.rel.timeouts;
+            Sim.Stats.Counter.incr t.rel.retransmits;
+            incr attempts;
+            send_datagram ()
+          end
         end
       in
       let delay = backoff_delay t !attempts in
@@ -423,6 +500,15 @@ let send_reliable t ~src ~dst ~size ~kind deliver =
                ~delay thunk
            else Sim.Engine.schedule eng ~delay thunk)
     in
+    Hashtbl.replace t.outstanding seq
+      {
+        osrc = src;
+        odst = dst;
+        oabort =
+          (function
+          | `Dst_dead -> fail_dead ~dead_node:dst
+          | `Src_dead -> fail_dead ~dead_node:src);
+      };
     send_datagram ()
   end
 
@@ -497,6 +583,7 @@ let call t ~dst ~kind ~req_size ~work =
     let eng = Hw.Ethernet.engine t.ether in
     let seq = next_seq t in
     let result = ref None in
+    let failed = ref None in
     (* One flight span per wire leg, first send to first delivery; finish
        is idempotent, so retransmits and duplicates leave it alone. *)
     let fsp =
@@ -515,6 +602,28 @@ let call t ~dst ~kind ~req_size ~work =
             timer := None
           | None -> ()
         in
+        (* Declare the peer dead: the call fails with [Node_dead] instead
+           of backing off forever.  When the {e caller}'s own node is the
+           dead one there is nobody to wake — its thread dies with the
+           node — so only the timer is silenced.  [completed] makes this
+           and a late real reply mutually exclusive. *)
+        let fail_dead ~dead_dst =
+          if not !completed then begin
+            completed := true;
+            cancel_timer ();
+            Hashtbl.remove t.outstanding seq;
+            Sim.Span.finish t.spans fsp;
+            (* A reply already on the wire when the peer died never
+               delivers; close its flight span too (0 = never sent,
+               finish ignores it). *)
+            Sim.Span.finish t.spans !rsp;
+            if dead_dst then begin
+              t.peer_deaths <- t.peer_deaths + 1;
+              failed := Some (Node_dead { node = dst });
+              wake ()
+            end
+          end
+        in
         let deliver_reply value () =
           Sim.Engine.note_access eng "rpc:calls";
           Sim.Span.finish t.spans !rsp;
@@ -522,6 +631,7 @@ let call t ~dst ~kind ~req_size ~work =
           else begin
             completed := true;
             cancel_timer ();
+            Hashtbl.remove t.outstanding seq;
             result := Some value;
             wake ()
           end
@@ -572,10 +682,13 @@ let call t ~dst ~kind ~req_size ~work =
           let thunk () =
             timer := None;
             if not !completed then begin
-              Sim.Stats.Counter.incr t.rel.timeouts;
-              Sim.Stats.Counter.incr t.rel.retransmits;
-              incr attempts;
-              send_request ()
+              if !attempts >= t.max_retransmits then fail_dead ~dead_dst:true
+              else begin
+                Sim.Stats.Counter.incr t.rel.timeouts;
+                Sim.Stats.Counter.incr t.rel.retransmits;
+                incr attempts;
+                send_request ()
+              end
             end
           in
           let delay = backoff_delay t !attempts in
@@ -588,16 +701,72 @@ let call t ~dst ~kind ~req_size ~work =
                    ~delay thunk
                else Sim.Engine.schedule eng ~delay thunk)
         in
+        Hashtbl.replace t.outstanding seq
+          {
+            osrc = src;
+            odst = dst;
+            oabort =
+              (function
+              | `Dst_dead -> fail_dead ~dead_dst:true
+              | `Src_dead -> fail_dead ~dead_dst:false);
+          };
         send_request ());
-    (* Back on the caller: unmarshal the reply. *)
+    (* Back on the caller: unmarshal the reply (or surface the peer's
+       death as a typed failure). *)
     Sim.Fiber.consume (recv_side_cpu t 0);
     Sim.Span.finish t.spans csp;
-    match !result with
-    | Some v -> v
-    | None -> assert false
+    match (!result, !failed) with
+    | Some v, _ -> v
+    | None, Some e -> raise e
+    | None, None -> assert false
   end
 
-let post ?parent t ~src ~dst ~kind ~size handler =
+(* Fail-stop notification from the crash injector: promptly abort every
+   outstanding reliable transaction touching [node].  Senders blocked on
+   the corpse fail with [Node_dead] now instead of after the full
+   retransmit budget; retransmit timers owned by the corpse go silent (a
+   dead node stops transmitting).  Walked in seq order so the abort
+   sequence is deterministic. *)
+let mark_node_dead t ~node =
+  Hashtbl.fold
+    (fun seq o acc -> if o.osrc = node || o.odst = node then (seq, o) :: acc else acc)
+    t.outstanding []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, o) ->
+         o.oabort (if o.odst = node then `Dst_dead else `Src_dead));
+  (* Fire the peer-death watchers after the aborts: an abort's [on_dead]
+     typically unregisters its handshake's watcher, so the watcher only
+     fires for waits the abort walk could not reach.  Snapshot-and-clear
+     before firing — a watcher body may register new watchers (a retry)
+     without them being invoked for this death. *)
+  match Hashtbl.find_opt t.watchers node with
+  | None -> ()
+  | Some ws ->
+    Hashtbl.remove t.watchers node;
+    List.sort (fun (a, _) (b, _) -> compare a b) ws
+    |> List.iter (fun (_, f) -> f (Node_dead { node }))
+
+let server_tids t ~node =
+  if node < 0 || node >= Array.length t.server_tcbs then
+    invalid_arg "Rpc.server_tids: bad node id";
+  List.map Hw.Machine.tcb_id t.server_tcbs.(node) |> List.sort compare
+
+let watch_peer t ~node f =
+  t.next_watch <- t.next_watch + 1;
+  let id = t.next_watch in
+  let prev = Option.value (Hashtbl.find_opt t.watchers node) ~default:[] in
+  Hashtbl.replace t.watchers node ((id, f) :: prev);
+  id
+
+let unwatch t ~node id =
+  match Hashtbl.find_opt t.watchers node with
+  | None -> ()
+  | Some ws -> (
+    match List.filter (fun (i, _) -> i <> id) ws with
+    | [] -> Hashtbl.remove t.watchers node
+    | ws -> Hashtbl.replace t.watchers node ws)
+
+let post ?parent ?on_dead t ~src ~dst ~kind ~size handler =
   t.posts <- t.posts + 1;
   if src = dst then
     enqueue_work (endpoint t dst) (fun () ->
@@ -617,7 +786,13 @@ let post ?parent t ~src ~dst ~kind ~size handler =
       Sim.Span.start_flow t.spans Sim.Span.Net_flight ~label:kind ~parent
         ~arg:dst ()
     in
-    send_reliable t ~src ~dst ~size ~kind (fun () ->
+    (* A datagram the transport gives up on (peer died) never delivers:
+       close its flight span before surfacing the death. *)
+    let on_dead e =
+      Sim.Span.finish t.spans fsp;
+      match on_dead with Some f -> f e | None -> ()
+    in
+    send_reliable t ~on_dead ~src ~dst ~size ~kind (fun () ->
         Sim.Span.finish t.spans fsp;
         enqueue_work (endpoint t dst) (fun () ->
             Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
@@ -634,6 +809,7 @@ let post ?parent t ~src ~dst ~kind ~size handler =
 
 let calls_made t = t.calls
 let posts_made t = t.posts
+let peer_deaths t = t.peer_deaths
 let backlog t node = Queue.length (endpoint t node).queue
 let delivered_size t = Hashtbl.length t.delivered
 

@@ -65,6 +65,13 @@
 
 type t
 
+(** Raised (or passed to an [on_dead] callback) when a reliable
+    transaction gives up on its peer: either the retransmit budget
+    ([max_retransmits]) was exhausted against a silent node, or the
+    crash injector reported the peer fail-stop dead via
+    {!mark_node_dead}. *)
+exception Node_dead of { node : int }
+
 type costs = {
   send_cpu_fixed : float;
   send_cpu_per_byte : float;
@@ -127,6 +134,11 @@ val create :
   ?retire_window:int ->
   (* count window of younger acked seqs a dedup entry must fall out of
      before it may retire, default 1024 *)
+  ?max_retransmits:int ->
+  (* retransmission attempts after which a silent peer is declared dead
+     and the transaction fails with Node_dead instead of backing off
+     forever; default 30 (unreachable under the stock fault rates — only
+     a genuinely dead or partitioned node exhausts it) *)
   ?unsafe_count_window_dedup:bool ->
   (* re-introduce the pre-fix eviction policy that retires dedup entries
      on the count window alone, ignoring the arrival horizon.  Unsound;
@@ -153,6 +165,9 @@ val reliability : t -> reliability_counters
 
     In reliable mode the call survives lost requests and lost replies,
     and [work] still executes exactly once (see {e Reliability} above).
+    A reliable call that exhausts its retransmit budget — or whose
+    destination is reported dead via {!mark_node_dead} — raises
+    {!Node_dead} at the caller in bounded virtual time.
 
     Must be called from inside a fiber. *)
 val call :
@@ -164,9 +179,48 @@ val call :
     fiber).  In reliable mode the datagram is acknowledged, retransmitted
     until acked, and deduplicated at the receiver, so [deliver] runs
     exactly once even under packet loss; otherwise it is a plain
-    Ethernet send.  Usable from outside a fiber. *)
+    Ethernet send.  [on_dead] (reliable mode only) is called — at most
+    once, in event context — with {!Node_dead} if the datagram gives up
+    before being acknowledged: the retransmit budget ran out, or
+    {!mark_node_dead} reported either endpoint crashed (the exception
+    carries the dead node's identity).  Without it the message just dies
+    silently.  Usable from outside a fiber. *)
 val send_reliable :
-  t -> src:int -> dst:int -> size:int -> kind:string -> (unit -> unit) -> unit
+  t ->
+  ?on_dead:(exn -> unit) ->
+  src:int -> dst:int -> size:int -> kind:string -> (unit -> unit) -> unit
+
+(** Tell the transport [node] has crashed fail-stop: every outstanding
+    reliable transaction whose destination is [node] aborts now with
+    {!Node_dead} (delivered to the caller / [on_dead]), and every
+    retransmit timer owned by [node] goes silent — a blocked caller on
+    the corpse is left for the crash injector's thread kill, but a
+    datagram's [on_dead], which may observe from the live side, still
+    fires.  Transactions between live nodes are untouched.  Idempotent;
+    a no-op in unreliable mode. *)
+val mark_node_dead : t -> node:int -> unit
+
+(** [watch_peer t ~node f] registers [f] to be invoked (with
+    [Node_dead]) when {!mark_node_dead} later reports [node] crashed.
+    Watchers cover the handshake window the outstanding-transaction
+    aborts cannot: a reliable datagram is transport-acked at delivery,
+    retiring its transaction, while the application handler still sits
+    on the destination's server queue — if the node dies there, the
+    reply datagram the sender is blocked on was never posted and no
+    outstanding transaction names the corpse.  Watchers fire after the
+    aborts, in registration order; each firing clears the node's
+    registrations.  Returns an id for {!unwatch}.  Callbacks must be
+    idempotent with the handshake's own [on_dead] (wake-once). *)
+val watch_peer : t -> node:int -> (exn -> unit) -> int
+
+(** Remove a watcher registered by {!watch_peer}.  Idempotent. *)
+val unwatch : t -> node:int -> int -> unit
+
+(** Thread ids of [node]'s server-pool fibers, sorted.  A fail-stopped
+    node freezes them mid-handler; the crash injector uses the ids to
+    retire whatever spans they hold open, since a frozen fiber never
+    unwinds its own. *)
+val server_tids : t -> node:int -> int list
 
 (** One-way message: [handler] runs in a server fiber on [dst].  Usable
     from outside a fiber (e.g. an [on_resume] hook), so no send-side CPU is
@@ -177,12 +231,16 @@ val send_reliable :
     fiber current), with the span captured back when one was. *)
 val post :
   ?parent:int ->
+  ?on_dead:(exn -> unit) ->
   t -> src:int -> dst:int -> kind:string -> size:int -> (unit -> unit) -> unit
 
 (** {1 Statistics} *)
 
 val calls_made : t -> int
 val posts_made : t -> int
+
+(** Reliable transactions that gave up on their peer ({!Node_dead}). *)
+val peer_deaths : t -> int
 
 (** Currently queued work items on a node (servers all busy). *)
 val backlog : t -> int -> int

@@ -108,6 +108,30 @@ let test_balanced_sor_sweep () =
 let test_async_sor_sweep () =
   sweep "pipelined sor + faults + coalescing" async_sor_digest
 
+(* A crashed run is still a pure function of its configuration: the
+   transient outage, the fail-stop funeral, replica promotion and chain
+   repair all ride the seeded event clock, so the full report — crash
+   counters included — must hash identically run-to-run.  Probabilistic
+   crash mode draws from its own split stream, covered by the same
+   sweep. *)
+let crashed_sor_digest seed =
+  let cfg =
+    A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed)
+      ~crashes:[ { A.Config.cnode = 3; at = 20e-3; restart = Some 60e-3 } ]
+      ~crash_rate:0.3 ()
+  in
+  report_digest cfg (fun rt ->
+      let p =
+        Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows:16
+          ~cols:64
+      in
+      let c = Workloads.Sor_amber.default_cfg rt in
+      ignore
+        (Workloads.Sor_amber.run rt p ~cfg:c ~iters:4 ()
+          : Workloads.Sor_amber.result))
+
+let test_crashed_sor_sweep () = sweep "sor + crash injection" crashed_sor_digest
+
 (* With profiling on, the span forest itself is part of the deterministic
    surface: ids, parents, kinds, attribution and timestamps must all
    reproduce run-to-run. *)
@@ -177,6 +201,8 @@ let suite =
     Alcotest.test_case
       "pipelined sor + faults + coalescing reproducible over 10 seeds" `Quick
       test_async_sor_sweep;
+    Alcotest.test_case "sor + crash injection reproducible over 10 seeds"
+      `Quick test_crashed_sor_sweep;
     Alcotest.test_case "span traces reproducible over 10 seeds" `Quick
       test_span_sweep;
     Alcotest.test_case "profiling leaves the base report byte-identical"

@@ -20,7 +20,7 @@ let test_fixture_registry () =
   List.iter
     (fun n ->
       Alcotest.(check bool) (n ^ " registered") true (M.find_fixture n <> None))
-    [ "replica"; "future"; "rpc"; "steal" ];
+    [ "replica"; "future"; "rpc"; "steal"; "crash-promo"; "crash-move" ];
   Alcotest.(check bool) "unknown rejected" true (M.find_fixture "nope" = None)
 
 let test_explore_steal_clean () =
@@ -93,6 +93,67 @@ let test_schedule_roundtrip () =
           && a.S.ncands = b.S.ncands && a.S.ident = b.S.ident))
       sched back
 
+(* Crash-recovery fixtures: node death races object migration, replica
+   installs and home-node repair.  Each must explore clean — every reader
+   either sees the written value or a typed failure, and a surviving
+   replica always yields a route — across a healthy schedule budget under
+   both systematic DFS and seeded random walks. *)
+
+let test_crash_fixtures_explore_clean () =
+  List.iter
+    (fun name ->
+      let o = M.explore ~max_schedules:500 (find_fixture name) in
+      Alcotest.(check bool) (name ^ " clean under DFS") true
+        (o.M.counterexample = None);
+      Alcotest.(check bool) (name ^ " explored full budget") true
+        (o.M.stats.M.schedules >= 500))
+    [ "crash-promo"; "crash-move" ]
+
+let test_crash_fixtures_fuzz_clean () =
+  List.iter
+    (fun name ->
+      let o = M.fuzz ~seed:1 ~max_schedules:500 (find_fixture name) in
+      Alcotest.(check bool) (name ^ " clean under random walks") true
+        (o.M.counterexample = None);
+      Alcotest.(check bool) (name ^ " walked full budget") true
+        (o.M.stats.M.schedules >= 500))
+    [ "crash-promo"; "crash-move" ]
+
+let mutated_crash_move () =
+  M.apply_mutation M.Skip_home_repair (find_fixture "crash-move")
+
+let crash_counterexample () =
+  (* DFS plods through the front of the schedule tree; the interleaving
+     that strands the reader needs the crash wedged between the move and
+     the home-table repair, which random walks reach within a few
+     schedules. *)
+  let o = M.fuzz ~seed:1 ~max_schedules:2000 (mutated_crash_move ()) in
+  match o.M.counterexample with
+  | Some ce -> ce
+  | None ->
+    Alcotest.fail "random walks did not find the skipped-home-repair bug"
+
+let test_crash_mutation_found () =
+  let _sched, violations = crash_counterexample () in
+  Alcotest.(check bool) "a stranded-reader violation" true
+    (List.exists
+       (fun v ->
+         contains ~affix:"no surviving route" v
+         || contains ~affix:"lost" v || contains ~affix:"read" v)
+       violations)
+
+let test_crash_counterexample_replays () =
+  let sched, violations = crash_counterexample () in
+  (* The recorded schedule must reproduce the violation bit-for-bit
+     against the mutated fixture.  (Unlike the dedup regression above we
+     do not replay it against the clean fixture: repairing the home
+     table changes the decision structure, so the schedule diverges
+     rather than passing vacuously — the clean-fixture guarantee is
+     carried by the explore/fuzz tests instead.) *)
+  Alcotest.(check (list string)) "replay reproduces the violations"
+    violations
+    (M.replay (mutated_crash_move ()) sched)
+
 let test_schedule_rejects_garbage () =
   (match S.of_string "not a schedule" with
   | Ok _ -> Alcotest.fail "missing header accepted"
@@ -117,4 +178,12 @@ let suite =
       test_schedule_roundtrip;
     Alcotest.test_case "schedule: rejects garbage" `Quick
       test_schedule_rejects_garbage;
+    Alcotest.test_case "crash fixtures: explore clean" `Quick
+      test_crash_fixtures_explore_clean;
+    Alcotest.test_case "crash fixtures: fuzz clean" `Quick
+      test_crash_fixtures_fuzz_clean;
+    Alcotest.test_case "crash mutation: stranded reader found" `Quick
+      test_crash_mutation_found;
+    Alcotest.test_case "crash mutation: counterexample replays" `Quick
+      test_crash_counterexample_replays;
   ]

@@ -747,6 +747,221 @@ let readmostly_cmd =
          "Run the read-mostly workload (read replicas vs remote invocations).")
     term
 
+(* --- serve --------------------------------------------------------------- *)
+
+let burst_conv =
+  (* FACTOR:ON:OFF — on-phase rate multiplier plus mean on/off phase
+     lengths in virtual seconds. *)
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ f; on; off ] -> (
+      try Ok (float_of_string f, float_of_string on, float_of_string off)
+      with _ -> Error (`Msg "burst: expected FACTOR:ON:OFF"))
+    | _ -> Error (`Msg "burst: expected FACTOR:ON:OFF")
+  in
+  let print ppf (f, on, off) = Format.fprintf ppf "%g:%g:%g" f on off in
+  Arg.conv (parse, print)
+
+let mix_conv =
+  (* read=W,write=W,compute=W (any subset; missing classes get weight 0). *)
+  let parse s =
+    try
+      let mix =
+        List.fold_left
+          (fun m part ->
+            match String.split_on_char '=' (String.trim part) with
+            | [ "read"; w ] ->
+              { m with Serve.Trafficgen.read = float_of_string w }
+            | [ "write"; w ] ->
+              { m with Serve.Trafficgen.write = float_of_string w }
+            | [ "compute"; w ] ->
+              { m with Serve.Trafficgen.compute = float_of_string w }
+            | _ -> raise Exit)
+          { Serve.Trafficgen.read = 0.0; write = 0.0; compute = 0.0 }
+          (String.split_on_char ',' s)
+      in
+      Ok mix
+    with _ -> Error (`Msg "classes: expected read=W,write=W,compute=W")
+  in
+  let print ppf (m : Serve.Trafficgen.mix) =
+    Format.fprintf ppf "read=%g,write=%g,compute=%g" m.Serve.Trafficgen.read
+      m.Serve.Trafficgen.write m.Serve.Trafficgen.compute
+  in
+  Arg.conv (parse, print)
+
+let serve_cmd =
+  let rps =
+    Arg.(
+      value & opt float 400.0
+      & info [ "rps" ] ~docv:"RATE"
+          ~doc:
+            "Mean arrival rate, requests per virtual second (off-phase rate \
+             when $(b,--burst) is given).")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt (some burst_conv) None
+      & info [ "burst" ] ~docv:"FACTOR:ON:OFF"
+          ~doc:
+            "Bursty (Markov-modulated Poisson) arrivals: multiply the rate \
+             by FACTOR during exponential on-phases of mean length ON \
+             seconds, separated by off-phases of mean length OFF.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.0
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf exponent of the key popularity skew (0 = uniform).")
+  in
+  let objects =
+    Arg.(
+      value & opt int 64
+      & info [ "objects" ] ~docv:"N"
+          ~doc:"Service objects; key $(i,k) homes on node $(i,k) mod nodes.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.5
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Traffic window, virtual seconds.")
+  in
+  let classes =
+    Arg.(
+      value
+      & opt mix_conv Serve.Trafficgen.default_mix
+      & info [ "classes" ] ~docv:"MIX"
+          ~doc:
+            "Request class mix as read=W,write=W,compute=W relative \
+             weights (default read=0.7,write=0.2,compute=0.1).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Service worker threads per node.")
+  in
+  let admission =
+    Arg.(
+      value & flag
+      & info [ "admission" ]
+          ~doc:
+            "Enable per-class admission control (token bucket + queue-depth \
+             cutoff) on every node; overload is shed as typed rejections \
+             instead of queueing without bound.")
+  in
+  let admit_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "admit-rate" ] ~docv:"RATE"
+          ~doc:
+            "Aggregate admission token rate per node (req/s), split across \
+             classes by mix weight; 0 derives it from the node's nominal \
+             service capacity.")
+  in
+  let admit_burst =
+    Arg.(
+      value & opt float 4.0
+      & info [ "admit-burst" ] ~docv:"TOKENS"
+          ~doc:"Per-class token bucket capacity.")
+  in
+  let cutoff =
+    Arg.(
+      value & opt int 8
+      & info [ "cutoff" ] ~docv:"N"
+          ~doc:"Per-node admitted-but-unfinished request cutoff.")
+  in
+  let replicate =
+    Arg.(
+      value & flag
+      & info [ "replicate" ]
+          ~doc:"Replicate every service object on every node.")
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Print the full cluster report (including the per-class \
+             $(b,serve:) section) after the run.")
+  in
+  let run nodes cpus faults seed crash rps burst zipf objects duration classes
+      workers admission admit_rate admit_burst cutoff replicate report bal
+      sanitize profile out =
+    let cfg = mk_config nodes cpus faults seed crash in
+    let arrival =
+      match burst with
+      | None -> Serve.Trafficgen.Poisson rps
+      | Some (factor, on_mean, off_mean) ->
+        Serve.Trafficgen.Bursty { rate = rps; factor; on_mean; off_mean }
+    in
+    let scfg =
+      {
+        Serve.default_cfg with
+        arrival;
+        duration;
+        keys = objects;
+        skew = zipf;
+        mix = classes;
+        workers_per_node = workers;
+        replicate;
+        admission =
+          (if admission then
+             Some { Serve.admit_rate; admit_burst; cutoff }
+           else None);
+      }
+    in
+    let profile = profile || out <> None in
+    let r, status, prof =
+      run_profiled ~profile ~sanitize cfg (fun rt ->
+          let r = with_balance rt bal (fun () -> Serve.run rt scfg) in
+          if report then
+            Format.printf "%a@." Amber.Stats_report.pp
+              (Amber.Stats_report.capture rt);
+          r)
+    in
+    Printf.printf
+      "serve (%s, %d nodes): issued %d, completed %d, rejected %d, failed %d \
+       in %.3f virtual s\n"
+      (match arrival with
+      | Serve.Trafficgen.Poisson r -> Printf.sprintf "poisson %.0f rps" r
+      | Serve.Trafficgen.Bursty b ->
+        Printf.sprintf "bursty %.0fx%.0f rps" b.rate
+          b.factor)
+      nodes r.Serve.issued r.Serve.completed r.Serve.rejected
+      r.Serve.failed r.Serve.elapsed;
+    Printf.printf "  goodput %.1f rps, reject %.1f%%\n" r.Serve.goodput_rps
+      (100.0 *. r.Serve.reject_frac);
+    let lat = r.Serve.latency in
+    if Sim.Stats.Summary.count lat > 0 then
+      Printf.printf "  admitted latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n"
+        (Sim.Stats.Summary.percentile lat 50.0 *. 1e3)
+        (Sim.Stats.Summary.percentile lat 95.0 *. 1e3)
+        (Sim.Stats.Summary.percentile lat 99.0 *. 1e3);
+    List.iter
+      (fun (st : Serve.class_stats) ->
+        Printf.printf "  %-7s issued %d, ok %d, rej %d, fail %d\n"
+          (Serve.Trafficgen.cls_name st.Serve.cls)
+          st.Serve.issued st.Serve.completed st.Serve.rejected
+          st.Serve.failed)
+      r.Serve.per_class;
+    Option.iter (fun p -> finish_profile ~out p) prof;
+    status
+  in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term
+      $ rps $ burst $ zipf $ objects $ duration $ classes $ workers $ admission
+      $ admit_rate $ admit_burst $ cutoff $ replicate $ report_flag
+      $ balance_term $ sanitize_arg $ profile_flag $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve open-loop traffic (Poisson or bursty, Zipf-skewed, mixed \
+          read/write/compute) with per-class SLO reporting and optional \
+          admission control.")
+    term
+
 (* --- trace --------------------------------------------------------------- *)
 
 let trace_cmd =
@@ -1205,4 +1420,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; readmostly_cmd;
-            trace_cmd; profile_cmd; fixture_cmd; check_cmd ]))
+            serve_cmd; trace_cmd; profile_cmd; fixture_cmd; check_cmd ]))

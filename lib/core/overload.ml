@@ -1,0 +1,19 @@
+(* Typed overload rejection for the serving layer (Amber-Serve).
+
+   Admission control at a node's server pool sheds a request instead of
+   queueing it; the shed surfaces to the issuer as this exception (or as
+   an accounted rejection in open-loop drivers) rather than as a hang.
+   Lives in the core so both the Topaz admission hook installers and the
+   traffic generators can speak the same failure type. *)
+
+exception Overloaded of { node : int; cls : string }
+
+let () =
+  Printexc.register_printer (function
+    | Overloaded { node; cls } ->
+      Some
+        (Printf.sprintf
+           "Amber.Overload.Overloaded { node = %d; cls = %S } (request shed \
+            by admission control)"
+           node cls)
+    | _ -> None)

@@ -1,0 +1,11 @@
+(** Typed overload failure.
+
+    Raised (or recorded) when per-class admission control at a node's RPC
+    server pool sheds a request instead of queueing it: [node] is the
+    overloaded node, [cls] the request class ("read", "write",
+    "compute", ...).  A registered printer renders it legibly in reports
+    and test failures.  The serving layer ({!module:Serve} in
+    [lib/serve]) propagates it back to the traffic generator as shed
+    load, never as a hang. *)
+
+exception Overloaded of { node : int; cls : string }

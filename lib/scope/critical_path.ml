@@ -11,7 +11,7 @@ let component_of_kind = function
       Coherence
   | Sim.Span.Invoke_local | Sim.Span.Invoke_remote | Sim.Span.Replica_read
   | Sim.Span.Rpc_server | Sim.Span.Async_invoke | Sim.Span.Steal
-  | Sim.Span.Rebalance ->
+  | Sim.Span.Rebalance | Sim.Span.Serve_request ->
       Compute
 
 type report = {

@@ -25,6 +25,7 @@ let all_kinds =
     Sim.Span.Future_wait;
     Sim.Span.Steal;
     Sim.Span.Rebalance;
+    Sim.Span.Serve_request;
   ]
 
 let total t =
@@ -47,7 +48,7 @@ let blocked_kind = function
   | Sim.Span.Invoke_local | Sim.Span.Invoke_remote | Sim.Span.Replica_read
   | Sim.Span.Async_invoke | Sim.Span.Chase_hop | Sim.Span.Rpc_server
   | Sim.Span.Replica_install | Sim.Span.Invalidate | Sim.Span.Steal
-  | Sim.Span.Rebalance ->
+  | Sim.Span.Rebalance | Sim.Span.Serve_request ->
       false
 
 let report_lines t =
@@ -57,37 +58,55 @@ let report_lines t =
      Summary keeps memory bounded on long runs while p50/p95/p99 stay
      exact for the first 2048 operations of each kind. *)
   let by_kind = Hashtbl.create 32 in
+  (* Tagged spans additionally feed a per-(kind, tag) reservoir, so one
+     span attach yields per-attribute percentile breakdowns (e.g. the
+     serving layer's per-request-class SLOs).  Untagged runs put nothing
+     here and their report stays byte-identical. *)
+  let by_tag = Hashtbl.create 8 in
   let opened = ref 0 in
+  let summary_of tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some summ -> summ
+    | None ->
+        let summ = Sim.Stats.Summary.create () in
+        Hashtbl.replace tbl key summ;
+        summ
+  in
   List.iter
     (fun (s : Sim.Span.span) ->
       if s.t1 < 0.0 then incr opened
       else begin
-        let summ =
-          match Hashtbl.find_opt by_kind s.kind with
-          | Some summ -> summ
-          | None ->
-              let summ = Sim.Stats.Summary.create () in
-              Hashtbl.replace by_kind s.kind summ;
-              summ
-        in
-        Sim.Stats.Summary.add summ (s.t1 -. s.t0)
+        let dt = s.t1 -. s.t0 in
+        Sim.Stats.Summary.add (summary_of by_kind s.kind) dt;
+        if s.tag <> "" then
+          Sim.Stats.Summary.add (summary_of by_tag (s.kind, s.tag)) dt
       end)
     spans;
+  let line name s =
+    let p q = Sim.Stats.Summary.percentile s q *. 1e6 in
+    Printf.sprintf
+      "%-18s n=%-6d total=%8.3fms p50=%8.1fus p95=%8.1fus p99=%8.1fus" name
+      (Sim.Stats.Summary.count s)
+      (Sim.Stats.Summary.total s *. 1e3)
+      (p 50.0) (p 95.0) (p 99.0)
+  in
   let kind_lines =
-    List.filter_map
+    List.concat_map
       (fun k ->
         match Hashtbl.find_opt by_kind k with
-        | None -> None
+        | None -> []
         | Some s ->
-            let p q = Sim.Stats.Summary.percentile s q *. 1e6 in
-            Some
-              (Printf.sprintf
-                 "%-18s n=%-6d total=%8.3fms p50=%8.1fus p95=%8.1fus \
-                  p99=%8.1fus"
-                 (Sim.Span.kind_name k)
-                 (Sim.Stats.Summary.count s)
-                 (Sim.Stats.Summary.total s *. 1e3)
-                 (p 50.0) (p 95.0) (p 99.0)))
+            let tags =
+              Hashtbl.fold
+                (fun (k', tag) s' acc -> if k' = k then (tag, s') :: acc else acc)
+                by_tag []
+              |> List.sort (fun (a, _) (b, _) -> compare a b)
+            in
+            line (Sim.Span.kind_name k) s
+            :: List.map
+                 (fun (tag, s') ->
+                   line (Printf.sprintf "%s[%s]" (Sim.Span.kind_name k) tag) s')
+                 tags)
       all_kinds
   in
   (* Per-node attribution of span self time to on-CPU vs blocked kinds. *)

@@ -1,0 +1,37 @@
+(** Per-class admission control for a node's server pool: one token
+    bucket per request class plus a queue-depth cutoff over the node's
+    admitted-but-unfinished requests.
+
+    Deterministic and event-free: buckets refill lazily from the virtual
+    clock the caller passes in, so admission draws no RNG and schedules
+    nothing. *)
+
+(** A token bucket; starts full. *)
+type bucket
+
+val bucket : rate:float -> burst:float -> bucket
+
+val refill : bucket -> now:float -> unit
+(** Lazily credit [rate] tokens per second since the last refill, capped
+    at [burst].  Time never flows backward: earlier [now]s are
+    ignored. *)
+
+val tokens : bucket -> now:float -> float
+(** Current level after refilling to [now]. *)
+
+val try_take : bucket -> now:float -> bool
+(** Take one token if at least one is available after refilling. *)
+
+(** One node's controller. *)
+type t
+
+val create : classes:(string * float * float) list -> cutoff:int -> t
+(** [classes] is [(class name, token rate, burst)] per request class;
+    [cutoff] bounds the node's admitted-but-unfinished request count. *)
+
+val admit : t -> now:float -> cls:string -> depth:int -> bool
+(** Verdict for one request of class [cls] arriving at virtual time [now]
+    with [depth] requests already admitted and unfinished on the node.
+    The depth cutoff is checked before the bucket, so queue-full
+    rejections do not consume tokens; a class with no configured bucket
+    is limited by the cutoff alone. *)

@@ -1,0 +1,425 @@
+(* Amber-Serve: the open-loop traffic-serving driver.
+
+   One run wires together
+     - a [Trafficgen] arrival schedule drawn from a dedicated
+       [Sim.Rng.split] (one draw from the engine stream, exactly like
+       [Balance.Driver]; a run without serving draws nothing and stays
+       byte-identical);
+     - a farm of service objects spread round-robin over the nodes
+       (key -> home node = key mod nodes), optionally replicated
+       everywhere;
+     - per-node worker pools of Amber threads that pull admitted
+       requests off a bounded queue and [invoke] the keyed object with
+       the class's declared access mode and CPU cost;
+     - per-class admission control at the RPC server pools (token bucket
+       + queue-depth cutoff, installed through [Topaz.Rpc.set_admission])
+       whose rejections flow back to the generator as typed
+       [Amber.Overload.Overloaded] shed load, never as hangs;
+     - per-class SLO accounting (p50/p95/p99 latency, goodput, reject
+       rate) surfaced through a gated "serve" report section.
+
+   The request path: the generator (the calling Amber thread) sleeps to
+   each arrival instant and fire-and-forgets a "serve-<class>" datagram
+   to the key's home node.  At the destination the admission hook rules;
+   admitted requests are queued for the worker pool, which invokes the
+   object (chasing it if the balancer moved it, reading a replica when
+   one is local) and posts a completion notice home; rejected requests
+   post a rejection notice from the delivery callback instead.  The
+   generator drains until every request is accounted for or a grace
+   deadline passes — crash-killed requests are counted failed, so faulty
+   runs shed and degrade but never wedge. *)
+
+(* Re-exported so library clients see [Serve.Trafficgen] and
+   [Serve.Admission] alongside the driver below ([serve]'s root module
+   is this file). *)
+module Trafficgen = Trafficgen
+module Admission = Admission
+
+module A = Amber
+
+type admission_cfg = {
+  admit_rate : float;
+      (* aggregate per-node token rate (req/s), split over the classes by
+         mix weight; 0.0 derives it from the node's service capacity *)
+  admit_burst : float;  (* per-class bucket capacity, tokens *)
+  cutoff : int;  (* per-node admitted-but-unfinished cutoff *)
+}
+
+let default_admission = { admit_rate = 0.0; admit_burst = 4.0; cutoff = 8 }
+
+type cfg = {
+  arrival : Trafficgen.arrival;
+  duration : float;  (* generator window, virtual seconds *)
+  keys : int;  (* service objects *)
+  skew : float;  (* Zipf exponent over the keyspace *)
+  mix : Trafficgen.mix;
+  workers_per_node : int;
+  read_cost : float;  (* service CPU per class, seconds *)
+  write_cost : float;
+  compute_cost : float;
+  request_bytes : int;
+  reply_bytes : int;
+  replicate : bool;  (* replicate every service object everywhere *)
+  admission : admission_cfg option;
+  drain_grace : float;
+      (* extra virtual time after [duration] to wait for stragglers;
+         whatever is still unaccounted then is counted failed *)
+}
+
+let default_cfg =
+  {
+    arrival = Trafficgen.Poisson 400.0;
+    duration = 0.5;
+    keys = 64;
+    skew = 1.0;
+    mix = Trafficgen.default_mix;
+    workers_per_node = 2;
+    read_cost = 4e-3;
+    write_cost = 12e-3;
+    compute_cost = 40e-3;
+    request_bytes = 128;
+    reply_bytes = 64;
+    replicate = false;
+    admission = None;
+    drain_grace = 2.0;
+  }
+
+let mean_service_cost cfg =
+  let m = Trafficgen.normalize cfg.mix in
+  (m.Trafficgen.read *. cfg.read_cost)
+  +. (m.Trafficgen.write *. cfg.write_cost)
+  +. (m.Trafficgen.compute *. cfg.compute_cost)
+
+(* Nominal service capacity, requests per second: what the worker pools
+   sustain if service CPU were the only cost.  The CLI and benches use
+   it to dial moderate vs 2x-overload arrival rates. *)
+let node_capacity_rps cfg =
+  float_of_int cfg.workers_per_node /. mean_service_cost cfg
+let capacity_rps cfg ~nodes = float_of_int nodes *. node_capacity_rps cfg
+
+type class_stats = {
+  cls : Trafficgen.cls;
+  mutable issued : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable failed : int;
+  latency : Sim.Stats.Summary.t;  (* completed requests, issue to notice *)
+}
+
+type result = {
+  per_class : class_stats list;
+  issued : int;
+  completed : int;
+  rejected : int;
+  failed : int;
+  duration : float;
+  elapsed : float;  (* first issue to drain end *)
+  goodput_rps : float;  (* completions per second of [duration] *)
+  reject_frac : float;  (* rejected / issued *)
+  latency : Sim.Stats.Summary.t;  (* all completed requests *)
+  sample_rejection : exn option;
+      (* the first shed request's typed failure, for tests and logs *)
+}
+
+let kind_prefix = "serve-"
+let kind_of_cls c = kind_prefix ^ Trafficgen.cls_name c
+
+let cls_of_kind kind =
+  let n = String.length kind_prefix in
+  if String.length kind > n && String.sub kind 0 n = kind_prefix then
+    Some (String.sub kind n (String.length kind - n))
+  else None
+
+let service_cost cfg = function
+  | Trafficgen.Read -> cfg.read_cost
+  | Trafficgen.Write -> cfg.write_cost
+  | Trafficgen.Compute -> cfg.compute_cost
+
+let report_lines stats ~goodput ~reject_frac ~failed () =
+  let ms v = v *. 1e3 in
+  List.map
+    (fun (st : class_stats) ->
+      let p q = ms (Sim.Stats.Summary.percentile st.latency q) in
+      Printf.sprintf
+        "%-7s issued=%-5d ok=%-5d rej=%-4d fail=%-3d p50=%7.1fms p95=%7.1fms \
+         p99=%7.1fms"
+        (Trafficgen.cls_name st.cls)
+        st.issued st.completed st.rejected st.failed (p 50.0) (p 95.0)
+        (p 99.0))
+    stats
+  @ [
+      Printf.sprintf "goodput %.1f rps, reject %.1f%%, failed %d" goodput
+        (reject_frac *. 100.0) failed;
+    ]
+
+(* Must be called from the main Amber thread.  One engine-RNG split at
+   entry is the only interaction a serving run has with the global
+   random stream. *)
+let run rt (cfg : cfg) =
+  if cfg.duration <= 0.0 then
+    invalid_arg "Serve.run: duration must be positive";
+  if cfg.keys <= 0 then invalid_arg "Serve.run: keys must be positive";
+  if cfg.workers_per_node <= 0 then
+    invalid_arg "Serve.run: workers_per_node must be positive";
+  if cfg.read_cost <= 0.0 || cfg.write_cost <= 0.0 || cfg.compute_cost <= 0.0
+  then invalid_arg "Serve.run: service costs must be positive";
+  let eng = A.Runtime.engine rt in
+  let rpc = A.Runtime.rpc rt in
+  let spans = A.Runtime.spans rt in
+  let nodes = A.Runtime.nodes rt in
+  let rng = Sim.Rng.split (Sim.Engine.rng eng) in
+  let gen_node = A.Api.my_node rt in
+  (* Accounting, all mutated from node-0 notice handlers (and the drain
+     sweep) only. *)
+  let stats =
+    List.map
+      (fun c ->
+        {
+          cls = c;
+          issued = 0;
+          rejected = 0;
+          completed = 0;
+          failed = 0;
+          latency = Sim.Stats.Summary.create ();
+        })
+      Trafficgen.all_classes
+  in
+  let stat c = List.find (fun (st : class_stats) -> st.cls = c) stats in
+  let overall_latency = Sim.Stats.Summary.create () in
+  let sample_rejection = ref None in
+  let outstanding = ref 0 in
+  (* Service objects, spread round-robin; [ref int] cells under the
+     write-invalidate protocol when replicated.  Placement takes real
+     virtual time (one move per remote key), so a crash injected early
+     can land mid-setup: a move or replica install aimed at a corpse is
+     simply skipped — the object stays where it is, and its requests
+     resolve through [on_dead] or the drain deadline like any other
+     traffic to a dead node. *)
+  let objs =
+    Array.init cfg.keys (fun k ->
+        let o =
+          A.Api.create rt ~size:256 ~name:(Printf.sprintf "svc%d" k) (ref 0)
+        in
+        let dest = k mod nodes in
+        (if dest <> gen_node then
+           try A.Api.move_to rt o ~dest
+           with Topaz.Rpc.Node_dead _ -> ());
+        o)
+  in
+  if cfg.replicate then
+    Array.iter
+      (fun o ->
+        try A.Placement.replicate_everywhere rt ~copy:(fun r -> ref !r) o
+        with Topaz.Rpc.Node_dead _ -> ())
+      objs;
+  (* Per-node bounded work queues and worker pools.  Workers are Amber
+     threads (they must be, to invoke), started bootstrap-style on their
+     node; like the RPC server fibers they park when idle and are simply
+     left parked at the end of the run. *)
+  let queues = Array.init nodes (fun _ -> Queue.create ()) in
+  let wakers = Array.make nodes [] in
+  let inflight = Array.make nodes 0 in
+  let enqueue node job =
+    Queue.add job queues.(node);
+    match wakers.(node) with
+    | [] -> ()
+    | wake :: rest ->
+      wakers.(node) <- rest;
+      wake ()
+  in
+  for node = 0 to nodes - 1 do
+    for i = 0 to cfg.workers_per_node - 1 do
+      ignore
+        (A.Athread.start_on rt ~node
+           ~name:(Printf.sprintf "srv-worker-%d.%d" node i)
+           (fun () ->
+             let q = queues.(node) in
+             let rec loop () =
+               (match Queue.take_opt q with
+               | Some job -> job ()
+               | None ->
+                 Sim.Fiber.block (fun wake ->
+                     wakers.(node) <- wake :: wakers.(node)));
+               loop ()
+             in
+             loop ())
+          : unit A.Athread.t)
+    done
+  done;
+  (* Admission: one controller per node; the Rpc hook is consulted at
+     datagram arrival and, on admit, reserves the inflight slot right
+     there, so the depth cutoff is exact.  Uninstalled before
+     returning. *)
+  let mix = Trafficgen.normalize cfg.mix in
+  (match cfg.admission with
+  | None -> ()
+  | Some a ->
+    let rate =
+      if a.admit_rate > 0.0 then a.admit_rate
+      else node_capacity_rps cfg *. 1.05
+    in
+    let classes =
+      List.filter_map
+        (fun c ->
+          let w = Trafficgen.weight mix c in
+          if w <= 0.0 then None
+          else Some (Trafficgen.cls_name c, rate *. w, a.admit_burst))
+        Trafficgen.all_classes
+    in
+    let ctrls =
+      Array.init nodes (fun _ -> Admission.create ~classes ~cutoff:a.cutoff)
+    in
+    Topaz.Rpc.set_admission rpc
+      (Some
+         (fun ~dst ~kind ->
+           match cls_of_kind kind with
+           | None -> true
+           | Some cls ->
+             let ok =
+               Admission.admit ctrls.(dst) ~now:(A.Runtime.now rt) ~cls
+                 ~depth:inflight.(dst)
+             in
+             if ok then inflight.(dst) <- inflight.(dst) + 1;
+             ok)));
+  (* The gated report section: registered only when a serving run
+     actually happens, so serve-free reports stay byte-identical. *)
+  let goodput () =
+    float_of_int
+      (List.fold_left (fun n (st : class_stats) -> n + st.completed) 0 stats)
+    /. cfg.duration
+  in
+  let reject_frac () =
+    let issued =
+      List.fold_left (fun n (st : class_stats) -> n + st.issued) 0 stats
+    in
+    let rejected =
+      List.fold_left (fun n (st : class_stats) -> n + st.rejected) 0 stats
+    in
+    if issued = 0 then 0.0 else float_of_int rejected /. float_of_int issued
+  in
+  A.Runtime.add_report_section rt ~name:"serve" (fun () ->
+      report_lines stats ~goodput:(goodput ()) ~reject_frac:(reject_frac ())
+        ~failed:
+          (List.fold_left (fun n (st : class_stats) -> n + st.failed) 0 stats)
+        ());
+  (* Generate the whole schedule up front from a dedicated split, then
+     replay it open-loop against the virtual clock. *)
+  let reqs =
+    Trafficgen.generate ~rng:(Sim.Rng.split rng) ~arrival:cfg.arrival
+      ~mix:cfg.mix ~keys:cfg.keys ~skew:cfg.skew ~duration:cfg.duration
+  in
+  let t0 = A.Runtime.now rt in
+  List.iter
+    (fun (r : Trafficgen.request) ->
+      let gap = t0 +. r.Trafficgen.at -. A.Runtime.now rt in
+      if gap > 0.0 then Topaz.Kthread.sleep ~engine:eng gap;
+      let st = stat r.Trafficgen.cls in
+      st.issued <- st.issued + 1;
+      incr outstanding;
+      let issued_at = A.Runtime.now rt in
+      let key = r.Trafficgen.key in
+      let dst = key mod nodes in
+      let cls_s = Trafficgen.cls_name r.Trafficgen.cls in
+      (* Every request is a self-contained monitor call, so all classes
+         invoke in [Atomic] mode: the runtime serializes at the object
+         and concurrent requests to a hot key are race-free by
+         construction (the sanitized CI run counts on this).  [Read]
+         mode's replica fast-path is deliberately not used — it declares
+         an externally locked read section, which open-loop traffic does
+         not have; replicas still earn their keep under serving as crash
+         insurance (master promotion). *)
+      let mode = A.San_hooks.Atomic in
+      let cost = service_cost cfg r.Trafficgen.cls in
+      let parent = Sim.Span.current spans in
+      (* Worker-side body: serve the request, then notify home.  An
+         invoke that chases an object onto a corpse (the move was skipped
+         because the node died during placement, or the master died
+         since) surfaces [Node_dead] here in the worker; the request is
+         reported home as failed rather than completed. *)
+      let job () =
+        let ok =
+          Sim.Span.with_span spans Sim.Span.Serve_request ~label:cls_s
+            ~tag:cls_s ~arg:key (fun () ->
+              try
+                ignore
+                  (A.Api.invoke rt ~payload:cfg.request_bytes ~mode objs.(key)
+                     (fun cell ->
+                       Sim.Fiber.consume cost;
+                       match r.Trafficgen.cls with
+                       | Trafficgen.Write ->
+                         incr cell;
+                         !cell
+                       | Trafficgen.Read | Trafficgen.Compute -> !cell)
+                    : int);
+                true
+              with Topaz.Rpc.Node_dead _ -> false)
+        in
+        inflight.(dst) <- inflight.(dst) - 1;
+        Topaz.Rpc.post rpc ~src:dst ~dst:gen_node ~kind:"serve-done"
+          ~size:cfg.reply_bytes (fun () ->
+            if ok then begin
+              let dt = A.Runtime.now rt -. issued_at in
+              Sim.Stats.Summary.add st.latency dt;
+              Sim.Stats.Summary.add overall_latency dt;
+              st.completed <- st.completed + 1
+            end
+            else st.failed <- st.failed + 1;
+            decr outstanding)
+      in
+      (* Rejection runs in event context at [dst]: account the shed as a
+         typed failure and notify home without touching a fiber. *)
+      let on_reject () =
+        if !sample_rejection = None then
+          sample_rejection :=
+            Some (A.Overload.Overloaded { node = dst; cls = cls_s });
+        Topaz.Rpc.post rpc ~parent ~src:dst ~dst:gen_node ~kind:"serve-rej"
+          ~size:16 (fun () ->
+            st.rejected <- st.rejected + 1;
+            decr outstanding)
+      in
+      (* A request aimed at a corpse fails crisply at the generator. *)
+      let on_dead (_ : exn) =
+        st.failed <- st.failed + 1;
+        decr outstanding
+      in
+      Topaz.Rpc.post ~on_dead ~on_reject rpc ~src:gen_node ~dst
+        ~kind:(kind_of_cls r.Trafficgen.cls) ~size:cfg.request_bytes (fun () ->
+          enqueue dst job))
+    reqs;
+  (* Drain: every issued request resolves as completed, rejected or
+     failed; a crash can strand some, so the grace deadline converts
+     leftovers into failures instead of hanging the run. *)
+  let deadline = t0 +. cfg.duration +. cfg.drain_grace in
+  let rec drain () =
+    if !outstanding > 0 then begin
+      let left = deadline -. A.Runtime.now rt in
+      if left > 0.0 then begin
+        Topaz.Kthread.sleep ~engine:eng (Float.min 5e-3 left);
+        drain ()
+      end
+    end
+  in
+  drain ();
+  (match cfg.admission with
+  | None -> ()
+  | Some _ -> Topaz.Rpc.set_admission rpc None);
+  List.iter
+    (fun (st : class_stats) ->
+      let unresolved = st.issued - st.rejected - st.completed - st.failed in
+      if unresolved > 0 then st.failed <- st.failed + unresolved)
+    stats;
+  let total f = List.fold_left (fun n (st : class_stats) -> n + f st) 0 stats in
+  let issued = total (fun st -> st.issued) in
+  {
+    per_class = stats;
+    issued;
+    completed = total (fun st -> st.completed);
+    rejected = total (fun st -> st.rejected);
+    failed = total (fun st -> st.failed);
+    duration = cfg.duration;
+    elapsed = A.Runtime.now rt -. t0;
+    goodput_rps = goodput ();
+    reject_frac = reject_frac ();
+    latency = overall_latency;
+    sample_rejection = !sample_rejection;
+  }

@@ -18,6 +18,7 @@ type kind =
   | Async_invoke
   | Steal
   | Rebalance
+  | Serve_request
 
 let kind_name = function
   | Invoke_local -> "invoke.local"
@@ -39,6 +40,7 @@ let kind_name = function
   | Async_invoke -> "invoke.async"
   | Steal -> "balance.steal"
   | Rebalance -> "balance.move"
+  | Serve_request -> "serve.request"
 
 type span = {
   id : int;
@@ -48,6 +50,9 @@ type span = {
          message handler, causally linked but not temporally contained *)
   mutable kind : kind;
   label : string;
+  tag : string;
+      (* free-form attribute dimension (e.g. a request class); "" for the
+         untagged default, so tag-free traces are unchanged *)
   node : int;
   tid : int;
   obj : int;
@@ -73,6 +78,7 @@ let dummy =
     async = false;
     kind = Invoke_local;
     label = "";
+    tag = "";
     node = -1;
     tid = -1;
     obj = -1;
@@ -124,8 +130,8 @@ let append t s =
   t.buf.(t.n) <- s;
   t.n <- t.n + 1
 
-let start t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?(async = false) ?parent
-    () =
+let start t kind ?(label = "") ?(tag = "") ?(obj = -1) ?(arg = -1)
+    ?(async = false) ?parent () =
   if not t.enabled then 0
   else begin
     let tid = t.current_tid () in
@@ -143,6 +149,7 @@ let start t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?(async = false) ?parent
         async;
         kind;
         label;
+        tag;
         node = t.current_node ();
         tid;
         obj;
@@ -154,7 +161,8 @@ let start t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?(async = false) ?parent
     id
   end
 
-let start_flow t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?tid ?parent () =
+let start_flow t kind ?(label = "") ?(tag = "") ?(obj = -1) ?(arg = -1) ?tid
+    ?parent () =
   if not t.enabled then 0
   else begin
     let tid = match tid with Some v -> v | None -> t.current_tid () in
@@ -171,6 +179,7 @@ let start_flow t kind ?(label = "") ?(obj = -1) ?(arg = -1) ?tid ?parent () =
         async = true;
         kind;
         label;
+        tag;
         node = t.current_node ();
         tid;
         obj;
@@ -207,8 +216,8 @@ let set_kind t id kind =
 let set_arg t id arg =
   if id > 0 then match find t id with Some s -> s.arg <- arg | None -> ()
 
-let with_span t kind ?label ?obj ?arg f =
-  let id = start t kind ?label ?obj ?arg () in
+let with_span t kind ?label ?tag ?obj ?arg f =
+  let id = start t kind ?label ?tag ?obj ?arg () in
   match f () with
   | v ->
       finish t id;

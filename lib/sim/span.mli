@@ -36,6 +36,10 @@ type kind =
           the issuer's continued compute ([arg] = the future id) *)
   | Steal  (** a successful cross-node thread steal *)
   | Rebalance  (** one object move/replicate decided by the rebalancer *)
+  | Serve_request
+      (** one admitted serving request, admission to completion; [tag]
+          carries the request class so the profiler can break the SLO
+          percentiles down per class *)
 
 val kind_name : kind -> string
 (** Stable dotted name, e.g. ["invoke.remote"] — used by exporters, the
@@ -51,6 +55,10 @@ type span = {
           false) always nest inside their parent's interval. *)
   mutable kind : kind;
   label : string;
+  tag : string;
+      (** free-form attribute dimension (e.g. a serving request class);
+          [""] — the default everywhere — keeps tag-free traces and
+          profiles byte-identical to builds predating the field *)
   node : int;  (** node where the span started, -1 if unknown *)
   tid : int;  (** TCB id of the owning thread, -1 if unknown *)
   obj : int;  (** object address, -1 if not object-related *)
@@ -82,6 +90,7 @@ val start :
   t ->
   kind ->
   ?label:string ->
+  ?tag:string ->
   ?obj:int ->
   ?arg:int ->
   ?async:bool ->
@@ -99,6 +108,7 @@ val start_flow :
   t ->
   kind ->
   ?label:string ->
+  ?tag:string ->
   ?obj:int ->
   ?arg:int ->
   ?tid:int ->
@@ -123,7 +133,14 @@ val set_kind : t -> int -> kind -> unit
 val set_arg : t -> int -> int -> unit
 
 val with_span :
-  t -> kind -> ?label:string -> ?obj:int -> ?arg:int -> (unit -> 'a) -> 'a
+  t ->
+  kind ->
+  ?label:string ->
+  ?tag:string ->
+  ?obj:int ->
+  ?arg:int ->
+  (unit -> 'a) ->
+  'a
 (** [start]/[finish] around a thunk, exception-safe. *)
 
 (** Close every span still open on [tid]'s stack at the current virtual

@@ -169,6 +169,15 @@ type t = {
   spans : Sim.Span.t;
   mutable calls : int;
   mutable posts : int;
+  (* Server-pool admission control (Amber-Serve).  Consulted at the
+     destination, right before a one-way datagram's handler would be
+     queued on the server pool — but only for posts that supplied an
+     [on_reject] continuation, so kernel protocol traffic (coherence,
+     futures, mobility) can never be shed.  The hook must not consume
+     virtual time or draw RNG: with no admission-subject posts in a run
+     it contributes nothing and reports stay byte-identical. *)
+  mutable admission : (dst:int -> kind:string -> bool) option;
+  mutable posts_rejected : int;
 }
 
 let rec server_loop ep =
@@ -244,6 +253,8 @@ let create ~ether ~tasks ?(costs = default_costs) ?(servers_per_node = 8)
     spans;
     calls = 0;
     posts = 0;
+    admission = None;
+    posts_rejected = 0;
   }
 
 let costs t = t.c
@@ -766,12 +777,32 @@ let unwatch t ~node id =
     | [] -> Hashtbl.remove t.watchers node
     | ws -> Hashtbl.replace t.watchers node ws)
 
-let post ?parent ?on_dead t ~src ~dst ~kind ~size handler =
+let set_admission t hook = t.admission <- hook
+let posts_rejected t = t.posts_rejected
+
+let post ?parent ?on_dead ?on_reject t ~src ~dst ~kind ~size handler =
   t.posts <- t.posts + 1;
-  if src = dst then
-    enqueue_work (endpoint t dst) (fun () ->
-        Sim.Fiber.consume t.c.dispatch_cpu;
-        handler ())
+  (* Admission is checked where the request lands (delivery for a remote
+     post, enqueue for a local one): the per-node controller sees its own
+     queue depth and token buckets at arrival time.  Posts without
+     [on_reject] are exempt — losing a kernel datagram to load shedding
+     would wedge a protocol, not shed a request. *)
+  let admitted () =
+    match (t.admission, on_reject) with
+    | Some admit, Some _ -> admit ~dst ~kind
+    | _ -> true
+  in
+  let reject () =
+    t.posts_rejected <- t.posts_rejected + 1;
+    match on_reject with Some f -> f () | None -> ()
+  in
+  if src = dst then begin
+    if admitted () then
+      enqueue_work (endpoint t dst) (fun () ->
+          Sim.Fiber.consume t.c.dispatch_cpu;
+          handler ())
+    else reject ()
+  end
   else begin
     (* Both the wire leg and the remote handler parent to whatever span
        the poster had open (0 when posted from a timer event), keeping the
@@ -794,17 +825,19 @@ let post ?parent ?on_dead t ~src ~dst ~kind ~size handler =
     in
     send_reliable t ~on_dead ~src ~dst ~size ~kind (fun () ->
         Sim.Span.finish t.spans fsp;
-        enqueue_work (endpoint t dst) (fun () ->
-            Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
-            let ssp =
-              Sim.Span.start t.spans Sim.Span.Rpc_server ~label:kind
-                ~async:true ~parent ()
-            in
-            match handler () with
-            | () -> Sim.Span.finish t.spans ssp
-            | exception e ->
-              Sim.Span.finish t.spans ssp;
-              raise e))
+        if admitted () then
+          enqueue_work (endpoint t dst) (fun () ->
+              Sim.Fiber.consume (recv_side_cpu t size +. t.c.dispatch_cpu);
+              let ssp =
+                Sim.Span.start t.spans Sim.Span.Rpc_server ~label:kind
+                  ~async:true ~parent ()
+              in
+              match handler () with
+              | () -> Sim.Span.finish t.spans ssp
+              | exception e ->
+                Sim.Span.finish t.spans ssp;
+                raise e)
+        else reject ())
   end
 
 let calls_made t = t.calls

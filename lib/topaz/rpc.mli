@@ -232,7 +232,26 @@ val server_tids : t -> node:int -> int list
 val post :
   ?parent:int ->
   ?on_dead:(exn -> unit) ->
+  ?on_reject:(unit -> unit) ->
   t -> src:int -> dst:int -> kind:string -> size:int -> (unit -> unit) -> unit
+
+(** {1 Server-pool admission control}
+
+    An installed hook is consulted when a {!post} that supplied
+    [?on_reject] lands at its destination (at delivery for a remote post,
+    at enqueue for a local one): hook says no → the handler is dropped and
+    [on_reject] runs instead, in event context at the destination, so it
+    must not block or consume CPU (posting a rejection notice back is the
+    intended shape).  Posts without [on_reject] — all kernel protocol
+    traffic — are never subject to admission.  The hook itself must not
+    consume virtual time or draw RNG; serving layers install token-bucket
+    plus queue-depth policies here ({!module:Serve} in [lib/serve]). *)
+
+(** Install (or with [None] remove) the admission hook. *)
+val set_admission : t -> (dst:int -> kind:string -> bool) option -> unit
+
+(** One-way posts shed by the admission hook. *)
+val posts_rejected : t -> int
 
 (** {1 Statistics} *)
 

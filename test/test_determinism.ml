@@ -132,6 +132,43 @@ let crashed_sor_digest seed =
 
 let test_crashed_sor_sweep () = sweep "sor + crash injection" crashed_sor_digest
 
+(* Everything at once: replicated serving with admission control under
+   hybrid balancing plus a transient crash and probabilistic crash mode.
+   The serving layer's only global-stream interaction is one split at
+   [Serve.run] entry, and the serve report section rides the same
+   deterministic accounting, so the full report (serve lines included)
+   must hash identically run-to-run. *)
+let served_digest seed =
+  let cfg =
+    A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed)
+      ~crashes:[ { A.Config.cnode = 3; at = 30e-3; restart = Some 80e-3 } ]
+      ~crash_rate:0.3 ()
+  in
+  report_digest cfg (fun rt ->
+      let lb =
+        Balance.Driver.start rt
+          {
+            Balance.Driver.default_cfg with
+            Balance.Driver.policy = Balance.Rebalancer.Hybrid;
+            steal = true;
+          }
+      in
+      ignore
+        (Serve.run rt
+           {
+             Serve.default_cfg with
+             Serve.arrival = Serve.Trafficgen.Poisson 250.0;
+             duration = 0.15;
+             keys = 16;
+             replicate = true;
+             admission = Some Serve.default_admission;
+           }
+          : Serve.result);
+      Balance.Driver.stop lb)
+
+let test_served_sweep () =
+  sweep "serving + admission + balancing + crashes" served_digest
+
 (* With profiling on, the span forest itself is part of the deterministic
    surface: ids, parents, kinds, attribution and timestamps must all
    reproduce run-to-run. *)
@@ -203,6 +240,9 @@ let suite =
       test_async_sor_sweep;
     Alcotest.test_case "sor + crash injection reproducible over 10 seeds"
       `Quick test_crashed_sor_sweep;
+    Alcotest.test_case
+      "serving + admission + balancing + crashes reproducible over 10 seeds"
+      `Quick test_served_sweep;
     Alcotest.test_case "span traces reproducible over 10 seeds" `Quick
       test_span_sweep;
     Alcotest.test_case "profiling leaves the base report byte-identical"

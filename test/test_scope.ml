@@ -266,6 +266,30 @@ let test_profile_report_lines () =
         (List.exists (fun l -> count_substring l "invoke.remote" = 1) rest
         && List.exists (fun l -> count_substring l "node 0:" = 1) rest)
 
+(* The tag dimension: tagged spans get their own [kind[tag]] percentile
+   lines under the per-kind line, all from the same reservoir attach;
+   tag-free spans add no bracketed lines at all. *)
+let test_profile_tag_breakdown () =
+  let cfg = Amber.Config.make ~nodes:2 ~cpus:2 () in
+  let lines =
+    Amber.Cluster.run_value cfg (fun rt ->
+        let prof = Scope.Profile.attach rt in
+        let spans = Amber.Runtime.spans rt in
+        let o = Amber.Api.create rt ~name:"tagged" (ref 0) in
+        List.iter
+          (fun tag ->
+            Sim.Span.with_span spans Sim.Span.Serve_request ~label:tag ~tag
+              (fun () -> ignore (Amber.Api.invoke rt o (fun r -> !r) : int)))
+          [ "read"; "read"; "write" ];
+        Scope.Profile.seal prof;
+        Scope.Profile.report_lines prof)
+  in
+  Alcotest.(check bool) "per-tag lines appear under the kind" true
+    (List.exists (fun l -> count_substring l "serve.request[read]" = 1) lines
+    && List.exists (fun l -> count_substring l "serve.request[write]" = 1) lines);
+  Alcotest.(check bool) "untagged kinds grow no bracketed lines" true
+    (not (List.exists (fun l -> count_substring l "invoke.local[" = 1) lines))
+
 let suite =
   [
     Alcotest.test_case "disabled collector records nothing" `Quick
@@ -282,4 +306,6 @@ let suite =
       test_chrome_export_valid;
     Alcotest.test_case "jsonl export is valid" `Quick test_jsonl_export_valid;
     Alcotest.test_case "profile report lines" `Quick test_profile_report_lines;
+    Alcotest.test_case "profile tag breakdown" `Quick
+      test_profile_tag_breakdown;
   ]

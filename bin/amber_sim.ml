@@ -276,8 +276,9 @@ let run_profiled ~profile ~sanitize cfg f =
   (r, status, !prof_box)
 
 (* Print the profile section and critical-path decomposition; export the
-   Chrome trace if [out] was given. *)
-let finish_profile ~out prof =
+   Chrome trace if [out] was given.  [counters] merges watch time series
+   into the export as Perfetto counter tracks. *)
+let finish_profile ?(counters = []) ~out prof =
   List.iter print_endline (Scope.Profile.report_lines prof);
   Format.printf "%a" Scope.Critical_path.pp (Scope.Profile.critical_path prof);
   match out with
@@ -285,8 +286,153 @@ let finish_profile ~out prof =
   | Some path ->
     let spans = Scope.Profile.spans prof in
     write_file path
-      (Scope.Export.chrome_json ~clip:(Scope.Profile.total prof) spans);
+      (Scope.Export.chrome_json ~counters ~clip:(Scope.Profile.total prof)
+         spans);
     Printf.printf "wrote %s (%d spans)\n" path (List.length spans)
+
+(* --- watch (continuous telemetry; shared by sor, serve and watch) --------- *)
+
+let slo_conv =
+  let parse s =
+    match Watch.Slo.parse s with Ok r -> Ok r | Error e -> Error (`Msg e)
+  in
+  let print ppf (r : Watch.Slo.rule) =
+    Format.pp_print_string ppf r.Watch.Slo.text
+  in
+  Arg.conv (parse, print)
+
+type watch_opts = {
+  w_on : bool;
+  w_interval : float;
+  w_out : string option;
+  w_csv : string option;
+  w_slo : Watch.Slo.rule list;
+  w_flight : string option;
+}
+
+let watch_term =
+  let watch_flag =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Enable continuous telemetry: sample the scheduler, RPC, \
+             replication, balance and serve instruments on a recurring \
+             virtual-time tick into bounded time series, summarized in the \
+             report's $(b,watch:) section and exportable with \
+             $(b,--watch-out) / $(b,--watch-csv).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 5e-3
+      & info [ "watch-interval" ] ~docv:"SECONDS"
+          ~doc:"Sampling tick period, virtual seconds (default 5 ms).")
+  in
+  let watch_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch-out" ] ~docv:"FILE"
+          ~doc:
+            "Write every sampled series to $(docv) as JSON Lines (one \
+             series object per line).  Implies $(b,--watch).")
+  in
+  let watch_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch-csv" ] ~docv:"FILE"
+          ~doc:
+            "Write every sampled series to $(docv) as long-format CSV \
+             (series,node,kind,time_s,value).  Implies $(b,--watch).")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt_all slo_conv []
+      & info [ "slo" ] ~docv:"RULE"
+          ~doc:
+            "Multi-window SLO burn-rate rule over a sampled series, e.g. \
+             $(b,serve.latency_ms.p99<=60) or \
+             $(b,serve.latency_ms.rate>=800\\@0.2) (\\@BUDGET is the \
+             allowed bad-sample fraction, default 0.1).  The run exits 4 \
+             when both the short and the long trailing windows burn the \
+             budget at rate >= 1.  Repeatable; implies $(b,--watch).")
+  in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"DIR"
+          ~doc:
+            "Arm the failure flight recorder: on any typed failure (node \
+             death, object loss, first overload shed, sanitizer finding) \
+             dump a postmortem JSON artifact — the trailing trace window \
+             plus the victim node's final spans — under $(docv).")
+  in
+  let mk watch interval out csv slo flight =
+    {
+      w_on = watch || out <> None || csv <> None || slo <> [];
+      w_interval = interval;
+      w_out = out;
+      w_csv = csv;
+      w_slo = slo;
+      w_flight = flight;
+    }
+  in
+  Term.(const mk $ watch_flag $ interval $ watch_out $ watch_csv $ slo $ flight)
+
+(* Bracket a workload body with the watch subsystem: flight recorder
+   first (so failure hooks are live for the whole run), then the
+   sampling tick, stopped before the body returns so the engine can
+   quiesce.  With every option off nothing attaches and the run is
+   untouched. *)
+let with_watch rt w f =
+  let flight =
+    Option.map (fun dir -> Watch.Flight.attach rt ~dir ()) w.w_flight
+  in
+  if not w.w_on then begin
+    let r = f () in
+    (r, None, flight)
+  end
+  else begin
+    let cfg = { Watch.default_cfg with Watch.interval = w.w_interval } in
+    let t = Watch.attach rt ~cfg ~slo:w.w_slo ?flight () in
+    let r = f () in
+    Watch.stop t;
+    (r, Some t, flight)
+  end
+
+let watch_counters = function Some t -> Watch.series t | None -> []
+
+(* Print SLO verdicts and the flight-recorder summary, export the series,
+   and fold an SLO burn into the exit status as 4 (the sanitizer's 3
+   takes precedence). *)
+let finish_watch w (watch, flight) status =
+  let status = ref status in
+  (match watch with
+  | None -> ()
+  | Some t ->
+    let series = Watch.series t in
+    (match w.w_out with
+    | Some path ->
+      write_file path
+        (String.concat ""
+           (List.map (fun l -> l ^ "\n") (Scope.Export.series_jsonl series)));
+      Printf.printf "wrote %s (%d series)\n" path (List.length series)
+    | None -> ());
+    (match w.w_csv with
+    | Some path ->
+      write_file path (Scope.Export.series_csv series);
+      Printf.printf "wrote %s (%d series)\n" path (List.length series)
+    | None -> ());
+    let outcomes = Watch.outcomes t in
+    List.iter (fun o -> print_endline (Watch.Slo.outcome_line o)) outcomes;
+    if Watch.Slo.any_fired outcomes && !status = 0 then status := 4);
+  (match flight with
+  | None -> ()
+  | Some f -> List.iter print_endline (Watch.Flight.report_lines f));
+  !status
 
 (* --- sor ---------------------------------------------------------------- *)
 
@@ -351,7 +497,7 @@ let sor_cmd =
              window (e.g. 200e-6).")
   in
   let run nodes cpus faults seed crash system rows cols iters sections no_overlap
-      report skew async coalesce bal sanitize profile out =
+      report skew async coalesce bal sanitize profile out w =
     let profile = profile || out <> None in
     let p = Workloads.Sor_core.with_size Workloads.Sor_core.default ~rows ~cols in
     let cfg = mk_config nodes cpus faults seed crash in
@@ -371,22 +517,26 @@ let sor_cmd =
         Format.printf "@.%a" Amber.Stats_report.pp
           (Amber.Stats_report.capture rt)
     in
-    let maybe_profile prof =
-      match prof with None -> () | Some prof -> finish_profile ~out prof
+    let maybe_profile wh prof =
+      match prof with
+      | None -> ()
+      | Some prof -> finish_profile ~counters:(watch_counters wh) ~out prof
     in
     match system with
     | `Seq ->
-      let r, status, prof =
+      let (r, wh, fl), status, prof =
         run_profiled ~profile ~sanitize cfg (fun rt ->
-            let r = Workloads.Sor_seq.run rt p ~iters in
+            let rwf =
+              with_watch rt w (fun () -> Workloads.Sor_seq.run rt p ~iters)
+            in
             maybe_report rt;
-            r)
+            rwf)
       in
       Printf.printf "sequential: %d iterations in %.3f virtual s (checksum %.6g)\n"
         r.Workloads.Sor_seq.iterations r.Workloads.Sor_seq.compute_elapsed
         r.Workloads.Sor_seq.checksum;
-      maybe_profile prof;
-      status
+      maybe_profile wh prof;
+      finish_watch w (wh, fl) status
     | `Amber ->
       let mk_sor_cfg rt =
         let c = Workloads.Sor_amber.default_cfg rt in
@@ -403,15 +553,16 @@ let sor_cmd =
         { c with Workloads.Sor_amber.overlap = not no_overlap }
       in
       if async then begin
-        let r, status, prof =
+        let (r, wh, fl), status, prof =
           run_profiled ~profile ~sanitize cfg (fun rt ->
               let c = mk_sor_cfg rt in
-              let r =
-                with_balance rt bal (fun () ->
-                    Workloads.Sor_pipe.run rt p ~cfg:c ~iters ())
+              let rwf =
+                with_watch rt w (fun () ->
+                    with_balance rt bal (fun () ->
+                        Workloads.Sor_pipe.run rt p ~cfg:c ~iters ()))
               in
               maybe_report rt;
-              r)
+              rwf)
         in
         Printf.printf
           "amber-async %dNx%dP: compute %.3f virtual s, speedup %.2f, \
@@ -425,19 +576,20 @@ let sor_cmd =
           r.Workloads.Sor_pipe.remote_invocations
           r.Workloads.Sor_pipe.thread_migrations
           r.Workloads.Sor_pipe.async_invocations;
-        maybe_profile prof;
-        status
+        maybe_profile wh prof;
+        finish_watch w (wh, fl) status
       end
       else begin
-        let r, status, prof =
+        let (r, wh, fl), status, prof =
           run_profiled ~profile ~sanitize cfg (fun rt ->
               let c = mk_sor_cfg rt in
-              let r =
-                with_balance rt bal (fun () ->
-                    Workloads.Sor_amber.run rt p ~cfg:c ~iters ())
+              let rwf =
+                with_watch rt w (fun () ->
+                    with_balance rt bal (fun () ->
+                        Workloads.Sor_amber.run rt p ~cfg:c ~iters ()))
               in
               maybe_report rt;
-              r)
+              rwf)
         in
         Printf.printf
           "amber %dNx%dP: compute %.3f virtual s, speedup %.2f, checksum %.6g\n"
@@ -447,15 +599,17 @@ let sor_cmd =
         Printf.printf "  remote invocations: %d, thread migrations: %d\n"
           r.Workloads.Sor_amber.remote_invocations
           r.Workloads.Sor_amber.thread_migrations;
-        maybe_profile prof;
-        status
+        maybe_profile wh prof;
+        finish_watch w (wh, fl) status
       end
     | `Ivy ->
-      let r, status, prof =
+      let (r, wh, fl), status, prof =
         run_profiled ~profile ~sanitize cfg (fun rt ->
-            let r = Workloads.Sor_ivy.run rt p ~iters () in
+            let rwf =
+              with_watch rt w (fun () -> Workloads.Sor_ivy.run rt p ~iters ())
+            in
             maybe_report rt;
-            r)
+            rwf)
       in
       Printf.printf
         "ivy %dNx%dP: compute %.3f virtual s, speedup %.2f, checksum %.6g\n"
@@ -465,15 +619,15 @@ let sor_cmd =
       Printf.printf "  faults: %d read, %d write; invalidations: %d; %d bytes\n"
         r.Workloads.Sor_ivy.read_faults r.Workloads.Sor_ivy.write_faults
         r.Workloads.Sor_ivy.invalidations r.Workloads.Sor_ivy.transfer_bytes;
-      maybe_profile prof;
-      status
+      maybe_profile wh prof;
+      finish_watch w (wh, fl) status
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term $ system
       $ rows $ cols $ iters $ sections $ no_overlap $ report_flag $ skew
       $ async_flag $ coalesce_window $ balance_term $ sanitize_arg
-      $ profile_flag $ out_arg)
+      $ profile_flag $ out_arg $ watch_term)
   in
   Cmd.v (Cmd.info "sor" ~doc:"Run Red/Black SOR (the paper's §6 application).")
     term
@@ -789,6 +943,51 @@ let mix_conv =
   in
   Arg.conv (parse, print)
 
+(* Execute a serve scenario and print its summary (shared by the serve and
+   watch subcommands). *)
+let exec_serve ~nodes ~cfg ~scfg ~report ~bal ~sanitize ~profile ~out w =
+  let profile = profile || out <> None in
+  let (r, wh, fl), status, prof =
+    run_profiled ~profile ~sanitize cfg (fun rt ->
+        let rwf =
+          with_watch rt w (fun () ->
+              with_balance rt bal (fun () -> Serve.run rt scfg))
+        in
+        if report then
+          Format.printf "%a@." Amber.Stats_report.pp
+            (Amber.Stats_report.capture rt);
+        rwf)
+  in
+  Printf.printf
+    "serve (%s, %d nodes): issued %d, completed %d, rejected %d, failed %d \
+     in %.3f virtual s\n"
+    (match scfg.Serve.arrival with
+    | Serve.Trafficgen.Poisson r -> Printf.sprintf "poisson %.0f rps" r
+    | Serve.Trafficgen.Bursty b ->
+      Printf.sprintf "bursty %.0fx%.0f rps" b.rate
+        b.factor)
+    nodes r.Serve.issued r.Serve.completed r.Serve.rejected
+    r.Serve.failed r.Serve.elapsed;
+  Printf.printf "  goodput %.1f rps, reject %.1f%%\n" r.Serve.goodput_rps
+    (100.0 *. r.Serve.reject_frac);
+  let lat = r.Serve.latency in
+  if Sim.Stats.Summary.count lat > 0 then
+    Printf.printf "  admitted latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n"
+      (Sim.Stats.Summary.percentile lat 50.0 *. 1e3)
+      (Sim.Stats.Summary.percentile lat 95.0 *. 1e3)
+      (Sim.Stats.Summary.percentile lat 99.0 *. 1e3);
+  List.iter
+    (fun (st : Serve.class_stats) ->
+      Printf.printf "  %-7s issued %d, ok %d, rej %d, fail %d\n"
+        (Serve.Trafficgen.cls_name st.Serve.cls)
+        st.Serve.issued st.Serve.completed st.Serve.rejected
+        st.Serve.failed)
+    r.Serve.per_class;
+  Option.iter
+    (fun p -> finish_profile ~counters:(watch_counters wh) ~out p)
+    prof;
+  finish_watch w (wh, fl) status
+
 let serve_cmd =
   let rps =
     Arg.(
@@ -886,7 +1085,7 @@ let serve_cmd =
   in
   let run nodes cpus faults seed crash rps burst zipf objects duration classes
       workers admission admit_rate admit_burst cutoff replicate report bal
-      sanitize profile out =
+      sanitize profile out w =
     let cfg = mk_config nodes cpus faults seed crash in
     let arrival =
       match burst with
@@ -910,49 +1109,14 @@ let serve_cmd =
            else None);
       }
     in
-    let profile = profile || out <> None in
-    let r, status, prof =
-      run_profiled ~profile ~sanitize cfg (fun rt ->
-          let r = with_balance rt bal (fun () -> Serve.run rt scfg) in
-          if report then
-            Format.printf "%a@." Amber.Stats_report.pp
-              (Amber.Stats_report.capture rt);
-          r)
-    in
-    Printf.printf
-      "serve (%s, %d nodes): issued %d, completed %d, rejected %d, failed %d \
-       in %.3f virtual s\n"
-      (match arrival with
-      | Serve.Trafficgen.Poisson r -> Printf.sprintf "poisson %.0f rps" r
-      | Serve.Trafficgen.Bursty b ->
-        Printf.sprintf "bursty %.0fx%.0f rps" b.rate
-          b.factor)
-      nodes r.Serve.issued r.Serve.completed r.Serve.rejected
-      r.Serve.failed r.Serve.elapsed;
-    Printf.printf "  goodput %.1f rps, reject %.1f%%\n" r.Serve.goodput_rps
-      (100.0 *. r.Serve.reject_frac);
-    let lat = r.Serve.latency in
-    if Sim.Stats.Summary.count lat > 0 then
-      Printf.printf "  admitted latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n"
-        (Sim.Stats.Summary.percentile lat 50.0 *. 1e3)
-        (Sim.Stats.Summary.percentile lat 95.0 *. 1e3)
-        (Sim.Stats.Summary.percentile lat 99.0 *. 1e3);
-    List.iter
-      (fun (st : Serve.class_stats) ->
-        Printf.printf "  %-7s issued %d, ok %d, rej %d, fail %d\n"
-          (Serve.Trafficgen.cls_name st.Serve.cls)
-          st.Serve.issued st.Serve.completed st.Serve.rejected
-          st.Serve.failed)
-      r.Serve.per_class;
-    Option.iter (fun p -> finish_profile ~out p) prof;
-    status
+    exec_serve ~nodes ~cfg ~scfg ~report ~bal ~sanitize ~profile ~out w
   in
   let term =
     Term.(
       const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term
       $ rps $ burst $ zipf $ objects $ duration $ classes $ workers $ admission
       $ admit_rate $ admit_burst $ cutoff $ replicate $ report_flag
-      $ balance_term $ sanitize_arg $ profile_flag $ out_arg)
+      $ balance_term $ sanitize_arg $ profile_flag $ out_arg $ watch_term)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -960,6 +1124,80 @@ let serve_cmd =
          "Serve open-loop traffic (Poisson or bursty, Zipf-skewed, mixed \
           read/write/compute) with per-class SLO reporting and optional \
           admission control.")
+    term
+
+(* --- watch (one-command telemetry smoke over serve) ----------------------- *)
+
+let watch_cmd =
+  let rps =
+    Arg.(
+      value & opt float 400.0
+      & info [ "rps" ] ~docv:"RATE"
+          ~doc:
+            "Mean arrival rate, requests per virtual second (push it past \
+             capacity to watch the SLO monitors trip).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.5
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Traffic window, virtual seconds.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Service worker threads per node.")
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Print the full cluster report (including the $(b,watch:) \
+             series summary) after the run.")
+  in
+  let run nodes cpus faults seed crash rps duration workers report bal sanitize
+      profile out w =
+    let cfg = mk_config nodes cpus faults seed crash in
+    (* Telemetry is the point of this subcommand: force the tick on and,
+       with no explicit rules, watch the canonical serving objective. *)
+    let default_rules =
+      List.filter_map
+        (fun s -> Result.to_option (Watch.Slo.parse s))
+        [ "serve.latency_ms.p99<=60" ]
+    in
+    let w =
+      {
+        w with
+        w_on = true;
+        w_slo = (if w.w_slo = [] then default_rules else w.w_slo);
+      }
+    in
+    let scfg =
+      {
+        Serve.default_cfg with
+        arrival = Serve.Trafficgen.Poisson rps;
+        duration;
+        workers_per_node = workers;
+        admission =
+          Some { Serve.admit_rate = 0.0; admit_burst = 4.0; cutoff = 8 };
+      }
+    in
+    exec_serve ~nodes ~cfg ~scfg ~report ~bal ~sanitize ~profile ~out w
+  in
+  let term =
+    Term.(
+      const run $ nodes_arg $ cpus_arg $ faults_term $ seed_arg $ crashes_term
+      $ rps $ duration $ workers $ report_flag $ balance_term $ sanitize_arg
+      $ profile_flag $ out_arg $ watch_term)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Run an admission-controlled serve scenario under continuous \
+          telemetry: sampled time series, a default p99 latency SLO \
+          burn-rate monitor (exit 4 when it fires), and optional series \
+          exports / flight recorder.")
     term
 
 (* --- trace --------------------------------------------------------------- *)
@@ -1420,4 +1658,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ sor_cmd; workqueue_cmd; matmul_cmd; tsp_cmd; readmostly_cmd;
-            serve_cmd; trace_cmd; profile_cmd; fixture_cmd; check_cmd ]))
+            serve_cmd; watch_cmd; trace_cmd; profile_cmd; fixture_cmd;
+            check_cmd ]))

@@ -577,7 +577,9 @@ let add_violations t vs =
       let key = (v.Audit.addr, v.Audit.node, v.Audit.problem) in
       if not (Hashtbl.mem t.violation_keys key) then begin
         Hashtbl.replace t.violation_keys key ();
-        t.violations <- v :: t.violations
+        t.violations <- v :: t.violations;
+        Runtime.notify_failure t.rt ~kind:"san" ~node:v.Audit.node
+          ~detail:(Format.asprintf "%a" Audit.pp_violation v)
       end)
     vs
 
@@ -627,7 +629,18 @@ let attach ?(analyze = true) rt =
   let ev e =
     Sim.Trace.emit (Runtime.trace rt) ~time:(Runtime.now rt) ~category:"san"
       ~detail:(lazy (Event.to_string e)) ();
-    if t.analyze then Core.feed t.core e
+    if t.analyze then begin
+      (* A new race is a typed failure like any crash: let subscribers
+         (the flight recorder) capture the window around it. *)
+      let races_before = List.length t.core.Core.races in
+      Core.feed t.core e;
+      if List.length t.core.Core.races > races_before then
+        match t.core.Core.races with
+        | r :: _ ->
+          Runtime.notify_failure rt ~kind:"san" ~node:(-1)
+            ~detail:(Format.asprintf "%a" pp_race r)
+        | [] -> ()
+    end
   in
   let tid () = Hw.Machine.tcb_id (Hw.Machine.self_exn ()) in
   let hooks =

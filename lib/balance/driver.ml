@@ -57,6 +57,15 @@ let start rt cfg =
         ~cfg:cfg.rebalance
     in
     let a = { li; stealer; reb; tick_ev = None; stopped = false } in
+    (* Telemetry: publish each node's own EWMA load view as a gauge when
+       a watcher enabled the registry — the exact signal the stealer and
+       rebalancer act on, so watch plots show what the policy saw. *)
+    let metrics = A.Runtime.metrics rt in
+    if Sim.Series.enabled metrics then
+      for n = 0 to A.Runtime.nodes rt - 1 do
+        Sim.Series.probe metrics ~name:"balance.ewma_load" ~node:n (fun () ->
+            Loadinfo.load (Loadinfo.board li ~viewer:n).(n))
+      done;
     let rec tick () =
       a.tick_ev <- None;
       if not a.stopped then begin

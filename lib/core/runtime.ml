@@ -68,6 +68,12 @@ type t = {
   ctrs : counters;
   remote_invoke_latency : Sim.Stats.Summary.t;
   move_latency : Sim.Stats.Summary.t;
+  metrics : Sim.Series.t;
+      (* Telemetry registry shared by every layer that wants to publish
+         time series (serve pushes latency/shed windows, watch registers
+         gauges and the sampling tick).  Created disabled; stays inert —
+         no points, no clock reads — unless a watcher enables it. *)
+  mutable failure_hooks : (kind:string -> node:int -> detail:string -> unit) list;
   mutable san : San_hooks.t option;
   mutable report_sections : (string * (unit -> string list)) list;
 }
@@ -190,6 +196,8 @@ let create_raw cfg =
       ctrs = fresh_counters ();
       remote_invoke_latency = Sim.Stats.Summary.create ();
       move_latency = Sim.Stats.Summary.create ();
+      metrics = Sim.Series.create ~clock:(fun () -> Sim.Engine.now eng) ();
+      failure_hooks = [];
       san = None;
       report_sections = [];
     }
@@ -248,6 +256,18 @@ let now t = Sim.Engine.now t.eng
 let counters t = t.ctrs
 let remote_invoke_latency t = t.remote_invoke_latency
 let move_latency t = t.move_latency
+let metrics t = t.metrics
+
+(* Typed-failure notification seam: the flight recorder (lib/watch)
+   subscribes here so postmortem dumps need no dependency from the crash
+   machinery on the observability layer.  With no hooks registered the
+   notify sites cost one list match. *)
+let on_failure t f = t.failure_hooks <- t.failure_hooks @ [ f ]
+
+let notify_failure t ~kind ~node ~detail =
+  match t.failure_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f ~kind ~node ~detail) hooks
 
 (* Runtime-level trace records carry the structured context (who emitted,
    from where, under which span); raw Hw-layer emitters leave the fields
@@ -764,6 +784,9 @@ let check_failures t =
 let node_down t ~node =
   t.ctrs.node_crashes <- t.ctrs.node_crashes + 1;
   emit t "crash" (lazy (Printf.sprintf "node%d down (transient)" node));
+  if t.failure_hooks <> [] then
+    notify_failure t ~kind:"node_down" ~node
+      ~detail:(Printf.sprintf "node%d down (transient)" node);
   Sim.Engine.note_access t.eng (Printf.sprintf "net:n%d" node);
   Hw.Ethernet.set_node_down t.net node;
   Hw.Machine.set_down t.machines.(node)
@@ -817,7 +840,10 @@ let recover_object t ~dead (Aobject.Any o) =
           (lazy (Printf.sprintf "%s@0x%x lost with node%d" o.Aobject.name addr dead));
         o.Aobject.lost <- true;
         Hashtbl.replace t.lost_addrs addr o.Aobject.name;
-        Array.iter (fun tbl -> Descriptor.clear tbl addr) t.tables
+        Array.iter (fun tbl -> Descriptor.clear tbl addr) t.tables;
+        if t.failure_hooks <> [] then
+          notify_failure t ~kind:"object_lost" ~node:dead
+            ~detail:(Printf.sprintf "%s@0x%x" o.Aobject.name addr)
     end
     else begin
       let survivors =
@@ -872,7 +898,10 @@ let recover_object t ~dead (Aobject.Any o) =
         o.Aobject.grants <- [];
         o.Aobject.rcopies <- [];
         Hashtbl.replace t.lost_addrs addr o.Aobject.name;
-        Array.iter (fun tbl -> Descriptor.clear tbl addr) t.tables
+        Array.iter (fun tbl -> Descriptor.clear tbl addr) t.tables;
+        if t.failure_hooks <> [] then
+          notify_failure t ~kind:"object_lost" ~node:dead
+            ~detail:(Printf.sprintf "%s@0x%x" o.Aobject.name addr)
     end
   end
 
@@ -910,6 +939,11 @@ let repair_chains t ~dead =
 let fail_stop t ~node:dead =
   t.ctrs.node_crashes <- t.ctrs.node_crashes + 1;
   emit t "crash" (lazy (Printf.sprintf "node%d fail-stop" dead));
+  (* Notify before recovery runs: a flight dump taken here captures the
+     pre-crash window, not the repair traffic. *)
+  if t.failure_hooks <> [] then
+    notify_failure t ~kind:"node_dead" ~node:dead
+      ~detail:(Printf.sprintf "node%d fail-stop" dead);
   Sim.Engine.note_access t.eng (Printf.sprintf "net:n%d" dead);
   (* The wire stops delivering to the corpse, and the transport aborts
      every outstanding transaction touching it.  Victims are collected

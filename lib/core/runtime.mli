@@ -249,6 +249,25 @@ val remote_invoke_latency : t -> Sim.Stats.Summary.t
 
 val move_latency : t -> Sim.Stats.Summary.t
 
+(** The runtime's telemetry registry ({!Sim.Series}).  Created disabled;
+    instrumented layers (serve, balance) publish into it only once a
+    watcher — [Watch.attach] — enables it and arms the sampling tick, so
+    an unwatched run records nothing and stays byte-identical. *)
+val metrics : t -> Sim.Series.t
+
+(** {2 Typed-failure notifications}
+
+    [on_failure] registers a hook invoked whenever a typed failure fires
+    inside the runtime: [kind] is ["node_dead"] (fail-stop),
+    ["node_down"] (transient crash) or ["object_lost"] (sole copy died);
+    the flight recorder subscribes here to dump postmortems.  External
+    layers (serve overload, the sanitizer) report their own kinds
+    through {!notify_failure}.  With no hooks registered the notify
+    sites are inert. *)
+val on_failure : t -> (kind:string -> node:int -> detail:string -> unit) -> unit
+
+val notify_failure : t -> kind:string -> node:int -> detail:string -> unit
+
 (** Raise the first recorded thread failure, if any. *)
 val check_failures : t -> unit
 

@@ -43,7 +43,7 @@ let is_flight (s : Sim.Span.span) =
 
 let us t = t *. 1e6
 
-let chrome_json ?clip spans =
+let chrome_json ?(counters = []) ?clip spans =
   let clip = match clip with Some c -> c | None -> default_clip spans in
   let b = Buffer.create 4096 in
   let first = ref true in
@@ -62,20 +62,23 @@ let chrome_json ?clip spans =
   Buffer.add_string b "{\"traceEvents\":[\n";
   (* Track metadata: one process per node, one named track per thread. *)
   let pids = Hashtbl.create 16 and tracks = Hashtbl.create 64 in
+  let ensure_pid pid =
+    if not (Hashtbl.mem pids pid) then begin
+      Hashtbl.replace pids pid ();
+      event
+        [
+          ("ph", jstr "M");
+          ("pid", string_of_int pid);
+          ("name", jstr "process_name");
+          ("args", Printf.sprintf "{\"name\":%s}"
+             (jstr (Printf.sprintf "node%d" pid)));
+        ]
+    end
+  in
   List.iter
     (fun (s : Sim.Span.span) ->
       let pid = max 0 s.node and tid = max 0 s.tid in
-      if not (Hashtbl.mem pids pid) then begin
-        Hashtbl.replace pids pid ();
-        event
-          [
-            ("ph", jstr "M");
-            ("pid", string_of_int pid);
-            ("name", jstr "process_name");
-            ("args", Printf.sprintf "{\"name\":%s}"
-               (jstr (Printf.sprintf "node%d" pid)));
-          ]
-      end;
+      ensure_pid pid;
       if not (Hashtbl.mem tracks (pid, tid)) then begin
         Hashtbl.replace tracks (pid, tid) ();
         event
@@ -137,6 +140,24 @@ let chrome_json ?clip spans =
           ]
       end)
     spans;
+  (* Watch time series render as counter ("C") tracks under the span
+     lanes: one track per (node, series name), one sample per point.
+     Cluster-wide series (node -1) land on node0's process. *)
+  List.iter
+    (fun s ->
+      let pid = max 0 (Sim.Series.node s) in
+      ensure_pid pid;
+      let name = jstr (Sim.Series.name s) in
+      Sim.Series.iter_points s (fun (p : Sim.Series.point) ->
+          event
+            [
+              ("ph", jstr "C");
+              ("pid", string_of_int pid);
+              ("ts", Printf.sprintf "%.3f" (us p.at));
+              ("name", name);
+              ("args", Printf.sprintf "{\"v\":%.9g}" p.v);
+            ]))
+    counters;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 
@@ -151,6 +172,42 @@ let span_jsonl ~clip (s : Sim.Span.span) =
 let spans_jsonl ?clip spans =
   let clip = match clip with Some c -> c | None -> default_clip spans in
   List.map (span_jsonl ~clip) spans
+
+let span_json = span_jsonl
+
+let series_json s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"series\":%s,\"node\":%d,\"kind\":%s,\"dropped\":%d,\"points\":["
+       (jstr (Sim.Series.name s))
+       (Sim.Series.node s)
+       (jstr (Sim.Series.kind_label (Sim.Series.kind s)))
+       (Sim.Series.dropped s));
+  let first = ref true in
+  Sim.Series.iter_points s (fun (p : Sim.Series.point) ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%.9f,%.9g]" p.at p.v));
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let series_jsonl series = List.map series_json series
+
+let series_csv series =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "series,node,kind,time_s,value\n";
+  List.iter
+    (fun s ->
+      let prefix =
+        Printf.sprintf "%s,%d,%s,"
+          (Sim.Series.name s)
+          (Sim.Series.node s)
+          (Sim.Series.kind_label (Sim.Series.kind s))
+      in
+      Sim.Series.iter_points s (fun (p : Sim.Series.point) ->
+          Buffer.add_string b prefix;
+          Buffer.add_string b (Printf.sprintf "%.9f,%.9g\n" p.at p.v)))
+    series;
+  Buffer.contents b
 
 let trace_record_json (r : Sim.Trace.record) =
   Printf.sprintf

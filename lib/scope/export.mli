@@ -11,10 +11,30 @@
     [spans_jsonl] / [trace_record_json] are the line-oriented dumps for ad
     hoc tooling: one self-contained JSON object per line. *)
 
-val chrome_json : ?clip:float -> Sim.Span.span list -> string
+val chrome_json :
+  ?counters:Sim.Series.series list -> ?clip:float -> Sim.Span.span list -> string
 (** [clip] closes still-open spans at that time (defaults to the latest
-    timestamp seen in the list). *)
+    timestamp seen in the list).  [counters] adds watch time series as
+    counter ("C") events — one Perfetto counter track per (node, series)
+    — so load curves render under the span lanes. *)
 
 val spans_jsonl : ?clip:float -> Sim.Span.span list -> string list
+
+val span_json : clip:float -> Sim.Span.span -> string
+(** One span as a single JSON object (the [spans_jsonl] line format). *)
+
+val jstr : string -> string
+(** JSON string literal with escaping, for callers assembling documents
+    around the primitives above. *)
+
+val series_json : Sim.Series.series -> string
+(** One self-contained JSON object: name, node, kind, drop count and the
+    full [[t, v]] point list. *)
+
+val series_jsonl : Sim.Series.series list -> string list
+
+val series_csv : Sim.Series.series list -> string
+(** Long-format CSV ([series,node,kind,time_s,value]), one row per
+    point. *)
 
 val trace_record_json : Sim.Trace.record -> string

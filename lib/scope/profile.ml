@@ -54,40 +54,41 @@ let blocked_kind = function
 let report_lines t =
   let spans = spans t in
   let tot = total t in
-  (* Per-kind duration summaries (finished spans only): the reservoir in
-     Summary keeps memory bounded on long runs while p50/p95/p99 stay
-     exact for the first 2048 operations of each kind. *)
+  (* Per-kind duration histograms (finished spans only): log-bucketed,
+     so memory stays fixed on long runs and p50/p95/p99 carry a bounded
+     relative error (half a 5% bucket) with no sampling noise — the same
+     estimator the watch layer's windowed series use. *)
   let by_kind = Hashtbl.create 32 in
-  (* Tagged spans additionally feed a per-(kind, tag) reservoir, so one
+  (* Tagged spans additionally feed a per-(kind, tag) histogram, so one
      span attach yields per-attribute percentile breakdowns (e.g. the
      serving layer's per-request-class SLOs).  Untagged runs put nothing
      here and their report stays byte-identical. *)
   let by_tag = Hashtbl.create 8 in
   let opened = ref 0 in
-  let summary_of tbl key =
+  let hist_of tbl key =
     match Hashtbl.find_opt tbl key with
-    | Some summ -> summ
+    | Some h -> h
     | None ->
-        let summ = Sim.Stats.Summary.create () in
-        Hashtbl.replace tbl key summ;
-        summ
+        let h = Sim.Stats.Log_histogram.create () in
+        Hashtbl.replace tbl key h;
+        h
   in
   List.iter
     (fun (s : Sim.Span.span) ->
       if s.t1 < 0.0 then incr opened
       else begin
         let dt = s.t1 -. s.t0 in
-        Sim.Stats.Summary.add (summary_of by_kind s.kind) dt;
+        Sim.Stats.Log_histogram.add (hist_of by_kind s.kind) dt;
         if s.tag <> "" then
-          Sim.Stats.Summary.add (summary_of by_tag (s.kind, s.tag)) dt
+          Sim.Stats.Log_histogram.add (hist_of by_tag (s.kind, s.tag)) dt
       end)
     spans;
-  let line name s =
-    let p q = Sim.Stats.Summary.percentile s q *. 1e6 in
+  let line name h =
+    let p q = Sim.Stats.Log_histogram.percentile h q *. 1e6 in
     Printf.sprintf
       "%-18s n=%-6d total=%8.3fms p50=%8.1fus p95=%8.1fus p99=%8.1fus" name
-      (Sim.Stats.Summary.count s)
-      (Sim.Stats.Summary.total s *. 1e3)
+      (Sim.Stats.Log_histogram.count h)
+      (Sim.Stats.Log_histogram.total h *. 1e3)
       (p 50.0) (p 95.0) (p 99.0)
   in
   let kind_lines =

@@ -139,7 +139,12 @@ let report_lines stats ~goodput ~reject_frac ~failed () =
   let ms v = v *. 1e3 in
   List.map
     (fun (st : class_stats) ->
-      let p q = ms (Sim.Stats.Summary.percentile st.latency q) in
+      (* A class can end a (crashy) run with zero completions; report
+         its percentiles as 0 rather than raising on the empty summary. *)
+      let p q =
+        if Sim.Stats.Summary.count st.latency = 0 then 0.0
+        else ms (Sim.Stats.Summary.percentile st.latency q)
+      in
       Printf.sprintf
         "%-7s issued=%-5d ok=%-5d rej=%-4d fail=%-3d p50=%7.1fms p95=%7.1fms \
          p99=%7.1fms"
@@ -188,6 +193,42 @@ let run rt (cfg : cfg) =
   let overall_latency = Sim.Stats.Summary.create () in
   let sample_rejection = ref None in
   let outstanding = ref 0 in
+  (* Telemetry: when a watcher enabled the runtime's series registry
+     (Watch.attach, before this run started), publish per-class latency
+     windows — whose derived [.rate] is the goodput curve — plus
+     cumulative issue/complete/shed/fail counters.  Unwatched runs take
+     the [None] branch everywhere and stay byte-identical. *)
+  let metrics = A.Runtime.metrics rt in
+  let watched = Sim.Series.enabled metrics in
+  let lat_all =
+    if watched then
+      Some (Sim.Series.window metrics ~name:"serve.latency_ms" ~scale:1e3 ())
+    else None
+  in
+  let lat_cls =
+    if watched then
+      List.map
+        (fun (st : class_stats) ->
+          ( st.cls,
+            Sim.Series.window metrics
+              ~name:
+                (Printf.sprintf "serve.latency_ms[%s]"
+                   (Trafficgen.cls_name st.cls))
+              ~scale:1e3 () ))
+        stats
+    else []
+  in
+  if watched then begin
+    let sum f = List.fold_left (fun n (st : class_stats) -> n + f st) 0 stats in
+    Sim.Series.counter metrics ~name:"serve.issued" (fun () ->
+        sum (fun st -> st.issued));
+    Sim.Series.counter metrics ~name:"serve.completed" (fun () ->
+        sum (fun st -> st.completed));
+    Sim.Series.counter metrics ~name:"serve.rejected" (fun () ->
+        sum (fun st -> st.rejected));
+    Sim.Series.counter metrics ~name:"serve.failed" (fun () ->
+        sum (fun st -> st.failed))
+  end;
   (* Service objects, spread round-robin; [ref int] cells under the
      write-invalidate protocol when replicated.  Placement takes real
      virtual time (one move per remote key), so a crash injected early
@@ -219,6 +260,11 @@ let run rt (cfg : cfg) =
   let queues = Array.init nodes (fun _ -> Queue.create ()) in
   let wakers = Array.make nodes [] in
   let inflight = Array.make nodes 0 in
+  if watched then
+    for n = 0 to nodes - 1 do
+      Sim.Series.probe metrics ~name:"serve.admitted" ~node:n (fun () ->
+          float_of_int inflight.(n))
+    done;
   let enqueue node job =
     Queue.add job queues.(node);
     match wakers.(node) with
@@ -361,6 +407,12 @@ let run rt (cfg : cfg) =
               let dt = A.Runtime.now rt -. issued_at in
               Sim.Stats.Summary.add st.latency dt;
               Sim.Stats.Summary.add overall_latency dt;
+              (match lat_all with
+              | Some w -> Sim.Series.observe w dt
+              | None -> ());
+              (match List.assoc_opt r.Trafficgen.cls lat_cls with
+              | Some w -> Sim.Series.observe w dt
+              | None -> ());
               st.completed <- st.completed + 1
             end
             else st.failed <- st.failed + 1;
@@ -369,9 +421,15 @@ let run rt (cfg : cfg) =
       (* Rejection runs in event context at [dst]: account the shed as a
          typed failure and notify home without touching a fiber. *)
       let on_reject () =
-        if !sample_rejection = None then
+        if !sample_rejection = None then begin
           sample_rejection :=
             Some (A.Overload.Overloaded { node = dst; cls = cls_s });
+          (* The first shed is the typed [Overloaded] failure: let the
+             flight recorder capture the onset window.  Inert without
+             hooks. *)
+          A.Runtime.notify_failure rt ~kind:"overloaded" ~node:dst
+            ~detail:(Printf.sprintf "first shed: class %s at node%d" cls_s dst)
+        end;
         Topaz.Rpc.post rpc ~parent ~src:dst ~dst:gen_node ~kind:"serve-rej"
           ~size:16 (fun () ->
             st.rejected <- st.rejected + 1;

@@ -63,6 +63,60 @@ module Summary : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** Exact log-bucketed histogram: bucket [i] covers
+    [\[lo*growth^i, lo*growth^(i+1))], so percentile queries carry a
+    bounded {e relative} error (half a bucket, ~2.5% at the default 5%
+    growth) at fixed memory, with no sampling and no randomness — unlike
+    [Summary]'s reservoir, results are an exact function of the multiset
+    of added values, independent of add order.  Count, total, mean, min
+    and max are exact.  Non-positive and sub-[lo] values land in an
+    underflow counter (reported as [min]); values beyond the last bucket
+    in overflow (reported as [max]). *)
+module Log_histogram : sig
+  type t
+
+  val default_lo : float
+  val default_growth : float
+  val default_buckets : int
+
+  val create : ?lo:float -> ?growth:float -> ?buckets:int -> unit -> t
+  (** Defaults span ~1ns to ~3.6e4 s of latency-shaped data in 640
+      buckets (5KiB).  Raises [Invalid_argument] on [lo <= 0],
+      [growth <= 1] or [buckets <= 0]. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val underflow : t -> int
+  val overflow : t -> int
+  val buckets : t -> int
+
+  val bucket_index : t -> float -> int
+  (** [-1] for underflow, [buckets t] for overflow; always consistent
+      with [bucket_bounds] ([bucket_bounds t i = (blo, bhi)] implies
+      values in [\[blo, bhi)] index to [i]). *)
+
+  val bucket_bounds : t -> int -> float * float
+  (** [(lo, hi)] bounds of bucket [i]. *)
+
+  val percentile : t -> float -> float
+  (** Nearest-rank percentile, [p] in [\[0, 100\]]: the geometric
+      midpoint of the bucket holding the rank, clamped into the exact
+      observed [\[min, max\]] (so single-sample and single-bucket
+      histograms report exactly).  Raises [Invalid_argument] when empty
+      or [p] out of range. *)
+
+  val merge : t -> t -> unit
+  (** [merge dst src] adds [src]'s counts into [dst].  Raises
+      [Invalid_argument] unless both share the same geometry. *)
+
+  val clear : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
 (** Fixed-bucket histogram over [\[lo, hi)] with uniform bucket width;
     samples outside the range land in underflow/overflow counters. *)
 module Histogram : sig

@@ -844,6 +844,7 @@ let calls_made t = t.calls
 let posts_made t = t.posts
 let peer_deaths t = t.peer_deaths
 let backlog t node = Queue.length (endpoint t node).queue
+let in_flight t = Hashtbl.length t.outstanding
 let delivered_size t = Hashtbl.length t.delivered
 
 let coalescing t =

@@ -264,6 +264,11 @@ val peer_deaths : t -> int
 (** Currently queued work items on a node (servers all busy). *)
 val backlog : t -> int -> int
 
+(** Open reliable transactions (requests sent, completion not yet
+    retired) across the whole fabric; always [0] in unreliable mode.
+    A cheap instantaneous gauge for telemetry. *)
+val in_flight : t -> int
+
 (** Current size of the receiver-side dedup table — bounded by the
     retirement window plus datagrams whose acks are still outstanding.
     Exposed for the boundedness regression test. *)

@@ -1,0 +1,110 @@
+module A = Amber
+
+type t = {
+  rt : A.Runtime.t;
+  window : float;
+  dir : string;
+  max_dumps : int;
+  mutable dumps : string list; (* paths, oldest first *)
+  mutable suppressed : int;
+  seen : (string * int, unit) Hashtbl.t; (* (kind, node) already dumped *)
+  mutable seq : int;
+}
+
+let default_window = 0.05
+let default_max_dumps = 4
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* One postmortem: a typed-failure header, every structured trace record
+   in the trailing window, and the victim node's spans that were open or
+   recently closed at failure time — "the last N virtual-milliseconds
+   before any failure are always inspectable".  Cluster-scoped failures
+   (node -1, e.g. a sanitizer race) keep every node's spans. *)
+let dump_string t ~kind ~node ~detail =
+  let now = A.Runtime.now t.rt in
+  let cutoff = now -. t.window in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"postmortem\":{\"kind\":%s,\"node\":%d,\"time\":%.9f,\"detail\":%s,\"seq\":%d,\"window_s\":%.6f},\n"
+       (Scope.Export.jstr kind) node now (Scope.Export.jstr detail) t.seq
+       t.window);
+  let records =
+    List.filter
+      (fun (r : Sim.Trace.record) -> r.time >= cutoff)
+      (Sim.Trace.records (A.Runtime.trace t.rt))
+  in
+  Buffer.add_string b "\"trace\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Scope.Export.trace_record_json r))
+    records;
+  Buffer.add_string b "],\n\"spans\":[";
+  let spans =
+    List.filter
+      (fun (s : Sim.Span.span) ->
+        (node < 0 || s.node = node || s.node < 0)
+        && (s.t1 < 0.0 || s.t1 >= cutoff))
+      (Sim.Span.spans (A.Runtime.spans t.rt))
+  in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Scope.Export.span_json ~clip:now s))
+    spans;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let record t ~kind ~node ~detail =
+  if Hashtbl.mem t.seen (kind, node) || List.length t.dumps >= t.max_dumps then
+    t.suppressed <- t.suppressed + 1
+  else begin
+    Hashtbl.replace t.seen (kind, node) ();
+    let body = dump_string t ~kind ~node ~detail in
+    let path =
+      Filename.concat t.dir
+        (Printf.sprintf "postmortem-%d-%s-%s.json" t.seq kind
+           (if node < 0 then "all" else Printf.sprintf "n%d" node))
+    in
+    t.seq <- t.seq + 1;
+    mkdir_p t.dir;
+    let oc = open_out path in
+    output_string oc body;
+    close_out oc;
+    t.dumps <- t.dumps @ [ path ]
+  end
+
+let attach rt ?(window = default_window) ?(max_dumps = default_max_dumps) ~dir
+    () =
+  Sim.Trace.set_enabled (A.Runtime.trace rt) true;
+  Sim.Span.set_enabled (A.Runtime.spans rt) true;
+  let t =
+    {
+      rt;
+      window;
+      dir;
+      max_dumps;
+      dumps = [];
+      suppressed = 0;
+      seen = Hashtbl.create 8;
+      seq = 0;
+    }
+  in
+  A.Runtime.on_failure rt (fun ~kind ~node ~detail ->
+      record t ~kind ~node ~detail);
+  t
+
+let dumps t = t.dumps
+let dump_count t = List.length t.dumps
+let suppressed t = t.suppressed
+
+let report_lines t =
+  Printf.sprintf "flight recorder: %d postmortem(s), %d suppressed"
+    (dump_count t) t.suppressed
+  :: List.map (fun p -> "  " ^ Filename.basename p) t.dumps

@@ -1,0 +1,144 @@
+module A = Amber
+module Slo = Slo
+module Flight = Flight
+
+type cfg = {
+  interval : float; (* virtual seconds between samples *)
+  capacity : int; (* ring capacity per series *)
+}
+
+let default_cfg = { interval = 5e-3; capacity = 4096 }
+
+type t = {
+  rt : A.Runtime.t;
+  cfg : cfg;
+  slo : Slo.rule list;
+  flight : Flight.t option;
+  mutable tick_ev : Sim.Engine.event_id option;
+  mutable stopped : bool;
+}
+
+let registry t = A.Runtime.metrics t.rt
+let series t = Sim.Series.all (registry t)
+
+(* The standard instrument set: scheduler and RPC pressure per node,
+   protocol/replication/balance/crash counters cluster-wide.  Serve and
+   the balance driver add their own series when they find the registry
+   enabled. *)
+let register_standard rt =
+  let m = A.Runtime.metrics rt in
+  let nodes = A.Runtime.nodes rt in
+  let rpc = A.Runtime.rpc rt in
+  for n = 0 to nodes - 1 do
+    let mach = A.Runtime.machine rt n in
+    Sim.Series.probe m ~name:"sched.ready" ~node:n (fun () ->
+        float_of_int (Hw.Machine.ready_length mach));
+    Sim.Series.probe m ~name:"sched.running" ~node:n (fun () ->
+        float_of_int (Hw.Machine.busy_cpus mach));
+    Sim.Series.probe m ~name:"rpc.backlog" ~node:n (fun () ->
+        float_of_int (Topaz.Rpc.backlog rpc n))
+  done;
+  Sim.Series.probe m ~name:"rpc.in_flight" (fun () ->
+      float_of_int (Topaz.Rpc.in_flight rpc));
+  let rel = Topaz.Rpc.reliability rpc in
+  Sim.Series.counter m ~name:"rpc.retransmits" (fun () ->
+      Sim.Stats.Counter.value rel.Topaz.Rpc.retransmits);
+  Sim.Series.counter m ~name:"rpc.timeouts" (fun () ->
+      Sim.Stats.Counter.value rel.Topaz.Rpc.timeouts);
+  Sim.Series.counter m ~name:"rpc.posts_rejected" (fun () ->
+      Topaz.Rpc.posts_rejected rpc);
+  let c = A.Runtime.counters rt in
+  Sim.Series.counter m ~name:"invoke.local" (fun () ->
+      c.A.Runtime.local_invocations);
+  Sim.Series.counter m ~name:"invoke.remote" (fun () ->
+      c.A.Runtime.remote_invocations);
+  Sim.Series.counter m ~name:"replica.installs" (fun () ->
+      c.A.Runtime.replica_installs);
+  Sim.Series.counter m ~name:"replica.invalidations" (fun () ->
+      c.A.Runtime.replica_invalidations);
+  Sim.Series.counter m ~name:"balance.moves" (fun () ->
+      c.A.Runtime.balance_moves);
+  Sim.Series.counter m ~name:"balance.steals" (fun () ->
+      c.A.Runtime.threads_stolen);
+  Sim.Series.counter m ~name:"crash.node_crashes" (fun () ->
+      c.A.Runtime.node_crashes);
+  Sim.Series.counter m ~name:"crash.objects_lost" (fun () ->
+      c.A.Runtime.objects_lost);
+  Sim.Series.probe m ~name:"cluster.up_nodes" (fun () ->
+      let up = ref 0 in
+      for n = 0 to nodes - 1 do
+        if A.Runtime.node_is_up rt n then incr up
+      done;
+      float_of_int !up)
+
+let outcomes t = List.map (Slo.evaluate (registry t)) t.slo
+let slo_fired t = Slo.any_fired (outcomes t)
+
+let report_lines t =
+  let m = registry t in
+  let all = series t in
+  let npoints = List.fold_left (fun n s -> n + Sim.Series.length s) 0 all in
+  let header =
+    Printf.sprintf "%d series, %d samples @ %.3gms, %d points (%d dropped)"
+      (List.length all)
+      (Sim.Series.samples_taken m)
+      (t.cfg.interval *. 1e3)
+      npoints (Sim.Series.total_dropped m)
+  in
+  let slo_lines = Slo.report_lines (outcomes t) in
+  let flight_lines =
+    match t.flight with Some f -> Flight.report_lines f | None -> []
+  in
+  let series_line s =
+    let n = Sim.Series.length s in
+    if n = 0 then Printf.sprintf "%-32s (no points)" (Sim.Series.qualified s)
+    else begin
+      let sum = ref 0.0 and mn = ref infinity and mx = ref neg_infinity in
+      Sim.Series.iter_points s (fun p ->
+          sum := !sum +. p.Sim.Series.v;
+          if p.Sim.Series.v < !mn then mn := p.Sim.Series.v;
+          if p.Sim.Series.v > !mx then mx := p.Sim.Series.v);
+      let last =
+        match Sim.Series.last s with
+        | Some p -> p.Sim.Series.v
+        | None -> 0.0
+      in
+      Printf.sprintf "%-32s n=%-5d last=%-10.6g min=%-10.6g max=%-10.6g mean=%.6g"
+        (Sim.Series.qualified s) n last !mn !mx
+        (!sum /. float_of_int n)
+    end
+  in
+  (header :: slo_lines) @ flight_lines @ List.map series_line all
+
+let attach rt ?(cfg = default_cfg) ?(slo = []) ?flight () =
+  if cfg.interval <= 0.0 then invalid_arg "Watch.attach: interval";
+  let m = A.Runtime.metrics rt in
+  Sim.Series.set_capacity m cfg.capacity;
+  register_standard rt;
+  Sim.Series.enable m;
+  let eng = A.Runtime.engine rt in
+  let t = { rt; cfg; slo; flight; tick_ev = None; stopped = false } in
+  let rec tick () =
+    t.tick_ev <- None;
+    if not t.stopped then begin
+      Sim.Series.sample m;
+      t.tick_ev <-
+        Some (Sim.Engine.schedule eng ~label:"watch-tick" ~delay:cfg.interval tick)
+    end
+  in
+  t.tick_ev <-
+    Some (Sim.Engine.schedule eng ~label:"watch-tick" ~delay:cfg.interval tick);
+  A.Runtime.add_report_section rt ~name:"watch" (fun () -> report_lines t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (match t.tick_ev with
+    | Some ev ->
+        t.tick_ev <- None;
+        Sim.Engine.cancel (A.Runtime.engine t.rt) ev
+    | None -> ());
+    (* One closing sample so the series reach the stop instant. *)
+    Sim.Series.sample (A.Runtime.metrics t.rt)
+  end

@@ -14,7 +14,19 @@ Checks:
      exists and opened first (it may close first — that is what async
      means; parent 0 is a genuinely top-level operation);
   6. flow arrows pair up: every "s" (flow start) event has exactly one
-     matching "f" (flow finish) with the same id, and vice versa.
+     matching "f" (flow finish) with the same id, and vice versa;
+  7. counter ("C") events, when present, are well formed: numeric
+     timestamp, a single numeric args value, and per-(pid, name) track
+     timestamps strictly increase (the watch tick samples each series
+     at most once per instant).
+
+A second mode validates flight-recorder postmortems:
+
+    check_trace.py --postmortem DUMP.json [VICTIM_NODE]
+
+requires the typed failure header, a non-empty trailing trace window
+that ends no later than the failure time, and (when VICTIM_NODE is
+given) that every span belongs to the victim or is cluster-scoped.
 
 Exit 0 on success, 1 on any violation.
 """
@@ -34,8 +46,36 @@ def main(path):
     spans = {}
     flow_starts = {}
     flow_finishes = {}
+    counters = {}
+    counter_bad = 0
     for e in events:
-        if e.get("ph") == "X":
+        if e.get("ph") == "C":
+            track = (e.get("pid"), e.get("name"))
+            ts = e.get("ts")
+            args = e.get("args", {})
+            if not isinstance(ts, (int, float)):
+                print(f"counter {track}: non-numeric ts {ts!r}", file=sys.stderr)
+                counter_bad += 1
+                continue
+            if len(args) != 1 or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                print(
+                    f"counter {track}: want one numeric args value, got {args!r}",
+                    file=sys.stderr,
+                )
+                counter_bad += 1
+                continue
+            prev = counters.get(track)
+            if prev is not None and ts <= prev:
+                print(
+                    f"counter {track}: ts {ts:.3f} not after previous "
+                    f"{prev:.3f}",
+                    file=sys.stderr,
+                )
+                counter_bad += 1
+            counters[track] = ts
+        elif e.get("ph") == "X":
             sid = e["args"]["span"]
             spans[sid] = {
                 "id": sid,
@@ -131,13 +171,70 @@ def main(path):
             )
             bad += 1
 
+    bad += counter_bad
     print(
         f"checked {len(spans)} spans ({len(remotes)} remote invokes, "
-        f"{len(flow_starts)} flow arrows): "
+        f"{len(flow_starts)} flow arrows, {len(counters)} counter tracks): "
+        + ("OK" if bad == 0 else f"{bad} violations")
+    )
+    return 1 if bad else 0
+
+
+def check_postmortem(path, victim=None):
+    with open(path) as f:
+        doc = json.load(f)
+    bad = 0
+    pm = doc.get("postmortem")
+    if not isinstance(pm, dict):
+        print("missing postmortem header", file=sys.stderr)
+        return 1
+    for field, kind in (
+        ("kind", str),
+        ("node", int),
+        ("time", (int, float)),
+        ("detail", str),
+        ("window_s", (int, float)),
+    ):
+        if not isinstance(pm.get(field), kind):
+            print(f"postmortem header: bad {field}: {pm.get(field)!r}",
+                  file=sys.stderr)
+            bad += 1
+    t_fail = pm.get("time", 0.0)
+    window = pm.get("window_s", 0.0)
+    trace = doc.get("trace", [])
+    if not trace:
+        print("postmortem has an empty trailing trace window", file=sys.stderr)
+        bad += 1
+    for r in trace:
+        t = r.get("time", 0.0)
+        if t > t_fail + 1e-9 or t < t_fail - window - 1e-9:
+            print(
+                f"trace record at {t:.6f} outside the trailing window "
+                f"[{t_fail - window:.6f}, {t_fail:.6f}]",
+                file=sys.stderr,
+            )
+            bad += 1
+    spans = doc.get("spans", [])
+    if victim is not None:
+        for s in spans:
+            if s.get("node") not in (victim, -1):
+                print(
+                    f"span {s.get('id')} belongs to node {s.get('node')}, "
+                    f"not victim {victim}",
+                    file=sys.stderr,
+                )
+                bad += 1
+    print(
+        f"checked postmortem {pm.get('kind')}@node{pm.get('node')}: "
+        f"{len(trace)} trace records, {len(spans)} spans: "
         + ("OK" if bad == 0 else f"{bad} violations")
     )
     return 1 if bad else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "trace.json"))
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--postmortem":
+        victim = int(argv[2]) if len(argv) > 2 else None
+        sys.exit(check_postmortem(argv[1], victim))
+    sys.exit(main(argv[0] if argv else "trace.json"))

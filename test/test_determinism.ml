@@ -169,6 +169,47 @@ let served_digest seed =
 let test_served_sweep () =
   sweep "serving + admission + balancing + crashes" served_digest
 
+(* With the watch tick armed, the sampled series become part of the
+   deterministic surface: every point of every series (the JSONL dump
+   renders timestamps and values in full) plus the report — watch
+   section included — must hash identically run-to-run, crash
+   injection and all. *)
+let watched_serve_digest seed =
+  let cfg =
+    A.Config.make ~nodes:4 ~cpus:2 ~seed:(Int64.of_int seed)
+      ~crashes:[ { A.Config.cnode = 3; at = 30e-3; restart = Some 80e-3 } ]
+      ~crash_rate:0.3 ()
+  in
+  let buf = Buffer.create 65536 in
+  A.Cluster.run_value cfg (fun rt ->
+      let w =
+        Watch.attach rt
+          ~cfg:{ Watch.default_cfg with Watch.interval = 2e-3 }
+          ()
+      in
+      ignore
+        (Serve.run rt
+           {
+             Serve.default_cfg with
+             Serve.arrival = Serve.Trafficgen.Poisson 250.0;
+             duration = 0.15;
+             keys = 16;
+             admission = Some Serve.default_admission;
+           }
+          : Serve.result);
+      Watch.stop w;
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        (Scope.Export.series_jsonl (Watch.series w));
+      Buffer.add_string buf
+        (Format.asprintf "%a" A.Stats_report.pp (A.Stats_report.capture rt)));
+  Digest.string (Buffer.contents buf)
+
+let test_watched_serve_sweep () =
+  sweep "watched serving + crashes" watched_serve_digest
+
 (* With profiling on, the span forest itself is part of the deterministic
    surface: ids, parents, kinds, attribution and timestamps must all
    reproduce run-to-run. *)
@@ -243,6 +284,9 @@ let suite =
     Alcotest.test_case
       "serving + admission + balancing + crashes reproducible over 10 seeds"
       `Quick test_served_sweep;
+    Alcotest.test_case
+      "watched serving + crashes series reproducible over 10 seeds" `Quick
+      test_watched_serve_sweep;
     Alcotest.test_case "span traces reproducible over 10 seeds" `Quick
       test_span_sweep;
     Alcotest.test_case "profiling leaves the base report byte-identical"

@@ -120,6 +120,89 @@ let test_histogram_bad_args () =
     (fun () ->
       ignore (Sim.Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:0))
 
+(* --- log-bucketed histogram ---------------------------------------------- *)
+
+module L = Sim.Stats.Log_histogram
+
+let test_log_histogram_basics () =
+  let h = L.create () in
+  List.iter (L.add h) [ 1e-3; 2e-3; 4e-3; 8e-3 ];
+  Alcotest.(check int) "count" 4 (L.count h);
+  feq "total" 15e-3 (L.total h);
+  feq "mean" 3.75e-3 (L.mean h);
+  feq "min" 1e-3 (L.min h);
+  feq "max" 8e-3 (L.max h);
+  Alcotest.(check int) "no underflow" 0 (L.underflow h);
+  Alcotest.(check int) "no overflow" 0 (L.overflow h)
+
+(* Bucket boundaries are authoritative: for any bucket i, values at
+   [blo], just below [bhi], and the geometric midpoint all index back
+   to i — including exact boundary values, where naive float log/exp
+   rounding is most likely to be off by one. *)
+let test_log_bucket_boundaries () =
+  let h = L.create ~lo:1e-6 ~growth:1.05 ~buckets:400 () in
+  List.iter
+    (fun i ->
+      let blo, bhi = L.bucket_bounds h i in
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d lower bound" i)
+        i (L.bucket_index h blo);
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d upper bound opens %d" i (i + 1))
+        (i + 1)
+        (L.bucket_index h bhi);
+      let mid = Float.sqrt (blo *. bhi) in
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d midpoint" i)
+        i (L.bucket_index h mid))
+    [ 0; 1; 17; 100; 255; 399 ];
+  (* Out-of-range values land in the sentinel pseudo-buckets. *)
+  Alcotest.(check int) "underflow index" (-1) (L.bucket_index h 0.5e-6);
+  let top = snd (L.bucket_bounds h 399) in
+  Alcotest.(check int) "overflow index" 400 (L.bucket_index h (top *. 2.0))
+
+let test_log_percentiles () =
+  let h = L.create ~lo:1e-6 ~growth:1.05 ~buckets:640 () in
+  for i = 1 to 1000 do
+    L.add h (float_of_int i *. 1e-3)
+  done;
+  (* Nearest-rank within a 5%-wide bucket, clamped to observed bounds. *)
+  let near name want got =
+    if Float.abs (got -. want) > 0.05 *. want then
+      Alcotest.failf "%s: wanted ~%g, got %g" name want got
+  in
+  near "p50" 0.5 (L.percentile h 50.0);
+  near "p99" 0.99 (L.percentile h 99.0);
+  feq "p0 is exact min" 1e-3 (L.percentile h 0.0);
+  feq "p100 is exact max" 1.0 (L.percentile h 100.0);
+  (* A single sample reports exactly, any percentile. *)
+  let one = L.create () in
+  L.add one 42.0;
+  feq "single p50" 42.0 (L.percentile one 50.0);
+  feq "single p99" 42.0 (L.percentile one 99.0)
+
+let test_log_merge_and_clear () =
+  let a = L.create () and b = L.create () in
+  List.iter (L.add a) [ 1.0; 2.0 ];
+  List.iter (L.add b) [ 3.0; 4.0 ];
+  L.merge a b;
+  Alcotest.(check int) "merged count" 4 (L.count a);
+  feq "merged max" 4.0 (L.max a);
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Log_histogram.merge: geometry mismatch") (fun () ->
+      L.merge a (L.create ~lo:1e-3 ()));
+  L.clear a;
+  Alcotest.(check int) "cleared" 0 (L.count a)
+
+let test_log_bad_args () =
+  List.iter
+    (fun (msg, f) -> Alcotest.check_raises "create" (Invalid_argument msg) f)
+    [
+      ("Log_histogram.create: lo", fun () -> ignore (L.create ~lo:0.0 ()));
+      ("Log_histogram.create: growth", fun () -> ignore (L.create ~growth:1.0 ()));
+      ("Log_histogram.create: buckets", fun () -> ignore (L.create ~buckets:0 ()));
+    ]
+
 let suite =
   [
     Alcotest.test_case "summary basics" `Quick test_summary_basic;
@@ -139,4 +222,11 @@ let suite =
     Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
     Alcotest.test_case "histogram bucket bounds" `Quick test_histogram_bounds;
     Alcotest.test_case "histogram bad args" `Quick test_histogram_bad_args;
+    Alcotest.test_case "log histogram basics" `Quick test_log_histogram_basics;
+    Alcotest.test_case "log histogram bucket boundaries" `Quick
+      test_log_bucket_boundaries;
+    Alcotest.test_case "log histogram percentiles" `Quick test_log_percentiles;
+    Alcotest.test_case "log histogram merge and clear" `Quick
+      test_log_merge_and_clear;
+    Alcotest.test_case "log histogram bad args" `Quick test_log_bad_args;
   ]
